@@ -1,0 +1,333 @@
+//! A small fully-associative flow cache with pluggable replacement.
+//!
+//! Models the hardware structures of the AFD: fixed entry count, each
+//! entry holding a flow ID and a saturating hit counter. Replacement is
+//! LFU (the paper's choice for both AFC and annex) or LRU (kept for the
+//! ablation bench). Ties break deterministically toward the
+//! least-recently-touched entry, as a hardware pseudo-age would.
+//!
+//! Implementation: `HashMap` for lookup + `BTreeSet<(rank, stamp, key)>`
+//! as the eviction order, giving `O(log n)` updates — fast enough to
+//! stream hundreds of millions of packets while staying exactly
+//! deterministic.
+
+use nphash::FlowId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Replacement policy of a [`FlowCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Least-frequently-used, ties to the oldest touch (paper default).
+    Lfu,
+    /// Least-recently-used (ablation comparator).
+    Lru,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    count: u64,
+    stamp: u64,
+}
+
+/// A fixed-capacity, fully-associative cache of flow IDs with counters.
+#[derive(Debug, Clone)]
+pub struct FlowCache {
+    policy: CachePolicy,
+    capacity: usize,
+    entries: HashMap<FlowId, Entry>,
+    /// Eviction order: smallest element is the next victim.
+    order: BTreeSet<(u64, u64, FlowId)>,
+    tick: u64,
+}
+
+impl FlowCache {
+    /// An empty cache of `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: CachePolicy) -> Self {
+        assert!(capacity > 0, "cache needs at least one entry");
+        FlowCache {
+            policy,
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            tick: 0,
+        }
+    }
+
+    fn rank(&self, e: &Entry) -> (u64, u64) {
+        match self.policy {
+            CachePolicy::Lfu => (e.count, e.stamp),
+            CachePolicy::Lru => (0, e.stamp),
+        }
+    }
+
+    /// Number of resident flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the cache is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Configured entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `flow` is resident.
+    pub fn contains(&self, flow: FlowId) -> bool {
+        self.entries.contains_key(&flow)
+    }
+
+    /// The hit counter of `flow`, if resident.
+    pub fn count_of(&self, flow: FlowId) -> Option<u64> {
+        self.entries.get(&flow).map(|e| e.count)
+    }
+
+    /// Touch `flow` if resident: bump its counter (and recency), returning
+    /// the new count. `None` on miss — the cache is *not* modified.
+    pub fn touch(&mut self, flow: FlowId) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(&flow)?;
+        let old = *entry;
+        entry.count = entry.count.saturating_add(1);
+        entry.stamp = tick;
+        let new = *entry;
+        let old_rank = match self.policy {
+            CachePolicy::Lfu => (old.count, old.stamp),
+            CachePolicy::Lru => (0, old.stamp),
+        };
+        let new_rank = match self.policy {
+            CachePolicy::Lfu => (new.count, new.stamp),
+            CachePolicy::Lru => (0, new.stamp),
+        };
+        self.order.remove(&(old_rank.0, old_rank.1, flow));
+        self.order.insert((new_rank.0, new_rank.1, flow));
+        Some(new.count)
+    }
+
+    /// Insert `flow` with an initial `count`, evicting the replacement
+    /// victim if full. Returns the evicted `(flow, count)`, if any.
+    ///
+    /// Inserting a flow that is already resident just overwrites its
+    /// counter (no eviction).
+    pub fn insert(&mut self, flow: FlowId, count: u64) -> Option<(FlowId, u64)> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get(&flow).copied() {
+            let r = self.rank(&e);
+            self.order.remove(&(r.0, r.1, flow));
+            let ne = Entry { count, stamp: self.tick };
+            let nr = self.rank(&ne);
+            self.entries.insert(flow, ne);
+            self.order.insert((nr.0, nr.1, flow));
+            return None;
+        }
+        let victim = if self.entries.len() >= self.capacity {
+            let &(r0, r1, vflow) = self.order.iter().next().expect("full cache has entries");
+            self.order.remove(&(r0, r1, vflow));
+            let ve = self.entries.remove(&vflow).expect("ordered entry resident");
+            Some((vflow, ve.count))
+        } else {
+            None
+        };
+        let e = Entry { count, stamp: self.tick };
+        let r = self.rank(&e);
+        self.entries.insert(flow, e);
+        self.order.insert((r.0, r.1, flow));
+        victim
+    }
+
+    /// Remove `flow`, returning its count if it was resident.
+    pub fn remove(&mut self, flow: FlowId) -> Option<u64> {
+        let e = self.entries.remove(&flow)?;
+        let r = self.rank(&e);
+        self.order.remove(&(r.0, r.1, flow));
+        Some(e.count)
+    }
+
+    /// The current replacement victim (least-ranked entry), if any.
+    pub fn victim(&self) -> Option<(FlowId, u64)> {
+        self.order.iter().next().map(|&(c, _, f)| {
+            (
+                f,
+                match self.policy {
+                    CachePolicy::Lfu => c,
+                    CachePolicy::Lru => self.entries[&f].count,
+                },
+            )
+        })
+    }
+
+    /// Resident flows, unordered.
+    pub fn flows(&self) -> Vec<FlowId> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Resident flows ordered by descending counter (descending rank).
+    pub fn flows_by_count(&self) -> Vec<(FlowId, u64)> {
+        let mut v: Vec<(FlowId, u64)> = self.entries.iter().map(|(&f, e)| (f, e.count)).collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Halve every counter (counter aging, used by long-running
+    /// deployments to let stale elephants decay; ablation knob).
+    pub fn age_counters(&mut self) {
+        let snapshot: Vec<(FlowId, Entry)> = self.entries.iter().map(|(&f, &e)| (f, e)).collect();
+        self.order.clear();
+        for (f, mut e) in snapshot {
+            e.count /= 2;
+            let r = self.rank(&e);
+            self.entries.insert(f, e);
+            self.order.insert((r.0, r.1, f));
+        }
+    }
+
+    /// Clear all entries (counters and order), e.g. at a measurement-
+    /// window boundary.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FlowId {
+        FlowId::from_index(i)
+    }
+
+    #[test]
+    fn touch_misses_do_not_insert() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        assert_eq!(c.touch(f(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_then_touch_counts() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        assert_eq!(c.insert(f(1), 1), None);
+        assert_eq!(c.touch(f(1)), Some(2));
+        assert_eq!(c.touch(f(1)), Some(3));
+        assert_eq!(c.count_of(f(1)), Some(3));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        c.insert(f(1), 1);
+        c.insert(f(2), 1);
+        c.touch(f(1)); // f1 count 2, f2 count 1
+        let victim = c.insert(f(3), 1).expect("eviction");
+        assert_eq!(victim.0, f(2));
+        assert!(c.contains(f(1)) && c.contains(f(3)));
+    }
+
+    #[test]
+    fn lfu_tie_breaks_to_oldest() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        c.insert(f(1), 1);
+        c.insert(f(2), 1);
+        // Equal counts: the older (f1) is evicted.
+        let victim = c.insert(f(3), 1).unwrap();
+        assert_eq!(victim.0, f(1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_regardless_of_count() {
+        let mut c = FlowCache::new(2, CachePolicy::Lru);
+        c.insert(f(1), 100);
+        c.insert(f(2), 1);
+        c.touch(f(1)); // f1 most recent despite insertion order
+        let victim = c.insert(f(3), 1).unwrap();
+        assert_eq!(victim.0, f(2));
+    }
+
+    #[test]
+    fn remove_and_victim() {
+        let mut c = FlowCache::new(3, CachePolicy::Lfu);
+        c.insert(f(1), 5);
+        c.insert(f(2), 1);
+        c.insert(f(3), 9);
+        assert_eq!(c.victim().unwrap().0, f(2));
+        assert_eq!(c.remove(f(2)), Some(1));
+        assert_eq!(c.remove(f(2)), None);
+        assert_eq!(c.victim().unwrap().0, f(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_eviction() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        c.insert(f(1), 1);
+        c.insert(f(2), 2);
+        assert_eq!(c.insert(f(1), 10), None);
+        assert_eq!(c.count_of(f(1)), Some(10));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn flows_by_count_sorted() {
+        let mut c = FlowCache::new(4, CachePolicy::Lfu);
+        c.insert(f(1), 3);
+        c.insert(f(2), 7);
+        c.insert(f(3), 1);
+        let v = c.flows_by_count();
+        assert_eq!(v[0], (f(2), 7));
+        assert_eq!(v[2], (f(3), 1));
+    }
+
+    #[test]
+    fn aging_halves_counts_and_reorders() {
+        let mut c = FlowCache::new(3, CachePolicy::Lfu);
+        c.insert(f(1), 9);
+        c.insert(f(2), 4);
+        c.age_counters();
+        assert_eq!(c.count_of(f(1)), Some(4));
+        assert_eq!(c.count_of(f(2)), Some(2));
+        assert_eq!(c.victim().unwrap().0, f(2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = FlowCache::new(2, CachePolicy::Lfu);
+        c.insert(f(1), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.victim(), None);
+    }
+
+    #[test]
+    fn order_and_entries_stay_consistent_under_churn() {
+        let mut c = FlowCache::new(8, CachePolicy::Lfu);
+        for i in 0..1_000u64 {
+            match i % 3 {
+                0 => {
+                    c.insert(f(i % 20), 1);
+                }
+                1 => {
+                    c.touch(f(i % 20));
+                }
+                _ => {
+                    c.remove(f(i % 11));
+                }
+            }
+            assert!(c.len() <= 8);
+            // Internal invariant: order set and entry map agree.
+            assert_eq!(c.order.len(), c.entries.len());
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! SpaceSaving — the classic deterministic heavy-hitter sketch
+//! (Metwally, Agrawal & El Abbadi, ICDT 2005).
+//!
+//! The paper's related work surveys per-flow-counter reduction schemes
+//! (§VI: Estan & Varghese, counter braids, …); SpaceSaving is the
+//! canonical member of that family and makes a strong third comparator
+//! between the exact oracle and the AFD: with `m` counters it guarantees
+//! every flow of true frequency > N/m is tracked, and its count error is
+//! at most `min_count`.
+//!
+//! Where the AFD is a *cache* (LFU replacement, no error bound, tiny and
+//! hardware-shaped), SpaceSaving is a *sketch* (guaranteed recall,
+//! overestimating counters). Comparing the two on the Fig. 8 protocol
+//! shows what the guarantee costs and what the cache buys.
+
+use nphash::FlowId;
+use std::collections::{BTreeSet, HashMap};
+
+/// A SpaceSaving sketch over `m` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// flow → (count, overestimate, stamp). `count` includes the
+    /// inherited minimum from the counter it displaced; `overestimate`
+    /// records that inherited floor (the classic ε bound per flow);
+    /// `stamp` keys the entry's position in `order`.
+    entries: HashMap<FlowId, (u64, u64, u64)>,
+    /// Eviction order: (count, stamp, flow), smallest count first.
+    order: BTreeSet<(u64, u64, FlowId)>,
+    tick: u64,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch with `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SpaceSaving needs at least one counter");
+        SpaceSaving {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            tick: 0,
+            total: 0,
+        }
+    }
+
+    /// Count one packet of `flow`.
+    pub fn access(&mut self, flow: FlowId) {
+        self.tick += 1;
+        self.total += 1;
+        if let Some(&(count, over, stamp)) = self.entries.get(&flow) {
+            self.order.remove(&(count, stamp, flow));
+            self.entries.insert(flow, (count + 1, over, self.tick));
+            self.order.insert((count + 1, self.tick, flow));
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(flow, (1, 0, self.tick));
+            self.order.insert((1, self.tick, flow));
+            return;
+        }
+        // Displace the minimum counter: the newcomer inherits its count
+        // (the SpaceSaving overestimation step).
+        let &(min_count, stamp, victim) = self.order.iter().next().expect("non-empty");
+        self.order.remove(&(min_count, stamp, victim));
+        self.entries.remove(&victim);
+        self.entries.insert(flow, (min_count + 1, min_count, self.tick));
+        self.order.insert((min_count + 1, self.tick, flow));
+    }
+
+    /// Number of counters in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no counters are in use.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total packets counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The (over)estimate for `flow`, if tracked.
+    pub fn estimate(&self, flow: FlowId) -> Option<u64> {
+        self.entries.get(&flow).map(|&(c, _, _)| c)
+    }
+
+    /// The guaranteed lower bound for `flow` (estimate − inherited
+    /// overestimate), if tracked.
+    pub fn lower_bound(&self, flow: FlowId) -> Option<u64> {
+        self.entries.get(&flow).map(|&(c, o, _)| c - o)
+    }
+
+    /// The `k` flows with the largest estimates, descending; ties break
+    /// on the flow ID.
+    pub fn top_k(&self, k: usize) -> Vec<FlowId> {
+        let mut v: Vec<(&FlowId, &(u64, u64, u64))> = self.entries.iter().collect();
+        v.sort_unstable_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(b.0)));
+        v.into_iter().take(k).map(|(&f, _)| f).collect()
+    }
+
+    /// Flows whose *guaranteed* count exceeds `threshold` — these are
+    /// certainly heavy (no false positives by the lower bound).
+    pub fn guaranteed_heavy(&self, threshold: u64) -> Vec<FlowId> {
+        let mut v: Vec<FlowId> = self
+            .entries
+            .iter()
+            .filter(|(_, &(c, o, _))| c - o > threshold)
+            .map(|(&f, _)| f)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FlowId {
+        FlowId::from_index(i)
+    }
+
+    #[test]
+    fn exact_until_capacity() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..5 {
+            s.access(f(1));
+        }
+        for _ in 0..3 {
+            s.access(f(2));
+        }
+        assert_eq!(s.estimate(f(1)), Some(5));
+        assert_eq!(s.estimate(f(2)), Some(3));
+        assert_eq!(s.lower_bound(f(1)), Some(5));
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn displacement_inherits_min_count() {
+        let mut s = SpaceSaving::new(2);
+        s.access(f(1));
+        s.access(f(1));
+        s.access(f(2)); // counters: f1=2, f2=1
+        s.access(f(3)); // displaces f2 (min=1): f3 = 2, over 1
+        assert_eq!(s.estimate(f(2)), None);
+        assert_eq!(s.estimate(f(3)), Some(2));
+        assert_eq!(s.lower_bound(f(3)), Some(1));
+    }
+
+    #[test]
+    fn estimates_never_underestimate() {
+        // Classic SpaceSaving invariant: estimate >= true count for every
+        // tracked flow.
+        let mut s = SpaceSaving::new(8);
+        let mut truth: HashMap<FlowId, u64> = HashMap::new();
+        // Deterministic skewed stream.
+        for i in 0..5_000u64 {
+            let flow = f(if i % 3 == 0 { i % 5 } else { i % 97 });
+            s.access(flow);
+            *truth.entry(flow).or_insert(0) += 1;
+        }
+        for (&flow, &(est, _, _)) in s.entries.iter() {
+            assert!(est >= truth[&flow], "estimate {est} < true {}", truth[&flow]);
+        }
+    }
+
+    #[test]
+    fn guaranteed_recall_of_majority_flows() {
+        // Any flow with frequency > N/m must be tracked.
+        let mut s = SpaceSaving::new(10);
+        let n = 10_000u64;
+        // Flow 0 takes 20% (> N/10); the rest is spread over many mice.
+        for i in 0..n {
+            if i % 5 == 0 {
+                s.access(f(0));
+            } else {
+                s.access(f(1 + i % 731));
+            }
+        }
+        assert!(s.estimate(f(0)).is_some(), "frequent flow must survive");
+        assert!(s.estimate(f(0)).unwrap() >= n / 5);
+        assert!(s.top_k(1)[0] == f(0));
+    }
+
+    #[test]
+    fn guaranteed_heavy_has_no_false_positives() {
+        let mut s = SpaceSaving::new(6);
+        let mut truth: HashMap<FlowId, u64> = HashMap::new();
+        for i in 0..3_000u64 {
+            let flow = f(if i % 2 == 0 { 0 } else { i % 41 });
+            s.access(flow);
+            *truth.entry(flow).or_insert(0) += 1;
+        }
+        for flow in s.guaranteed_heavy(100) {
+            assert!(truth[&flow] > 100, "guaranteed-heavy flow below threshold");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut s = SpaceSaving::new(3);
+        for i in 0..100 {
+            s.access(f(i));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.order.len(), 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = SpaceSaving::new(3);
+        s.access(f(1));
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.estimate(f(1)), None);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_and_sorted() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..1_000u64 {
+            s.access(f(i % 10));
+        }
+        let a = s.top_k(5);
+        let b = s.top_k(5);
+        assert_eq!(a, b);
+        let counts: Vec<u64> = a.iter().map(|&fl| s.estimate(fl).unwrap()).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

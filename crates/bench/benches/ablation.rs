@@ -1,0 +1,85 @@
+//! Ablation benches over the design knobs DESIGN.md calls out:
+//! promotion policy, replacement policy, promotion threshold, and
+//! migration-table capacity — measuring both cost (time) and, via the
+//! returned values, the decision behaviour under each setting.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laps::MigrationTable;
+use npafd::{Afd, AfdConfig, CachePolicy, PromotionPolicy};
+use nphash::FlowId;
+use nptrace::TracePreset;
+
+fn bench_promotion_policy(c: &mut Criterion) {
+    let trace = TracePreset::Caida(1).generate(50_000);
+    let ids: Vec<_> = trace.iter_ids().map(|(f, _)| f).collect();
+    let mut g = c.benchmark_group("afd_ablation");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    for (name, promotion) in [
+        ("always", PromotionPolicy::Always),
+        ("competitive", PromotionPolicy::Competitive),
+    ] {
+        g.bench_function(BenchmarkId::new("promotion", name), |b| {
+            b.iter(|| {
+                let mut afd = Afd::new(AfdConfig {
+                    promotion,
+                    ..AfdConfig::default()
+                });
+                for &f in &ids {
+                    afd.access(f);
+                }
+                black_box(afd.stats().promotions)
+            })
+        });
+    }
+    for (name, policy) in [("lfu", CachePolicy::Lfu), ("lru", CachePolicy::Lru)] {
+        g.bench_function(BenchmarkId::new("replacement", name), |b| {
+            b.iter(|| {
+                let mut afd = Afd::new(AfdConfig {
+                    policy,
+                    ..AfdConfig::default()
+                });
+                for &f in &ids {
+                    afd.access(f);
+                }
+                black_box(afd.stats().afc_hits)
+            })
+        });
+    }
+    for thresh in [1u64, 3, 8] {
+        g.bench_function(BenchmarkId::new("threshold", thresh), |b| {
+            b.iter(|| {
+                let mut afd = Afd::new(AfdConfig {
+                    promote_threshold: thresh,
+                    ..AfdConfig::default()
+                });
+                for &f in &ids {
+                    afd.access(f);
+                }
+                black_box(afd.stats().promotions)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_migration_table(c: &mut Criterion) {
+    let flows: Vec<FlowId> = (0..10_000u64).map(FlowId::from_index).collect();
+    let mut g = c.benchmark_group("migration_table");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    for cap in [64usize, 256, 1024] {
+        g.bench_function(BenchmarkId::new("churn", cap), |b| {
+            b.iter(|| {
+                let mut t = MigrationTable::new(cap);
+                for (i, &f) in flows.iter().enumerate() {
+                    t.insert(f, i % 16);
+                    black_box(t.get(flows[(i * 7) % flows.len()]));
+                }
+                t.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_promotion_policy, bench_migration_table);
+criterion_main!(benches);

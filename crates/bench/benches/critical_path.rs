@@ -1,0 +1,133 @@
+//! §III-G — the scheduler critical path: hash delay → map-table access →
+//! mux. Criterion-precision per-decision latency for every stage and
+//! every policy; the paper's claim is that the hardware pipeline clears
+//! 200 M decisions/s, and the software path here shows the work involved
+//! is a CRC plus an array index.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use detsim::SimTime;
+use laps::prelude::*;
+use laps_bench::bench_laps;
+use nphash::crc::crc16_ccitt_bitwise;
+use nphash::{Crc16Ccitt, FlowId, MapTable, ToeplitzHasher};
+use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
+
+fn flows(n: usize) -> Vec<FlowId> {
+    (0..n as u64).map(FlowId::from_index).collect()
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let fs = flows(4096);
+    let table = Crc16Ccitt::new();
+    let toeplitz = ToeplitzHasher::default();
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Elements(fs.len() as u64));
+    g.bench_function("crc16_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for f in &fs {
+                acc ^= table.hash(&f.to_bytes());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("crc16_bitwise", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for f in &fs {
+                acc ^= crc16_ccitt_bitwise(&f.to_bytes());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("toeplitz_rss", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for f in &fs {
+                acc ^= toeplitz.hash_v4_tuple(*f);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_map_table(c: &mut Criterion) {
+    let fs = flows(4096);
+    let table: MapTable<usize> = MapTable::new((0..16).collect());
+    let mut g = c.benchmark_group("critical_path");
+    g.throughput(Throughput::Elements(fs.len() as u64));
+    g.bench_function("hash_plus_maptable", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for f in &fs {
+                acc = acc.wrapping_add(table.lookup(*f));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let fs = flows(4096);
+    let packets: Vec<PacketDesc> = fs
+        .iter()
+        .enumerate()
+        .map(|(i, &flow)| PacketDesc {
+            id: i as u64,
+            flow,
+            service: ServiceKind::ALL[i % 4],
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: 0,
+            migrated: false,
+        })
+        .collect();
+    let queues: Vec<QueueInfo> = (0..16)
+        .map(|_| QueueInfo {
+            len: 1,
+            capacity: 32,
+            busy: true,
+            idle_since: None,
+            last_congested: SimTime::ZERO,
+        })
+        .collect();
+    let view = SystemView {
+        now: SimTime::ZERO,
+        queues: &queues,
+    };
+
+    let mut g = c.benchmark_group("decision");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    let run = |b: &mut criterion::Bencher<'_>, mut s: Box<dyn Scheduler>| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &packets {
+                acc = acc.wrapping_add(s.schedule(p, &view));
+            }
+            black_box(acc)
+        })
+    };
+    g.bench_function(BenchmarkId::new("policy", "static-hash"), |b| {
+        run(b, Box::new(StaticHash::new(16)))
+    });
+    g.bench_function(BenchmarkId::new("policy", "fcfs"), |b| run(b, Box::new(Fcfs::new())));
+    g.bench_function(BenchmarkId::new("policy", "afs"), |b| {
+        run(b, Box::new(Afs::new(16, 24, SimTime::ZERO)))
+    });
+    g.bench_function(BenchmarkId::new("policy", "topk-afd"), |b| {
+        run(
+            b,
+            Box::new(TopKMigration::new(16, 24, DetectorKind::Afd(AfdConfig::default()))),
+        )
+    });
+    g.bench_function(BenchmarkId::new("policy", "laps"), |b| {
+        let cfg = laps_bench::bench_engine(1);
+        run(b, Box::new(bench_laps(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_map_table, bench_policies);
+criterion_main!(benches);

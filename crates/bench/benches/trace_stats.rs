@@ -1,0 +1,27 @@
+//! Fig. 2 as a benchmark: trace generation and offline rank-size
+//! analysis throughput (the substrate every experiment consumes).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nptrace::TracePreset;
+
+fn bench_generation(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(N as u64));
+    for preset in [TracePreset::Caida(1), TracePreset::Auckland(1)] {
+        g.bench_function(BenchmarkId::new("generate", preset.name()), |b| {
+            b.iter(|| black_box(preset.generate(N).len()))
+        });
+    }
+    let trace = TracePreset::Caida(1).generate(N);
+    g.bench_function("analyze_rank_size", |b| {
+        b.iter(|| black_box(trace.analyze().rank_size().len()))
+    });
+    g.bench_function("analyze_top16", |b| {
+        b.iter(|| black_box(trace.analyze().top_k(16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared helpers for the criterion benches.
+//!
+//! Each bench regenerates (a slice of) one paper artifact; sizes are kept
+//! small so `cargo bench` completes in minutes while still exercising the
+//! exact code paths of the corresponding `laps-experiments` binary.
+
+use detsim::SimTime;
+use laps::prelude::*;
+
+/// A bench-sized engine config: 30 ms at scale 200 (~5k packets for the
+/// Fig. 7 scenarios).
+pub fn bench_engine(seed: u64) -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(30),
+        scale: 200.0,
+        period_compression: 100.0,
+        rate_update_interval: SimTime::from_millis(5),
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// The bench-sized LAPS configuration.
+pub fn bench_laps(cfg: &EngineConfig) -> Laps {
+    Laps::new(LapsConfig {
+        n_cores: cfg.n_cores,
+        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
+        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
+        ..LapsConfig::default()
+    })
+}
+
+/// Sources for a Table VI scenario.
+pub fn bench_sources(scenario: Scenario) -> Vec<SourceConfig> {
+    let traces = scenario.group.traces();
+    ServiceKind::ALL
+        .iter()
+        .zip(traces.iter())
+        .map(|(&service, &trace)| SourceConfig {
+            service,
+            trace,
+            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
+        })
+        .collect()
+}

@@ -1,0 +1,705 @@
+//! LAPS — the Locality Aware Packet Scheduler (§III).
+//!
+//! Combines every mechanism of the paper:
+//!
+//! * **Service partitioning** (§III-B): one map table per service; a core
+//!   serves exactly one service at a time, preserving I-cache locality.
+//! * **Dynamic core allocation** (§III-C/D): a core whose input queue has
+//!   not congested for `idle_th` is *surplus* — it has demonstrably spare
+//!   capacity ("the deallocated core has the least utility for the victim
+//!   service"). When another service overloads on all of its cores
+//!   (`request_core()` in Listing 1), the longest-spare core is
+//!   transferred: removed from the victim's bucket list (incremental
+//!   shrink) and appended to the requester's (incremental grow), so only
+//!   one bucket's worth of flows migrates on either side.
+//! * **Aggressive-flow migration** (§III-A, Listing 1): when a packet's
+//!   target core is overloaded but some core of the same service is not,
+//!   the packet's flow is migrated **only if it hits in the AFC**; the
+//!   flow is entered into the service's migration table (which has
+//!   priority over the hash) and invalidated in the AFC so it is not
+//!   immediately re-migrated.
+//!
+//! Surplus interpretation: the paper starts a timer "when the input queue
+//! to a core becomes empty" and marks the core surplus at `idle_th`. Read
+//! literally (reset on every packet) a lightly-loaded core would never
+//! qualify even at 5 % utilization, and the under-load scenarios of Fig. 7
+//! could never rebalance. We therefore time *queue congestion* rather than
+//! queue emptiness: a core is surplus-eligible when its queue is currently
+//! empty **and** has not built beyond a small watermark for `idle_th` —
+//! the same hardware (comparator + timer), robust to single in-flight
+//! packets. DESIGN.md records this calibration.
+
+use crate::config::LapsConfig;
+use crate::migration::MigrationTable;
+use detsim::SimTime;
+use nphash::MapTable;
+use npafd::Afd;
+use npsim::{PacketDesc, Scheduler, SystemView};
+use nptraffic::ServiceKind;
+
+#[derive(Debug)]
+struct ServiceState {
+    map: MapTable<usize>,
+    migration: MigrationTable,
+}
+
+/// The LAPS scheduler over the four router services.
+#[derive(Debug)]
+pub struct Laps {
+    cfg: LapsConfig,
+    services: Vec<ServiceState>,
+    /// `owner[core]` = service index currently owning the core.
+    owner: Vec<usize>,
+    afd: Afd,
+    migrations: u64,
+    reallocs: u64,
+    /// Per-service drops since the service last gained a core; reaching
+    /// `drop_request_threshold` escalates to `request_core()`.
+    drops_since_gain: [u64; 4],
+    /// When each service last gained a core (claim-rate damping).
+    last_gain: [Option<SimTime>; 4],
+    /// When each service last lost a core (loss-rate damping).
+    last_loss: [Option<SimTime>; 4],
+    /// Power state (extension): `parked_since[c]` is `Some(t)` while core
+    /// `c` is powered down.
+    parked_since: Vec<Option<SimTime>>,
+    /// When each core was last woken (re-park hysteresis).
+    last_wake: Vec<Option<SimTime>>,
+    parked_time_ns: u64,
+    parks: u64,
+    wakes: u64,
+}
+
+impl Laps {
+    /// Build LAPS with cores divided equally among the four services
+    /// ("At initialization, cores are equally divided among services",
+    /// §III-C).
+    ///
+    /// # Panics
+    /// Panics if `cfg.n_cores < 4` (each service needs a core).
+    pub fn new(cfg: LapsConfig) -> Self {
+        let n_services = ServiceKind::ALL.len();
+        assert!(
+            cfg.n_cores >= n_services,
+            "need at least one core per service"
+        );
+        let mut owner = vec![0usize; cfg.n_cores];
+        let services = (0..n_services)
+            .map(|svc| {
+                // Service `svc` initially owns cores svc, svc+4, svc+8, …
+                // (round-robin keeps the split even for any core count).
+                let cores: Vec<usize> = (0..cfg.n_cores).filter(|c| c % n_services == svc).collect();
+                for &c in &cores {
+                    owner[c] = svc;
+                }
+                ServiceState {
+                    map: MapTable::new(cores),
+                    migration: MigrationTable::new(cfg.migration_cap),
+                }
+            })
+            .collect();
+        Laps {
+            services,
+            owner,
+            afd: Afd::new(cfg.afd),
+            migrations: 0,
+            reallocs: 0,
+            drops_since_gain: [0; 4],
+            last_gain: [None; 4],
+            last_loss: [None; 4],
+            parked_since: vec![None; cfg.n_cores],
+            last_wake: vec![None; cfg.n_cores],
+            parked_time_ns: 0,
+            parks: 0,
+            wakes: 0,
+            cfg,
+        }
+    }
+
+    /// Flow-migration decisions taken (Fig. 9c numerator).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Cores transferred between services.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocs
+    }
+
+    /// The cores currently allocated to `service`.
+    pub fn cores_of(&self, service: ServiceKind) -> &[usize] {
+        self.services[service.index()].map.cores()
+    }
+
+    /// Read access to the AFD (experiments inspect detector state).
+    pub fn afd(&self) -> &Afd {
+        &self.afd
+    }
+
+    /// Whether core `c` is currently surplus-eligible: empty queue and no
+    /// congestion for at least `idle_release`.
+    fn is_surplus(&self, view: &SystemView<'_>, c: usize) -> bool {
+        let q = &view.queues[c];
+        q.len == 0 && view.now.saturating_sub(q.last_congested) >= self.cfg.idle_release
+    }
+
+    /// Cores currently powered down.
+    pub fn parked_cores(&self) -> Vec<usize> {
+        self.parked_since
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Park/wake event counts `(parks, wakes)`.
+    pub fn park_events(&self) -> (u64, u64) {
+        (self.parks, self.wakes)
+    }
+
+    /// Total core-nanoseconds spent parked up to `now` (energy model
+    /// input).
+    pub fn parked_time_ns(&self, now: SimTime) -> u64 {
+        let open: u64 = self
+            .parked_since
+            .iter()
+            .flatten()
+            .map(|&t| now.saturating_sub(t).as_nanos())
+            .sum();
+        self.parked_time_ns + open
+    }
+
+    /// Power down any core that has been surplus for `park_after`
+    /// (extension; no-op unless parking is configured).
+    fn park_idle_cores(&mut self, view: &SystemView<'_>) {
+        let Some(park) = self.cfg.parking else { return };
+        for c in 0..view.n_cores() {
+            if self.parked_since[c].is_some() {
+                continue;
+            }
+            let owner = self.owner[c];
+            if self.services[owner].map.len() <= park.min_cores {
+                continue;
+            }
+            // Re-park hysteresis: a recently woken core was woken for a
+            // reason; give demand a few park periods to come back before
+            // powering it down again.
+            if let Some(w) = self.last_wake[c] {
+                if view.now.saturating_sub(w) < park.park_after.scaled(4) {
+                    continue;
+                }
+            }
+            let q = &view.queues[c];
+            let spare_for = view.now.saturating_sub(q.last_congested);
+            if q.len == 0 && spare_for >= park.park_after && self.services[owner].map.remove_core(c)
+            {
+                self.services[owner].migration.remove_core(c);
+                self.parked_since[c] = Some(view.now);
+                self.parks += 1;
+            }
+        }
+    }
+
+    /// Wake the longest-parked core for `svc`, if any.
+    fn wake_core(&mut self, svc: usize, now: SimTime) -> Option<usize> {
+        let core = self
+            .parked_since
+            .iter()
+            .enumerate()
+            .filter_map(|(c, p)| p.map(|t| (t, c)))
+            .min()
+            .map(|(_, c)| c)?;
+        let since = self.parked_since[core].take().expect("selected parked core");
+        self.parked_time_ns += now.saturating_sub(since).as_nanos();
+        self.last_wake[core] = Some(now);
+        self.wakes += 1;
+        self.owner[core] = svc;
+        self.services[svc].map.add_core(core);
+        self.reallocs += 1;
+        self.drops_since_gain[svc] = 0;
+        self.last_gain[svc] = Some(now);
+        Some(core)
+    }
+
+    /// The surplus cores another service could claim from `svc`'s point
+    /// of view, longest-spare first (observability + claim order).
+    pub fn surplus_candidates(&self, view: &SystemView<'_>, svc: ServiceKind) -> Vec<usize> {
+        let svc = svc.index();
+        let mut v: Vec<usize> = (0..view.n_cores())
+            .filter(|&c| {
+                let victim = self.owner[c];
+                self.parked_since[c].is_none()
+                    && victim != svc
+                    && self.services[victim].map.len() > 1
+                    && self.cooled(self.last_loss[victim], view.now)
+                    && self.is_surplus(view, c)
+            })
+            .collect();
+        v.sort_by_key(|&c| (view.queues[c].last_congested, c));
+        v
+    }
+
+    fn cooled(&self, stamp: Option<SimTime>, now: SimTime) -> bool {
+        stamp.is_none_or(|t| now.saturating_sub(t) >= self.cfg.realloc_cooldown)
+    }
+
+    /// `request_core()` of Listing 1: claim the longest-spare surplus core
+    /// of another service for `svc`. Returns the claimed core.
+    fn request_core(&mut self, svc: usize, view: &SystemView<'_>) -> Option<usize> {
+        // A parked core is free capacity: wake it before robbing a peer —
+        // and without the claim damping, since waking harms no victim.
+        if let Some(core) = self.wake_core(svc, view.now) {
+            return Some(core);
+        }
+        if !self.cooled(self.last_gain[svc], view.now) {
+            return None;
+        }
+        let core = *self
+            .surplus_candidates(view, ServiceKind::from_index(svc))
+            .first()?;
+        let victim = self.owner[core];
+        let removed = self.services[victim].map.remove_core(core);
+        debug_assert!(removed, "victim must own the surplus core");
+        self.services[victim].migration.remove_core(core);
+        self.owner[core] = svc;
+        self.services[svc].map.add_core(core);
+        self.reallocs += 1;
+        self.drops_since_gain[svc] = 0;
+        self.last_gain[svc] = Some(view.now);
+        self.last_loss[victim] = Some(view.now);
+        Some(core)
+    }
+
+    fn resolve_target(&mut self, svc: usize, pkt: &PacketDesc) -> usize {
+        if let Some(c) = self.services[svc].migration.get(pkt.flow) {
+            // A stale override (core since transferred away) is dropped.
+            if self.owner[c] == svc {
+                return c;
+            }
+            self.services[svc].migration.remove(pkt.flow);
+        }
+        self.services[svc].map.lookup(pkt.flow)
+    }
+}
+
+impl Scheduler for Laps {
+    fn name(&self) -> &str {
+        "laps"
+    }
+
+    fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+        let svc = pkt.service.index();
+        // The AFD observes every (sampled) packet in the background.
+        self.afd.access(pkt.flow);
+        self.park_idle_cores(view);
+
+        let has_override = self.services[svc].migration.get(pkt.flow).is_some();
+        let mut target = self.resolve_target(svc, pkt);
+
+        // Listing 1: load-imbalance handling.
+        if view.queues[target].len >= self.cfg.high_thresh {
+            let cores = self.services[svc].map.cores().to_vec();
+            let minq = view.min_queue_core(&cores).expect("service owns cores");
+            if view.queues[minq].len < self.cfg.high_thresh
+                && self.drops_since_gain[svc] < self.cfg.drop_request_threshold
+            {
+                // A flow that already sits in the migration table is not
+                // migrated again — re-shuffling it would reorder it a
+                // second time for no balancing gain.
+                if minq != target && !has_override && self.afd.is_aggressive(pkt.flow) {
+                    self.services[svc].migration.insert(pkt.flow, minq);
+                    self.afd.invalidate(pkt.flow);
+                    self.migrations += 1;
+                    target = minq;
+                }
+            } else if let Some(new_core) = self.request_core(svc, view) {
+                // All our cores are overloaded: the freshly granted core
+                // is idle — re-resolve (the packet may hash to the new
+                // bucket) and steer this packet there if its own core is
+                // still the bottleneck.
+                let rehashed = self.resolve_target(svc, pkt);
+                target = if view.queues[rehashed].len >= self.cfg.high_thresh {
+                    new_core
+                } else {
+                    rehashed
+                };
+            }
+        }
+        target
+    }
+
+    fn on_drop(&mut self, pkt: &PacketDesc, _core: usize) {
+        // Sustained drops mean the allocation is insufficient regardless
+        // of instantaneous queue lengths.
+        self.drops_since_gain[pkt.service.index()] += 1;
+    }
+
+    fn core_reallocations(&self) -> u64 {
+        self.reallocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nphash::FlowId;
+    use npsim::QueueInfo;
+
+    fn cfg(n_cores: usize) -> LapsConfig {
+        LapsConfig {
+            n_cores,
+            high_thresh: 8,
+            idle_release: SimTime::from_micros(100),
+            ..LapsConfig::default()
+        }
+    }
+
+    fn pkt(i: u64, service: ServiceKind) -> PacketDesc {
+        PacketDesc {
+            id: i,
+            flow: FlowId::from_index(i),
+            service,
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: 0,
+            migrated: false,
+        }
+    }
+
+    struct ViewSpec {
+        lens: Vec<usize>,
+        congested: Vec<SimTime>,
+        now: SimTime,
+    }
+
+    impl ViewSpec {
+        /// All cores empty; nothing ever congested; t = 0.
+        fn calm(n: usize) -> Self {
+            ViewSpec {
+                lens: vec![0; n],
+                congested: vec![SimTime::ZERO; n],
+                now: SimTime::ZERO,
+            }
+        }
+        fn infos(&self) -> Vec<QueueInfo> {
+            self.lens
+                .iter()
+                .zip(self.congested.iter())
+                .map(|(&len, &last_congested)| QueueInfo {
+                    len,
+                    capacity: 32,
+                    busy: len > 0,
+                    idle_since: if len == 0 { Some(SimTime::ZERO) } else { None },
+                    last_congested,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn initial_partition_is_even_and_disjoint() {
+        let l = Laps::new(cfg(16));
+        let mut seen = [false; 16];
+        for s in ServiceKind::ALL {
+            let cores = l.cores_of(s);
+            assert_eq!(cores.len(), 4);
+            for &c in cores {
+                assert!(!seen[c], "core {c} owned twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn packets_stay_within_their_service_partition() {
+        let mut l = Laps::new(cfg(16));
+        let spec = ViewSpec::calm(16);
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        for s in ServiceKind::ALL {
+            let owned: Vec<usize> = l.cores_of(s).to_vec();
+            for i in 0..200 {
+                let c = l.schedule(&pkt(i, s), &v);
+                assert!(owned.contains(&c), "service {s:?} packet went to foreign core {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_flow_same_core_absent_overload() {
+        let mut l = Laps::new(cfg(16));
+        let spec = ViewSpec::calm(16);
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        for i in 0..100 {
+            let p = pkt(i, ServiceKind::IpForward);
+            let a = l.schedule(&p, &v);
+            let b = l.schedule(&p, &v);
+            assert_eq!(a, b);
+        }
+        assert_eq!(l.migrations(), 0);
+        assert_eq!(l.reallocations(), 0);
+    }
+
+    #[test]
+    fn aggressive_flow_migrates_within_service_on_overload() {
+        let mut l = Laps::new(cfg(16));
+        let svc = ServiceKind::IpForward;
+        let elephant = pkt(7, svc);
+        // Make the flow aggressive in the AFD.
+        let spec = ViewSpec::calm(16);
+        let infos = spec.infos();
+        let calm = SystemView { now: spec.now, queues: &infos };
+        let mut home = 0;
+        for _ in 0..20 {
+            home = l.schedule(&elephant, &calm);
+        }
+        assert!(l.afd().is_aggressive(elephant.flow));
+        // Overload the home core only; everything recently congested so
+        // no reallocation interferes.
+        let mut spec = ViewSpec::calm(16);
+        spec.lens[home] = 10;
+        let infos = spec.infos();
+        let hot = SystemView { now: spec.now, queues: &infos };
+        let new_core = l.schedule(&elephant, &hot);
+        assert_ne!(new_core, home);
+        assert!(l.cores_of(svc).contains(&new_core), "migration stays in-service");
+        assert_eq!(l.migrations(), 1);
+        assert!(!l.afd().is_aggressive(elephant.flow), "invalidated after migration");
+        // Override persists.
+        assert_eq!(l.schedule(&elephant, &calm), new_core);
+    }
+
+    #[test]
+    fn mouse_never_migrates() {
+        let mut l = Laps::new(cfg(16));
+        let svc = ServiceKind::IpForward;
+        let mouse = pkt(3, svc);
+        let spec = ViewSpec::calm(16);
+        let infos = spec.infos();
+        let calm = SystemView { now: spec.now, queues: &infos };
+        let home = l.schedule(&mouse, &calm);
+        let mut spec = ViewSpec::calm(16);
+        spec.lens[home] = 10;
+        let infos = spec.infos();
+        let hot = SystemView { now: spec.now, queues: &infos };
+        assert_eq!(l.schedule(&mouse, &hot), home);
+        assert_eq!(l.migrations(), 0);
+    }
+
+    #[test]
+    fn overloaded_service_claims_longest_spare_core() {
+        let mut l = Laps::new(cfg(8)); // 2 cores per service
+        let svc = ServiceKind::IpForward;
+        let owned_before: Vec<usize> = l.cores_of(svc).to_vec();
+
+        // Our two cores slammed (recently congested); foreign cores
+        // spare, with distinct spare ages.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(10);
+        for &c in &owned_before {
+            spec.lens[c] = 10;
+            spec.congested[c] = spec.now;
+        }
+        let foreign: Vec<usize> = (0..8).filter(|c| !owned_before.contains(c)).collect();
+        for (i, &c) in foreign.iter().enumerate() {
+            spec.congested[c] = SimTime::from_micros(i as u64 * 10);
+        }
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        // The claim order must start at the longest-spare core.
+        let cands = l.surplus_candidates(&v, svc);
+        assert_eq!(cands.first(), Some(&foreign[0]));
+
+        let target = l.schedule(&pkt(1, svc), &v);
+        assert_eq!(l.reallocations(), 1);
+        let owned_after = l.cores_of(svc);
+        assert_eq!(owned_after.len(), 3, "one core claimed");
+        assert!(owned_after.contains(&foreign[0]), "longest-spare core claimed");
+        // The packet was steered onto an un-overloaded core.
+        assert!(v.queues[target].len < 8);
+        // Ownership stays disjoint.
+        let mut count = [0; 8];
+        for s in ServiceKind::ALL {
+            for &c in l.cores_of(s) {
+                count[c] += 1;
+            }
+        }
+        assert!(count.iter().all(|&k| k == 1));
+    }
+
+    #[test]
+    fn no_reallocation_without_spare_cores() {
+        let mut l = Laps::new(cfg(8));
+        // Everything congested recently: nothing to claim; no panic.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(10);
+        for c in 0..8 {
+            spec.lens[c] = 12;
+            spec.congested[c] = spec.now;
+        }
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        let t = l.schedule(&pkt(1, ServiceKind::VpnOut), &v);
+        assert!(t < 8);
+        assert_eq!(l.reallocations(), 0);
+    }
+
+    #[test]
+    fn victim_never_loses_last_core() {
+        // 4 cores, 4 services: every service has exactly one core; no
+        // transfer may ever happen even with everyone long-spare.
+        let mut l = Laps::new(cfg(4));
+        let mut spec = ViewSpec::calm(4);
+        spec.now = SimTime::from_millis(100);
+        let my_core = l.cores_of(ServiceKind::IpForward)[0];
+        spec.lens[my_core] = 31;
+        spec.congested[my_core] = spec.now;
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        for i in 0..100 {
+            l.schedule(&pkt(i, ServiceKind::IpForward), &v);
+        }
+        assert_eq!(l.reallocations(), 0);
+        for s in ServiceKind::ALL {
+            assert_eq!(l.cores_of(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn surplus_requires_spare_duration() {
+        let l = Laps::new(cfg(8));
+        // Congested 50µs ago with idle_release = 100µs → not eligible.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_micros(60);
+        for c in 0..8 {
+            spec.congested[c] = SimTime::from_micros(10);
+        }
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        assert!(l.surplus_candidates(&v, ServiceKind::IpForward).is_empty());
+        // 150µs later → all foreign cores eligible.
+        let mut spec2 = ViewSpec::calm(8);
+        spec2.now = SimTime::from_micros(200);
+        for c in 0..8 {
+            spec2.congested[c] = SimTime::from_micros(10);
+        }
+        let infos2 = spec2.infos();
+        let v2 = SystemView { now: spec2.now, queues: &infos2 };
+        assert_eq!(l.surplus_candidates(&v2, ServiceKind::IpForward).len(), 6);
+    }
+
+    #[test]
+    fn parking_powers_down_long_spare_cores() {
+        let mut l = Laps::new(LapsConfig {
+            parking: Some(crate::ParkConfig {
+                park_after: SimTime::from_millis(1),
+                min_cores: 1,
+            }),
+            ..cfg(8)
+        });
+        // Everything spare for a long time.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(10);
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        l.schedule(&pkt(1, ServiceKind::IpForward), &v);
+        // Each service kept min_cores = 1: four cores parked.
+        assert_eq!(l.parked_cores().len(), 4);
+        assert_eq!(l.park_events(), (4, 0));
+        // Packets never land on a parked core.
+        for s in ServiceKind::ALL {
+            assert_eq!(l.cores_of(s).len(), 1);
+            for i in 0..50 {
+                let c = l.schedule(&pkt(i, s), &v);
+                assert!(!l.parked_cores().contains(&c));
+            }
+        }
+        // Parked time accrues.
+        assert!(l.parked_time_ns(SimTime::from_millis(20)) > 0);
+    }
+
+    #[test]
+    fn overload_wakes_parked_cores_first() {
+        let mut l = Laps::new(LapsConfig {
+            parking: Some(crate::ParkConfig {
+                park_after: SimTime::from_millis(1),
+                min_cores: 1,
+            }),
+            ..cfg(8)
+        });
+        let svc = ServiceKind::IpForward;
+        // Phase 1: park the spares.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(10);
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        l.schedule(&pkt(1, svc), &v);
+        assert_eq!(l.parked_cores().len(), 4);
+        // Phase 2: slam the service's single core — it must wake a parked
+        // core rather than rob a peer.
+        let my_core = l.cores_of(svc)[0];
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(50);
+        spec.lens[my_core] = 12;
+        spec.congested = vec![spec.now; 8];
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        l.schedule(&pkt(2, svc), &v);
+        assert_eq!(l.parked_cores().len(), 3, "one core woken");
+        assert_eq!(l.park_events().1, 1);
+        assert_eq!(l.cores_of(svc).len(), 2);
+        for s in ServiceKind::ALL {
+            assert!(!l.cores_of(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn stale_migration_override_is_dropped_after_transfer() {
+        let mut l = Laps::new(cfg(8));
+        let svc = ServiceKind::IpForward;
+        let elephant = pkt(7, svc);
+        let spec = ViewSpec::calm(8);
+        let infos = spec.infos();
+        let calm = SystemView { now: spec.now, queues: &infos };
+        for _ in 0..20 {
+            l.schedule(&elephant, &calm);
+        }
+        let home = l.schedule(&elephant, &calm);
+        // Migrate the elephant to the service's other core.
+        let mut spec = ViewSpec::calm(8);
+        spec.lens[home] = 10;
+        spec.congested = vec![spec.now; 8];
+        let infos = spec.infos();
+        let hot = SystemView { now: spec.now, queues: &infos };
+        let new_core = l.schedule(&elephant, &hot);
+        assert_ne!(new_core, home);
+        // Force that core to be claimed by another service: make VpnOut
+        // overloaded everywhere and the elephant's new core long-spare.
+        let vpn_cores: Vec<usize> = l.cores_of(ServiceKind::VpnOut).to_vec();
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(50);
+        for c in 0..8 {
+            spec.lens[c] = 10;
+            spec.congested[c] = spec.now;
+        }
+        spec.lens[new_core] = 0;
+        spec.congested[new_core] = SimTime::ZERO;
+        let infos = spec.infos();
+        let v = SystemView { now: spec.now, queues: &infos };
+        l.schedule(&pkt(1000, ServiceKind::VpnOut), &v);
+        assert_eq!(l.reallocations(), 1);
+        assert!(l.cores_of(ServiceKind::VpnOut).contains(&new_core));
+        assert!(!vpn_cores.contains(&new_core));
+        // The elephant's override is now stale; it must fall back to its
+        // own service's cores, never the transferred core.
+        let spec = ViewSpec::calm(8);
+        let infos = spec.infos();
+        let calm = SystemView { now: spec.now, queues: &infos };
+        let back = l.schedule(&elephant, &calm);
+        assert_ne!(back, new_core);
+        assert!(l.cores_of(svc).contains(&back));
+    }
+}

@@ -1,0 +1,81 @@
+//! # laps — the Locality Aware Packet Scheduler (ICPP 2013) and baselines
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates of this workspace:
+//!
+//! * [`Laps`] — the full scheduler of §III: per-service map tables
+//!   (I-cache locality), incremental hashing under dynamic core
+//!   allocation (§III-C/D), a bounded migration table, and load balancing
+//!   that migrates **only aggressive flows** identified by the two-level
+//!   [`npafd::Afd`] detector (Listing 1).
+//! * [`StaticHash`] — pure hash scheduling (Cao et al.): perfect flow
+//!   locality, no load balancing at all.
+//! * [`Afs`] — Dittmann & Herkersdorf's scheme: hash scheduling that
+//!   remaps an entire (arbitrary) hash bucket to the least-loaded core on
+//!   imbalance. The paper's main comparison point.
+//! * [`TopKMigration`] — migrate-only-top-k flows (Shi et al.), with
+//!   either exact per-flow statistics (the infeasible-in-hardware oracle)
+//!   or the AFD — the two arms of the Fig. 9 ablation.
+//! * [`AdaptiveHash`] — Kencl-style adaptive weighted hashing (the §VI
+//!   "complementary" scheme): a control loop re-weights the bucket → core
+//!   map from measured per-bucket load.
+//! * `FCFS` — re-exported [`npsim::JoinShortestQueue`]: perfect load
+//!   balance, zero locality (the paper's FCFS baseline).
+//!
+//! Every scheduler implements [`npsim::Scheduler`], so they run on the
+//! same engine on identical footing.
+//!
+//! ```
+//! use laps::{Laps, LapsConfig};
+//! use npsim::{Engine, EngineConfig, SourceConfig, RateSpec};
+//! use nptraffic::ServiceKind;
+//! use nptrace::TracePreset;
+//! use detsim::SimTime;
+//!
+//! let sources = vec![SourceConfig {
+//!     service: ServiceKind::IpForward,
+//!     trace: TracePreset::Auckland(1),
+//!     rate: RateSpec::Constant(2.0),
+//! }];
+//! let cfg = EngineConfig {
+//!     n_cores: 4,
+//!     duration: SimTime::from_millis(5),
+//!     scale: 1.0,
+//!     ..EngineConfig::default()
+//! };
+//! let laps = Laps::new(LapsConfig { n_cores: 4, ..LapsConfig::default() });
+//! let report = Engine::new(cfg, &sources, laps).run();
+//! assert_eq!(report.offered, report.dropped + report.processed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod afs;
+pub mod config;
+pub mod laps;
+pub mod migration;
+pub mod static_hash;
+pub mod topk;
+
+pub use adaptive::AdaptiveHash;
+pub use afs::Afs;
+pub use config::{LapsConfig, ParkConfig};
+pub use laps::Laps;
+pub use migration::MigrationTable;
+pub use static_hash::StaticHash;
+pub use topk::{DetectorKind, TopKMigration};
+
+/// The paper's FCFS baseline (join-shortest-queue dispatch).
+pub use npsim::JoinShortestQueue as Fcfs;
+
+/// Convenience re-exports for downstream binaries.
+pub mod prelude {
+    pub use crate::{AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, StaticHash, TopKMigration};
+    pub use detsim::SimTime;
+    pub use npafd::AfdConfig;
+    pub use npsim::{Engine, EngineConfig, RateSpec, Scheduler, SimReport, SourceConfig};
+    pub use nptrace::TracePreset;
+    pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};
+}

@@ -1,0 +1,155 @@
+//! The migration table: flow-ID → core overrides with priority over the
+//! hash map table.
+//!
+//! "The scheduler gives priority to the output of migration table over
+//! the default hash table" (§III-A). Hardware migration tables are small
+//! CAMs, so ours is bounded; when full, the oldest override is recycled
+//! (its flow simply falls back to the hash mapping).
+
+use nphash::FlowId;
+use std::collections::{HashMap, VecDeque};
+
+/// A bounded flow → core override table with FIFO recycling.
+#[derive(Debug, Clone)]
+pub struct MigrationTable {
+    cap: usize,
+    map: HashMap<FlowId, usize>,
+    order: VecDeque<FlowId>,
+}
+
+impl MigrationTable {
+    /// A table with room for `cap` overrides.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "migration table needs at least one entry");
+        MigrationTable {
+            cap,
+            map: HashMap::with_capacity(cap),
+            order: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Current number of overrides.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no overrides are installed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The override for `flow`, if any.
+    pub fn get(&self, flow: FlowId) -> Option<usize> {
+        self.map.get(&flow).copied()
+    }
+
+    /// Install (or move) an override. Evicts the oldest entry when full.
+    /// Returns the evicted flow, if any.
+    pub fn insert(&mut self, flow: FlowId, core: usize) -> Option<FlowId> {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(flow) {
+            e.insert(core);
+            // Refresh age.
+            self.order.retain(|&f| f != flow);
+            self.order.push_back(flow);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.cap {
+            let old = self.order.pop_front().expect("cap > 0");
+            self.map.remove(&old);
+            Some(old)
+        } else {
+            None
+        };
+        self.map.insert(flow, core);
+        self.order.push_back(flow);
+        evicted
+    }
+
+    /// Remove the override for `flow`.
+    pub fn remove(&mut self, flow: FlowId) {
+        if self.map.remove(&flow).is_some() {
+            self.order.retain(|&f| f != flow);
+        }
+    }
+
+    /// Drop every override that targets `core` (used when a core is
+    /// reallocated to another service).
+    pub fn remove_core(&mut self, core: usize) {
+        self.map.retain(|_, &mut c| c != core);
+        let map = &self.map;
+        self.order.retain(|f| map.contains_key(f));
+    }
+
+    /// Iterate `(flow, core)` overrides, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, usize)> + '_ {
+        self.order.iter().map(move |&f| (f, self.map[&f]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FlowId {
+        FlowId::from_index(i)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = MigrationTable::new(4);
+        assert_eq!(t.insert(f(1), 3), None);
+        assert_eq!(t.get(f(1)), Some(3));
+        t.remove(f(1));
+        assert_eq!(t.get(f(1)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut t = MigrationTable::new(2);
+        t.insert(f(1), 0);
+        t.insert(f(2), 0);
+        let evicted = t.insert(f(3), 0);
+        assert_eq!(evicted, Some(f(1)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(f(1)), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_age_and_core() {
+        let mut t = MigrationTable::new(2);
+        t.insert(f(1), 0);
+        t.insert(f(2), 0);
+        t.insert(f(1), 5); // refresh: f(2) is now oldest
+        assert_eq!(t.get(f(1)), Some(5));
+        let evicted = t.insert(f(3), 0);
+        assert_eq!(evicted, Some(f(2)));
+        assert_eq!(t.get(f(1)), Some(5));
+    }
+
+    #[test]
+    fn remove_core_drops_matching_entries() {
+        let mut t = MigrationTable::new(8);
+        t.insert(f(1), 0);
+        t.insert(f(2), 1);
+        t.insert(f(3), 0);
+        t.remove_core(0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(f(2)), Some(1));
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(f(2), 1)]);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut t = MigrationTable::new(3);
+        t.insert(f(3), 0);
+        t.insert(f(1), 1);
+        t.insert(f(2), 2);
+        let order: Vec<FlowId> = t.iter().map(|(fl, _)| fl).collect();
+        assert_eq!(order, vec![f(3), f(1), f(2)]);
+    }
+}

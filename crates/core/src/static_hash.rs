@@ -1,0 +1,100 @@
+//! Pure hash scheduling — flow pinning with no load balancing.
+//!
+//! The classic scheme (Cao, Wang & Zegura, INFOCOM 2000): CRC16 over the
+//! 5-tuple, modulo the core count. Perfect flow locality and packet
+//! order; completely at the mercy of skewed flow sizes ("hashing alone
+//! cannot achieve load balance effectively", §II). This is also the
+//! "no migration" arm of Fig. 9.
+
+use nphash::{FlowId, MapTable};
+use npsim::{PacketDesc, Scheduler, SystemView};
+
+/// Hash-only scheduler over all cores.
+#[derive(Debug, Clone)]
+pub struct StaticHash {
+    table: MapTable<usize>,
+}
+
+impl StaticHash {
+    /// Hash over `n_cores` cores.
+    ///
+    /// # Panics
+    /// Panics if `n_cores == 0`.
+    pub fn new(n_cores: usize) -> Self {
+        StaticHash {
+            table: MapTable::new((0..n_cores).collect()),
+        }
+    }
+
+    /// The core a given flow is pinned to.
+    pub fn core_of(&self, flow: FlowId) -> usize {
+        self.table.lookup(flow)
+    }
+}
+
+impl Scheduler for StaticHash {
+    fn name(&self) -> &str {
+        "static-hash"
+    }
+
+    fn schedule(&mut self, pkt: &PacketDesc, _view: &SystemView<'_>) -> usize {
+        self.table.lookup(pkt.flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detsim::SimTime;
+    use npsim::QueueInfo;
+    use nptraffic::ServiceKind;
+
+    fn pkt(i: u64) -> PacketDesc {
+        PacketDesc {
+            id: i,
+            flow: FlowId::from_index(i),
+            service: ServiceKind::IpForward,
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: 0,
+            migrated: false,
+        }
+    }
+
+    #[test]
+    fn pins_flows_regardless_of_load() {
+        let qs: Vec<QueueInfo> = (0..4)
+            .map(|i| QueueInfo {
+                len: i * 10, // wildly unbalanced
+                capacity: 32,
+                busy: false,
+                idle_since: None,
+                last_congested: SimTime::ZERO,
+            })
+            .collect();
+        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let mut s = StaticHash::new(4);
+        for i in 0..50 {
+            let p = pkt(i);
+            let a = s.schedule(&p, &v);
+            let b = s.schedule(&p, &v);
+            assert_eq!(a, b, "same flow → same core, always");
+            assert_eq!(a, s.core_of(p.flow));
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn spreads_distinct_flows() {
+        let qs: Vec<QueueInfo> = (0..8)
+            .map(|_| QueueInfo { len: 0, capacity: 32, busy: false, idle_since: None, last_congested: SimTime::ZERO })
+            .collect();
+        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let mut s = StaticHash::new(8);
+        let mut hit = [false; 8];
+        for i in 0..200 {
+            hit[s.schedule(&pkt(i), &v)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "200 flows should touch all 8 cores");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests on the scheduler implementations: structural
+//! invariants under arbitrary queue-state sequences.
+
+use detsim::SimTime;
+use laps::{Afs, DetectorKind, Laps, LapsConfig, StaticHash, TopKMigration};
+use nphash::FlowId;
+use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
+use nptraffic::ServiceKind;
+use proptest::prelude::*;
+
+fn pkt(flow: u64, svc: usize) -> PacketDesc {
+    PacketDesc {
+        id: flow,
+        flow: FlowId::from_index(flow),
+        service: ServiceKind::from_index(svc % 4),
+        size: 64,
+        arrival: SimTime::ZERO,
+        flow_seq: 0,
+        migrated: false,
+    }
+}
+
+fn view_from(lens: &[u8], congested_ago_us: &[u32], now_us: u64) -> Vec<QueueInfo> {
+    lens.iter()
+        .zip(congested_ago_us.iter())
+        .map(|(&len, &ago)| QueueInfo {
+            len: len as usize,
+            capacity: 32,
+            busy: len > 0,
+            idle_since: if len == 0 { Some(SimTime::ZERO) } else { None },
+            last_congested: SimTime::from_micros(now_us.saturating_sub(ago as u64)),
+        })
+        .collect()
+}
+
+const N: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LAPS: every decision is a valid core, core ownership stays an
+    /// exact partition, and every packet goes to a core its service owns.
+    #[test]
+    fn laps_partition_invariant(
+        steps in proptest::collection::vec(
+            (0u64..200, 0usize..4, proptest::collection::vec(0u8..33, N),
+             proptest::collection::vec(0u32..100_000, N)),
+            1..100),
+    ) {
+        let mut laps = Laps::new(LapsConfig {
+            n_cores: N,
+            high_thresh: 16,
+            idle_release: SimTime::from_micros(500),
+            realloc_cooldown: SimTime::from_micros(2_000),
+            ..LapsConfig::default()
+        });
+        let mut now_us = 0u64;
+        for (flow, svc, lens, ago) in steps {
+            now_us += 50;
+            let infos = view_from(&lens, &ago, now_us);
+            let v = SystemView { now: SimTime::from_micros(now_us), queues: &infos };
+            let p = pkt(flow, svc);
+            let target = laps.schedule(&p, &v);
+            prop_assert!(target < N);
+            // The packet's service must own its target.
+            prop_assert!(
+                laps.cores_of(p.service).contains(&target),
+                "service does not own the chosen core"
+            );
+            // Ownership is an exact partition of the unparked cores.
+            let mut owned = [0u8; N];
+            for s in ServiceKind::ALL {
+                prop_assert!(!laps.cores_of(s).is_empty(), "service starved of cores");
+                for &c in laps.cores_of(s) {
+                    owned[c] += 1;
+                }
+            }
+            prop_assert!(owned.iter().all(|&k| k <= 1), "core owned twice");
+        }
+    }
+
+    /// Stateless / table schedulers always answer with a valid core and
+    /// never panic for any queue state.
+    #[test]
+    fn baselines_always_valid(
+        flow in any::<u64>(),
+        svc in 0usize..4,
+        lens in proptest::collection::vec(0u8..33, N),
+        ago in proptest::collection::vec(0u32..100_000, N),
+    ) {
+        let infos = view_from(&lens, &ago, 1_000_000);
+        let v = SystemView { now: SimTime::from_secs(1), queues: &infos };
+        let p = pkt(flow, svc);
+        let mut sh = StaticHash::new(N);
+        prop_assert!(sh.schedule(&p, &v) < N);
+        let mut afs = Afs::new(N, 16, SimTime::from_micros(100));
+        prop_assert!(afs.schedule(&p, &v) < N);
+        let mut topk = TopKMigration::new(N, 16, DetectorKind::Oracle { k: 4, refresh: 10 });
+        prop_assert!(topk.schedule(&p, &v) < N);
+    }
+
+    /// AFS only ever moves a flow when its current target is overloaded.
+    #[test]
+    fn afs_stability_below_threshold(
+        flows in proptest::collection::vec(0u64..500, 1..200),
+        lens in proptest::collection::vec(0u8..16, N), // all below thresh 16
+    ) {
+        let ago = vec![0u32; N];
+        let infos = view_from(&lens, &ago, 1_000);
+        let v = SystemView { now: SimTime::from_micros(1_000), queues: &infos };
+        let mut afs = Afs::new(N, 16, SimTime::ZERO);
+        for &f in &flows {
+            let p = pkt(f, 1);
+            let a = afs.schedule(&p, &v);
+            let b = afs.schedule(&p, &v);
+            prop_assert_eq!(a, b, "AFS moved a flow without overload");
+        }
+        prop_assert_eq!(afs.shifts(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 8 — effectiveness of the Aggressive Flow Detector.
+//!
+//! * (a) false-positive ratio in a 16-entry AFC as the annex-cache size
+//!   varies (64 … 2048 entries),
+//! * (b) accuracy when the AFC is inspected at fixed packet intervals
+//!   (annex fixed at 512),
+//! * (c) false-positive ratio under packet sampling (p = 1 … 1/10k).
+//!
+//! Ground truth is exact offline per-flow counting, exactly as in the
+//! paper ("top 16 flows identified by off-line analysis").
+
+use laps_experiments::{parallel_map, print_table, results_dir, write_csv, Fidelity};
+use npafd::{Afd, AfdConfig};
+use npafd::ExactTopK;
+use nptrace::analysis::false_positive_ratio;
+use nptrace::{Trace, TracePreset};
+
+const K: usize = 16;
+
+fn final_fpr(trace: &Trace, cfg: AfdConfig) -> f64 {
+    let mut afd = Afd::new(cfg);
+    let mut truth = ExactTopK::new();
+    for (flow, _) in trace.iter_ids() {
+        afd.access(flow);
+        truth.access(flow);
+    }
+    false_positive_ratio(&afd.aggressive_flows(), &truth.top_k(K))
+}
+
+/// Mean accuracy (1 − FPR against the cumulative ground truth) sampled
+/// every `interval` packets.
+fn interval_accuracy(trace: &Trace, cfg: AfdConfig, interval: usize) -> f64 {
+    let mut afd = Afd::new(cfg);
+    let mut truth = ExactTopK::new();
+    let mut accs = Vec::new();
+    for (i, (flow, _)) in trace.iter_ids().enumerate() {
+        afd.access(flow);
+        truth.access(flow);
+        if (i + 1) % interval == 0 {
+            let fpr = false_positive_ratio(&afd.aggressive_flows(), &truth.top_k(K));
+            accs.push(1.0 - fpr);
+        }
+    }
+    if accs.is_empty() {
+        let fpr = false_positive_ratio(&afd.aggressive_flows(), &truth.top_k(K));
+        accs.push(1.0 - fpr);
+    }
+    accs.iter().sum::<f64>() / accs.len() as f64
+}
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let n_packets = fidelity.trace_packets();
+    let presets = [
+        TracePreset::Caida(1),
+        TracePreset::Caida(2),
+        TracePreset::Auckland(1),
+        TracePreset::Auckland(2),
+    ];
+    let traces: Vec<Trace> = presets.iter().map(|p| p.generate(n_packets)).collect();
+
+    // ---- (a) annex size sweep ------------------------------------------
+    let annex_sizes = [64usize, 128, 256, 512, 1024, 2048];
+    let jobs: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| annex_sizes.iter().map(move |&a| (t, a)))
+        .collect();
+    let fprs = parallel_map(jobs.clone(), |(t, annex)| {
+        final_fpr(
+            &traces[t],
+            AfdConfig {
+                annex_entries: annex,
+                ..AfdConfig::default()
+            },
+        )
+    });
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (j, &(t, annex)) in jobs.iter().enumerate() {
+        csv.push(vec![
+            presets[t].name(),
+            annex.to_string(),
+            format!("{:.4}", fprs[j]),
+        ]);
+    }
+    for (ti, p) in presets.iter().enumerate() {
+        let mut row = vec![p.name()];
+        for (j, &(t, _)) in jobs.iter().enumerate() {
+            if t == ti {
+                row.push(format!("{:.3}", fprs[j]));
+            }
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["trace".to_string()];
+    header.extend(annex_sizes.iter().map(|a| format!("annex={a}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table("Fig. 8(a): AFC false-positive ratio vs annex size", &header_refs, &rows);
+    write_csv(results_dir().join("fig8a_annex_sweep.csv"), &["trace", "annex", "fpr"], &csv);
+
+    // ---- (b) measurement-interval sweep --------------------------------
+    let intervals = [1_000usize, 10_000, 50_000, 100_000];
+    let jobs_b: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| intervals.iter().map(move |&w| (t, w)))
+        .collect();
+    let accs = parallel_map(jobs_b.clone(), |(t, w)| {
+        interval_accuracy(&traces[t], AfdConfig::default(), w)
+    });
+    let mut rows_b = Vec::new();
+    let mut csv_b = Vec::new();
+    for (ti, p) in presets.iter().enumerate() {
+        let mut row = vec![p.name()];
+        for (j, &(t, w)) in jobs_b.iter().enumerate() {
+            if t == ti {
+                row.push(format!("{:.3}", accs[j]));
+                csv_b.push(vec![p.name(), w.to_string(), format!("{:.4}", accs[j])]);
+            }
+        }
+        rows_b.push(row);
+    }
+    let mut header_b = vec!["trace".to_string()];
+    header_b.extend(intervals.iter().map(|w| format!("every {w}")));
+    let header_b_refs: Vec<&str> = header_b.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Fig. 8(b): mean AFC accuracy at fixed inspection intervals (annex=512)",
+        &header_b_refs,
+        &rows_b,
+    );
+    write_csv(results_dir().join("fig8b_window_accuracy.csv"), &["trace", "interval", "accuracy"], &csv_b);
+
+    // ---- (c) sampling sweep ---------------------------------------------
+    let probs = [1.0f64, 0.1, 0.01, 0.001, 0.0001];
+    let jobs_c: Vec<(usize, usize)> = (0..traces.len())
+        .flat_map(|t| (0..probs.len()).map(move |p| (t, p)))
+        .collect();
+    let fprs_c = parallel_map(jobs_c.clone(), |(t, pi)| {
+        final_fpr(
+            &traces[t],
+            AfdConfig {
+                sample_prob: probs[pi],
+                ..AfdConfig::default()
+            },
+        )
+    });
+    let mut rows_c = Vec::new();
+    let mut csv_c = Vec::new();
+    for (ti, p) in presets.iter().enumerate() {
+        let mut row = vec![p.name()];
+        for (j, &(t, pi)) in jobs_c.iter().enumerate() {
+            if t == ti {
+                row.push(format!("{:.3}", fprs_c[j]));
+                csv_c.push(vec![p.name(), format!("{}", probs[pi]), format!("{:.4}", fprs_c[j])]);
+            }
+        }
+        rows_c.push(row);
+    }
+    let mut header_c = vec!["trace".to_string()];
+    header_c.extend(probs.iter().map(|p| format!("p={p}")));
+    let header_c_refs: Vec<&str> = header_c.iter().map(|s| s.as_str()).collect();
+    print_table("Fig. 8(c): FPR vs sampling probability (annex=512)", &header_c_refs, &rows_c);
+    write_csv(results_dir().join("fig8c_sampling.csv"), &["trace", "sample_prob", "fpr"], &csv_c);
+}

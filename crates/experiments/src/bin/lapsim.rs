@@ -1,0 +1,174 @@
+//! `lapsim` — a command-line network-processor simulator.
+//!
+//! ```text
+//! lapsim [--scheduler laps|fcfs|afs|static|adaptive|topk-afd|topk-oracle]
+//!        [--cores N] [--queue N] [--rate MPPS] [--trace PRESET]
+//!        [--service ip-fwd|vpn-out|malware-scan|vpn-in-scan]
+//!        [--scenario T1..T8]          (multi-service mode; overrides --rate/--trace)
+//!        [--duration-ms MS] [--scale F] [--seed S]
+//!        [--restore-timeout-us US] [--park] [--json]
+//! ```
+//!
+//! Examples:
+//! ```sh
+//! lapsim --scenario T5 --scheduler laps
+//! lapsim --scheduler afs --rate 33.6 --trace caida1 --json
+//! ```
+
+use detsim::SimTime;
+use laps_experiments::laps_config;
+use laps::prelude::*;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn service_by_name(name: &str) -> Option<ServiceKind> {
+    ServiceKind::ALL.into_iter().find(|s| s.name() == name)
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        println!("{}", include_str!("lapsim.rs").lines().take(16).map(|l| l.trim_start_matches("//! ").trim_start_matches("//!")).collect::<Vec<_>>().join("\n"));
+        return;
+    }
+
+    let n_cores: usize = args.parse_or("--cores", 16);
+    let mut cfg = EngineConfig {
+        n_cores,
+        queue_capacity: args.parse_or("--queue", 32),
+        duration: SimTime::from_millis(args.parse_or("--duration-ms", 200)),
+        scale: args.parse_or("--scale", 100.0),
+        seed: args.parse_or("--seed", 1),
+        period_compression: args.parse_or("--period-compression", 50.0),
+        rate_update_interval: SimTime::from_millis(10),
+        ..EngineConfig::default()
+    };
+    if let Some(us) = args.get("--restore-timeout-us") {
+        let us: f64 = us.parse().expect("numeric --restore-timeout-us");
+        cfg.restoration = Some(SimTime::from_micros_f64(us * cfg.scale));
+    }
+
+    // Traffic: a Table VI scenario, or a single constant-rate service.
+    let sources: Vec<SourceConfig> = if let Some(t) = args.get("--scenario") {
+        let scenario = t
+            .trim_start_matches(['T', 't'])
+            .parse()
+            .ok()
+            .and_then(Scenario::by_id)
+            .unwrap_or_else(|| {
+                eprintln!("unknown scenario {t:?}; expected T1..T8");
+                std::process::exit(2);
+            });
+        let traces = scenario.group.traces();
+        ServiceKind::ALL
+            .iter()
+            .zip(traces.iter())
+            .map(|(&service, &trace)| SourceConfig {
+                service,
+                trace,
+                rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
+            })
+            .collect()
+    } else {
+        let trace = TracePreset::parse(args.get("--trace").unwrap_or("caida1")).unwrap_or_else(|| {
+            eprintln!("unknown trace preset; expected caida1..6 / auck1..8");
+            std::process::exit(2);
+        });
+        let service = service_by_name(args.get("--service").unwrap_or("ip-fwd")).unwrap_or_else(|| {
+            eprintln!("unknown service; expected ip-fwd|vpn-out|malware-scan|vpn-in-scan");
+            std::process::exit(2);
+        });
+        vec![SourceConfig {
+            service,
+            trace,
+            rate: RateSpec::Constant(args.parse_or("--rate", 8.0)),
+        }]
+    };
+
+    let scheduler = args.get("--scheduler").unwrap_or("laps").to_string();
+    let report: SimReport = match scheduler.as_str() {
+        "fcfs" => Engine::new(cfg.clone(), &sources, Fcfs::new()).run(),
+        "static" => Engine::new(cfg.clone(), &sources, StaticHash::new(n_cores)).run(),
+        "afs" => {
+            let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
+            Engine::new(cfg.clone(), &sources, Afs::new(n_cores, 24, cd)).run()
+        }
+        "adaptive" => Engine::new(cfg.clone(), &sources, AdaptiveHash::new(n_cores, 4_096, 8)).run(),
+        "topk-afd" => {
+            let det = DetectorKind::Afd(AfdConfig::default());
+            Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
+        }
+        "topk-oracle" => {
+            let det = DetectorKind::Oracle { k: 16, refresh: 1_000 };
+            Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
+        }
+        "laps" => {
+            let mut lc = laps_config(&cfg);
+            lc.n_cores = n_cores;
+            if args.flag("--park") {
+                lc.parking = Some(ParkConfig {
+                    park_after: SimTime::from_micros_f64(50.0 * cfg.scale),
+                    min_cores: 1,
+                });
+            }
+            Engine::new(cfg.clone(), &sources, Laps::new(lc)).run()
+        }
+        other => {
+            eprintln!("unknown scheduler {other:?}; run with --help");
+            std::process::exit(2);
+        }
+    };
+
+    if args.flag("--json") {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        return;
+    }
+    println!("scheduler          : {}", report.scheduler);
+    println!("horizon / end      : {} / {}", report.duration, report.end_time);
+    println!("offered            : {}", report.offered);
+    println!("dropped            : {} ({:.3}%)", report.dropped, 100.0 * report.drop_fraction());
+    println!("processed          : {}", report.processed);
+    println!("out-of-order       : {} ({:.4}%)", report.out_of_order, 100.0 * report.ooo_fraction());
+    println!("cold-cache packets : {} ({:.4}%)", report.cold_starts, 100.0 * report.cold_fraction());
+    println!("flow migrations    : {}", report.migration_events);
+    println!("core reallocations : {}", report.core_reallocations);
+    println!("throughput         : {:.2} Mpps (paper scale)", report.throughput_mpps());
+    println!("mean latency       : {:.1} µs (sim scale)", report.mean_latency_us());
+    println!("p99 latency        : {:.1} µs (sim scale)", report.latency.quantile(0.99) as f64 / 1_000.0);
+    println!("mean utilization   : {:.1}%", 100.0 * report.mean_utilization());
+    if let Some(rs) = &report.restoration {
+        println!(
+            "restoration        : {} buffered, peak {} held, {} timeout releases",
+            rs.buffered, rs.peak_occupancy, rs.timeout_releases
+        );
+    }
+    for (i, s) in report.per_service.iter().enumerate() {
+        if s.offered > 0 {
+            println!(
+                "  {:<14} offered {:>8}  dropped {:>7}  ooo {:>6}",
+                ServiceKind::from_index(i).name(),
+                s.offered,
+                s.dropped,
+                s.out_of_order
+            );
+        }
+    }
+}

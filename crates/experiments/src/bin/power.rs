@@ -1,0 +1,127 @@
+//! Extension experiment — traffic-aware power management.
+//!
+//! The paper motivates dynamic core allocation partly by power schemes
+//! that "power down the underutilized cores when demand varies" (Luo et
+//! al. TACO'07; Iqbal & John ANCS'12). LAPS's surplus-core machinery
+//! supports exactly that: a core that has been spare long enough is
+//! *parked* (leaves its bucket list, draws sleep power) and is woken
+//! before any inter-service transfer when demand returns.
+//!
+//! This binary compares, on the under-load scenarios:
+//! * FCFS — load smeared across all 16 cores, nothing can ever park;
+//! * LAPS — load consolidated per service, all cores stay powered;
+//! * LAPS + parking — spare cores powered down.
+//!
+//! Energy proxy per core: active = 1.0 × busy time, idle-powered = 0.3 ×
+//! idle time, parked = 0.05 × parked time (typical clock/power-gating
+//! ratios).
+
+use detsim::SimTime;
+use laps_experiments::{laps_config, parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
+use laps::prelude::*;
+
+const P_ACTIVE: f64 = 1.0;
+const P_IDLE: f64 = 0.3;
+const P_PARKED: f64 = 0.05;
+
+fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
+    let traces = scenario.group.traces();
+    ServiceKind::ALL
+        .iter()
+        .zip(traces.iter())
+        .map(|(&service, &trace)| SourceConfig {
+            service,
+            trace,
+            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
+        })
+        .collect()
+}
+
+/// Energy proxy in core-duration units (16.0 = all cores active for the
+/// whole run).
+fn energy(report: &SimReport, parked_ns: u64) -> f64 {
+    let dur = report.duration.as_nanos() as f64;
+    let busy: u64 = report.core_busy_ns.iter().sum();
+    let busy = busy as f64;
+    let total = dur * report.core_busy_ns.len() as f64;
+    let parked = parked_ns as f64;
+    let idle = (total - busy - parked).max(0.0);
+    (busy * P_ACTIVE + idle * P_IDLE + parked * P_PARKED) / dur
+}
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let scenarios = [1u8, 2, 3, 4];
+
+    let jobs: Vec<(u8, &'static str)> = scenarios
+        .iter()
+        .flat_map(|&id| [(id, "fcfs"), (id, "laps"), (id, "laps+park")])
+        .collect();
+    let results: Vec<(SimReport, u64, u64, u64)> = parallel_map(jobs.clone(), |(id, arm)| {
+        let scenario = Scenario::by_id(id).expect("scenario");
+        let sources = sources_for(scenario);
+        let cfg = fidelity.engine_config(31);
+        match arm {
+            "fcfs" => (Engine::new(cfg, &sources, Fcfs::new()).run(), 0, 0, 0),
+            "laps" => {
+                let laps = Laps::new(laps_config(&cfg));
+                (Engine::new(cfg, &sources, laps).run(), 0, 0, 0)
+            }
+            _ => {
+                let mut lc = laps_config(&cfg);
+                lc.parking = Some(ParkConfig {
+                    park_after: SimTime::from_micros_f64(50.0 * cfg.scale),
+                    min_cores: 1,
+                });
+                let laps = Laps::new(lc);
+                let duration = cfg.duration;
+                let engine = Engine::new(cfg, &sources, laps);
+                run_with_parking(engine, duration)
+            }
+        }
+    });
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (j, &(id, arm)) in jobs.iter().enumerate() {
+        let (r, parked_ns, parks, wakes) = &results[j];
+        let e = energy(r, *parked_ns);
+        rows.push(vec![
+            format!("T{id}"),
+            arm.to_string(),
+            pct(r.drop_fraction()),
+            format!("{:.2}", 100.0 * r.mean_utilization()),
+            format!("{:.2}", e),
+            format!("{:.1}", *parked_ns as f64 / r.duration.as_nanos() as f64),
+            format!("{parks}/{wakes}"),
+        ]);
+        csv.push(vec![
+            format!("T{id}"),
+            arm.to_string(),
+            format!("{:.6}", r.drop_fraction()),
+            format!("{:.6}", r.mean_utilization()),
+            format!("{e:.4}"),
+            format!("{}", parked_ns),
+            parks.to_string(),
+            wakes.to_string(),
+        ]);
+    }
+    print_table(
+        "Extension: power-aware core parking (energy in core-units; 16 = all cores max power)",
+        &["scen", "arm", "drops", "util %", "energy", "parked cores (avg)", "parks/wakes"],
+        &rows,
+    );
+    write_csv(
+        results_dir().join("power_parking.csv"),
+        &["scenario", "arm", "drop_fraction", "mean_utilization", "energy_core_units", "parked_core_ns", "parks", "wakes"],
+        &csv,
+    );
+}
+
+/// Run the engine, then read the power counters off the scheduler.
+fn run_with_parking(engine: Engine<Laps>, duration: SimTime) -> (SimReport, u64, u64, u64) {
+    let (report, laps) = engine.run_returning_scheduler();
+    let parked = laps.parked_time_ns(duration);
+    let (parks, wakes) = laps.park_events();
+    (report, parked, parks, wakes)
+}

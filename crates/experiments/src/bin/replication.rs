@@ -1,0 +1,136 @@
+//! Statistical replication — the Fig. 7 comparison over many seeds.
+//!
+//! One run per (scenario, scheduler, seed); reports mean ± sample
+//! standard deviation of the three panel metrics, demonstrating that the
+//! orderings in EXPERIMENTS.md are not artifacts of a single seed.
+//! (`--seeds N` to override the default of 8.)
+
+use detsim::{SimTime, WelfordMean};
+use laps_experiments::{laps_scheduler, parallel_map, print_table, results_dir, write_csv, Fidelity};
+use laps::prelude::*;
+
+fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
+    let traces = scenario.group.traces();
+    ServiceKind::ALL
+        .iter()
+        .zip(traces.iter())
+        .map(|(&service, &trace)| SourceConfig {
+            service,
+            trace,
+            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
+        })
+        .collect()
+}
+
+fn n_seeds() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let seeds: Vec<u64> = (0..n_seeds()).map(|i| 1_000 + i).collect();
+    let scenarios = [1u8, 5];
+    let schedulers = ["fcfs", "afs", "laps"];
+
+    let mut jobs: Vec<(u8, &str, u64)> = Vec::new();
+    for &sc in &scenarios {
+        for &s in &schedulers {
+            for &seed in &seeds {
+                jobs.push((sc, s, seed));
+            }
+        }
+    }
+    let reports = parallel_map(jobs.clone(), |(id, arm, seed)| {
+        let scenario = Scenario::by_id(id).expect("scenario");
+        let sources = sources_for(scenario);
+        let cfg = fidelity.engine_config(seed);
+        match arm {
+            "fcfs" => Engine::new(cfg, &sources, Fcfs::new()).run(),
+            "afs" => {
+                let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
+                let n = cfg.n_cores;
+                Engine::new(cfg, &sources, Afs::new(n, 24, cd)).run()
+            }
+            _ => {
+                let laps = laps_scheduler(&cfg);
+                Engine::new(cfg, &sources, laps).run()
+            }
+        }
+    });
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &id in &scenarios {
+        for &arm in &schedulers {
+            let mut drop = WelfordMean::new();
+            let mut ooo = WelfordMean::new();
+            let mut cold = WelfordMean::new();
+            for (j, &(sid, sarm, _)) in jobs.iter().enumerate() {
+                if sid == id && sarm == arm {
+                    drop.push(reports[j].drop_fraction());
+                    ooo.push(reports[j].ooo_fraction());
+                    cold.push(reports[j].cold_fraction());
+                }
+            }
+            let fmt = |w: &WelfordMean| {
+                format!("{:.2}% ± {:.2}", 100.0 * w.mean(), 100.0 * w.std_dev())
+            };
+            rows.push(vec![
+                format!("T{id}"),
+                arm.to_string(),
+                fmt(&drop),
+                fmt(&ooo),
+                fmt(&cold),
+                drop.count().to_string(),
+            ]);
+            csv.push(vec![
+                format!("T{id}"),
+                arm.to_string(),
+                format!("{:.6}", drop.mean()),
+                format!("{:.6}", drop.std_dev()),
+                format!("{:.6}", ooo.mean()),
+                format!("{:.6}", ooo.std_dev()),
+                format!("{:.6}", cold.mean()),
+                format!("{:.6}", cold.std_dev()),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Replication over {} seeds (mean ± std dev)", seeds.len()),
+        &["scen", "scheduler", "drops", "ooo", "cold", "n"],
+        &rows,
+    );
+    write_csv(
+        results_dir().join("replication.csv"),
+        &["scenario", "scheduler", "drop_mean", "drop_std", "ooo_mean", "ooo_std", "cold_mean", "cold_std"],
+        &csv,
+    );
+
+    // The orderings must hold seed-by-seed, not just in the mean.
+    let mut violations = 0;
+    for &id in &scenarios {
+        for (j, &(sid, arm, seed)) in jobs.iter().enumerate() {
+            if sid != id || arm != "laps" {
+                continue;
+            }
+            let laps = &reports[j];
+            let fcfs = jobs
+                .iter()
+                .position(|&(s2, a2, sd2)| s2 == id && a2 == "fcfs" && sd2 == seed)
+                .map(|k| &reports[k])
+                .expect("paired fcfs run");
+            if laps.drop_fraction() >= fcfs.drop_fraction()
+                || laps.cold_fraction() >= fcfs.cold_fraction()
+                || laps.ooo_fraction() >= fcfs.ooo_fraction()
+            {
+                violations += 1;
+            }
+        }
+    }
+    println!("\nSeed-by-seed LAPS-beats-FCFS violations: {violations} (expect 0)");
+}

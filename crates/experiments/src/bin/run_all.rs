@@ -1,0 +1,23 @@
+//! Run every figure binary in sequence (same flags forwarded), so
+//! `cargo run --release -p laps-experiments --bin run_all` regenerates
+//! the entire evaluation.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in ["fig2", "fig7", "fig8", "fig9", "timing", "ablation", "restoration", "power", "replication"] {
+        println!("\n########## {bin} ##########");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll experiments complete; CSVs in results/.");
+}

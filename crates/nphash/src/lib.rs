@@ -1,0 +1,47 @@
+//! # nphash — packet-header hashing substrate
+//!
+//! Everything the LAPS scheduler (ICPP 2013) needs to turn a packet header
+//! into a core ID:
+//!
+//! * [`FlowId`] — the 5-tuple flow identifier (source/destination IP,
+//!   source/destination port, protocol).
+//! * [`crc`] — CRC16-CCITT (the hash the paper uses, shown by Cao et al.
+//!   to balance IP headers well), CRC16-ARC, and CRC32C, each with both a
+//!   bitwise reference implementation and a table-driven fast path.
+//! * [`toeplitz`] — the Microsoft RSS Toeplitz hash, included as the
+//!   "what commodity NICs do" comparison point.
+//! * [`incremental`] — the paper's *incremental hashing* (§III-C): a
+//!   linear-hashing scheme where growing a service from `b` to `b+1`
+//!   buckets only remaps the flows of the single bucket being split.
+//! * [`maptable`] — a per-service map table: bucket list + incremental
+//!   hash → core ID, with grow/shrink operations used by dynamic core
+//!   allocation.
+//!
+//! ```
+//! use nphash::{FlowId, MapTable};
+//!
+//! // A 4-core service; flows hash onto the 4 cores.
+//! let mut table: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+//! let flow = FlowId::v4([10, 0, 0, 1], [10, 0, 0, 2], 1234, 80, 6);
+//! let before = table.lookup(flow);
+//!
+//! // Granting a 5th core splits exactly one bucket.
+//! table.add_core(4);
+//! let after = table.lookup(flow);
+//! assert!(after == before || after == 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod flow;
+pub mod incremental;
+pub mod maptable;
+pub mod toeplitz;
+
+pub use crc::{crc16_arc, crc16_ccitt, crc32c, Crc16Ccitt};
+pub use flow::FlowId;
+pub use incremental::IncrementalHash;
+pub use maptable::MapTable;
+pub use toeplitz::ToeplitzHasher;

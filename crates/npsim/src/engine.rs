@@ -1,0 +1,641 @@
+//! The simulation engine (Fig. 6): packet generator → scheduler → per-core
+//! queues → processing → departure.
+//!
+//! Semantics, matching §IV:
+//!
+//! * Each core has a bounded input queue (32 descriptors); a packet
+//!   dispatched to a full queue is **dropped**.
+//! * Processing delay follows Eq. 3: `T_proc` (per service and size) plus
+//!   the 0.8 µs flow-migration penalty when the flow's previous packet
+//!   used a different core, plus the 10 µs cold-cache penalty when the
+//!   core's previous packet belonged to a different service.
+//! * Reordering is measured at departure against per-flow arrival
+//!   sequence numbers.
+//! * Arrivals follow per-source Poisson processes whose rate is refreshed
+//!   from the source's rate law every `rate_update_interval`.
+//!
+//! After the horizon, arrivals stop and the queues drain, so every offered
+//! packet is finally either dropped or processed — an invariant the tests
+//! assert.
+
+use crate::order::OrderTracker;
+use crate::packet::PacketDesc;
+use crate::report::SimReport;
+use crate::restore::RestorationBuffer;
+use crate::sched::{QueueInfo, Scheduler, SystemView};
+use crate::source::{RateSpec, SourceConfig, TrafficSource};
+use detsim::{BoundedQueue, EventQueue, PushOutcome, SeedSequence, SimTime};
+use nphash::FlowId;
+use nptraffic::{DelayModel, ServiceKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of data-plane cores (paper: 16).
+    pub n_cores: usize,
+    /// Per-core input-queue capacity in descriptors (paper: 32).
+    pub queue_capacity: usize,
+    /// Simulated horizon; arrivals stop here and queues drain.
+    pub duration: SimTime,
+    /// Rate/time scale factor `F` (see DESIGN.md). 1.0 = paper-exact.
+    pub scale: f64,
+    /// Root seed; all internal streams derive from it.
+    pub seed: u64,
+    /// How often each source re-samples its rate law.
+    pub rate_update_interval: SimTime,
+    /// Queue depth at which a core counts as "congested" for the
+    /// surplus-core eligibility signal (`QueueInfo::last_congested`).
+    pub congestion_watermark: usize,
+    /// Divide Holt-Winters seasonal periods by this factor so short runs
+    /// still see seasonal variation (1.0 = periods as published).
+    pub period_compression: f64,
+    /// Penalty model; its `scale` field is overridden by `scale` above.
+    pub delay: DelayModel,
+    /// Enable an egress order-restoration buffer with this timeout (the
+    /// §VI alternative to order preservation). `None` = packets depart
+    /// the instant processing finishes (the paper's model).
+    pub restoration: Option<SimTime>,
+    /// Fraction of arriving packets the frame-manager classifier marks
+    /// as *control plane* (§II / Fig. 1): they take the slow path through
+    /// the general-purpose cores and never reach the data-plane
+    /// scheduler. The paper studies data-plane scheduling, so 0 by
+    /// default.
+    pub control_plane_fraction: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            n_cores: 16,
+            queue_capacity: 32,
+            duration: SimTime::from_secs(1),
+            scale: 50.0,
+            seed: 1,
+            rate_update_interval: SimTime::from_millis(100),
+            congestion_watermark: 2,
+            period_compression: 1.0,
+            delay: DelayModel::default(),
+            restoration: None,
+            control_plane_fraction: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    queue: BoundedQueue<PacketDesc>,
+    current: Option<PacketDesc>,
+    last_service: Option<ServiceKind>,
+    idle_since: Option<SimTime>,
+    last_congested: SimTime,
+    busy_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival(usize),
+    Finish(usize),
+    RateUpdate,
+}
+
+/// The simulation engine, generic over the scheduling policy.
+pub struct Engine<S: Scheduler> {
+    cfg: EngineConfig,
+    delay: DelayModel,
+    scheduler: S,
+    sources: Vec<TrafficSource>,
+    source_rngs: Vec<StdRng>,
+    cores: Vec<Core>,
+    events: EventQueue<Ev>,
+    /// Per-flow next arrival sequence number.
+    flow_seq: HashMap<FlowId, u64>,
+    /// Per-flow last core a packet was *enqueued* to.
+    last_core: HashMap<FlowId, usize>,
+    order: OrderTracker,
+    classifier_rng: StdRng,
+    restoration: Option<RestorationBuffer>,
+    report: SimReport,
+    next_packet_id: u64,
+}
+
+impl<S: Scheduler> Engine<S> {
+    /// Build an engine over `sources`, scheduled by `scheduler`.
+    ///
+    /// # Panics
+    /// Panics on a zero-core configuration or an empty source list.
+    pub fn new(cfg: EngineConfig, sources: &[SourceConfig], scheduler: S) -> Self {
+        assert!(cfg.n_cores > 0, "need at least one core");
+        assert!(!sources.is_empty(), "need at least one traffic source");
+        assert!(cfg.scale > 0.0, "scale must be positive");
+        assert!(
+            (0.0..1.0).contains(&cfg.control_plane_fraction),
+            "control-plane fraction must be in [0, 1)"
+        );
+        let seq = SeedSequence::new(cfg.seed);
+        let mut delay = cfg.delay;
+        delay.scale = cfg.scale;
+        let sources_built: Vec<TrafficSource> = sources
+            .iter()
+            .map(|sc| {
+                let mut sc = sc.clone();
+                if let RateSpec::HoltWinters(hw) = sc.rate {
+                    sc.rate = RateSpec::HoltWinters(hw.with_period_compressed(cfg.period_compression));
+                }
+                TrafficSource::new(&sc)
+            })
+            .collect();
+        let source_rngs = (0..sources_built.len())
+            .map(|i| seq.indexed_rng("source", i))
+            .collect();
+        let cores = (0..cfg.n_cores)
+            .map(|_| Core {
+                queue: BoundedQueue::new(cfg.queue_capacity),
+                current: None,
+                last_service: None,
+                idle_since: Some(SimTime::ZERO),
+                last_congested: SimTime::ZERO,
+                busy_ns: 0,
+            })
+            .collect();
+        let report = SimReport::new(scheduler.name(), cfg.duration, cfg.scale);
+        let restoration = cfg.restoration.map(RestorationBuffer::new);
+        Engine {
+            delay,
+            scheduler,
+            sources: sources_built,
+            source_rngs,
+            cores,
+            events: EventQueue::with_capacity(1024),
+            flow_seq: HashMap::new(),
+            last_core: HashMap::new(),
+            order: OrderTracker::new(),
+            classifier_rng: seq.rng("fm-classifier"),
+            restoration,
+            report,
+            next_packet_id: 0,
+            cfg,
+        }
+    }
+
+    /// Record a packet leaving the system (after restoration, if any).
+    fn emit(&mut self, pkt: PacketDesc, now: SimTime) {
+        self.report.processed += 1;
+        self.report.per_service[pkt.service.index()].processed += 1;
+        if self.order.record_departure(pkt.flow, pkt.flow_seq) {
+            self.report.out_of_order += 1;
+            self.report.per_service[pkt.service.index()].out_of_order += 1;
+        }
+        self.report.latency.record((now - pkt.arrival).as_nanos());
+    }
+
+    fn queue_infos(&self) -> Vec<QueueInfo> {
+        self.cores
+            .iter()
+            .map(|c| QueueInfo {
+                len: c.queue.len(),
+                capacity: c.queue.capacity(),
+                busy: c.current.is_some(),
+                idle_since: c.idle_since,
+                last_congested: c.last_congested,
+            })
+            .collect()
+    }
+
+    fn start_processing(&mut self, core: usize, now: SimTime) {
+        if self.cores[core].current.is_some() {
+            return;
+        }
+        let Some(pkt) = self.cores[core].queue.pop() else {
+            if self.cores[core].idle_since.is_none() {
+                self.cores[core].idle_since = Some(now);
+            }
+            return;
+        };
+        let cold = self.cores[core].last_service != Some(pkt.service);
+        if cold {
+            self.report.cold_starts += 1;
+        }
+        if pkt.migrated {
+            self.report.migrated_packets += 1;
+        }
+        let d_us = self
+            .delay
+            .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
+        let d = SimTime::from_micros_f64(d_us);
+        self.cores[core].busy_ns += d.as_nanos();
+        self.cores[core].last_service = Some(pkt.service);
+        self.cores[core].current = Some(pkt);
+        self.cores[core].idle_since = None;
+        self.events.push(now + d, Ev::Finish(core));
+    }
+
+    fn on_arrival(&mut self, src: usize, now: SimTime) {
+        // Draw the header and build the descriptor.
+        let (flow, size) = self.sources[src].next_header();
+        let service = self.sources[src].service;
+        // Frame-manager classification (Fig. 1): control-plane packets
+        // take the slow path and never enter the data-plane scheduler.
+        if self.cfg.control_plane_fraction > 0.0
+            && self.classifier_rng.gen::<f64>() < self.cfg.control_plane_fraction
+        {
+            self.report.slow_path += 1;
+            let gap = self.sources[src].next_gap(self.cfg.scale, &mut self.source_rngs[src]);
+            let next = now + gap;
+            if next <= self.cfg.duration {
+                self.events.push(next, Ev::Arrival(src));
+            }
+            return;
+        }
+        let seq_ref = self.flow_seq.entry(flow).or_insert(0);
+        let flow_seq = *seq_ref;
+        *seq_ref += 1;
+        let mut pkt = PacketDesc {
+            id: self.next_packet_id,
+            flow,
+            service,
+            size,
+            arrival: now,
+            flow_seq,
+            migrated: false,
+        };
+        self.next_packet_id += 1;
+        self.report.offered += 1;
+        self.report.per_service[service.index()].offered += 1;
+
+        // Ask the policy for a target core.
+        let infos = self.queue_infos();
+        let view = SystemView { now, queues: &infos };
+        let target = self.scheduler.schedule(&pkt, &view);
+        assert!(target < self.cfg.n_cores, "scheduler returned core {target}");
+
+        let migrated = matches!(self.last_core.get(&flow), Some(&c) if c != target);
+        pkt.migrated = migrated;
+        match self.cores[target].queue.push(pkt) {
+            PushOutcome::Dropped => {
+                self.cores[target].last_congested = now;
+                self.report.dropped += 1;
+                self.report.per_service[service.index()].dropped += 1;
+                self.scheduler.on_drop(&pkt, target);
+                // The frame manager knows this sequence number will never
+                // depart; tell the restoration buffer not to wait for it.
+                if let Some(buf) = self.restoration.as_mut() {
+                    for released in buf.note_gap(pkt.flow, pkt.flow_seq, now) {
+                        self.emit(released, now);
+                    }
+                }
+            }
+            PushOutcome::Enqueued(len) => {
+                if len >= self.cfg.congestion_watermark {
+                    self.cores[target].last_congested = now;
+                }
+                if migrated {
+                    self.report.migration_events += 1;
+                }
+                self.last_core.insert(flow, target);
+                self.start_processing(target, now);
+            }
+        }
+
+        // Schedule the next arrival from this source, if still within the
+        // horizon.
+        let gap = self.sources[src].next_gap(self.cfg.scale, &mut self.source_rngs[src]);
+        let next = now + gap;
+        if next <= self.cfg.duration {
+            self.events.push(next, Ev::Arrival(src));
+        }
+    }
+
+    fn on_finish(&mut self, core: usize, now: SimTime) {
+        let pkt = self.cores[core]
+            .current
+            .take()
+            .expect("finish event without packet in service");
+        match self.restoration.as_mut() {
+            None => self.emit(pkt, now),
+            Some(buf) => {
+                let mut released = buf.on_departure(pkt, now);
+                released.extend(buf.flush_timeouts(now));
+                for p in released {
+                    self.emit(p, now);
+                }
+            }
+        }
+        self.start_processing(core, now);
+    }
+
+    fn on_rate_update(&mut self, now: SimTime) {
+        for (i, s) in self.sources.iter_mut().enumerate() {
+            s.refresh_rate(now, &mut self.source_rngs[i]);
+        }
+        let next = now + self.cfg.rate_update_interval;
+        if next <= self.cfg.duration {
+            self.events.push(next, Ev::RateUpdate);
+        }
+    }
+
+    /// Run to completion (horizon + drain) and return the report.
+    pub fn run(self) -> SimReport {
+        self.run_returning_scheduler().0
+    }
+
+    /// Like [`Engine::run`], but also hands back the scheduler so callers
+    /// can read policy-internal statistics (e.g. LAPS park/wake counts).
+    pub fn run_returning_scheduler(mut self) -> (SimReport, S) {
+        // Prime arrivals and the rate-update ticker.
+        for i in 0..self.sources.len() {
+            let gap = self.sources[i].next_gap(self.cfg.scale, &mut self.source_rngs[i]);
+            if gap <= self.cfg.duration {
+                self.events.push(gap, Ev::Arrival(i));
+            }
+        }
+        if self.cfg.rate_update_interval <= self.cfg.duration {
+            self.events.push(self.cfg.rate_update_interval, Ev::RateUpdate);
+        }
+
+        let mut last_t = SimTime::ZERO;
+        while let Some((t, ev)) = self.events.pop() {
+            last_t = t;
+            match ev {
+                Ev::Arrival(src) => self.on_arrival(src, t),
+                Ev::Finish(core) => self.on_finish(core, t),
+                Ev::RateUpdate => self.on_rate_update(t),
+            }
+        }
+        self.report.end_time = last_t.max(self.cfg.duration);
+
+        // Anything still waiting in the restoration buffer departs at the
+        // final instant.
+        if let Some(mut buf) = self.restoration.take() {
+            let now = self.cfg.duration;
+            for p in buf.drain_all(now) {
+                self.emit(p, now);
+            }
+            self.report.restoration = Some(buf.into_stats());
+        }
+        self.report.out_of_order = self.order.out_of_order();
+        self.report.core_reallocations = self.scheduler.core_reallocations();
+        self.report.core_busy_ns = self.cores.iter().map(|c| c.busy_ns).collect();
+        (self.report, self.scheduler)
+    }
+
+    /// Borrow the scheduler (e.g. to inspect detector state post-run in
+    /// tests that drive the engine manually).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{JoinShortestQueue, RoundRobin};
+    use nptrace::TracePreset;
+
+    fn one_source(rate_mpps: f64) -> Vec<SourceConfig> {
+        vec![SourceConfig {
+            service: ServiceKind::IpForward,
+            trace: TracePreset::Auckland(1),
+            rate: RateSpec::Constant(rate_mpps),
+        }]
+    }
+
+    fn quick_cfg(n_cores: usize, duration_ms: u64) -> EngineConfig {
+        EngineConfig {
+            n_cores,
+            duration: SimTime::from_millis(duration_ms),
+            scale: 1.0,
+            seed: 42,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A test policy pinning each flow to `crc16 % n` — ideal flow
+    /// locality, no migration ever.
+    struct PinByHash;
+    impl Scheduler for PinByHash {
+        fn name(&self) -> &str {
+            "pin-by-hash"
+        }
+        fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+            (nphash::crc16_ccitt(&pkt.flow.to_bytes()) as usize) % view.n_cores()
+        }
+    }
+
+    /// A pathological policy that bounces every packet of every flow
+    /// between cores 0 and 1.
+    struct PingPong(usize);
+    impl Scheduler for PingPong {
+        fn name(&self) -> &str {
+            "ping-pong"
+        }
+        fn schedule(&mut self, _p: &PacketDesc, _v: &SystemView<'_>) -> usize {
+            self.0 ^= 1;
+            self.0
+        }
+    }
+
+    #[test]
+    fn conservation_after_drain() {
+        // Overloaded single core: 1 Mpps offered into 2 Mpps... IP fwd
+        // takes 0.5µs ⇒ capacity exactly 2 Mpps; offer 4 Mpps to force
+        // drops.
+        let report = Engine::new(quick_cfg(1, 20), &one_source(4.0), JoinShortestQueue::new()).run();
+        assert!(report.offered > 0);
+        assert!(report.dropped > 0, "overload must drop");
+        assert_eq!(report.offered, report.accounted(), "drain accounts for every packet");
+    }
+
+    #[test]
+    fn underload_single_core_no_drops() {
+        let report = Engine::new(quick_cfg(1, 20), &one_source(1.0), JoinShortestQueue::new()).run();
+        assert_eq!(report.dropped, 0, "0.5 load should not drop");
+        assert_eq!(report.offered, report.processed);
+    }
+
+    #[test]
+    fn flow_pinning_preserves_order() {
+        let report = Engine::new(quick_cfg(4, 50), &one_source(6.0), PinByHash).run();
+        assert!(report.processed > 1_000);
+        assert_eq!(report.out_of_order, 0, "pinned flows can never reorder");
+        assert_eq!(report.migration_events, 0);
+        assert_eq!(report.migrated_packets, 0);
+    }
+
+    #[test]
+    fn ping_pong_migrates_and_reorders() {
+        let report = Engine::new(quick_cfg(2, 50), &one_source(3.0), PingPong(0)).run();
+        assert!(report.migration_events > 0);
+        assert!(report.migrated_packets > 0);
+        assert!(
+            report.out_of_order > 0,
+            "alternating cores must reorder some flows (ooo={})",
+            report.out_of_order
+        );
+    }
+
+    #[test]
+    fn cold_cache_counted_on_service_switches() {
+        // Two services sharing one core via JSQ: every alternation pays.
+        let sources = vec![
+            SourceConfig {
+                service: ServiceKind::IpForward,
+                trace: TracePreset::Auckland(1),
+                rate: RateSpec::Constant(0.02),
+            },
+            SourceConfig {
+                service: ServiceKind::MalwareScan,
+                trace: TracePreset::Auckland(2),
+                rate: RateSpec::Constant(0.02),
+            },
+        ];
+        let report = Engine::new(quick_cfg(1, 100), &sources, JoinShortestQueue::new()).run();
+        assert!(report.processed > 100);
+        assert!(
+            report.cold_fraction() > 0.2,
+            "alternating services on one core should run cold often (got {})",
+            report.cold_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let r = Engine::new(quick_cfg(4, 30), &one_source(5.0), JoinShortestQueue::new()).run();
+            (r.offered, r.dropped, r.processed, r.out_of_order, r.migration_events)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seeds_change_the_run() {
+        let mut cfg = quick_cfg(4, 30);
+        let a = Engine::new(cfg.clone(), &one_source(5.0), JoinShortestQueue::new()).run();
+        cfg.seed = 43;
+        let b = Engine::new(cfg, &one_source(5.0), JoinShortestQueue::new()).run();
+        assert_ne!(a.offered, b.offered);
+    }
+
+    #[test]
+    fn round_robin_on_idle_cores_keeps_order_by_luck_of_uniform_service() {
+        // RR over 2 cores at trivial load: each packet finishes before the
+        // next arrives, so even RR cannot reorder.
+        let report = Engine::new(quick_cfg(2, 20), &one_source(0.01), RoundRobin::new()).run();
+        assert_eq!(report.out_of_order, 0);
+        assert!(report.migration_events > 0, "RR still migrates flows");
+    }
+
+    #[test]
+    fn offered_scales_with_rate_and_duration() {
+        let r1 = Engine::new(quick_cfg(4, 20), &one_source(1.0), JoinShortestQueue::new()).run();
+        let r2 = Engine::new(quick_cfg(4, 40), &one_source(1.0), JoinShortestQueue::new()).run();
+        // 1 Mpps for 20 ms ≈ 20k packets.
+        assert!((r1.offered as f64 - 20_000.0).abs() < 2_000.0, "offered {}", r1.offered);
+        let ratio = r2.offered as f64 / r1.offered as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scale_preserves_offered_load_shape() {
+        // Same experiment at scale 1 and scale 10: offered count drops by
+        // 10x but drop *fraction* stays in the same band.
+        let mk = |scale: f64| EngineConfig {
+            n_cores: 2,
+            duration: SimTime::from_millis(200),
+            scale,
+            seed: 7,
+            ..EngineConfig::default()
+        };
+        let a = Engine::new(mk(1.0), &one_source(6.0), JoinShortestQueue::new()).run();
+        let b = Engine::new(mk(10.0), &one_source(6.0), JoinShortestQueue::new()).run();
+        let cnt_ratio = a.offered as f64 / b.offered as f64;
+        assert!((cnt_ratio - 10.0).abs() < 2.0, "count ratio {cnt_ratio}");
+        assert!(
+            (a.drop_fraction() - b.drop_fraction()).abs() < 0.1,
+            "drop fractions diverged: {} vs {}",
+            a.drop_fraction(),
+            b.drop_fraction()
+        );
+    }
+
+    #[test]
+    fn restoration_eliminates_reordering() {
+        // The ping-pong policy reorders heavily; with an egress
+        // restoration buffer the stream leaves in order, at the cost of
+        // buffer occupancy and wait time.
+        let mut cfg = quick_cfg(2, 10);
+        cfg.restoration = Some(SimTime::from_millis(5));
+        let with = Engine::new(cfg, &one_source(3.0), PingPong(0)).run();
+        let without = Engine::new(quick_cfg(2, 10), &one_source(3.0), PingPong(0)).run();
+        assert!(without.out_of_order > 0);
+        assert_eq!(with.out_of_order, 0, "restoration must re-sequence");
+        let stats = with.restoration.expect("stats recorded");
+        assert!(stats.buffered > 0, "some packets must have waited");
+        assert!(stats.peak_occupancy > 0);
+        assert_eq!(with.offered, with.dropped + with.processed, "conservation holds");
+    }
+
+    #[test]
+    fn restoration_with_drops_does_not_deadlock() {
+        // Overload a single core so drops punch holes in the sequence
+        // space; the gap notifications keep the buffer draining.
+        let mut cfg = quick_cfg(2, 8);
+        cfg.restoration = Some(SimTime::from_millis(2));
+        let r = Engine::new(cfg, &one_source(6.0), PingPong(0)).run();
+        assert!(r.dropped > 0);
+        assert_eq!(r.offered, r.dropped + r.processed);
+        assert!(r.restoration.is_some());
+    }
+
+    #[test]
+    fn control_plane_classifier_diverts_expected_fraction() {
+        let mut cfg = quick_cfg(2, 40);
+        cfg.control_plane_fraction = 0.1;
+        let r = Engine::new(cfg, &one_source(1.0), JoinShortestQueue::new()).run();
+        let total = r.offered + r.slow_path;
+        let frac = r.slow_path as f64 / total as f64;
+        assert!((frac - 0.1).abs() < 0.02, "slow-path fraction {frac}");
+        // Data-plane accounting is unaffected.
+        assert_eq!(r.offered, r.dropped + r.processed);
+        // Default config diverts nothing.
+        let r0 = Engine::new(quick_cfg(2, 40), &one_source(1.0), JoinShortestQueue::new()).run();
+        assert_eq!(r0.slow_path, 0);
+    }
+
+    #[test]
+    fn busy_time_tracks_load() {
+        // Flow pinning: no migration penalties, so busy time is exactly
+        // offered work: 2 Mpps x 0.5 µs = 1 core-equivalent over 4 cores.
+        let r = Engine::new(quick_cfg(4, 20), &one_source(2.0), PinByHash).run();
+        assert_eq!(r.core_busy_ns.len(), 4);
+        let u = r.mean_utilization();
+        assert!((u - 0.25).abs() < 0.05, "mean utilization {u}");
+        assert_eq!(r.active_cores(0.02), 4, "hash spreads flows over all cores");
+        assert_eq!(r.active_cores(2.0), 0);
+    }
+
+    #[test]
+    fn per_service_breakdown_sums_to_totals() {
+        let sources = vec![
+            SourceConfig {
+                service: ServiceKind::IpForward,
+                trace: TracePreset::Auckland(1),
+                rate: RateSpec::Constant(2.0),
+            },
+            SourceConfig {
+                service: ServiceKind::VpnOut,
+                trace: TracePreset::Auckland(2),
+                rate: RateSpec::Constant(0.5),
+            },
+        ];
+        let r = Engine::new(quick_cfg(4, 30), &sources, JoinShortestQueue::new()).run();
+        let off: u64 = r.per_service.iter().map(|s| s.offered).sum();
+        let drop: u64 = r.per_service.iter().map(|s| s.dropped).sum();
+        let proc: u64 = r.per_service.iter().map(|s| s.processed).sum();
+        assert_eq!(off, r.offered);
+        assert_eq!(drop, r.dropped);
+        assert_eq!(proc, r.processed);
+    }
+}

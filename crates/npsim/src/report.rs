@@ -1,0 +1,193 @@
+//! Simulation reports — the numbers behind every figure.
+
+use detsim::{Histogram, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-service counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServiceBreakdown {
+    /// Packets offered (generated) for this service.
+    pub offered: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Packets fully processed.
+    pub processed: u64,
+    /// Out-of-order departures.
+    pub out_of_order: u64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Simulated horizon (arrivals stop here).
+    pub duration: SimTime,
+    /// Time of the last departure (≥ `duration` when queues drained past
+    /// the horizon). Utilization is measured against this.
+    pub end_time: SimTime,
+    /// Rate/time scale factor used.
+    pub scale: f64,
+    /// Packets offered by all sources.
+    pub offered: u64,
+    /// Packets dropped (full target queue).
+    pub dropped: u64,
+    /// Packets fully processed (departed).
+    pub processed: u64,
+    /// Out-of-order departures.
+    pub out_of_order: u64,
+    /// Packets that paid the flow-migration penalty.
+    pub migrated_packets: u64,
+    /// Distinct flow-migration events (a flow's packets moving to a new
+    /// core) — the Fig. 9(c) metric.
+    pub migration_events: u64,
+    /// Packets that paid the cold-I-cache penalty.
+    pub cold_starts: u64,
+    /// Per-service breakdowns, indexed by `ServiceKind::index()`.
+    pub per_service: [ServiceBreakdown; 4],
+    /// Packet latency (arrival → departure), nanoseconds.
+    pub latency: Histogram,
+    /// Cores requested by the scheduler beyond its initial allocation
+    /// (LAPS `request_core` count; 0 for baselines).
+    pub core_reallocations: u64,
+    /// Egress order-restoration statistics, when the engine ran with a
+    /// restoration buffer (`EngineConfig::restoration`).
+    pub restoration: Option<crate::restore::RestorationStats>,
+    /// Per-core busy time in nanoseconds (time spent processing packets)
+    /// — the raw input to any power/energy model.
+    pub core_busy_ns: Vec<u64>,
+    /// Packets the frame-manager classifier diverted to the slow path
+    /// (control plane, §II / Fig. 1); they never reach the data-plane
+    /// scheduler and are excluded from `offered`.
+    pub slow_path: u64,
+}
+
+impl SimReport {
+    /// A zeroed report for `scheduler`.
+    pub fn new(scheduler: impl Into<String>, duration: SimTime, scale: f64) -> Self {
+        SimReport {
+            scheduler: scheduler.into(),
+            end_time: duration,
+            duration,
+            scale,
+            offered: 0,
+            dropped: 0,
+            processed: 0,
+            out_of_order: 0,
+            migrated_packets: 0,
+            migration_events: 0,
+            cold_starts: 0,
+            per_service: Default::default(),
+            latency: Histogram::new(),
+            core_reallocations: 0,
+            restoration: None,
+            core_busy_ns: Vec::new(),
+            slow_path: 0,
+        }
+    }
+
+    /// Fraction of offered packets dropped — Fig. 7(a) / Fig. 9(a).
+    pub fn drop_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of processed packets departing out of order — Fig. 7(c) /
+    /// Fig. 9(b).
+    pub fn ooo_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.out_of_order as f64 / self.processed as f64
+        }
+    }
+
+    /// Fraction of processed packets paying the cold-cache penalty —
+    /// Fig. 7(b).
+    pub fn cold_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.processed as f64
+        }
+    }
+
+    /// Achieved throughput in Mpps at *paper scale* (processed packets ÷
+    /// duration, multiplied back by the scale factor).
+    pub fn throughput_mpps(&self) -> f64 {
+        let us = self.duration.as_micros_f64();
+        if us == 0.0 {
+            0.0
+        } else {
+            self.processed as f64 / us * self.scale
+        }
+    }
+
+    /// Mean packet latency in µs (at simulation scale).
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Mean utilization across cores (busy time ÷ wall time to the last
+    /// departure), 0..1.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.core_busy_ns.is_empty() || self.end_time == SimTime::ZERO {
+            return 0.0;
+        }
+        let total: u64 = self.core_busy_ns.iter().sum();
+        total as f64 / (self.end_time.as_nanos() as f64 * self.core_busy_ns.len() as f64)
+    }
+
+    /// Number of cores whose busy fraction exceeds `threshold` — a proxy
+    /// for "cores that could not have been powered down".
+    pub fn active_cores(&self, threshold: f64) -> usize {
+        let dur = self.end_time.as_nanos() as f64;
+        if dur == 0.0 {
+            return 0;
+        }
+        self.core_busy_ns
+            .iter()
+            .filter(|&&b| b as f64 / dur > threshold)
+            .count()
+    }
+
+    /// Sanity: offered = dropped + processed + still-in-flight. Exposed
+    /// for tests; `in_flight` is whatever remained queued/being processed
+    /// at the horizon.
+    pub fn accounted(&self) -> u64 {
+        self.dropped + self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptraffic::ServiceKind;
+
+    #[test]
+    fn fractions_handle_zero_denominators() {
+        let r = SimReport::new("x", SimTime::ZERO, 1.0);
+        assert_eq!(r.drop_fraction(), 0.0);
+        assert_eq!(r.ooo_fraction(), 0.0);
+        assert_eq!(r.cold_fraction(), 0.0);
+        assert_eq!(r.throughput_mpps(), 0.0);
+    }
+
+    #[test]
+    fn throughput_unscales() {
+        let mut r = SimReport::new("x", SimTime::from_secs(1), 50.0);
+        r.processed = 1_000_000; // 1 Mp in 1 s at scale 50 → 0.05 Mpps × 50 = 50...
+        // 1e6 packets / 1e6 µs = 1 pkt/µs = 1 Mpps at sim scale → ×50 = 50 Mpps.
+        assert!((r.throughput_mpps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_service_indexing() {
+        let mut r = SimReport::new("x", SimTime::ZERO, 1.0);
+        r.per_service[ServiceKind::MalwareScan.index()].offered = 7;
+        assert_eq!(r.per_service[2].offered, 7);
+    }
+}

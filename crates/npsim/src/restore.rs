@@ -1,0 +1,300 @@
+//! Egress order restoration.
+//!
+//! The paper's related work (§VI) contrasts order *preservation* (LAPS)
+//! with order *restoration* (Shi et al., INFOCOM 2007): let cores process
+//! packets of a flow in parallel and re-sequence them in an egress buffer
+//! before they leave the system. The paper argues restoration "can have
+//! considerable storage overheads" — this module implements the
+//! restoration buffer so that claim can be measured (see the
+//! `restoration` experiment binary).
+//!
+//! Semantics: packets of a flow are released in arrival-sequence order.
+//! A packet whose predecessors are still in flight waits in the buffer.
+//! Gaps from *dropped* predecessors are closed by the frame manager's
+//! drop notification ([`RestorationBuffer::note_gap`]); as a safety net,
+//! a buffered packet older than `timeout` forces the sequence window
+//! past the missing predecessors.
+
+use crate::packet::PacketDesc;
+use detsim::{Histogram, SimTime};
+use nphash::FlowId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Cumulative restoration statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RestorationStats {
+    /// Packets that had to wait in the buffer.
+    pub buffered: u64,
+    /// Packets released immediately (already in order).
+    pub pass_through: u64,
+    /// Releases forced by the timeout safety net.
+    pub timeout_releases: u64,
+    /// Highest simultaneous buffer occupancy.
+    pub peak_occupancy: usize,
+    /// Time spent waiting in the buffer (ns samples).
+    pub buffer_wait: Histogram,
+}
+
+/// The egress re-sequencing buffer.
+#[derive(Debug)]
+pub struct RestorationBuffer {
+    timeout: SimTime,
+    /// Next sequence number each flow is allowed to release.
+    next_expected: HashMap<FlowId, u64>,
+    /// Held packets: flow → seq → (packet, buffered_at).
+    held: HashMap<FlowId, BTreeMap<u64, (PacketDesc, SimTime)>>,
+    occupancy: usize,
+    stats: RestorationStats,
+}
+
+impl RestorationBuffer {
+    /// A buffer that force-releases after `timeout`.
+    pub fn new(timeout: SimTime) -> Self {
+        RestorationBuffer {
+            timeout,
+            next_expected: HashMap::new(),
+            held: HashMap::new(),
+            occupancy: 0,
+            stats: RestorationStats::default(),
+        }
+    }
+
+    /// Current number of packets waiting.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &RestorationStats {
+        &self.stats
+    }
+
+    /// Consume the buffer, returning its final statistics.
+    pub fn into_stats(self) -> RestorationStats {
+        self.stats
+    }
+
+    /// The frame manager dropped `(flow, seq)` at ingress: that sequence
+    /// number will never arrive, so releases must not wait for it.
+    pub fn note_gap(&mut self, flow: FlowId, seq: u64, now: SimTime) -> Vec<PacketDesc> {
+        let expected = self.next_expected.entry(flow).or_insert(0);
+        if seq == *expected {
+            *expected += 1;
+            return self.drain_ready(flow, now);
+        }
+        // A gap beyond the window: nothing releasable yet; the hole will
+        // be skipped when the window reaches it (we remember nothing —
+        // the in-order drain treats a missing seq < any held seq as
+        // releasable only via timeout, so close it eagerly when it is the
+        // next expected).
+        Vec::new()
+    }
+
+    /// A packet finished processing at `now`. Returns every packet that
+    /// can now be released, in order.
+    pub fn on_departure(&mut self, pkt: PacketDesc, now: SimTime) -> Vec<PacketDesc> {
+        let expected = *self.next_expected.get(&pkt.flow).unwrap_or(&0);
+        if pkt.flow_seq < expected {
+            // Predecessor of an already-released (or gap-skipped)
+            // position: emit immediately, it is late but holding it helps
+            // nobody.
+            self.stats.pass_through += 1;
+            return vec![pkt];
+        }
+        if pkt.flow_seq == expected {
+            self.stats.pass_through += 1;
+            self.next_expected.insert(pkt.flow, expected + 1);
+            let mut out = vec![pkt];
+            out.extend(self.drain_ready(pkt.flow, now));
+            return out;
+        }
+        // Out of order: hold it.
+        self.stats.buffered += 1;
+        self.held
+            .entry(pkt.flow)
+            .or_default()
+            .insert(pkt.flow_seq, (pkt, now));
+        self.occupancy += 1;
+        if self.occupancy > self.stats.peak_occupancy {
+            self.stats.peak_occupancy = self.occupancy;
+        }
+        Vec::new()
+    }
+
+    /// Release consecutive held successors of `flow`'s window.
+    fn drain_ready(&mut self, flow: FlowId, now: SimTime) -> Vec<PacketDesc> {
+        let mut out = Vec::new();
+        let Some(q) = self.held.get_mut(&flow) else {
+            return out;
+        };
+        let expected = self.next_expected.entry(flow).or_insert(0);
+        while let Some((&seq, _)) = q.iter().next() {
+            if seq != *expected {
+                break;
+            }
+            let (pkt, since) = q.remove(&seq).expect("peeked");
+            self.occupancy -= 1;
+            self.stats.buffer_wait.record((now.saturating_sub(since)).as_nanos());
+            *expected += 1;
+            out.push(pkt);
+        }
+        if q.is_empty() {
+            self.held.remove(&flow);
+        }
+        out
+    }
+
+    /// Force-release any packet buffered longer than the timeout,
+    /// advancing the window past missing predecessors. Returns the
+    /// released packets (in per-flow order).
+    pub fn flush_timeouts(&mut self, now: SimTime) -> Vec<PacketDesc> {
+        let mut out = Vec::new();
+        let flows: Vec<FlowId> = self.held.keys().copied().collect();
+        for flow in flows {
+            let expired = {
+                let q = &self.held[&flow];
+                q.iter()
+                    .next()
+                    .map(|(_, (_, since))| now.saturating_sub(*since) >= self.timeout)
+                    .unwrap_or(false)
+            };
+            if !expired {
+                continue;
+            }
+            // Jump the window to the oldest held packet and drain.
+            let q = self.held.get_mut(&flow).expect("present");
+            let (&seq, _) = q.iter().next().expect("non-empty");
+            self.next_expected.insert(flow, seq);
+            self.stats.timeout_releases += 1;
+            out.extend(self.drain_ready(flow, now));
+        }
+        out
+    }
+
+    /// Release everything (end of simulation), in per-flow order.
+    pub fn drain_all(&mut self, now: SimTime) -> Vec<PacketDesc> {
+        let mut out = Vec::new();
+        let flows: Vec<FlowId> = self.held.keys().copied().collect();
+        for flow in flows {
+            // A flow may hold interior gaps (e.g. seqs {5, 7}); jump the
+            // window over each gap until the flow's queue is empty.
+            while let Some(q) = self.held.get_mut(&flow) {
+                let Some((&seq, _)) = q.iter().next() else { break };
+                self.next_expected.insert(flow, seq);
+                out.extend(self.drain_ready(flow, now));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptraffic::ServiceKind;
+
+    fn pkt(flow: u64, seq: u64) -> PacketDesc {
+        PacketDesc {
+            id: seq,
+            flow: FlowId::from_index(flow),
+            service: ServiceKind::IpForward,
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: seq,
+            migrated: false,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn in_order_passes_through() {
+        let mut b = RestorationBuffer::new(t(100));
+        for seq in 0..5 {
+            let out = b.on_departure(pkt(1, seq), t(seq));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].flow_seq, seq);
+        }
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.stats().buffered, 0);
+    }
+
+    #[test]
+    fn out_of_order_is_held_then_released_in_order() {
+        let mut b = RestorationBuffer::new(t(100));
+        assert!(b.on_departure(pkt(1, 2), t(0)).is_empty());
+        assert!(b.on_departure(pkt(1, 1), t(1)).is_empty());
+        assert_eq!(b.occupancy(), 2);
+        // Seq 0 arrives: everything drains, ordered.
+        let out = b.on_departure(pkt(1, 0), t(2));
+        let seqs: Vec<u64> = out.iter().map(|p| p.flow_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.stats().buffered, 2);
+        assert_eq!(b.stats().peak_occupancy, 2);
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        let mut b = RestorationBuffer::new(t(100));
+        assert!(b.on_departure(pkt(1, 1), t(0)).is_empty());
+        let out = b.on_departure(pkt(2, 0), t(0));
+        assert_eq!(out.len(), 1, "flow 2 unaffected by flow 1's gap");
+    }
+
+    #[test]
+    fn drop_notification_closes_gap() {
+        let mut b = RestorationBuffer::new(t(100));
+        assert!(b.on_departure(pkt(1, 1), t(0)).is_empty());
+        // Seq 0 was dropped at ingress: the note releases seq 1.
+        let out = b.note_gap(FlowId::from_index(1), 0, t(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].flow_seq, 1);
+    }
+
+    #[test]
+    fn timeout_forces_release() {
+        let mut b = RestorationBuffer::new(t(10));
+        assert!(b.on_departure(pkt(1, 3), t(0)).is_empty());
+        assert!(b.flush_timeouts(t(5)).is_empty(), "not yet expired");
+        let out = b.flush_timeouts(t(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].flow_seq, 3);
+        assert_eq!(b.stats().timeout_releases, 1);
+        // The window advanced: seq 4 now passes straight through.
+        assert_eq!(b.on_departure(pkt(1, 4), t(11)).len(), 1);
+        // …and a very late seq 2 is emitted immediately rather than held.
+        assert_eq!(b.on_departure(pkt(1, 2), t(12)).len(), 1);
+    }
+
+    #[test]
+    fn drain_all_releases_everything_in_flow_order() {
+        let mut b = RestorationBuffer::new(t(1_000));
+        b.on_departure(pkt(1, 5), t(0));
+        b.on_departure(pkt(1, 7), t(0));
+        b.on_departure(pkt(2, 3), t(0));
+        let out = b.drain_all(t(1));
+        assert_eq!(out.len(), 3);
+        assert_eq!(b.occupancy(), 0);
+        // Per-flow order is preserved in the drain.
+        let f1: Vec<u64> = out
+            .iter()
+            .filter(|p| p.flow == FlowId::from_index(1))
+            .map(|p| p.flow_seq)
+            .collect();
+        assert_eq!(f1, vec![5, 7]);
+    }
+
+    #[test]
+    fn wait_time_is_recorded() {
+        let mut b = RestorationBuffer::new(t(100));
+        b.on_departure(pkt(1, 1), t(0));
+        let out = b.on_departure(pkt(1, 0), t(30));
+        assert_eq!(out.len(), 2);
+        assert_eq!(b.stats().buffer_wait.count(), 1);
+        assert_eq!(b.stats().buffer_wait.max(), t(30).as_nanos());
+    }
+}

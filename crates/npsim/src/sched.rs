@@ -1,0 +1,204 @@
+//! The scheduler interface and two trivial reference policies.
+//!
+//! The engine calls [`Scheduler::schedule`] once per arriving packet with
+//! a read-only [`SystemView`] of the queue state; the scheduler answers
+//! with a target core index. Everything else (drop on full queue, penalty
+//! accounting, reorder measurement) is engine-side, so policies compare
+//! on identical footing.
+
+use crate::packet::PacketDesc;
+use detsim::SimTime;
+
+/// Read-only, per-core queue state exposed to schedulers.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueInfo {
+    /// Current queue occupancy (packets waiting, excluding the one in
+    /// service).
+    pub len: usize,
+    /// Queue capacity (32 descriptors in the paper).
+    pub capacity: usize,
+    /// Whether the core is currently processing a packet.
+    pub busy: bool,
+    /// Since when the core has been completely idle (empty queue, not
+    /// busy); `None` while it has work. Drives the surplus-core timer.
+    pub idle_since: Option<SimTime>,
+    /// Last time this core's queue built beyond the engine's congestion
+    /// watermark (or a packet was dropped at it). A core whose queue has
+    /// not congested for `idle_th` has spare capacity — the surplus-core
+    /// eligibility signal (§III-D; see DESIGN.md for the interpretation).
+    pub last_congested: SimTime,
+}
+
+/// Snapshot of system state at a scheduling decision.
+#[derive(Debug)]
+pub struct SystemView<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Per-core queue state, indexed by core.
+    pub queues: &'a [QueueInfo],
+}
+
+impl SystemView<'_> {
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The core with the shortest queue among `cores` (ties to the lowest
+    /// index). `None` if `cores` is empty.
+    pub fn min_queue_core(&self, cores: &[usize]) -> Option<usize> {
+        cores
+            .iter()
+            .copied()
+            .min_by_key(|&c| (self.queues[c].len, c))
+    }
+
+    /// The queue length of the longest queue among `cores` (0 if empty).
+    pub fn max_queue_len(&self, cores: &[usize]) -> usize {
+        cores.iter().map(|&c| self.queues[c].len).max().unwrap_or(0)
+    }
+}
+
+/// A packet-scheduling policy.
+pub trait Scheduler {
+    /// Display name used in reports and figures.
+    fn name(&self) -> &str;
+
+    /// Choose the target core for `pkt`. Must return an index
+    /// `< view.n_cores()`; the engine will enqueue (or drop, if that
+    /// core's queue is full).
+    fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize;
+
+    /// Called when the engine drops a packet this scheduler dispatched to
+    /// a full queue (some policies react to congestion feedback).
+    fn on_drop(&mut self, _pkt: &PacketDesc, _core: usize) {}
+
+    /// How many extra-core requests (`request_core()`) the policy issued;
+    /// 0 for policies without dynamic core allocation.
+    fn core_reallocations(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+        (**self).schedule(pkt, view)
+    }
+    fn on_drop(&mut self, pkt: &PacketDesc, core: usize) {
+        (**self).on_drop(pkt, core)
+    }
+    fn core_reallocations(&self) -> u64 {
+        (**self).core_reallocations()
+    }
+}
+
+/// Round-robin dispatch, ignoring both flows and load. The simplest
+/// possible baseline; destroys flow locality completely.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn schedule(&mut self, _pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+        let c = self.next % view.n_cores();
+        self.next = (self.next + 1) % view.n_cores();
+        c
+    }
+}
+
+/// Join-the-shortest-queue dispatch — the paper's **FCFS** baseline:
+/// "FCFS and AFS distribute packets of different services arbitrarily to
+/// cores". Perfect load balance, zero flow/service awareness.
+#[derive(Debug, Default)]
+pub struct JoinShortestQueue;
+
+impl JoinShortestQueue {
+    /// A fresh JSQ scheduler.
+    pub fn new() -> Self {
+        JoinShortestQueue
+    }
+}
+
+impl Scheduler for JoinShortestQueue {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn schedule(&mut self, _pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+        let all: Vec<usize> = (0..view.n_cores()).collect();
+        view.min_queue_core(&all).expect("at least one core")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nphash::FlowId;
+    use nptraffic::ServiceKind;
+
+    fn pkt() -> PacketDesc {
+        PacketDesc {
+            id: 0,
+            flow: FlowId::from_index(1),
+            service: ServiceKind::IpForward,
+            size: 64,
+            arrival: SimTime::ZERO,
+            flow_seq: 0,
+            migrated: false,
+        }
+    }
+
+    fn view(lens: &[usize]) -> Vec<QueueInfo> {
+        lens.iter()
+            .map(|&len| QueueInfo {
+                len,
+                capacity: 32,
+                busy: len > 0,
+                idle_since: None,
+                last_congested: SimTime::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let qs = view(&[0, 0, 0]);
+        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.schedule(&pkt(), &v)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_picks_shortest_with_tie_to_lowest() {
+        let qs = view(&[3, 1, 1, 5]);
+        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let mut jsq = JoinShortestQueue::new();
+        assert_eq!(jsq.schedule(&pkt(), &v), 1);
+    }
+
+    #[test]
+    fn view_helpers() {
+        let qs = view(&[3, 1, 4, 0]);
+        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        assert_eq!(v.n_cores(), 4);
+        assert_eq!(v.min_queue_core(&[0, 2]), Some(0));
+        assert_eq!(v.min_queue_core(&[]), None);
+        assert_eq!(v.max_queue_len(&[0, 1, 2, 3]), 4);
+    }
+}

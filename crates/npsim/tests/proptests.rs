@@ -1,0 +1,125 @@
+//! Property-based tests on the simulation engine: invariants that must
+//! hold for *any* scheduling policy, checked with a randomized (but
+//! deterministic, seeded) policy over randomized configurations.
+
+use detsim::SimTime;
+use npsim::{Engine, EngineConfig, PacketDesc, RateSpec, Scheduler, SourceConfig, SystemView};
+use nptrace::TracePreset;
+use nptraffic::ServiceKind;
+use proptest::prelude::*;
+
+/// A policy that picks cores pseudo-randomly (xorshift on the flow and a
+/// per-instance seed) — valid but adversarially unstructured.
+struct ChaosScheduler {
+    state: u64,
+}
+
+impl ChaosScheduler {
+    fn new(seed: u64) -> Self {
+        ChaosScheduler {
+            state: seed | 1,
+        }
+    }
+}
+
+impl Scheduler for ChaosScheduler {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+    fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
+        let mut x = self.state ^ pkt.flow.src_ip as u64 ^ ((pkt.flow.dst_ip as u64) << 32);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x % view.n_cores() as u64) as usize
+    }
+}
+
+fn run(n_cores: usize, rate: f64, seed: u64, chaos_seed: u64, duration_us: u64) -> npsim::SimReport {
+    let cfg = EngineConfig {
+        n_cores,
+        duration: SimTime::from_micros(duration_us),
+        scale: 1.0,
+        seed,
+        ..EngineConfig::default()
+    };
+    let sources = vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Auckland(1),
+        rate: RateSpec::Constant(rate),
+    }];
+    Engine::new(cfg, &sources, ChaosScheduler::new(chaos_seed)).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation holds for any core count, rate, and policy behaviour.
+    #[test]
+    fn conservation_under_chaos(
+        n_cores in 1usize..12,
+        rate in 0.1f64..8.0,
+        seed in any::<u64>(),
+        chaos in any::<u64>(),
+    ) {
+        let r = run(n_cores, rate, seed, chaos, 2_000);
+        prop_assert_eq!(r.offered, r.dropped + r.processed);
+        prop_assert!(r.out_of_order <= r.processed);
+        prop_assert!(r.cold_starts <= r.processed);
+        prop_assert!(r.migrated_packets <= r.processed);
+        prop_assert!(r.migration_events >= r.migrated_packets.min(1).saturating_sub(1));
+        prop_assert_eq!(r.core_busy_ns.len(), n_cores);
+        for &b in &r.core_busy_ns {
+            prop_assert!(b <= r.end_time.as_nanos());
+        }
+    }
+
+    /// Determinism: identical inputs replay identically even for the
+    /// chaotic policy (its own state is seeded too).
+    #[test]
+    fn determinism_under_chaos(seed in any::<u64>(), chaos in any::<u64>()) {
+        let a = run(4, 3.0, seed, chaos, 1_500);
+        let b = run(4, 3.0, seed, chaos, 1_500);
+        prop_assert_eq!(a.offered, b.offered);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.out_of_order, b.out_of_order);
+        prop_assert_eq!(a.core_busy_ns, b.core_busy_ns);
+    }
+
+    /// Monotonicity of capacity: more cores never process fewer packets
+    /// under a load-oblivious policy with the same arrival stream.
+    #[test]
+    fn more_cores_do_not_hurt(seed in any::<u64>()) {
+        let small = run(2, 6.0, seed, 99, 2_000);
+        let big = run(8, 6.0, seed, 99, 2_000);
+        prop_assert_eq!(small.offered, big.offered, "same arrivals");
+        prop_assert!(big.processed >= small.processed);
+    }
+
+    /// The restoration buffer never breaks conservation and only reduces
+    /// measured reordering.
+    #[test]
+    fn restoration_invariants(seed in any::<u64>(), chaos in any::<u64>()) {
+        let cfg_base = EngineConfig {
+            n_cores: 4,
+            duration: SimTime::from_micros(1_500),
+            scale: 1.0,
+            seed,
+            ..EngineConfig::default()
+        };
+        let sources = vec![SourceConfig {
+            service: ServiceKind::IpForward,
+            trace: TracePreset::Auckland(1),
+            rate: RateSpec::Constant(5.0),
+        }];
+        let plain = Engine::new(cfg_base.clone(), &sources, ChaosScheduler::new(chaos)).run();
+        let mut cfg = cfg_base;
+        cfg.restoration = Some(SimTime::from_micros(200));
+        let restored = Engine::new(cfg, &sources, ChaosScheduler::new(chaos)).run();
+        prop_assert_eq!(restored.offered, restored.dropped + restored.processed);
+        prop_assert_eq!(plain.offered, restored.offered);
+        prop_assert_eq!(plain.dropped, restored.dropped);
+        prop_assert!(restored.out_of_order <= plain.out_of_order);
+    }
+}

@@ -1,0 +1,237 @@
+//! Trace (de)serialization.
+//!
+//! Two formats:
+//! * **JSON** — human-inspectable, interoperable (via `serde_json`).
+//! * **Compact binary** — a simple length-prefixed little-endian layout
+//!   (6 bytes/packet) for large materialized traces.
+
+use crate::packet::{PacketRecord, Trace};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary format.
+const MAGIC: &[u8; 8] = b"NPTRACE1";
+
+/// Serialize a trace as JSON.
+pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
+    serde_json::to_string(trace)
+}
+
+/// Deserialize a trace from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<Trace> {
+    serde_json::from_str(s)
+}
+
+/// Write the compact binary format.
+pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let name = trace.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&trace.flow_space.to_le_bytes())?;
+    w.write_all(&trace.n_flows.to_le_bytes())?;
+    w.write_all(&(trace.packets.len() as u64).to_le_bytes())?;
+    for p in &trace.packets {
+        w.write_all(&p.flow.to_le_bytes())?;
+        w.write_all(&p.size.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read the compact binary format.
+pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let name_len = read_u32(r)? as usize;
+    if name_len > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "name not UTF-8"))?;
+    let mut fs = [0u8; 8];
+    r.read_exact(&mut fs)?;
+    let flow_space = u64::from_le_bytes(fs);
+    let n_flows = read_u32(r)?;
+    let mut cnt = [0u8; 8];
+    r.read_exact(&mut cnt)?;
+    let n_packets = u64::from_le_bytes(cnt) as usize;
+    let mut packets = Vec::with_capacity(n_packets.min(1 << 24));
+    for _ in 0..n_packets {
+        let flow = read_u32(r)?;
+        let mut sz = [0u8; 2];
+        r.read_exact(&mut sz)?;
+        packets.push(PacketRecord {
+            flow,
+            size: u16::from_le_bytes(sz),
+        });
+    }
+    Ok(Trace {
+        name,
+        flow_space,
+        n_flows,
+        packets,
+    })
+}
+
+/// Export a trace as a classic pcap file (synthetic minimal IPv4/UDP-or-
+/// TCP headers, zero payload beyond the reported length), so synthetic
+/// traces can be eyeballed with tcpdump/wireshark or replayed by standard
+/// tooling.
+///
+/// Timestamps are synthesized at `pps` packets per second (pcap requires
+/// them; the trace itself carries none — arrival times are the traffic
+/// model's job).
+pub fn write_pcap<W: Write>(trace: &Trace, pps: u32, w: &mut W) -> io::Result<()> {
+    assert!(pps > 0, "pps must be positive");
+    // Global header: magic (µs precision), v2.4, linktype 101 (raw IP).
+    w.write_all(&0xA1B2_C3D4u32.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?;
+    w.write_all(&4u16.to_le_bytes())?;
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65_535u32.to_le_bytes())?; // snaplen
+    w.write_all(&101u32.to_le_bytes())?; // LINKTYPE_RAW
+    let gap_us = 1_000_000u64 / pps as u64;
+    for (i, p) in trace.packets.iter().enumerate() {
+        let flow = p.flow_id(trace.flow_space);
+        let ts = gap_us * i as u64;
+        let (sec, usec) = ((ts / 1_000_000) as u32, (ts % 1_000_000) as u32);
+        // Minimal IPv4 header (20 B) + 8 B of transport header captured.
+        let caplen: u32 = 28;
+        let wirelen: u32 = (p.size as u32).max(caplen);
+        w.write_all(&sec.to_le_bytes())?;
+        w.write_all(&usec.to_le_bytes())?;
+        w.write_all(&caplen.to_le_bytes())?;
+        w.write_all(&wirelen.to_le_bytes())?;
+        // IPv4 header.
+        let mut ip = [0u8; 20];
+        ip[0] = 0x45; // v4, IHL 5
+        ip[2..4].copy_from_slice(&(wirelen as u16).to_be_bytes());
+        ip[8] = 64; // TTL
+        ip[9] = flow.protocol;
+        ip[12..16].copy_from_slice(&flow.src_ip.to_be_bytes());
+        ip[16..20].copy_from_slice(&flow.dst_ip.to_be_bytes());
+        w.write_all(&ip)?;
+        // First 8 bytes of UDP/TCP: ports + filler.
+        let mut l4 = [0u8; 8];
+        l4[0..2].copy_from_slice(&flow.src_port.to_be_bytes());
+        l4[2..4].copy_from_slice(&flow.dst_port.to_be_bytes());
+        w.write_all(&l4)?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Save a trace to `path` in binary format.
+pub fn save<P: AsRef<Path>>(trace: &Trace, path: P) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_binary(trace, &mut f)
+}
+
+/// Load a binary-format trace from `path`.
+pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_binary(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TraceConfig, TraceGenerator};
+
+    fn sample() -> Trace {
+        let mut cfg = TraceConfig::small_test();
+        cfg.n_packets = 1_000;
+        TraceGenerator::new(cfg, 11).generate()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let s = to_json(&t).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(back.packets, t.packets);
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.flow_space, t.flow_space);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.packets, t.packets);
+        assert_eq!(back.n_flows, t.n_flows);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&mut &b"XXXXXXXXrest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn pcap_export_structure() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_pcap(&t, 1_000_000, &mut buf).unwrap();
+        // Global header (24 B) + per-packet: record header 16 B + 28 B.
+        assert_eq!(buf.len(), 24 + t.len() * (16 + 28));
+        // Magic + linktype pinned.
+        assert_eq!(&buf[0..4], &0xA1B2_C3D4u32.to_le_bytes());
+        assert_eq!(&buf[20..24], &101u32.to_le_bytes());
+        // First record: IPv4 version nibble and protocol of flow 0.
+        let ip0 = &buf[24 + 16..24 + 16 + 20];
+        assert_eq!(ip0[0], 0x45);
+        let f0 = t.flow_id_at(0);
+        assert_eq!(ip0[9], f0.protocol);
+        assert_eq!(&ip0[12..16], &f0.src_ip.to_be_bytes());
+    }
+
+    #[test]
+    fn pcap_timestamps_advance() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_pcap(&t, 1_000, &mut buf).unwrap(); // 1k pps → 1 ms gaps
+        let rec = |i: usize| {
+            let off = 24 + i * (16 + 28);
+            let sec = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64;
+            let usec = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()) as u64;
+            sec * 1_000_000 + usec
+        };
+        assert_eq!(rec(1) - rec(0), 1_000);
+        assert_eq!(rec(10) - rec(0), 10_000);
+    }
+
+    #[test]
+    fn file_save_load() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("nptrace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.npt");
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.packets, t.packets);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,189 @@
+//! Named trace presets standing in for the paper's Tables I and II.
+//!
+//! The real datasets are access-gated (CAIDA) or archival (Auckland-II),
+//! so each preset is a synthetic configuration tuned to the published
+//! characteristics the scheduler actually observes:
+//!
+//! * **CAIDA** (OC-192 backbone, 1 min): very many concurrent flows
+//!   (tens of thousands), *many* high-rate flows ("Caida traces generally
+//!   have a large number of high data rate flows"), near-Zipf(1.05–1.15)
+//!   popularity, short bursts (high multiplexing).
+//! * **Auckland-II** (university edge, 1 h): an order of magnitude fewer
+//!   concurrent flows, milder tail, longer per-flow bursts, smaller
+//!   packets.
+//!
+//! Distinct presets of a family differ by seed and mild parameter jitter,
+//! like distinct capture windows of the same link.
+
+use crate::gen::{TraceConfig, TraceGenerator};
+use crate::packet::Trace;
+use crate::sizes::SizeModel;
+use serde::{Deserialize, Serialize};
+
+/// The fourteen named traces used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TracePreset {
+    /// CAIDA-like backbone capture `n` ∈ 1..=6 (Tables I and V).
+    Caida(u8),
+    /// Auckland-II-like edge capture `n` ∈ 1..=8 (Table II).
+    Auckland(u8),
+}
+
+impl TracePreset {
+    /// All CAIDA presets.
+    pub fn all_caida() -> Vec<TracePreset> {
+        (1..=6).map(TracePreset::Caida).collect()
+    }
+
+    /// All Auckland presets.
+    pub fn all_auckland() -> Vec<TracePreset> {
+        (1..=8).map(TracePreset::Auckland).collect()
+    }
+
+    /// The preset's display name (`caida1`, `auck3`, …).
+    pub fn name(&self) -> String {
+        match self {
+            TracePreset::Caida(n) => format!("caida{n}"),
+            TracePreset::Auckland(n) => format!("auck{n}"),
+        }
+    }
+
+    /// Parse a preset name.
+    pub fn parse(name: &str) -> Option<TracePreset> {
+        if let Some(n) = name.strip_prefix("caida") {
+            let n: u8 = n.parse().ok()?;
+            (1..=6).contains(&n).then_some(TracePreset::Caida(n))
+        } else if let Some(n) = name.strip_prefix("auck") {
+            let n: u8 = n.parse().ok()?;
+            (1..=8).contains(&n).then_some(TracePreset::Auckland(n))
+        } else {
+            None
+        }
+    }
+
+    /// Deterministic generation seed for this preset.
+    pub fn seed(&self) -> u64 {
+        match self {
+            TracePreset::Caida(n) => 0x000C_A1DA_0000 + *n as u64,
+            TracePreset::Auckland(n) => 0xA0CC_0000 + *n as u64,
+        }
+    }
+
+    /// The generator configuration, sized to `n_packets`.
+    pub fn config(&self, n_packets: usize) -> TraceConfig {
+        match *self {
+            TracePreset::Caida(n) => {
+                let i = n as u64;
+                TraceConfig {
+                    name: self.name(),
+                    flow_space: 0xCA + i,
+                    // Tens of thousands of concurrent flows; slight
+                    // variation across capture windows.
+                    n_flows: 40_000 + (i as u32 % 3) * 10_000,
+                    // Near-Zipf(1.1) tail with a flattened head: the top
+                    // flow carries ~2 % of traffic (many comparably heavy
+                    // flows — the CAIDA regime of Fig. 8).
+                    zipf_exponent: 1.05 + 0.02 * (i as f64 % 3.0),
+                    head_offset: 8.0,
+                    n_packets,
+                    // Backbone: high multiplexing → short bursts; mice
+                    // live ~25 packets before the connection ends.
+                    mean_burst: 3.0,
+                    // OC-192 backbone: many flows in flight at once.
+                    concurrency: 64,
+                    mouse_lifetime: 25.0,
+                    size_model: SizeModel {
+                        heavy_large_prob: 0.75,
+                        mouse_small_prob: 0.5,
+                        heavy_rank_cutoff: 256,
+                    },
+                }
+            }
+            TracePreset::Auckland(n) => {
+                let i = n as u64;
+                TraceConfig {
+                    name: self.name(),
+                    flow_space: 0xA0 + i,
+                    // Edge link: far fewer concurrent flows.
+                    n_flows: 4_000 + (i as u32 % 4) * 1_000,
+                    // Steeper tail: the few elephants dominate harder,
+                    // so a small annex cache already finds them (Fig 8a);
+                    // head still capped below half a core of load.
+                    zipf_exponent: 1.2 + 0.05 * (i as f64 % 2.0),
+                    head_offset: 12.0,
+                    n_packets,
+                    // Lower multiplexing → longer bursts; edge-link mice
+                    // live longer than backbone mice.
+                    mean_burst: 6.0,
+                    // Edge link: less multiplexing than the backbone.
+                    concurrency: 16,
+                    mouse_lifetime: 60.0,
+                    size_model: SizeModel {
+                        heavy_large_prob: 0.6,
+                        mouse_small_prob: 0.65,
+                        heavy_rank_cutoff: 64,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Materialize the preset as a trace of `n_packets` packets.
+    pub fn generate(&self, n_packets: usize) -> Trace {
+        TraceGenerator::new(self.config(n_packets), self.seed()).generate()
+    }
+
+    /// A streaming generator for this preset (for long simulations).
+    pub fn generator(&self, n_packets: usize) -> TraceGenerator {
+        TraceGenerator::new(self.config(n_packets), self.seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in TracePreset::all_caida().into_iter().chain(TracePreset::all_auckland()) {
+            assert_eq!(TracePreset::parse(&p.name()), Some(p));
+        }
+        assert_eq!(TracePreset::parse("caida7"), None);
+        assert_eq!(TracePreset::parse("auck9"), None);
+        assert_eq!(TracePreset::parse("bogus"), None);
+    }
+
+    #[test]
+    fn caida_has_more_flows_than_auckland() {
+        let c = TracePreset::Caida(1).generate(50_000);
+        let a = TracePreset::Auckland(1).generate(50_000);
+        assert!(c.analyze().active_flows() > 2 * a.analyze().active_flows());
+    }
+
+    #[test]
+    fn presets_are_deterministic_and_distinct() {
+        let a1 = TracePreset::Caida(1).generate(10_000);
+        let a2 = TracePreset::Caida(1).generate(10_000);
+        let b = TracePreset::Caida(2).generate(10_000);
+        assert_eq!(a1.packets, a2.packets);
+        assert_ne!(a1.packets, b.packets);
+        // Different flow_space → disjoint flow IDs.
+        assert_ne!(a1.flow_id_of(0), b.flow_id_of(0));
+    }
+
+    #[test]
+    fn heavy_tail_shape_matches_fig2() {
+        // Fig 2: rank-size roughly linear in log-log, i.e. size(rank)
+        // drops by orders of magnitude over the first decades of rank.
+        let t = TracePreset::Caida(1).generate(200_000);
+        let rs = t.analyze().rank_size();
+        // With the flattened head, rank 1 is ~10-20x rank 100 and far
+        // above rank 1000 — orders of magnitude over the decades.
+        assert!(rs[0] > 5 * rs[99], "rank1={} rank100={}", rs[0], rs[99]);
+        assert!(rs[0] > 50 * rs[999], "rank1={} rank1000={}", rs[0], rs[999]);
+        // And the top flow stays a realistic share of total traffic.
+        let share = rs[0] as f64 / t.len() as f64;
+        assert!(share < 0.05, "top flow share {share}");
+        assert!(share > 0.005, "top flow share {share}");
+    }
+}

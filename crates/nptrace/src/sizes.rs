@@ -1,0 +1,135 @@
+//! Packet-size models.
+//!
+//! Internet packet sizes are famously trimodal: minimum-size ACK/control
+//! packets (~64 B), legacy default-MTU segments (~576 B), and full
+//! Ethernet MTU bulk-transfer segments (~1500 B). Sizes matter here
+//! because the paper's path-1/path-4 processing times scale with packet
+//! size (Eq. 4–5).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flow's size personality, assigned once per flow.
+///
+/// Keeping sizes coherent *per flow* (a bulk flow sends mostly 1500 B,
+/// an interactive flow mostly 64 B) mirrors reality better than i.i.d.
+/// per-packet draws and matters for the per-flow load estimates the
+/// aggressive-flow detector implicitly makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizeProfile {
+    /// Interactive / control traffic: minimum-size packets.
+    Small,
+    /// Legacy default-MTU traffic.
+    Medium,
+    /// Bulk transfer at full MTU.
+    Large,
+    /// A mix (e.g. request/response protocols).
+    Mixed,
+}
+
+impl SizeProfile {
+    /// Draw one packet size under this profile.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u16 {
+        match self {
+            SizeProfile::Small => 64,
+            SizeProfile::Medium => 576,
+            SizeProfile::Large => 1500,
+            SizeProfile::Mixed => match rng.gen_range(0..4u8) {
+                0 => 64,
+                1 => 576,
+                _ => 1500,
+            },
+        }
+    }
+}
+
+/// Parameters for assigning profiles to flows.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Probability a *heavy* flow (low Zipf rank) is bulk/Large.
+    pub heavy_large_prob: f64,
+    /// Probability a mouse flow is Small.
+    pub mouse_small_prob: f64,
+    /// Rank cutoff below which a flow counts as heavy for sizing.
+    pub heavy_rank_cutoff: u32,
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel {
+            heavy_large_prob: 0.7,
+            mouse_small_prob: 0.55,
+            heavy_rank_cutoff: 64,
+        }
+    }
+}
+
+impl SizeModel {
+    /// Assign a profile to the flow of Zipf rank `rank` (0-based).
+    pub fn assign<R: Rng + ?Sized>(&self, rank: u32, rng: &mut R) -> SizeProfile {
+        if rank < self.heavy_rank_cutoff {
+            if rng.gen::<f64>() < self.heavy_large_prob {
+                SizeProfile::Large
+            } else {
+                SizeProfile::Mixed
+            }
+        } else if rng.gen::<f64>() < self.mouse_small_prob {
+            SizeProfile::Small
+        } else if rng.gen::<f64>() < 0.5 {
+            SizeProfile::Medium
+        } else {
+            SizeProfile::Mixed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_emit_valid_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for p in [SizeProfile::Small, SizeProfile::Medium, SizeProfile::Large, SizeProfile::Mixed] {
+            for _ in 0..100 {
+                let s = p.sample(&mut rng);
+                assert!(matches!(s, 64 | 576 | 1500), "size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_flows_skew_large() {
+        let m = SizeModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut heavy_large = 0;
+        let mut mouse_small = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if m.assign(0, &mut rng) == SizeProfile::Large {
+                heavy_large += 1;
+            }
+            if m.assign(10_000, &mut rng) == SizeProfile::Small {
+                mouse_small += 1;
+            }
+        }
+        assert!(heavy_large as f64 / n as f64 > 0.6);
+        assert!(mouse_small as f64 / n as f64 > 0.45);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = SizeModel::default();
+        let a: Vec<SizeProfile> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|r| m.assign(r, &mut rng)).collect()
+        };
+        let b: Vec<SizeProfile> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..100).map(|r| m.assign(r, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

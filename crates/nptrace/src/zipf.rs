@@ -1,0 +1,142 @@
+//! Zipf (discrete power-law) sampling.
+//!
+//! Flow popularity on real links is heavy-tailed ("the war between mice
+//! and elephants"): the paper's Fig. 2 shows rank-size curves that are
+//! near-linear on log-log axes. A Zipf distribution with exponent ≈ 1 over
+//! flow ranks reproduces exactly that shape.
+
+use rand::Rng;
+
+/// A sampler for `P(rank = i) ∝ 1 / (i + q)^s`, `i ∈ 1..=n`, returning
+/// 0-based indices.
+///
+/// The *head offset* `q` (0 = classic Zipf) flattens the first few ranks:
+/// real backbone links obey a power law in the tail, but their single
+/// largest flow is a low single-digit percentage of traffic, not the
+/// `1/H(n)` (~10 %) a pure Zipf head would give. `q ≈ 8–12` reproduces
+/// that regime — essential here, because a synthetic flow carrying more
+/// than one core's worth of load would make load balancing impossible for
+/// *every* scheduler.
+///
+/// Implemented with a precomputed cumulative table + binary search:
+/// exact, O(log n) per draw, deterministic given the RNG stream.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a classic (unshifted) sampler over `n` ranks, exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        Self::shifted(n, s, 0.0)
+    }
+
+    /// Build a shifted sampler: `P(rank = i) ∝ 1 / (i + q)^s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or `s`/`q` are not finite, or `q < 0`.
+    pub fn shifted(n: usize, s: f64, q: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(q.is_finite() && q >= 0.0, "head offset must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64 + q).powf(s);
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a 0-based rank.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let u: f64 = rng.gen::<f64>() * total;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `i` (0-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        let total = *self.cdf.last().expect("non-empty");
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        (self.cdf[i] - lo) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.1);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(50, 0.9);
+        for i in 1..50 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = ZipfSampler::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 20];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            let exp = z.pmf(i);
+            assert!((emp - exp).abs() < 0.01, "rank {i}: emp {emp} vs pmf {exp}");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(7, 1.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Holt-Winters-style traffic-rate model (Eq. 1).
+//!
+//! "We govern the traffic for each path based on Holt-Winterz forecasting
+//! as suggested in [Brutlag 2000]. The traffic rate is governed by
+//!
+//! `xᵢ(t) = a + b·t + C·S(t mod m) + n(σ)`
+//!
+//! where a is the baseline, b the trend, C the magnitude of the seasonal
+//! component S with period m, and n random noise."
+//!
+//! Rates are in Mpps, `t` in seconds, the period `m` in seconds. Per the
+//! calibration note in DESIGN.md, the trend term is interpreted per
+//! **minute** (`b · t/60`) so that Table IV Set 1 stays under-load over
+//! the 60 s experiment, as the paper states.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the seasonal component `S`, normalized to `[-1, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeasonalShape {
+    /// `S(x) = sin(2πx/m)` — smooth diurnal-like variation (default).
+    Sine,
+    /// Sawtooth ramp from −1 to 1 over the period.
+    Sawtooth,
+    /// Square wave: +1 for the first half period, −1 for the second.
+    Square,
+}
+
+impl SeasonalShape {
+    /// Evaluate the shape at phase `x ∈ [0, m)`.
+    pub fn eval(self, x: f64, period: f64) -> f64 {
+        let phase = (x / period).rem_euclid(1.0);
+        match self {
+            SeasonalShape::Sine => (2.0 * std::f64::consts::PI * phase).sin(),
+            SeasonalShape::Sawtooth => 2.0 * phase - 1.0,
+            SeasonalShape::Square => {
+                if phase < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+        }
+    }
+}
+
+/// One service's rate process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HoltWinters {
+    /// Baseline rate `a` (Mpps).
+    pub a: f64,
+    /// Trend `b` (Mpps per **minute** — see module docs).
+    pub b: f64,
+    /// Seasonal magnitude `C` (Mpps).
+    pub c: f64,
+    /// Seasonal period `m` (seconds).
+    pub m: f64,
+    /// Noise standard deviation `σ` (Mpps).
+    pub sigma: f64,
+    /// Seasonal shape.
+    pub shape: SeasonalShape,
+}
+
+impl HoltWinters {
+    /// Construct with the default sine seasonality.
+    pub fn new(a: f64, b: f64, c: f64, m: f64, sigma: f64) -> Self {
+        HoltWinters {
+            a,
+            b,
+            c,
+            m,
+            sigma,
+            shape: SeasonalShape::Sine,
+        }
+    }
+
+    /// The deterministic (noise-free) rate at `t` seconds, in Mpps.
+    pub fn mean_rate(&self, t_secs: f64) -> f64 {
+        (self.a + self.b * (t_secs / 60.0) + self.c * self.shape.eval(t_secs, self.m)).max(0.0)
+    }
+
+    /// Draw the noisy rate at `t` seconds (Eq. 1), clamped at a small
+    /// positive floor so inter-arrival sampling stays well-defined.
+    pub fn rate<R: Rng + ?Sized>(&self, t_secs: f64, rng: &mut R) -> f64 {
+        let noise = self.sigma * gaussian(rng);
+        (self.mean_rate(t_secs) + noise).max(self.a * 0.01 + 1e-6)
+    }
+
+    /// Compress the seasonal period by `factor` (for short scaled runs the
+    /// seasons should still turn over; see DESIGN.md).
+    pub fn with_period_compressed(mut self, factor: f64) -> Self {
+        self.m = (self.m / factor).max(1e-6);
+        self
+    }
+}
+
+/// Standard normal via Box-Muller (keeps us off `rand_distr`).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_components() {
+        let hw = HoltWinters::new(2.0, 0.6, 0.5, 40.0, 0.0);
+        // At t=0, sine phase 0 → S=0.
+        assert!((hw.mean_rate(0.0) - 2.0).abs() < 1e-9);
+        // At t=10 (quarter period), S=1 → a + b/6 + C.
+        assert!((hw.mean_rate(10.0) - (2.0 + 0.1 + 0.5)).abs() < 1e-9);
+        // At t=60: trend adds exactly b.
+        assert!((hw.mean_rate(60.0) - (2.0 + 0.6 + hw.c * hw.shape.eval(60.0, 40.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seasonal_shapes_bounded() {
+        for shape in [SeasonalShape::Sine, SeasonalShape::Sawtooth, SeasonalShape::Square] {
+            for i in 0..1000 {
+                let v = shape.eval(i as f64 * 0.1, 7.0);
+                assert!((-1.0..=1.0).contains(&v), "{shape:?} at {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn square_wave_halves() {
+        let s = SeasonalShape::Square;
+        assert_eq!(s.eval(1.0, 10.0), 1.0);
+        assert_eq!(s.eval(6.0, 10.0), -1.0);
+        assert_eq!(s.eval(11.0, 10.0), 1.0); // periodic
+    }
+
+    #[test]
+    fn noise_has_requested_spread() {
+        let hw = HoltWinters::new(5.0, 0.0, 0.0, 10.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| hw.rate(0.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rate_never_nonpositive() {
+        let hw = HoltWinters::new(0.1, 0.0, 0.5, 10.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..5_000 {
+            assert!(hw.rate(i as f64 * 0.01, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn period_compression() {
+        let hw = HoltWinters::new(1.0, 0.0, 1.0, 40.0, 0.0);
+        let c = hw.with_period_compressed(10.0);
+        assert!((c.m - 4.0).abs() < 1e-12);
+        // Compressed process at t has the phase of the original at 10t.
+        assert!((c.mean_rate(1.0) - hw.mean_rate(10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_mean_clamps_to_zero() {
+        let hw = HoltWinters::new(0.1, 0.0, 5.0, 8.0, 0.0);
+        // At 3/4 period the sine is -1 → a - C < 0 → clamp.
+        assert_eq!(hw.mean_rate(6.0), 0.0);
+    }
+}

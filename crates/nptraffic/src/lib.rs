@@ -1,0 +1,30 @@
+//! # nptraffic — multi-service router workload substrate
+//!
+//! Implements §IV of the paper (evaluation infrastructure):
+//!
+//! * [`service`] — the four services of the edge-router task graph
+//!   (Fig. 5): VPN-out (path 1), plain IP forwarding (path 2), malware
+//!   scanning (path 3) and VPN-in + scan (path 4), with their measured
+//!   processing-time models (Eq. 3–5).
+//! * [`delay`] — the processing-delay model: `PD = T_proc + FM_penalty +
+//!   CC_penalty` with the paper's constants (0.8 µs flow-migration
+//!   penalty, 10 µs cold-instruction-cache penalty), plus the Table III
+//!   core configuration recorded as documented constants.
+//! * [`holtwinters`] — the Holt-Winters traffic-rate model (Eq. 1):
+//!   `xᵢ(t) = a + b·t + C·S(t mod m) + n(σ)`.
+//! * [`scenario`] — Table IV parameter sets 1/2, Table V trace groups
+//!   G1–G4, and Table VI scenarios T1–T8, plus the rate/time scaling knob
+//!   described in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod holtwinters;
+pub mod scenario;
+pub mod service;
+
+pub use delay::{CoreConfig, DelayModel};
+pub use holtwinters::{HoltWinters, SeasonalShape};
+pub use scenario::{ParameterSet, Scenario, TraceGroup};
+pub use service::ServiceKind;

@@ -1,0 +1,129 @@
+//! The four services of the multi-service edge router (Fig. 5).
+//!
+//! "In this study we consider all the tasks on the same path as a single
+//! service. Thus our simulations have four active services" (§IV-B). The
+//! per-service processing times were measured by the authors on a GEMS
+//! full-system simulation of the Table III core and fed into the
+//! scheduler simulation as a delay model — we use the published constants
+//! directly (Eq. 3–5).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four router services (= paths of the Fig. 5 task graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Path 1: outgoing packets tunneled via VPN (IPSec encrypt).
+    VpnOut,
+    /// Path 2: default IP forwarding.
+    IpForward,
+    /// Path 3: incoming packets scanned for malware.
+    MalwareScan,
+    /// Path 4: incoming VPN packets — decrypt then scan.
+    VpnInScan,
+}
+
+impl ServiceKind {
+    /// All four services in path order (S1..S4 of Table IV).
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::VpnOut,
+        ServiceKind::IpForward,
+        ServiceKind::MalwareScan,
+        ServiceKind::VpnInScan,
+    ];
+
+    /// Dense index 0..4 (S1..S4).
+    pub fn index(self) -> usize {
+        match self {
+            ServiceKind::VpnOut => 0,
+            ServiceKind::IpForward => 1,
+            ServiceKind::MalwareScan => 2,
+            ServiceKind::VpnInScan => 3,
+        }
+    }
+
+    /// Service from dense index.
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    pub fn from_index(i: usize) -> ServiceKind {
+        ServiceKind::ALL[i]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::VpnOut => "vpn-out",
+            ServiceKind::IpForward => "ip-fwd",
+            ServiceKind::MalwareScan => "malware-scan",
+            ServiceKind::VpnInScan => "vpn-in-scan",
+        }
+    }
+
+    /// Processing time `T_proc` in microseconds for a packet of
+    /// `size_bytes` (Eq. 3–5 and the measured constants of §IV-C):
+    ///
+    /// * path 1: `3.7 µs + (size/64 B) × 0.23 µs`
+    /// * path 2: `0.5 µs`
+    /// * path 3: `3.53 µs`
+    /// * path 4: `5.8 µs + (size/64 B) × 0.21 µs` (the paper labels this
+    ///   equation "path 3" but context makes it path 4 — see DESIGN.md)
+    pub fn proc_time_us(self, size_bytes: u16) -> f64 {
+        let blocks = size_bytes as f64 / 64.0;
+        match self {
+            ServiceKind::VpnOut => 3.7 + blocks * 0.23,
+            ServiceKind::IpForward => 0.5,
+            ServiceKind::MalwareScan => 3.53,
+            ServiceKind::VpnInScan => 5.8 + blocks * 0.21,
+        }
+    }
+
+    /// Mean processing time under the trimodal size mix with mean packet
+    /// size `mean_size` bytes — used for capacity estimates.
+    pub fn mean_proc_time_us(self, mean_size: f64) -> f64 {
+        let blocks = mean_size / 64.0;
+        match self {
+            ServiceKind::VpnOut => 3.7 + blocks * 0.23,
+            ServiceKind::IpForward => 0.5,
+            ServiceKind::MalwareScan => 3.53,
+            ServiceKind::VpnInScan => 5.8 + blocks * 0.21,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for s in ServiceKind::ALL {
+            assert_eq!(ServiceKind::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn published_constants() {
+        // Path 2 (IP forwarding): 0.5 µs regardless of size.
+        assert_eq!(ServiceKind::IpForward.proc_time_us(64), 0.5);
+        assert_eq!(ServiceKind::IpForward.proc_time_us(1500), 0.5);
+        // Path 3: 3.53 µs flat.
+        assert_eq!(ServiceKind::MalwareScan.proc_time_us(999), 3.53);
+        // Path 1 at 64 B: 3.7 + 0.23 = 3.93 µs.
+        assert!((ServiceKind::VpnOut.proc_time_us(64) - 3.93).abs() < 1e-9);
+        // Path 4 at 128 B: 5.8 + 2*0.21 = 6.22 µs.
+        assert!((ServiceKind::VpnInScan.proc_time_us(128) - 6.22).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_scaling_monotone() {
+        for s in [ServiceKind::VpnOut, ServiceKind::VpnInScan] {
+            assert!(s.proc_time_us(1500) > s.proc_time_us(64));
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> = ServiceKind::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests on the traffic and delay models.
+
+use nptraffic::{HoltWinters, ParameterSet, SeasonalShape, ServiceKind};
+use nptraffic::{DelayModel, Scenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Rates are always strictly positive under any parameters and time.
+    #[test]
+    fn rate_is_positive(
+        a in 0.01f64..10.0,
+        b in 0.0f64..0.1,
+        c in 0.0f64..2.0,
+        m in 1.0f64..600.0,
+        sigma in 0.0f64..1.0,
+        t in 0.0f64..120.0,
+        seed in any::<u64>(),
+    ) {
+        let hw = HoltWinters::new(a, b, c, m, sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(hw.rate(t, &mut rng) > 0.0);
+        prop_assert!(hw.mean_rate(t) >= 0.0);
+    }
+
+    /// Seasonal shapes stay in [-1, 1] and are m-periodic.
+    #[test]
+    fn seasonal_bounded_and_periodic(x in 0.0f64..10_000.0, m in 0.5f64..500.0) {
+        for shape in [SeasonalShape::Sine, SeasonalShape::Sawtooth, SeasonalShape::Square] {
+            let v = shape.eval(x, m);
+            prop_assert!((-1.0..=1.0).contains(&v));
+            let w = shape.eval(x + m, m);
+            prop_assert!((v - w).abs() < 1e-6, "{shape:?} not periodic: {v} vs {w}");
+        }
+    }
+
+    /// Processing delays are positive, monotone in penalties, and linear
+    /// in the scale factor.
+    #[test]
+    fn delay_model_properties(
+        size in 64u16..1_500,
+        scale in 1.0f64..500.0,
+        svc_idx in 0usize..4,
+    ) {
+        let svc = ServiceKind::from_index(svc_idx);
+        let m = DelayModel::scaled(scale);
+        let base = m.processing_delay_us(svc, size, false, false);
+        let with_fm = m.processing_delay_us(svc, size, true, false);
+        let with_cc = m.processing_delay_us(svc, size, false, true);
+        let with_both = m.processing_delay_us(svc, size, true, true);
+        prop_assert!(base > 0.0);
+        prop_assert!(with_fm > base);
+        prop_assert!(with_cc > with_fm, "CC penalty (10µs) dominates FM (0.8µs)");
+        prop_assert!((with_both - (with_fm + with_cc - base)).abs() < 1e-9);
+        let unscaled = DelayModel::scaled(1.0).processing_delay_us(svc, size, true, true);
+        prop_assert!((with_both - unscaled * scale).abs() < 1e-6);
+    }
+
+    /// Offered load is continuous-ish: nearby times give nearby loads
+    /// (no discontinuities from the scenario plumbing).
+    #[test]
+    fn offered_load_is_smooth(t in 0.0f64..60.0) {
+        for set in [ParameterSet::Set1, ParameterSet::Set2] {
+            let a = set.offered_load_cores(t, 550.0);
+            let b = set.offered_load_cores(t + 1e-4, 550.0);
+            prop_assert!(a >= 0.0);
+            prop_assert!((a - b).abs() < 0.1, "{set:?} jumped {a} -> {b}");
+        }
+    }
+}
+
+#[test]
+fn scenarios_are_exhaustive_and_unique() {
+    let all = Scenario::all();
+    let mut seen = std::collections::HashSet::new();
+    for s in &all {
+        assert!(seen.insert((s.params, s.group)), "duplicate scenario combination");
+        assert!((1..=8).contains(&s.id));
+    }
+    assert_eq!(all.len(), 8);
+}

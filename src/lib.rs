@@ -1,0 +1,53 @@
+//! # laps-repro — workspace facade
+//!
+//! Re-exports the public API of every crate in this reproduction of
+//! *"Flow Migration on Multicore Network Processors: Load Balancing While
+//! Minimizing Packet Reordering"* (ICPP 2013), and hosts the examples and
+//! cross-crate integration tests.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use detsim;
+pub use laps;
+pub use npafd;
+pub use nphash;
+pub use npsim;
+pub use nptrace;
+pub use nptraffic;
+
+/// Everything a typical user needs, one import away.
+pub mod prelude {
+    pub use laps::prelude::*;
+}
+
+/// Build the four Fig. 7 traffic sources for a Table VI scenario.
+pub fn scenario_sources(scenario: nptraffic::Scenario) -> Vec<npsim::SourceConfig> {
+    let traces = scenario.group.traces();
+    nptraffic::ServiceKind::ALL
+        .iter()
+        .zip(traces.iter())
+        .map(|(&service, &trace)| npsim::SourceConfig {
+            service,
+            trace,
+            rate: npsim::RateSpec::HoltWinters(scenario.params.rate_model(service)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_sources_wire_services_to_group_traces() {
+        let t3 = nptraffic::Scenario::by_id(3).unwrap();
+        let sources = scenario_sources(t3);
+        assert_eq!(sources.len(), 4);
+        assert_eq!(sources[0].service, nptraffic::ServiceKind::VpnOut);
+        assert_eq!(sources[0].trace.name(), "auck1");
+        assert_eq!(sources[3].trace.name(), "auck4");
+    }
+}

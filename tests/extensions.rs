@@ -1,0 +1,135 @@
+//! Integration tests for the extension subsystems: egress order
+//! restoration, power-aware core parking, and adaptive hashing.
+
+use laps_repro::prelude::*;
+use laps_repro::scenario_sources;
+
+fn cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(150),
+        scale: 150.0,
+        period_compression: 60.0,
+        rate_update_interval: SimTime::from_millis(10),
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn restoration_reorders_fcfs_into_near_order() {
+    let scenario = Scenario::by_id(3).unwrap();
+    let sources = scenario_sources(scenario);
+    let plain = Engine::new(cfg(1), &sources, Fcfs::new()).run();
+    let mut c = cfg(1);
+    c.restoration = Some(SimTime::from_micros_f64(100.0 * c.scale));
+    let restored = Engine::new(c, &sources, Fcfs::new()).run();
+
+    assert!(plain.ooo_fraction() > 0.1, "fcfs must reorder heavily on T3");
+    assert!(
+        restored.ooo_fraction() < plain.ooo_fraction() * 0.1,
+        "restoration cut ooo only from {} to {}",
+        plain.ooo_fraction(),
+        restored.ooo_fraction()
+    );
+    // Same traffic, same drops — restoration is egress-only.
+    assert_eq!(plain.offered, restored.offered);
+    assert_eq!(plain.dropped, restored.dropped);
+    // But it costs real buffer space and wait time.
+    let stats = restored.restoration.expect("restoration stats");
+    assert!(stats.peak_occupancy > 8, "peak occupancy {}", stats.peak_occupancy);
+    assert!(stats.buffer_wait.mean() > 0.0);
+    // Conservation still holds with the egress stage in place.
+    assert_eq!(restored.offered, restored.dropped + restored.processed);
+}
+
+#[test]
+fn parking_saves_idle_core_time_in_underload() {
+    let scenario = Scenario::by_id(1).unwrap();
+    let sources = scenario_sources(scenario);
+    let c = cfg(2);
+    let base_laps = |parking| {
+        Laps::new(LapsConfig {
+            n_cores: c.n_cores,
+            idle_release: SimTime::from_micros_f64(10.0 * c.scale),
+            realloc_cooldown: SimTime::from_micros_f64(300.0 * c.scale),
+            parking,
+            ..LapsConfig::default()
+        })
+    };
+    let park_cfg = ParkConfig {
+        park_after: SimTime::from_micros_f64(50.0 * c.scale),
+        min_cores: 1,
+    };
+    let plain = Engine::new(c.clone(), &sources, base_laps(None)).run();
+    let (parked_report, laps) =
+        Engine::new(c.clone(), &sources, base_laps(Some(park_cfg))).run_returning_scheduler();
+
+    let parked_ns = laps.parked_time_ns(c.duration);
+    assert!(parked_ns > 0, "under-load must park something");
+    let (parks, wakes) = laps.park_events();
+    assert!(parks > 0);
+    assert!(wakes <= parks);
+    // Parking must not cost much service quality in under-load.
+    assert!(
+        parked_report.drop_fraction() < plain.drop_fraction() + 0.05,
+        "parking cost too many drops: {} vs {}",
+        parked_report.drop_fraction(),
+        plain.drop_fraction()
+    );
+    // On average at least one core's worth of time was parked.
+    assert!(
+        parked_ns as f64 / c.duration.as_nanos() as f64 > 1.0,
+        "parked core-time {} too small",
+        parked_ns
+    );
+}
+
+#[test]
+fn adaptive_hash_beats_static_under_skewed_overload() {
+    // Single-service at ~105 % capacity: the adaptive controller must
+    // relieve the hash hotspots that static hashing is stuck with.
+    let sources = vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(1),
+        rate: RateSpec::Constant(33.6),
+    }];
+    let mut c = cfg(3);
+    c.rate_update_interval = SimTime::from_secs(1_000);
+    let stat = Engine::new(c.clone(), &sources, StaticHash::new(c.n_cores)).run();
+    let adpt = Engine::new(c.clone(), &sources, AdaptiveHash::new(c.n_cores, 4_096, 8)).run();
+    assert!(
+        adpt.drop_fraction() < stat.drop_fraction(),
+        "adaptive {} !< static {}",
+        adpt.drop_fraction(),
+        stat.drop_fraction()
+    );
+    // It migrates buckets to get there, so some reordering appears —
+    // but far less than a per-packet shifter would produce.
+    assert!(adpt.migration_events > 0);
+    assert!(adpt.ooo_fraction() < 0.05, "adaptive ooo {}", adpt.ooo_fraction());
+}
+
+#[test]
+fn parked_plus_restoration_compose() {
+    // The two extensions are orthogonal engine/scheduler features; they
+    // must work together without violating conservation.
+    let scenario = Scenario::by_id(2).unwrap();
+    let sources = scenario_sources(scenario);
+    let mut c = cfg(4);
+    c.restoration = Some(SimTime::from_micros_f64(100.0 * c.scale));
+    let laps = Laps::new(LapsConfig {
+        n_cores: c.n_cores,
+        idle_release: SimTime::from_micros_f64(10.0 * c.scale),
+        realloc_cooldown: SimTime::from_micros_f64(300.0 * c.scale),
+        parking: Some(ParkConfig {
+            park_after: SimTime::from_micros_f64(50.0 * c.scale),
+            min_cores: 1,
+        }),
+        ..LapsConfig::default()
+    });
+    let r = Engine::new(c, &sources, laps).run();
+    assert_eq!(r.offered, r.dropped + r.processed);
+    assert!(r.restoration.is_some());
+    assert!(r.ooo_fraction() < 0.01, "restored LAPS ooo {}", r.ooo_fraction());
+}

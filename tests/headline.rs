@@ -1,0 +1,118 @@
+//! End-to-end reproduction checks: the paper's headline comparisons must
+//! hold in miniature (short scaled runs) before the full experiments run.
+//!
+//! These are the *shape* assertions of DESIGN.md: who wins, in which
+//! direction — not absolute numbers.
+
+use laps_repro::prelude::*;
+use laps_repro::scenario_sources;
+
+fn engine_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(400),
+        // Scale 100: offered load and timescales preserved, ~100x fewer
+        // events; compress seasons so rate dynamics still happen.
+        scale: 100.0,
+        period_compression: 50.0,
+        rate_update_interval: SimTime::from_millis(10),
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+fn laps_scheduler(cfg: &EngineConfig) -> Laps {
+    Laps::new(
+        LapsConfig {
+            n_cores: cfg.n_cores,
+            // Time-valued knobs scale with the engine (paper-scale
+            // idle_th ≈ 10 µs → 1 ms at scale 100).
+            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
+            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
+            ..LapsConfig::default()
+        },
+    )
+}
+
+fn run_scenario(id: u8, seed: u64) -> (SimReport, SimReport, SimReport) {
+    let scenario = Scenario::by_id(id).unwrap();
+    let sources = scenario_sources(scenario);
+    let cfg = engine_cfg(seed);
+    let fcfs = Engine::new(cfg.clone(), &sources, Fcfs::new()).run();
+    let afs = Engine::new(cfg.clone(), &sources, Afs::new(cfg.n_cores, 24, SimTime::from_micros_f64(4.0 * cfg.scale))).run();
+    let laps = Engine::new(cfg.clone(), &sources, laps_scheduler(&cfg)).run();
+    (fcfs, afs, laps)
+}
+
+#[test]
+fn fig7_shape_underload_t1() {
+    let (fcfs, afs, laps) = run_scenario(1, 11);
+    // Fig 7(b): FCFS/AFS run cold on most packets; LAPS barely at all.
+    assert!(fcfs.cold_fraction() > 0.3, "fcfs cold {}", fcfs.cold_fraction());
+    assert!(afs.cold_fraction() > 0.3, "afs cold {}", afs.cold_fraction());
+    assert!(
+        laps.cold_fraction() < 0.1,
+        "laps cold fraction {} should be small",
+        laps.cold_fraction()
+    );
+    // Fig 7(a): under-load, LAPS drops (far) less than the baselines.
+    assert!(
+        laps.drop_fraction() <= afs.drop_fraction(),
+        "laps drops {} vs afs {}",
+        laps.drop_fraction(),
+        afs.drop_fraction()
+    );
+    // Fig 7(c): FCFS reorders massively; LAPS minimally.
+    assert!(fcfs.ooo_fraction() > 0.05, "fcfs ooo {}", fcfs.ooo_fraction());
+    assert!(laps.ooo_fraction() < 0.02, "laps ooo {}", laps.ooo_fraction());
+}
+
+#[test]
+fn fig7_shape_reordering_t3() {
+    // T3 (Auckland traces: fewer, faster flows) is where reordering
+    // meaningfully separates the schemes; on the CAIDA groups per-flow
+    // packet gaps are so long that even AFS barely reorders.
+    let (fcfs, afs, laps) = run_scenario(3, 11);
+    assert!(fcfs.ooo_fraction() > afs.ooo_fraction(), "fcfs {} vs afs {}", fcfs.ooo_fraction(), afs.ooo_fraction());
+    assert!(
+        laps.ooo_fraction() < afs.ooo_fraction() * 0.5,
+        "laps ooo {} should be well below afs {}",
+        laps.ooo_fraction(),
+        afs.ooo_fraction()
+    );
+}
+
+#[test]
+fn fig7_shape_overload_t5() {
+    let (fcfs, _afs, laps) = run_scenario(5, 12);
+    // Overload: everyone drops something, but LAPS still reorders less
+    // than FCFS and keeps cold-cache under control.
+    assert!(laps.dropped > 0, "overload must drop");
+    assert!(laps.cold_fraction() < fcfs.cold_fraction());
+    assert!(laps.ooo_fraction() < fcfs.ooo_fraction());
+    // LAPS must actually exercise dynamic core allocation in overload.
+    assert!(laps.core_reallocations > 0, "no core reallocation happened");
+}
+
+#[test]
+fn laps_throughput_at_least_matches_baselines_underload() {
+    let (fcfs, afs, laps) = run_scenario(2, 13);
+    let best_baseline = fcfs.processed.max(afs.processed);
+    assert!(
+        laps.processed as f64 >= best_baseline as f64 * 0.95,
+        "laps processed {} vs best baseline {}",
+        laps.processed,
+        best_baseline
+    );
+}
+
+#[test]
+fn deterministic_cross_crate_replay() {
+    let a = run_scenario(1, 99);
+    let b = run_scenario(1, 99);
+    assert_eq!(a.0.offered, b.0.offered);
+    assert_eq!(a.1.dropped, b.1.dropped);
+    assert_eq!(a.2.processed, b.2.processed);
+    assert_eq!(a.2.out_of_order, b.2.out_of_order);
+    assert_eq!(a.2.migration_events, b.2.migration_events);
+}
