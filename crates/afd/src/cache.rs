@@ -6,13 +6,14 @@
 //! ablation bench). Ties break deterministically toward the
 //! least-recently-touched entry, as a hardware pseudo-age would.
 //!
-//! Implementation: `HashMap` for lookup + `BTreeSet<(rank, stamp, key)>`
-//! as the eviction order, giving `O(log n)` updates — fast enough to
-//! stream hundreds of millions of packets while staying exactly
-//! deterministic.
+//! Implementation: a fixed-seed [`DetHashMap`] for lookup +
+//! `BTreeSet<(rank, stamp, key)>` as the eviction order, giving
+//! `O(log n)` updates — fast enough to stream hundreds of millions of
+//! packets while staying exactly deterministic.
 
+use nphash::det::{det_map_with_capacity, DetHashMap};
 use nphash::FlowId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Replacement policy of a [`FlowCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +35,7 @@ struct Entry {
 pub struct FlowCache {
     policy: CachePolicy,
     capacity: usize,
-    entries: HashMap<FlowId, Entry>,
+    entries: DetHashMap<FlowId, Entry>,
     /// Eviction order: smallest element is the next victim.
     order: BTreeSet<(u64, u64, FlowId)>,
     tick: u64,
@@ -50,7 +51,7 @@ impl FlowCache {
         FlowCache {
             policy,
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: det_map_with_capacity(capacity),
             order: BTreeSet::new(),
             tick: 0,
         }
@@ -126,25 +127,39 @@ impl FlowCache {
         if let Some(e) = self.entries.get(&flow).copied() {
             let r = self.rank(&e);
             self.order.remove(&(r.0, r.1, flow));
-            let ne = Entry { count, stamp: self.tick };
+            let ne = Entry {
+                count,
+                stamp: self.tick,
+            };
             let nr = self.rank(&ne);
             self.entries.insert(flow, ne);
             self.order.insert((nr.0, nr.1, flow));
             return None;
         }
         let victim = if self.entries.len() >= self.capacity {
-            let &(r0, r1, vflow) = self.order.iter().next().expect("full cache has entries");
-            self.order.remove(&(r0, r1, vflow));
-            let ve = self.entries.remove(&vflow).expect("ordered entry resident");
-            Some((vflow, ve.count))
+            self.evict_victim()
         } else {
             None
         };
-        let e = Entry { count, stamp: self.tick };
+        let e = Entry {
+            count,
+            stamp: self.tick,
+        };
         let r = self.rank(&e);
         self.entries.insert(flow, e);
         self.order.insert((r.0, r.1, flow));
         victim
+    }
+
+    /// Pop the current replacement victim. `None` only when the cache
+    /// is empty — `order` and `entries` are maintained in lockstep, so
+    /// an ordered key is always resident (a desync degrades to a
+    /// zero-count eviction rather than a panic on the packet path).
+    fn evict_victim(&mut self) -> Option<(FlowId, u64)> {
+        let (r0, r1, vflow) = self.order.iter().next().copied()?;
+        self.order.remove(&(r0, r1, vflow));
+        let count = self.entries.remove(&vflow).map_or(0, |e| e.count);
+        Some((vflow, count))
     }
 
     /// Remove `flow`, returning its count if it was resident.
@@ -162,7 +177,9 @@ impl FlowCache {
                 f,
                 match self.policy {
                     CachePolicy::Lfu => c,
-                    CachePolicy::Lru => self.entries[&f].count,
+                    // Under LRU the rank carries no count; read it from
+                    // the entry (resident by the lockstep invariant).
+                    CachePolicy::Lru => self.entries.get(&f).map_or(0, |e| e.count),
                 },
             )
         })

@@ -212,7 +212,11 @@ impl Afd {
 
     /// The current aggressive set, highest counter first.
     pub fn aggressive_flows(&self) -> Vec<FlowId> {
-        self.afc.flows_by_count().into_iter().map(|(f, _)| f).collect()
+        self.afc
+            .flows_by_count()
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect()
     }
 
     /// Scheduler feedback: `flow` was just migrated, drop it from the AFC
@@ -311,7 +315,10 @@ mod tests {
         }
         assert!(a.is_aggressive(f(3)));
         let demoted = if a.is_aggressive(f(1)) { f(2) } else { f(1) };
-        assert!(a.annex().contains(demoted), "victim must fall back to annex");
+        assert!(
+            a.annex().contains(demoted),
+            "victim must fall back to annex"
+        );
     }
 
     #[test]

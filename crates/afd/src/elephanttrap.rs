@@ -47,7 +47,11 @@ impl ElephantTrap {
 
     /// The reported heavy-hitter set, highest counter first.
     pub fn aggressive_flows(&self) -> Vec<FlowId> {
-        self.cache.flows_by_count().into_iter().map(|(f, _)| f).collect()
+        self.cache
+            .flows_by_count()
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect()
     }
 
     /// `(hits, misses)` counters.
@@ -73,7 +77,10 @@ mod tests {
     fn inserts_on_first_sight() {
         let mut t = ElephantTrap::new(4);
         t.access(f(1));
-        assert!(t.is_aggressive(f(1)), "single-level trap admits immediately");
+        assert!(
+            t.is_aggressive(f(1)),
+            "single-level trap admits immediately"
+        );
     }
 
     #[test]

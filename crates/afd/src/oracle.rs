@@ -8,13 +8,13 @@
 //! anyway: it is both the accuracy baseline for Fig. 8 and the
 //! "ideal detector" arm of the Fig. 9 ablation.
 
+use nphash::det::DetHashMap;
 use nphash::FlowId;
-use std::collections::HashMap;
 
 /// Exact packet counters for every flow ever seen.
 #[derive(Debug, Clone, Default)]
 pub struct ExactTopK {
-    counts: HashMap<FlowId, u64>,
+    counts: DetHashMap<FlowId, u64>,
     total: u64,
 }
 

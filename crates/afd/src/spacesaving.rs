@@ -13,8 +13,9 @@
 //! overestimating counters). Comparing the two on the Fig. 8 protocol
 //! shows what the guarantee costs and what the cache buys.
 
+use nphash::det::{det_map_with_capacity, DetHashMap};
 use nphash::FlowId;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// A SpaceSaving sketch over `m` counters.
 #[derive(Debug, Clone)]
@@ -24,7 +25,7 @@ pub struct SpaceSaving {
     /// inherited minimum from the counter it displaced; `overestimate`
     /// records that inherited floor (the classic ε bound per flow);
     /// `stamp` keys the entry's position in `order`.
-    entries: HashMap<FlowId, (u64, u64, u64)>,
+    entries: DetHashMap<FlowId, (u64, u64, u64)>,
     /// Eviction order: (count, stamp, flow), smallest count first.
     order: BTreeSet<(u64, u64, FlowId)>,
     tick: u64,
@@ -40,7 +41,7 @@ impl SpaceSaving {
         assert!(capacity > 0, "SpaceSaving needs at least one counter");
         SpaceSaving {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: det_map_with_capacity(capacity),
             order: BTreeSet::new(),
             tick: 0,
             total: 0,
@@ -67,7 +68,8 @@ impl SpaceSaving {
         let &(min_count, stamp, victim) = self.order.iter().next().expect("non-empty");
         self.order.remove(&(min_count, stamp, victim));
         self.entries.remove(&victim);
-        self.entries.insert(flow, (min_count + 1, min_count, self.tick));
+        self.entries
+            .insert(flow, (min_count + 1, min_count, self.tick));
         self.order.insert((min_count + 1, self.tick, flow));
     }
 
@@ -129,6 +131,7 @@ impl SpaceSaving {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     fn f(i: u64) -> FlowId {
         FlowId::from_index(i)
@@ -167,7 +170,7 @@ mod tests {
         // Classic SpaceSaving invariant: estimate >= true count for every
         // tracked flow.
         let mut s = SpaceSaving::new(8);
-        let mut truth: HashMap<FlowId, u64> = HashMap::new();
+        let mut truth: BTreeMap<FlowId, u64> = BTreeMap::new();
         // Deterministic skewed stream.
         for i in 0..5_000u64 {
             let flow = f(if i % 3 == 0 { i % 5 } else { i % 97 });
@@ -175,7 +178,11 @@ mod tests {
             *truth.entry(flow).or_insert(0) += 1;
         }
         for (&flow, &(est, _, _)) in s.entries.iter() {
-            assert!(est >= truth[&flow], "estimate {est} < true {}", truth[&flow]);
+            assert!(
+                est >= truth[&flow],
+                "estimate {est} < true {}",
+                truth[&flow]
+            );
         }
     }
 
@@ -200,7 +207,7 @@ mod tests {
     #[test]
     fn guaranteed_heavy_has_no_false_positives() {
         let mut s = SpaceSaving::new(6);
-        let mut truth: HashMap<FlowId, u64> = HashMap::new();
+        let mut truth: BTreeMap<FlowId, u64> = BTreeMap::new();
         for i in 0..3_000u64 {
             let flow = f(if i % 2 == 0 { 0 } else { i % 41 });
             s.access(flow);

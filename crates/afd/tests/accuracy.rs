@@ -38,7 +38,11 @@ fn afd_accuracy(trace: &nptrace::Trace, cfg: AfdConfig) -> (f64, f64) {
     let top = truth.top_k(k);
     let fpr = false_positive_ratio(&candidates, &top);
     let found = top.iter().filter(|f| candidates.contains(f)).count();
-    let recall = if top.is_empty() { 1.0 } else { found as f64 / top.len() as f64 };
+    let recall = if top.is_empty() {
+        1.0
+    } else {
+        found as f64 / top.len() as f64
+    };
     (fpr, recall)
 }
 
@@ -76,7 +80,12 @@ fn bigger_annex_does_not_hurt_on_backbone_tail() {
         large.0,
         small.0
     );
-    assert!(large.1 >= small.1 - 0.13, "recall regressed: {} vs {}", large.1, small.1);
+    assert!(
+        large.1 >= small.1 - 0.13,
+        "recall regressed: {} vs {}",
+        large.1,
+        small.1
+    );
 }
 
 #[test]
@@ -113,7 +122,12 @@ fn sampling_retains_accuracy() {
             ..AfdConfig::default()
         },
     );
-    assert!(sampled.0 <= full.0 + 0.25, "sampled fpr {} vs full {}", sampled.0, full.0);
+    assert!(
+        sampled.0 <= full.0 + 0.25,
+        "sampled fpr {} vs full {}",
+        sampled.0,
+        full.0
+    );
 }
 
 proptest! {
@@ -125,7 +139,7 @@ proptest! {
     fn afc_reports_bounded_real_flows(seed in any::<u64>(), n_flows in 50u32..2_000) {
         let t = make_trace(n_flows, 1.1, 20_000, seed);
         let mut afd = Afd::new(AfdConfig { afc_entries: 8, annex_entries: 64, ..AfdConfig::default() });
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (flow, _) in t.iter_ids() {
             afd.access(flow);
             seen.insert(flow);

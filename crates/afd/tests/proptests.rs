@@ -27,7 +27,7 @@ proptest! {
             policy: CachePolicy::Lfu,
             promotion: if competitive { PromotionPolicy::Competitive } else { PromotionPolicy::Always },
         });
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &x in &stream {
             afd.access(f(x));
             seen.insert(f(x));

@@ -100,7 +100,7 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("decision");
     g.throughput(Throughput::Elements(packets.len() as u64));
-    let run = |b: &mut criterion::Bencher<'_>, mut s: Box<dyn Scheduler>| {
+    let run = |b: &mut criterion::Bencher, mut s: Box<dyn Scheduler>| {
         b.iter(|| {
             let mut acc = 0usize;
             for p in &packets {
@@ -112,14 +112,20 @@ fn bench_policies(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("policy", "static-hash"), |b| {
         run(b, Box::new(StaticHash::new(16)))
     });
-    g.bench_function(BenchmarkId::new("policy", "fcfs"), |b| run(b, Box::new(Fcfs::new())));
+    g.bench_function(BenchmarkId::new("policy", "fcfs"), |b| {
+        run(b, Box::new(Fcfs::new()))
+    });
     g.bench_function(BenchmarkId::new("policy", "afs"), |b| {
         run(b, Box::new(Afs::new(16, 24, SimTime::ZERO)))
     });
     g.bench_function(BenchmarkId::new("policy", "topk-afd"), |b| {
         run(
             b,
-            Box::new(TopKMigration::new(16, 24, DetectorKind::Afd(AfdConfig::default()))),
+            Box::new(TopKMigration::new(
+                16,
+                24,
+                DetectorKind::Afd(AfdConfig::default()),
+            )),
         )
     });
     g.bench_function(BenchmarkId::new("policy", "laps"), |b| {

@@ -24,7 +24,11 @@ fn bench_fig7(c: &mut Criterion) {
         b.iter(|| {
             let cfg = bench_engine(1);
             let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            black_box(Engine::new(cfg, &sources, Afs::new(16, 24, cd)).run().processed)
+            black_box(
+                Engine::new(cfg, &sources, Afs::new(16, 24, cd))
+                    .run()
+                    .processed,
+            )
         })
     });
     g.bench_function(BenchmarkId::new("sim", "laps"), |b| {

@@ -32,11 +32,21 @@ fn bench_fig9(c: &mut Criterion) {
         b.iter(|| {
             let cfg = engine();
             let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            black_box(Engine::new(cfg, &sources, Afs::new(16, 24, cd)).run().dropped)
+            black_box(
+                Engine::new(cfg, &sources, Afs::new(16, 24, cd))
+                    .run()
+                    .dropped,
+            )
         })
     });
     g.bench_function(BenchmarkId::new("arm", "none"), |b| {
-        b.iter(|| black_box(Engine::new(engine(), &sources, StaticHash::new(16)).run().dropped))
+        b.iter(|| {
+            black_box(
+                Engine::new(engine(), &sources, StaticHash::new(16))
+                    .run()
+                    .dropped,
+            )
+        })
     });
     g.bench_function(BenchmarkId::new("arm", "top16-afd"), |b| {
         b.iter(|| {
@@ -50,7 +60,10 @@ fn bench_fig9(c: &mut Criterion) {
     });
     g.bench_function(BenchmarkId::new("arm", "top16-oracle"), |b| {
         b.iter(|| {
-            let det = DetectorKind::Oracle { k: 16, refresh: 1_000 };
+            let det = DetectorKind::Oracle {
+                k: 16,
+                refresh: 1_000,
+            };
             black_box(
                 Engine::new(engine(), &sources, TopKMigration::new(16, 24, det))
                     .run()

@@ -161,7 +161,10 @@ mod tests {
     fn no_rebalance_before_window() {
         let mut s = AdaptiveHash::new(4, 1_000, 4);
         let qs = calm_view(4);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         for i in 0..999 {
             s.schedule(&pkt(i % 50), &v);
         }
@@ -174,7 +177,10 @@ mod tests {
     fn flows_stay_pinned_within_a_window() {
         let mut s = AdaptiveHash::new(4, 100_000, 4);
         let qs = calm_view(4);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         for i in 0..200 {
             let p = pkt(i);
             let a = s.schedule(&p, &v);
@@ -190,7 +196,10 @@ mod tests {
         // controller spread the buckets out.
         let mut s = AdaptiveHash::new(4, 2_000, 8);
         let qs = calm_view(4);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         // Find flows that initially land on core 0.
         let hot: Vec<PacketDesc> = (0..100_000u64)
             .map(pkt)
@@ -211,7 +220,7 @@ mod tests {
         assert!(s.rebalances() >= 1);
         assert!(s.moves() > 0);
         // The hot flows can no longer all sit on one core.
-        let cores: std::collections::HashSet<usize> =
+        let cores: std::collections::BTreeSet<usize> =
             hot.iter().map(|p| s.table.lookup(p.flow)).collect();
         assert!(cores.len() > 1, "hot buckets must have been spread");
     }
@@ -220,7 +229,10 @@ mod tests {
     fn balanced_load_causes_no_moves() {
         let mut s = AdaptiveHash::new(4, 1_000, 4);
         let qs = calm_view(4);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         // Uniform traffic over many flows is already balanced: the
         // controller should find (almost) nothing worth moving.
         for i in 0..10_000u64 {

@@ -112,14 +112,23 @@ mod tests {
 
     fn view_of(lens: Vec<usize>) -> Vec<QueueInfo> {
         lens.into_iter()
-            .map(|len| QueueInfo { len, capacity: 32, busy: len > 0, idle_since: None, last_congested: SimTime::ZERO })
+            .map(|len| QueueInfo {
+                len,
+                capacity: 32,
+                busy: len > 0,
+                idle_since: None,
+                last_congested: SimTime::ZERO,
+            })
             .collect()
     }
 
     #[test]
     fn no_shift_below_threshold() {
         let qs = view_of(vec![5, 0, 0, 0]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut s = Afs::new(4, 24, SimTime::ZERO);
         let p = pkt(1);
         let a = s.schedule(&p, &v);
@@ -136,30 +145,46 @@ mod tests {
             .map(pkt)
             .find(|p| {
                 let qs = view_of(vec![0, 0, 0, 0]);
-                let v = SystemView { now: SimTime::ZERO, queues: &qs };
+                let v = SystemView {
+                    now: SimTime::ZERO,
+                    queues: &qs,
+                };
                 s.schedule(p, &v) == 0
             })
             .expect("some flow maps to core 0");
         // Core 0 overloaded, core 2 empty → shift.
         let qs = view_of(vec![9, 3, 0, 3]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let shifted_to = s.schedule(&flow, &v);
         assert_eq!(shifted_to, 2);
         assert_eq!(s.shifts(), 1);
         // The mapping is now permanent: with calm queues it stays on 2.
         let qs = view_of(vec![0, 0, 0, 0]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         assert_eq!(s.schedule(&flow, &v), 2);
     }
 
     #[test]
     fn no_shift_when_everyone_is_overloaded() {
         let qs = view_of(vec![30, 30, 30, 30]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut s = Afs::new(4, 8, SimTime::ZERO);
         let p = pkt(3);
         let before = s.shifts();
         s.schedule(&p, &v);
-        assert_eq!(s.shifts(), before, "shifting between full queues is pointless");
+        assert_eq!(
+            s.shifts(),
+            before,
+            "shifting between full queues is pointless"
+        );
     }
 }

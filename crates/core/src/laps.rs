@@ -32,8 +32,8 @@
 use crate::config::LapsConfig;
 use crate::migration::MigrationTable;
 use detsim::SimTime;
-use nphash::MapTable;
 use npafd::Afd;
+use nphash::MapTable;
 use npsim::{PacketDesc, Scheduler, SystemView};
 use nptraffic::ServiceKind;
 
@@ -41,6 +41,24 @@ use nptraffic::ServiceKind;
 struct ServiceState {
     map: MapTable<usize>,
     migration: MigrationTable,
+    /// Drops since this service last gained a core; reaching
+    /// `drop_request_threshold` escalates to `request_core()`.
+    drops_since_gain: u64,
+    /// When the service last gained a core (claim-rate damping).
+    last_gain: Option<SimTime>,
+    /// When the service last lost a core (loss-rate damping).
+    last_loss: Option<SimTime>,
+}
+
+/// Per-core scheduler state: ownership plus the power extension.
+#[derive(Debug, Clone, Copy)]
+struct CoreState {
+    /// Service index currently owning the core.
+    owner: usize,
+    /// `Some(t)` while the core is powered down (parked at `t`).
+    parked_since: Option<SimTime>,
+    /// When the core was last woken (re-park hysteresis).
+    last_wake: Option<SimTime>,
 }
 
 /// The LAPS scheduler over the four router services.
@@ -48,23 +66,10 @@ struct ServiceState {
 pub struct Laps {
     cfg: LapsConfig,
     services: Vec<ServiceState>,
-    /// `owner[core]` = service index currently owning the core.
-    owner: Vec<usize>,
+    cores: Vec<CoreState>,
     afd: Afd,
     migrations: u64,
     reallocs: u64,
-    /// Per-service drops since the service last gained a core; reaching
-    /// `drop_request_threshold` escalates to `request_core()`.
-    drops_since_gain: [u64; 4],
-    /// When each service last gained a core (claim-rate damping).
-    last_gain: [Option<SimTime>; 4],
-    /// When each service last lost a core (loss-rate damping).
-    last_loss: [Option<SimTime>; 4],
-    /// Power state (extension): `parked_since[c]` is `Some(t)` while core
-    /// `c` is powered down.
-    parked_since: Vec<Option<SimTime>>,
-    /// When each core was last woken (re-park hysteresis).
-    last_wake: Vec<Option<SimTime>>,
     parked_time_ns: u64,
     parks: u64,
     wakes: u64,
@@ -83,37 +88,54 @@ impl Laps {
             cfg.n_cores >= n_services,
             "need at least one core per service"
         );
-        let mut owner = vec![0usize; cfg.n_cores];
         let services = (0..n_services)
             .map(|svc| {
                 // Service `svc` initially owns cores svc, svc+4, svc+8, …
                 // (round-robin keeps the split even for any core count).
-                let cores: Vec<usize> = (0..cfg.n_cores).filter(|c| c % n_services == svc).collect();
-                for &c in &cores {
-                    owner[c] = svc;
-                }
+                let cores: Vec<usize> =
+                    (0..cfg.n_cores).filter(|c| c % n_services == svc).collect();
                 ServiceState {
                     map: MapTable::new(cores),
                     migration: MigrationTable::new(cfg.migration_cap),
+                    drops_since_gain: 0,
+                    last_gain: None,
+                    last_loss: None,
                 }
+            })
+            .collect();
+        let cores = (0..cfg.n_cores)
+            .map(|c| CoreState {
+                owner: c % n_services,
+                parked_since: None,
+                last_wake: None,
             })
             .collect();
         Laps {
             services,
-            owner,
+            cores,
             afd: Afd::new(cfg.afd),
             migrations: 0,
             reallocs: 0,
-            drops_since_gain: [0; 4],
-            last_gain: [None; 4],
-            last_loss: [None; 4],
-            parked_since: vec![None; cfg.n_cores],
-            last_wake: vec![None; cfg.n_cores],
             parked_time_ns: 0,
             parks: 0,
             wakes: 0,
             cfg,
         }
+    }
+
+    /// The state of service `i`.
+    ///
+    /// `i` is always `ServiceKind::index()` and `services` is built with
+    /// exactly one entry per kind, so the lookup is total.
+    fn svc(&self, i: usize) -> &ServiceState {
+        // npcheck: allow(hot-path-panic) — one entry per ServiceKind; i = ServiceKind::index()
+        &self.services[i]
+    }
+
+    /// Mutable counterpart of [`Laps::svc`] (same totality argument).
+    fn svc_mut(&mut self, i: usize) -> &mut ServiceState {
+        // npcheck: allow(hot-path-panic) — one entry per ServiceKind; i = ServiceKind::index()
+        &mut self.services[i]
     }
 
     /// Flow-migration decisions taken (Fig. 9c numerator).
@@ -128,7 +150,7 @@ impl Laps {
 
     /// The cores currently allocated to `service`.
     pub fn cores_of(&self, service: ServiceKind) -> &[usize] {
-        self.services[service.index()].map.cores()
+        self.svc(service.index()).map.cores()
     }
 
     /// Read access to the AFD (experiments inspect detector state).
@@ -139,16 +161,17 @@ impl Laps {
     /// Whether core `c` is currently surplus-eligible: empty queue and no
     /// congestion for at least `idle_release`.
     fn is_surplus(&self, view: &SystemView<'_>, c: usize) -> bool {
-        let q = &view.queues[c];
-        q.len == 0 && view.now.saturating_sub(q.last_congested) >= self.cfg.idle_release
+        view.queues.get(c).is_some_and(|q| {
+            q.len == 0 && view.now.saturating_sub(q.last_congested) >= self.cfg.idle_release
+        })
     }
 
     /// Cores currently powered down.
     pub fn parked_cores(&self) -> Vec<usize> {
-        self.parked_since
+        self.cores
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.is_some())
+            .filter(|(_, cs)| cs.parked_since.is_some())
             .map(|(c, _)| c)
             .collect()
     }
@@ -162,10 +185,10 @@ impl Laps {
     /// input).
     pub fn parked_time_ns(&self, now: SimTime) -> u64 {
         let open: u64 = self
-            .parked_since
+            .cores
             .iter()
-            .flatten()
-            .map(|&t| now.saturating_sub(t).as_nanos())
+            .filter_map(|cs| cs.parked_since)
+            .map(|t| now.saturating_sub(t).as_nanos())
             .sum();
         self.parked_time_ns + open
     }
@@ -174,28 +197,35 @@ impl Laps {
     /// (extension; no-op unless parking is configured).
     fn park_idle_cores(&mut self, view: &SystemView<'_>) {
         let Some(park) = self.cfg.parking else { return };
-        for c in 0..view.n_cores() {
-            if self.parked_since[c].is_some() {
+        for c in 0..self.cores.len() {
+            let Some(cs) = self.cores.get(c).copied() else {
+                continue;
+            };
+            if cs.parked_since.is_some() {
                 continue;
             }
-            let owner = self.owner[c];
-            if self.services[owner].map.len() <= park.min_cores {
+            let owner = cs.owner;
+            if self.svc(owner).map.len() <= park.min_cores {
                 continue;
             }
             // Re-park hysteresis: a recently woken core was woken for a
             // reason; give demand a few park periods to come back before
             // powering it down again.
-            if let Some(w) = self.last_wake[c] {
+            if let Some(w) = cs.last_wake {
                 if view.now.saturating_sub(w) < park.park_after.scaled(4) {
                     continue;
                 }
             }
-            let q = &view.queues[c];
+            let Some(q) = view.queues.get(c) else {
+                continue;
+            };
             let spare_for = view.now.saturating_sub(q.last_congested);
-            if q.len == 0 && spare_for >= park.park_after && self.services[owner].map.remove_core(c)
+            if q.len == 0 && spare_for >= park.park_after && self.svc_mut(owner).map.remove_core(c)
             {
-                self.services[owner].migration.remove_core(c);
-                self.parked_since[c] = Some(view.now);
+                self.svc_mut(owner).migration.remove_core(c);
+                if let Some(cs) = self.cores.get_mut(c) {
+                    cs.parked_since = Some(view.now);
+                }
                 self.parks += 1;
             }
         }
@@ -204,21 +234,23 @@ impl Laps {
     /// Wake the longest-parked core for `svc`, if any.
     fn wake_core(&mut self, svc: usize, now: SimTime) -> Option<usize> {
         let core = self
-            .parked_since
+            .cores
             .iter()
             .enumerate()
-            .filter_map(|(c, p)| p.map(|t| (t, c)))
+            .filter_map(|(c, cs)| cs.parked_since.map(|t| (t, c)))
             .min()
             .map(|(_, c)| c)?;
-        let since = self.parked_since[core].take().expect("selected parked core");
+        let cs = self.cores.get_mut(core)?;
+        let since = cs.parked_since.take()?;
+        cs.last_wake = Some(now);
+        cs.owner = svc;
         self.parked_time_ns += now.saturating_sub(since).as_nanos();
-        self.last_wake[core] = Some(now);
         self.wakes += 1;
-        self.owner[core] = svc;
-        self.services[svc].map.add_core(core);
+        let s = self.svc_mut(svc);
+        s.map.add_core(core);
+        s.drops_since_gain = 0;
+        s.last_gain = Some(now);
         self.reallocs += 1;
-        self.drops_since_gain[svc] = 0;
-        self.last_gain[svc] = Some(now);
         Some(core)
     }
 
@@ -226,17 +258,21 @@ impl Laps {
     /// of view, longest-spare first (observability + claim order).
     pub fn surplus_candidates(&self, view: &SystemView<'_>, svc: ServiceKind) -> Vec<usize> {
         let svc = svc.index();
-        let mut v: Vec<usize> = (0..view.n_cores())
-            .filter(|&c| {
-                let victim = self.owner[c];
-                self.parked_since[c].is_none()
+        let mut v: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|&(c, cs)| {
+                let victim = cs.owner;
+                cs.parked_since.is_none()
                     && victim != svc
-                    && self.services[victim].map.len() > 1
-                    && self.cooled(self.last_loss[victim], view.now)
+                    && self.svc(victim).map.len() > 1
+                    && self.cooled(self.svc(victim).last_loss, view.now)
                     && self.is_surplus(view, c)
             })
+            .map(|(c, _)| c)
             .collect();
-        v.sort_by_key(|&c| (view.queues[c].last_congested, c));
+        v.sort_by_key(|&c| (view.queues.get(c).map(|q| q.last_congested), c));
         v
     }
 
@@ -252,34 +288,37 @@ impl Laps {
         if let Some(core) = self.wake_core(svc, view.now) {
             return Some(core);
         }
-        if !self.cooled(self.last_gain[svc], view.now) {
+        if !self.cooled(self.svc(svc).last_gain, view.now) {
             return None;
         }
         let core = *self
             .surplus_candidates(view, ServiceKind::from_index(svc))
             .first()?;
-        let victim = self.owner[core];
-        let removed = self.services[victim].map.remove_core(core);
+        let victim = self.cores.get(core)?.owner;
+        let removed = self.svc_mut(victim).map.remove_core(core);
         debug_assert!(removed, "victim must own the surplus core");
-        self.services[victim].migration.remove_core(core);
-        self.owner[core] = svc;
-        self.services[svc].map.add_core(core);
+        self.svc_mut(victim).migration.remove_core(core);
+        if let Some(cs) = self.cores.get_mut(core) {
+            cs.owner = svc;
+        }
+        let s = self.svc_mut(svc);
+        s.map.add_core(core);
+        s.drops_since_gain = 0;
+        s.last_gain = Some(view.now);
+        self.svc_mut(victim).last_loss = Some(view.now);
         self.reallocs += 1;
-        self.drops_since_gain[svc] = 0;
-        self.last_gain[svc] = Some(view.now);
-        self.last_loss[victim] = Some(view.now);
         Some(core)
     }
 
     fn resolve_target(&mut self, svc: usize, pkt: &PacketDesc) -> usize {
-        if let Some(c) = self.services[svc].migration.get(pkt.flow) {
+        if let Some(c) = self.svc(svc).migration.get(pkt.flow) {
             // A stale override (core since transferred away) is dropped.
-            if self.owner[c] == svc {
+            if self.cores.get(c).map(|cs| cs.owner) == Some(svc) {
                 return c;
             }
-            self.services[svc].migration.remove(pkt.flow);
+            self.svc_mut(svc).migration.remove(pkt.flow);
         }
-        self.services[svc].map.lookup(pkt.flow)
+        self.svc(svc).map.lookup(pkt.flow)
     }
 }
 
@@ -294,21 +333,24 @@ impl Scheduler for Laps {
         self.afd.access(pkt.flow);
         self.park_idle_cores(view);
 
-        let has_override = self.services[svc].migration.get(pkt.flow).is_some();
+        let has_override = self.svc(svc).migration.get(pkt.flow).is_some();
         let mut target = self.resolve_target(svc, pkt);
+        let qlen = |c: usize| view.queues.get(c).map_or(0, |q| q.len);
 
         // Listing 1: load-imbalance handling.
-        if view.queues[target].len >= self.cfg.high_thresh {
-            let cores = self.services[svc].map.cores().to_vec();
-            let minq = view.min_queue_core(&cores).expect("service owns cores");
-            if view.queues[minq].len < self.cfg.high_thresh
-                && self.drops_since_gain[svc] < self.cfg.drop_request_threshold
+        if qlen(target) >= self.cfg.high_thresh {
+            let cores = self.svc(svc).map.cores().to_vec();
+            // A service always owns ≥ 1 core, so min_queue_core is Some;
+            // degrade to the hashed target if that ever breaks.
+            let minq = view.min_queue_core(&cores).unwrap_or(target);
+            if qlen(minq) < self.cfg.high_thresh
+                && self.svc(svc).drops_since_gain < self.cfg.drop_request_threshold
             {
                 // A flow that already sits in the migration table is not
                 // migrated again — re-shuffling it would reorder it a
                 // second time for no balancing gain.
                 if minq != target && !has_override && self.afd.is_aggressive(pkt.flow) {
-                    self.services[svc].migration.insert(pkt.flow, minq);
+                    self.svc_mut(svc).migration.insert(pkt.flow, minq);
                     self.afd.invalidate(pkt.flow);
                     self.migrations += 1;
                     target = minq;
@@ -319,7 +361,7 @@ impl Scheduler for Laps {
                 // bucket) and steer this packet there if its own core is
                 // still the bottleneck.
                 let rehashed = self.resolve_target(svc, pkt);
-                target = if view.queues[rehashed].len >= self.cfg.high_thresh {
+                target = if qlen(rehashed) >= self.cfg.high_thresh {
                     new_core
                 } else {
                     rehashed
@@ -332,7 +374,7 @@ impl Scheduler for Laps {
     fn on_drop(&mut self, pkt: &PacketDesc, _core: usize) {
         // Sustained drops mean the allocation is insufficient regardless
         // of instantaneous queue lengths.
-        self.drops_since_gain[pkt.service.index()] += 1;
+        self.svc_mut(pkt.service.index()).drops_since_gain += 1;
     }
 
     fn core_reallocations(&self) -> u64 {
@@ -417,12 +459,18 @@ mod tests {
         let mut l = Laps::new(cfg(16));
         let spec = ViewSpec::calm(16);
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         for s in ServiceKind::ALL {
             let owned: Vec<usize> = l.cores_of(s).to_vec();
             for i in 0..200 {
                 let c = l.schedule(&pkt(i, s), &v);
-                assert!(owned.contains(&c), "service {s:?} packet went to foreign core {c}");
+                assert!(
+                    owned.contains(&c),
+                    "service {s:?} packet went to foreign core {c}"
+                );
             }
         }
     }
@@ -432,7 +480,10 @@ mod tests {
         let mut l = Laps::new(cfg(16));
         let spec = ViewSpec::calm(16);
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         for i in 0..100 {
             let p = pkt(i, ServiceKind::IpForward);
             let a = l.schedule(&p, &v);
@@ -451,7 +502,10 @@ mod tests {
         // Make the flow aggressive in the AFD.
         let spec = ViewSpec::calm(16);
         let infos = spec.infos();
-        let calm = SystemView { now: spec.now, queues: &infos };
+        let calm = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let mut home = 0;
         for _ in 0..20 {
             home = l.schedule(&elephant, &calm);
@@ -462,12 +516,21 @@ mod tests {
         let mut spec = ViewSpec::calm(16);
         spec.lens[home] = 10;
         let infos = spec.infos();
-        let hot = SystemView { now: spec.now, queues: &infos };
+        let hot = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let new_core = l.schedule(&elephant, &hot);
         assert_ne!(new_core, home);
-        assert!(l.cores_of(svc).contains(&new_core), "migration stays in-service");
+        assert!(
+            l.cores_of(svc).contains(&new_core),
+            "migration stays in-service"
+        );
         assert_eq!(l.migrations(), 1);
-        assert!(!l.afd().is_aggressive(elephant.flow), "invalidated after migration");
+        assert!(
+            !l.afd().is_aggressive(elephant.flow),
+            "invalidated after migration"
+        );
         // Override persists.
         assert_eq!(l.schedule(&elephant, &calm), new_core);
     }
@@ -479,12 +542,18 @@ mod tests {
         let mouse = pkt(3, svc);
         let spec = ViewSpec::calm(16);
         let infos = spec.infos();
-        let calm = SystemView { now: spec.now, queues: &infos };
+        let calm = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let home = l.schedule(&mouse, &calm);
         let mut spec = ViewSpec::calm(16);
         spec.lens[home] = 10;
         let infos = spec.infos();
-        let hot = SystemView { now: spec.now, queues: &infos };
+        let hot = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         assert_eq!(l.schedule(&mouse, &hot), home);
         assert_eq!(l.migrations(), 0);
     }
@@ -508,7 +577,10 @@ mod tests {
             spec.congested[c] = SimTime::from_micros(i as u64 * 10);
         }
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         // The claim order must start at the longest-spare core.
         let cands = l.surplus_candidates(&v, svc);
         assert_eq!(cands.first(), Some(&foreign[0]));
@@ -517,7 +589,10 @@ mod tests {
         assert_eq!(l.reallocations(), 1);
         let owned_after = l.cores_of(svc);
         assert_eq!(owned_after.len(), 3, "one core claimed");
-        assert!(owned_after.contains(&foreign[0]), "longest-spare core claimed");
+        assert!(
+            owned_after.contains(&foreign[0]),
+            "longest-spare core claimed"
+        );
         // The packet was steered onto an un-overloaded core.
         assert!(v.queues[target].len < 8);
         // Ownership stays disjoint.
@@ -541,7 +616,10 @@ mod tests {
             spec.congested[c] = spec.now;
         }
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let t = l.schedule(&pkt(1, ServiceKind::VpnOut), &v);
         assert!(t < 8);
         assert_eq!(l.reallocations(), 0);
@@ -558,7 +636,10 @@ mod tests {
         spec.lens[my_core] = 31;
         spec.congested[my_core] = spec.now;
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         for i in 0..100 {
             l.schedule(&pkt(i, ServiceKind::IpForward), &v);
         }
@@ -578,7 +659,10 @@ mod tests {
             spec.congested[c] = SimTime::from_micros(10);
         }
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         assert!(l.surplus_candidates(&v, ServiceKind::IpForward).is_empty());
         // 150µs later → all foreign cores eligible.
         let mut spec2 = ViewSpec::calm(8);
@@ -587,7 +671,10 @@ mod tests {
             spec2.congested[c] = SimTime::from_micros(10);
         }
         let infos2 = spec2.infos();
-        let v2 = SystemView { now: spec2.now, queues: &infos2 };
+        let v2 = SystemView {
+            now: spec2.now,
+            queues: &infos2,
+        };
         assert_eq!(l.surplus_candidates(&v2, ServiceKind::IpForward).len(), 6);
     }
 
@@ -604,7 +691,10 @@ mod tests {
         let mut spec = ViewSpec::calm(8);
         spec.now = SimTime::from_millis(10);
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         l.schedule(&pkt(1, ServiceKind::IpForward), &v);
         // Each service kept min_cores = 1: four cores parked.
         assert_eq!(l.parked_cores().len(), 4);
@@ -635,7 +725,10 @@ mod tests {
         let mut spec = ViewSpec::calm(8);
         spec.now = SimTime::from_millis(10);
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         l.schedule(&pkt(1, svc), &v);
         assert_eq!(l.parked_cores().len(), 4);
         // Phase 2: slam the service's single core — it must wake a parked
@@ -646,7 +739,10 @@ mod tests {
         spec.lens[my_core] = 12;
         spec.congested = vec![spec.now; 8];
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         l.schedule(&pkt(2, svc), &v);
         assert_eq!(l.parked_cores().len(), 3, "one core woken");
         assert_eq!(l.park_events().1, 1);
@@ -663,7 +759,10 @@ mod tests {
         let elephant = pkt(7, svc);
         let spec = ViewSpec::calm(8);
         let infos = spec.infos();
-        let calm = SystemView { now: spec.now, queues: &infos };
+        let calm = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         for _ in 0..20 {
             l.schedule(&elephant, &calm);
         }
@@ -673,7 +772,10 @@ mod tests {
         spec.lens[home] = 10;
         spec.congested = vec![spec.now; 8];
         let infos = spec.infos();
-        let hot = SystemView { now: spec.now, queues: &infos };
+        let hot = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let new_core = l.schedule(&elephant, &hot);
         assert_ne!(new_core, home);
         // Force that core to be claimed by another service: make VpnOut
@@ -688,7 +790,10 @@ mod tests {
         spec.lens[new_core] = 0;
         spec.congested[new_core] = SimTime::ZERO;
         let infos = spec.infos();
-        let v = SystemView { now: spec.now, queues: &infos };
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         l.schedule(&pkt(1000, ServiceKind::VpnOut), &v);
         assert_eq!(l.reallocations(), 1);
         assert!(l.cores_of(ServiceKind::VpnOut).contains(&new_core));
@@ -697,7 +802,10 @@ mod tests {
         // own service's cores, never the transferred core.
         let spec = ViewSpec::calm(8);
         let infos = spec.infos();
-        let calm = SystemView { now: spec.now, queues: &infos };
+        let calm = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
         let back = l.schedule(&elephant, &calm);
         assert_ne!(back, new_core);
         assert!(l.cores_of(svc).contains(&back));

@@ -72,7 +72,10 @@ pub use npsim::JoinShortestQueue as Fcfs;
 
 /// Convenience re-exports for downstream binaries.
 pub mod prelude {
-    pub use crate::{AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, StaticHash, TopKMigration};
+    pub use crate::{
+        AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, StaticHash,
+        TopKMigration,
+    };
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
     pub use npsim::{Engine, EngineConfig, RateSpec, Scheduler, SimReport, SourceConfig};

@@ -6,14 +6,15 @@
 //! CAMs, so ours is bounded; when full, the oldest override is recycled
 //! (its flow simply falls back to the hash mapping).
 
+use nphash::det::{det_map_with_capacity, DetHashMap};
 use nphash::FlowId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A bounded flow → core override table with FIFO recycling.
 #[derive(Debug, Clone)]
 pub struct MigrationTable {
     cap: usize,
-    map: HashMap<FlowId, usize>,
+    map: DetHashMap<FlowId, usize>,
     order: VecDeque<FlowId>,
 }
 
@@ -26,7 +27,7 @@ impl MigrationTable {
         assert!(cap > 0, "migration table needs at least one entry");
         MigrationTable {
             cap,
-            map: HashMap::with_capacity(cap),
+            map: det_map_with_capacity(cap),
             order: VecDeque::with_capacity(cap),
         }
     }

@@ -72,7 +72,10 @@ mod tests {
                 last_congested: SimTime::ZERO,
             })
             .collect();
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut s = StaticHash::new(4);
         for i in 0..50 {
             let p = pkt(i);
@@ -87,9 +90,18 @@ mod tests {
     #[test]
     fn spreads_distinct_flows() {
         let qs: Vec<QueueInfo> = (0..8)
-            .map(|_| QueueInfo { len: 0, capacity: 32, busy: false, idle_since: None, last_congested: SimTime::ZERO })
+            .map(|_| QueueInfo {
+                len: 0,
+                capacity: 32,
+                busy: false,
+                idle_since: None,
+                last_congested: SimTime::ZERO,
+            })
             .collect();
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut s = StaticHash::new(8);
         let mut hit = [false; 8];
         for i in 0..200 {

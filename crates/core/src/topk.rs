@@ -14,10 +14,10 @@
 //! [`crate::StaticHash`] — the "no migration" arm of Fig. 9.
 
 use crate::migration::MigrationTable;
-use nphash::{FlowId, MapTable};
 use npafd::{Afd, AfdConfig, ExactTopK};
+use nphash::det::{det_set, DetHashSet};
+use nphash::{FlowId, MapTable};
 use npsim::{PacketDesc, Scheduler, SystemView};
-use std::collections::HashSet;
 
 /// Which aggressive-flow detector drives migration.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +42,8 @@ enum DetectorImpl {
         k: usize,
         refresh: usize,
         since_refresh: usize,
-        cached: HashSet<FlowId>,
-        invalidated: HashSet<FlowId>,
+        cached: DetHashSet<FlowId>,
+        invalidated: DetHashSet<FlowId>,
     },
 }
 
@@ -56,8 +56,8 @@ impl DetectorImpl {
                 k,
                 refresh: refresh.max(1),
                 since_refresh: 0,
-                cached: HashSet::new(),
-                invalidated: HashSet::new(),
+                cached: det_set(),
+                invalidated: det_set(),
             },
         }
     }
@@ -98,7 +98,11 @@ impl DetectorImpl {
     fn invalidate(&mut self, flow: FlowId) {
         match self {
             DetectorImpl::Afd(afd) => afd.invalidate(flow),
-            DetectorImpl::Oracle { cached, invalidated, .. } => {
+            DetectorImpl::Oracle {
+                cached,
+                invalidated,
+                ..
+            } => {
                 cached.remove(&flow);
                 // Remember across refreshes: a migrated flow must not be
                 // re-migrated just because it is still objectively big.
@@ -195,23 +199,28 @@ mod tests {
 
     fn view_of(lens: Vec<usize>) -> Vec<QueueInfo> {
         lens.into_iter()
-            .map(|len| QueueInfo { len, capacity: 32, busy: len > 0, idle_since: None, last_congested: SimTime::ZERO })
+            .map(|len| QueueInfo {
+                len,
+                capacity: 32,
+                busy: len > 0,
+                idle_since: None,
+                last_congested: SimTime::ZERO,
+            })
             .collect()
     }
 
     fn sched_with_oracle(k: usize) -> TopKMigration {
-        TopKMigration::new(
-            4,
-            8,
-            DetectorKind::Oracle { k, refresh: 10 },
-        )
+        TopKMigration::new(4, 8, DetectorKind::Oracle { k, refresh: 10 })
     }
 
     #[test]
     fn calm_system_never_migrates() {
         let mut s = sched_with_oracle(4);
         let qs = view_of(vec![1, 1, 1, 1]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         for i in 0..500 {
             s.schedule(&pkt(i % 5), &v);
         }
@@ -224,7 +233,10 @@ mod tests {
         let elephant = pkt(1);
         // Make the elephant clearly top-1 and let the oracle refresh.
         let calm = view_of(vec![0, 0, 0, 0]);
-        let vc = SystemView { now: SimTime::ZERO, queues: &calm };
+        let vc = SystemView {
+            now: SimTime::ZERO,
+            queues: &calm,
+        };
         for _ in 0..50 {
             s.schedule(&elephant, &vc);
         }
@@ -233,7 +245,10 @@ mod tests {
         let mut lens = vec![0, 0, 0, 0];
         lens[home] = 10;
         let qs = view_of(lens);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let new_core = s.schedule(&elephant, &v);
         assert_ne!(new_core, home);
         assert_eq!(s.migrations(), 1);
@@ -246,7 +261,10 @@ mod tests {
         let mut s = sched_with_oracle(1);
         // flow 1 is the top flow; flow 2 is a mouse.
         let calm = view_of(vec![0, 0, 0, 0]);
-        let vc = SystemView { now: SimTime::ZERO, queues: &calm };
+        let vc = SystemView {
+            now: SimTime::ZERO,
+            queues: &calm,
+        };
         for _ in 0..50 {
             s.schedule(&pkt(1), &vc);
         }
@@ -255,7 +273,10 @@ mod tests {
         let mut lens = vec![0, 0, 0, 0];
         lens[home] = 10;
         let qs = view_of(lens);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         assert_eq!(s.schedule(&mouse, &v), home, "mice ride out the overload");
         assert_eq!(s.migrations(), 0);
     }
@@ -264,7 +285,10 @@ mod tests {
     fn migrated_flow_not_immediately_remigrated() {
         let mut s = sched_with_oracle(1);
         let calm = view_of(vec![0, 0, 0, 0]);
-        let vc = SystemView { now: SimTime::ZERO, queues: &calm };
+        let vc = SystemView {
+            now: SimTime::ZERO,
+            queues: &calm,
+        };
         for _ in 0..50 {
             s.schedule(&pkt(1), &vc);
         }
@@ -272,7 +296,10 @@ mod tests {
         let mut lens = vec![0, 0, 0, 0];
         lens[home] = 10;
         let v1 = view_of(lens);
-        let v = SystemView { now: SimTime::ZERO, queues: &v1 };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &v1,
+        };
         let second = s.schedule(&pkt(1), &v);
         assert_ne!(second, home);
         // Now the new core is also hot: the flow was invalidated, so no
@@ -280,7 +307,10 @@ mod tests {
         let mut lens2 = vec![0, 0, 0, 0];
         lens2[second] = 10;
         let v2 = view_of(lens2);
-        let v = SystemView { now: SimTime::ZERO, queues: &v2 };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &v2,
+        };
         assert_eq!(s.schedule(&pkt(1), &v), second);
         assert_eq!(s.migrations(), 1);
     }
@@ -290,7 +320,10 @@ mod tests {
         let mut s = TopKMigration::new(4, 8, DetectorKind::Afd(AfdConfig::default()));
         assert_eq!(s.name(), "topk-afd-16");
         let qs = view_of(vec![0, 0, 0, 0]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         for i in 0..100 {
             let c = s.schedule(&pkt(i % 3), &v);
             assert!(c < 4);

@@ -51,6 +51,6 @@ pub mod wheel;
 pub use event::{EventEntry, EventQueue};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use rng::{derive_seed, SeedSequence, SplitMix64};
-pub use stats::{Counter, Histogram, TimeWeighted, WelfordMean};
+pub use stats::{Counter, Histogram, KahanSum, TimeWeighted, WelfordMean};
 pub use time::SimTime;
 pub use wheel::TimerWheel;

@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn scaled_multiplies() {
-        assert_eq!(SimTime::from_micros(2).scaled(50), SimTime::from_micros(100));
+        assert_eq!(
+            SimTime::from_micros(2).scaled(50),
+            SimTime::from_micros(100)
+        );
         assert_eq!(SimTime::MAX.scaled(2), SimTime::MAX); // saturates
     }
 

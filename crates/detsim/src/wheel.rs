@@ -51,7 +51,9 @@ impl<E> TimerWheel<E> {
         assert!(tick_ns > 0, "tick must be positive");
         TimerWheel {
             tick_ns,
-            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect()).collect(),
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
+                .collect(),
             overflow: EventQueue::new(),
             now_ticks: 0,
             next_seq: 0,
@@ -145,11 +147,7 @@ impl<E> TimerWheel<E> {
         // time than wheel entries pushed after the clock advanced; without
         // this, such an entry would be overtaken (ordering violation).
         while let Some(t) = self.overflow.peek_time() {
-            if self
-                .ticks_of(t)
-                .saturating_sub(self.now_ticks)
-                < Self::level_horizon(LEVELS - 1)
-            {
+            if self.ticks_of(t).saturating_sub(self.now_ticks) < Self::level_horizon(LEVELS - 1) {
                 let e = self.overflow.pop().expect("peeked").1;
                 if self.place(e) {
                     self.wheel_len += 1;
@@ -195,7 +193,10 @@ impl<E> TimerWheel<E> {
             if self.now_ticks.is_multiple_of(Self::slot_span(3)) {
                 self.cascade(3);
             }
-            if self.now_ticks.is_multiple_of(Self::level_horizon(LEVELS - 1)) {
+            if self
+                .now_ticks
+                .is_multiple_of(Self::level_horizon(LEVELS - 1))
+            {
                 // Refill from overflow whatever now fits the wheel.
                 while let Some(t) = self.overflow.peek_time() {
                     if self.ticks_of(t).saturating_sub(self.now_ticks)

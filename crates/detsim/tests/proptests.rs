@@ -106,7 +106,7 @@ proptest! {
     #[test]
     fn wheel_equals_heap(
         times in proptest::collection::vec(0u64..2_000_000, 1..300),
-        tick in prop_oneof![Just(1u64), Just(10), Just(1_000)],
+        tick in prop_oneof![Just(1u64), Just(10u64), Just(1_000u64)],
     ) {
         let mut heap = EventQueue::new();
         let mut wheel = detsim::TimerWheel::new(tick);

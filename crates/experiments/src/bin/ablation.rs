@@ -33,7 +33,9 @@ fn main() {
 
     // ---- promotion threshold -------------------------------------------
     let thresholds = [1u64, 2, 3, 5, 8, 16];
-    let jobs: Vec<(usize, u64)> = (0..2).flat_map(|t| thresholds.iter().map(move |&h| (t, h))).collect();
+    let jobs: Vec<(usize, u64)> = (0..2)
+        .flat_map(|t| thresholds.iter().map(move |&h| (t, h)))
+        .collect();
     let traces = [&caida, &auck];
     let fprs = parallel_map(jobs.clone(), |(t, h)| {
         fpr_of(
@@ -64,7 +66,13 @@ fn main() {
         &jobs
             .iter()
             .zip(fprs.iter())
-            .map(|(&(t, h), f)| vec![["caida1", "auck1"][t].to_string(), h.to_string(), format!("{f:.4}")])
+            .map(|(&(t, h), f)| {
+                vec![
+                    ["caida1", "auck1"][t].to_string(),
+                    h.to_string(),
+                    format!("{f:.4}"),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 
@@ -97,7 +105,13 @@ fn main() {
     }
     print_table(
         "Ablation: detector structure (final FPR, AFC/trap = 16 entries)",
-        &["trace", "afd-lfu", "afd-lru", "single-cache", "exact-oracle"],
+        &[
+            "trace",
+            "afd-lfu",
+            "afd-lru",
+            "single-cache",
+            "exact-oracle",
+        ],
         &rows2,
     );
     write_csv(

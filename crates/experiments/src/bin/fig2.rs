@@ -37,7 +37,9 @@ fn main() {
         .map(|&r| {
             std::iter::once(r.to_string())
                 .chain(series.iter().map(|(_, s)| {
-                    s.get(r - 1).map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+                    s.get(r - 1)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".into())
                 }))
                 .collect()
         })
@@ -53,13 +55,19 @@ fn main() {
     let csv_rows: Vec<Vec<String>> = (0..max_len)
         .map(|i| {
             std::iter::once((i + 1).to_string())
-                .chain(series.iter().map(|(_, s)| {
-                    s.get(i).map(|v| v.to_string()).unwrap_or_default()
-                }))
+                .chain(
+                    series
+                        .iter()
+                        .map(|(_, s)| s.get(i).map(|v| v.to_string()).unwrap_or_default()),
+                )
                 .collect()
         })
         .collect();
-    write_csv(results_dir().join("fig2_rank_size.csv"), &header_refs, &csv_rows);
+    write_csv(
+        results_dir().join("fig2_rank_size.csv"),
+        &header_refs,
+        &csv_rows,
+    );
 
     // Headline property: heavy-tailed concentration.
     for (name, s) in &series {

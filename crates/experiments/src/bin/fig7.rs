@@ -7,10 +7,10 @@
 //!
 //! for scenarios T1–T8 (Table IV parameter sets × Table V trace groups).
 
+use laps::prelude::*;
 use laps_experiments::{
     laps_scheduler, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
 };
-use laps::prelude::*;
 
 fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
     let traces = scenario.group.traces();
@@ -92,17 +92,36 @@ fn main() {
     print_table(
         "Fig. 7: drops / cold-cache / out-of-order, per scenario",
         &[
-            "scen", "set", "grp", "drop:fcfs", "drop:afs", "drop:laps", "cold:fcfs", "cold:afs",
-            "cold:laps", "ooo:fcfs", "ooo:afs", "ooo:laps",
+            "scen",
+            "set",
+            "grp",
+            "drop:fcfs",
+            "drop:afs",
+            "drop:laps",
+            "cold:fcfs",
+            "cold:afs",
+            "cold:laps",
+            "ooo:fcfs",
+            "ooo:afs",
+            "ooo:laps",
         ],
         &rows,
     );
     write_csv(
         results_dir().join("fig7_schedulers.csv"),
         &[
-            "scenario", "scheduler", "offered", "dropped", "processed", "out_of_order",
-            "cold_starts", "migration_events", "core_reallocations", "drop_fraction",
-            "cold_fraction", "ooo_fraction",
+            "scenario",
+            "scheduler",
+            "offered",
+            "dropped",
+            "processed",
+            "out_of_order",
+            "cold_starts",
+            "migration_events",
+            "core_reallocations",
+            "drop_fraction",
+            "cold_fraction",
+            "ooo_fraction",
         ],
         &csv,
     );

@@ -10,8 +10,8 @@
 //! paper ("top 16 flows identified by off-line analysis").
 
 use laps_experiments::{parallel_map, print_table, results_dir, write_csv, Fidelity};
-use npafd::{Afd, AfdConfig};
 use npafd::ExactTopK;
+use npafd::{Afd, AfdConfig};
 use nptrace::analysis::false_positive_ratio;
 use nptrace::{Trace, TracePreset};
 
@@ -94,8 +94,16 @@ fn main() {
     let mut header = vec!["trace".to_string()];
     header.extend(annex_sizes.iter().map(|a| format!("annex={a}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table("Fig. 8(a): AFC false-positive ratio vs annex size", &header_refs, &rows);
-    write_csv(results_dir().join("fig8a_annex_sweep.csv"), &["trace", "annex", "fpr"], &csv);
+    print_table(
+        "Fig. 8(a): AFC false-positive ratio vs annex size",
+        &header_refs,
+        &rows,
+    );
+    write_csv(
+        results_dir().join("fig8a_annex_sweep.csv"),
+        &["trace", "annex", "fpr"],
+        &csv,
+    );
 
     // ---- (b) measurement-interval sweep --------------------------------
     let intervals = [1_000usize, 10_000, 50_000, 100_000];
@@ -125,7 +133,11 @@ fn main() {
         &header_b_refs,
         &rows_b,
     );
-    write_csv(results_dir().join("fig8b_window_accuracy.csv"), &["trace", "interval", "accuracy"], &csv_b);
+    write_csv(
+        results_dir().join("fig8b_window_accuracy.csv"),
+        &["trace", "interval", "accuracy"],
+        &csv_b,
+    );
 
     // ---- (c) sampling sweep ---------------------------------------------
     let probs = [1.0f64, 0.1, 0.01, 0.001, 0.0001];
@@ -148,7 +160,11 @@ fn main() {
         for (j, &(t, pi)) in jobs_c.iter().enumerate() {
             if t == ti {
                 row.push(format!("{:.3}", fprs_c[j]));
-                csv_c.push(vec![p.name(), format!("{}", probs[pi]), format!("{:.4}", fprs_c[j])]);
+                csv_c.push(vec![
+                    p.name(),
+                    format!("{}", probs[pi]),
+                    format!("{:.4}", fprs_c[j]),
+                ]);
             }
         }
         rows_c.push(row);
@@ -156,6 +172,14 @@ fn main() {
     let mut header_c = vec!["trace".to_string()];
     header_c.extend(probs.iter().map(|p| format!("p={p}")));
     let header_c_refs: Vec<&str> = header_c.iter().map(|s| s.as_str()).collect();
-    print_table("Fig. 8(c): FPR vs sampling probability (annex=512)", &header_c_refs, &rows_c);
-    write_csv(results_dir().join("fig8c_sampling.csv"), &["trace", "sample_prob", "fpr"], &csv_c);
+    print_table(
+        "Fig. 8(c): FPR vs sampling probability (annex=512)",
+        &header_c_refs,
+        &rows_c,
+    );
+    write_csv(
+        results_dir().join("fig8c_sampling.csv"),
+        &["trace", "sample_prob", "fpr"],
+        &csv_c,
+    );
 }

@@ -13,8 +13,8 @@
 //! packets, (c) relative flow migrations.
 
 use detsim::SimTime;
-use laps_experiments::{parallel_map, print_table, rel, results_dir, write_csv, Fidelity};
 use laps::prelude::*;
+use laps_experiments::{parallel_map, print_table, rel, results_dir, write_csv, Fidelity};
 
 /// Ideal capacity of 16 cores running 0.5 µs IP forwarding = 32 Mpps;
 /// offer slightly more ("slightly more than 100% of what this
@@ -29,7 +29,13 @@ fn engine(fidelity: Fidelity, seed: u64) -> EngineConfig {
 
 fn arms() -> Vec<&'static str> {
     vec![
-        "afs", "none", "top10-afd", "top16-afd", "top10-oracle", "top16-oracle", "adaptive",
+        "afs",
+        "none",
+        "top10-afd",
+        "top16-afd",
+        "top10-oracle",
+        "top16-oracle",
+        "adaptive",
     ]
 }
 
@@ -119,7 +125,16 @@ fn main() {
     );
     write_csv(
         results_dir().join("fig9_topk.csv"),
-        &["trace", "arm", "offered", "dropped", "out_of_order", "migration_events", "drop_fraction", "ooo_fraction"],
+        &[
+            "trace",
+            "arm",
+            "offered",
+            "dropped",
+            "out_of_order",
+            "migration_events",
+            "drop_fraction",
+            "ooo_fraction",
+        ],
         &csv,
     );
 

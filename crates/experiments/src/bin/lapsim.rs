@@ -16,8 +16,8 @@
 //! ```
 
 use detsim::SimTime;
-use laps_experiments::laps_config;
 use laps::prelude::*;
+use laps_experiments::laps_config;
 
 struct Args(Vec<String>);
 
@@ -46,7 +46,15 @@ fn service_by_name(name: &str) -> Option<ServiceKind> {
 fn main() {
     let args = Args(std::env::args().skip(1).collect());
     if args.flag("--help") || args.flag("-h") {
-        println!("{}", include_str!("lapsim.rs").lines().take(16).map(|l| l.trim_start_matches("//! ").trim_start_matches("//!")).collect::<Vec<_>>().join("\n"));
+        println!(
+            "{}",
+            include_str!("lapsim.rs")
+                .lines()
+                .take(16)
+                .map(|l| l.trim_start_matches("//! ").trim_start_matches("//!"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
         return;
     }
 
@@ -88,14 +96,16 @@ fn main() {
             })
             .collect()
     } else {
-        let trace = TracePreset::parse(args.get("--trace").unwrap_or("caida1")).unwrap_or_else(|| {
-            eprintln!("unknown trace preset; expected caida1..6 / auck1..8");
-            std::process::exit(2);
-        });
-        let service = service_by_name(args.get("--service").unwrap_or("ip-fwd")).unwrap_or_else(|| {
-            eprintln!("unknown service; expected ip-fwd|vpn-out|malware-scan|vpn-in-scan");
-            std::process::exit(2);
-        });
+        let trace =
+            TracePreset::parse(args.get("--trace").unwrap_or("caida1")).unwrap_or_else(|| {
+                eprintln!("unknown trace preset; expected caida1..6 / auck1..8");
+                std::process::exit(2);
+            });
+        let service =
+            service_by_name(args.get("--service").unwrap_or("ip-fwd")).unwrap_or_else(|| {
+                eprintln!("unknown service; expected ip-fwd|vpn-out|malware-scan|vpn-in-scan");
+                std::process::exit(2);
+            });
         vec![SourceConfig {
             service,
             trace,
@@ -111,13 +121,18 @@ fn main() {
             let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
             Engine::new(cfg.clone(), &sources, Afs::new(n_cores, 24, cd)).run()
         }
-        "adaptive" => Engine::new(cfg.clone(), &sources, AdaptiveHash::new(n_cores, 4_096, 8)).run(),
+        "adaptive" => {
+            Engine::new(cfg.clone(), &sources, AdaptiveHash::new(n_cores, 4_096, 8)).run()
+        }
         "topk-afd" => {
             let det = DetectorKind::Afd(AfdConfig::default());
             Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
         }
         "topk-oracle" => {
-            let det = DetectorKind::Oracle { k: 16, refresh: 1_000 };
+            let det = DetectorKind::Oracle {
+                k: 16,
+                refresh: 1_000,
+            };
             Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
         }
         "laps" => {
@@ -138,22 +153,52 @@ fn main() {
     };
 
     if args.flag("--json") {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize report")
+        );
         return;
     }
     println!("scheduler          : {}", report.scheduler);
-    println!("horizon / end      : {} / {}", report.duration, report.end_time);
+    println!(
+        "horizon / end      : {} / {}",
+        report.duration, report.end_time
+    );
     println!("offered            : {}", report.offered);
-    println!("dropped            : {} ({:.3}%)", report.dropped, 100.0 * report.drop_fraction());
+    println!(
+        "dropped            : {} ({:.3}%)",
+        report.dropped,
+        100.0 * report.drop_fraction()
+    );
     println!("processed          : {}", report.processed);
-    println!("out-of-order       : {} ({:.4}%)", report.out_of_order, 100.0 * report.ooo_fraction());
-    println!("cold-cache packets : {} ({:.4}%)", report.cold_starts, 100.0 * report.cold_fraction());
+    println!(
+        "out-of-order       : {} ({:.4}%)",
+        report.out_of_order,
+        100.0 * report.ooo_fraction()
+    );
+    println!(
+        "cold-cache packets : {} ({:.4}%)",
+        report.cold_starts,
+        100.0 * report.cold_fraction()
+    );
     println!("flow migrations    : {}", report.migration_events);
     println!("core reallocations : {}", report.core_reallocations);
-    println!("throughput         : {:.2} Mpps (paper scale)", report.throughput_mpps());
-    println!("mean latency       : {:.1} µs (sim scale)", report.mean_latency_us());
-    println!("p99 latency        : {:.1} µs (sim scale)", report.latency.quantile(0.99) as f64 / 1_000.0);
-    println!("mean utilization   : {:.1}%", 100.0 * report.mean_utilization());
+    println!(
+        "throughput         : {:.2} Mpps (paper scale)",
+        report.throughput_mpps()
+    );
+    println!(
+        "mean latency       : {:.1} µs (sim scale)",
+        report.mean_latency_us()
+    );
+    println!(
+        "p99 latency        : {:.1} µs (sim scale)",
+        report.latency.quantile(0.99) as f64 / 1_000.0
+    );
+    println!(
+        "mean utilization   : {:.1}%",
+        100.0 * report.mean_utilization()
+    );
     if let Some(rs) = &report.restoration {
         println!(
             "restoration        : {} buffered, peak {} held, {} timeout releases",

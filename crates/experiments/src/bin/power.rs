@@ -17,8 +17,10 @@
 //! ratios).
 
 use detsim::SimTime;
-use laps_experiments::{laps_config, parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
 use laps::prelude::*;
+use laps_experiments::{
+    laps_config, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
+};
 
 const P_ACTIVE: f64 = 1.0;
 const P_IDLE: f64 = 0.3;
@@ -108,12 +110,29 @@ fn main() {
     }
     print_table(
         "Extension: power-aware core parking (energy in core-units; 16 = all cores max power)",
-        &["scen", "arm", "drops", "util %", "energy", "parked cores (avg)", "parks/wakes"],
+        &[
+            "scen",
+            "arm",
+            "drops",
+            "util %",
+            "energy",
+            "parked cores (avg)",
+            "parks/wakes",
+        ],
         &rows,
     );
     write_csv(
         results_dir().join("power_parking.csv"),
-        &["scenario", "arm", "drop_fraction", "mean_utilization", "energy_core_units", "parked_core_ns", "parks", "wakes"],
+        &[
+            "scenario",
+            "arm",
+            "drop_fraction",
+            "mean_utilization",
+            "energy_core_units",
+            "parked_core_ns",
+            "parks",
+            "wakes",
+        ],
         &csv,
     );
 }

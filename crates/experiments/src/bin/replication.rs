@@ -6,8 +6,10 @@
 //! (`--seeds N` to override the default of 8.)
 
 use detsim::{SimTime, WelfordMean};
-use laps_experiments::{laps_scheduler, parallel_map, print_table, results_dir, write_csv, Fidelity};
 use laps::prelude::*;
+use laps_experiments::{
+    laps_scheduler, parallel_map, print_table, results_dir, write_csv, Fidelity,
+};
 
 fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
     let traces = scenario.group.traces();
@@ -77,9 +79,8 @@ fn main() {
                     cold.push(reports[j].cold_fraction());
                 }
             }
-            let fmt = |w: &WelfordMean| {
-                format!("{:.2}% ± {:.2}", 100.0 * w.mean(), 100.0 * w.std_dev())
-            };
+            let fmt =
+                |w: &WelfordMean| format!("{:.2}% ± {:.2}", 100.0 * w.mean(), 100.0 * w.std_dev());
             rows.push(vec![
                 format!("T{id}"),
                 arm.to_string(),
@@ -107,7 +108,16 @@ fn main() {
     );
     write_csv(
         results_dir().join("replication.csv"),
-        &["scenario", "scheduler", "drop_mean", "drop_std", "ooo_mean", "ooo_std", "cold_mean", "cold_std"],
+        &[
+            "scenario",
+            "scheduler",
+            "drop_mean",
+            "drop_std",
+            "ooo_mean",
+            "ooo_std",
+            "cold_mean",
+            "cold_std",
+        ],
         &csv,
     );
 

@@ -13,8 +13,10 @@
 //! * LAPS (preservation): no egress buffer at all, locality intact.
 
 use detsim::SimTime;
-use laps_experiments::{laps_scheduler, parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
 use laps::prelude::*;
+use laps_experiments::{
+    laps_scheduler, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
+};
 
 fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
     let traces = scenario.group.traces();
@@ -88,12 +90,30 @@ fn main() {
     }
     print_table(
         "Extension: order preservation (LAPS) vs egress restoration (FCFS+buffer)",
-        &["scen", "arm", "drops", "ooo", "cold", "lat µs", "buf peak", "buf wait µs"],
+        &[
+            "scen",
+            "arm",
+            "drops",
+            "ooo",
+            "cold",
+            "lat µs",
+            "buf peak",
+            "buf wait µs",
+        ],
         &rows,
     );
     write_csv(
         results_dir().join("restoration.csv"),
-        &["scenario", "arm", "drop_fraction", "ooo_fraction", "cold_fraction", "mean_latency_us", "buffer_peak", "buffer_wait_us"],
+        &[
+            "scenario",
+            "arm",
+            "drop_fraction",
+            "ooo_fraction",
+            "cold_fraction",
+            "mean_latency_us",
+            "buffer_peak",
+            "buffer_wait_us",
+        ],
         &csv,
     );
 

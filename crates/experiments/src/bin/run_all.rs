@@ -11,7 +11,17 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    for bin in ["fig2", "fig7", "fig8", "fig9", "timing", "ablation", "restoration", "power", "replication"] {
+    for bin in [
+        "fig2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "timing",
+        "ablation",
+        "restoration",
+        "power",
+        "replication",
+    ] {
         println!("\n########## {bin} ##########");
         let status = Command::new(exe_dir.join(bin))
             .args(&args)

@@ -8,8 +8,8 @@
 //! quick wall-clock estimate and the paper-style conclusion line.)
 
 use detsim::SimTime;
-use laps_experiments::{laps_config, print_table, results_dir, write_csv};
 use laps::prelude::*;
+use laps_experiments::{laps_config, print_table, results_dir, write_csv};
 use nphash::{Crc16Ccitt, FlowId, MapTable};
 use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
 use std::time::Instant;
@@ -40,7 +40,11 @@ fn mk_view(n_cores: usize) -> Vec<QueueInfo> {
         .collect()
 }
 
-fn measure<S: Scheduler>(mut sched: S, packets: &[PacketDesc], queues: &[QueueInfo]) -> (String, f64) {
+fn measure<S: Scheduler>(
+    mut sched: S,
+    packets: &[PacketDesc],
+    queues: &[QueueInfo],
+) -> (String, f64) {
     let view = SystemView {
         now: SimTime::ZERO,
         queues,
@@ -77,7 +81,8 @@ fn main() {
     let raw_mpps = n as f64 / start.elapsed().as_secs_f64() / 1e6;
 
     let cfg = EngineConfig::default();
-    let results = [("hash+maptable (critical path)".to_string(), raw_mpps),
+    let results = [
+        ("hash+maptable (critical path)".to_string(), raw_mpps),
         measure(StaticHash::new(16), &packets, &queues),
         measure(Afs::new(16, 24, SimTime::ZERO), &packets, &queues),
         measure(
@@ -85,7 +90,8 @@ fn main() {
             &packets,
             &queues,
         ),
-        measure(Laps::new(laps_config(&cfg)), &packets, &queues)];
+        measure(Laps::new(laps_config(&cfg)), &packets, &queues),
+    ];
 
     let rows: Vec<Vec<String>> = results
         .iter()

@@ -6,15 +6,15 @@
 //! * write a CSV next to them under `results/`,
 //! * accept `--full` for a longer, lower-scale run (closer to the paper's
 //!   60 s) and `--quick` (default) for a laptop-friendly run,
-//! * fan parameter sweeps out across OS threads (`crossbeam` scoped
-//!   threads — each simulation is single-threaded and deterministic, so
+//! * fan parameter sweeps out across OS threads (`std::thread::scope` —
+//!   each simulation is single-threaded and deterministic, so
 //!   parallelism never changes results, only wall-clock).
 
 use detsim::SimTime;
 use laps::prelude::*;
-use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 pub use laps;
 pub use npafd;
@@ -130,7 +130,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -140,7 +143,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 ///
 /// Each job runs an independent deterministic simulation, so this is pure
 /// wall-clock parallelism (the rayon-style pattern, hand-rolled on
-/// crossbeam so we stay within the workspace's dependency set).
+/// `std::thread::scope` so we stay within the workspace's dependency set).
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -154,23 +157,24 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let job = queue.lock().pop();
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
                 match job {
                     Some((i, t)) => {
                         let r = f(t);
-                        results.lock()[i] = Some(r);
+                        let mut slots = results.lock().expect("results lock");
+                        slots[i] = Some(r);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect()

@@ -1,0 +1,10 @@
+//! Fixture: nondeterministic collections in a simulation crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u64, u64>, HashSet<u64>) {
+    let mut m = HashMap::new();
+    let mut s = HashSet::new();
+    m.insert(1, 2);
+    s.insert(3);
+    (m, s)
+}

@@ -1,0 +1,11 @@
+//! Fixture: naive float accumulation in the stats module.
+
+pub struct Acc {
+    sum: f64,
+}
+
+impl Acc {
+    pub fn update(&mut self, value: f64, dt: f64) {
+        self.sum += value * dt;
+    }
+}

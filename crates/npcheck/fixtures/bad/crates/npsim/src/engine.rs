@@ -1,0 +1,8 @@
+//! Fixture: panicking constructs in a hot-path module.
+
+pub fn dispatch(queues: &mut Vec<Vec<u64>>, core: usize) -> u64 {
+    let q = queues.get_mut(core).unwrap();
+    let head = q.pop().expect("queue empty");
+    let peek = queues[core].len() as u64;
+    head + peek
+}

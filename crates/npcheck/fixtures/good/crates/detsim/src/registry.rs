@@ -1,0 +1,10 @@
+//! Fixture: deterministic collections — nothing to flag.
+use nphash::det::{det_map, det_set, DetHashMap, DetHashSet};
+
+pub fn build() -> (DetHashMap<u64, u64>, DetHashSet<u64>) {
+    let mut m = det_map();
+    let mut s = det_set();
+    m.insert(1, 2);
+    s.insert(3);
+    (m, s)
+}

@@ -1,0 +1,12 @@
+//! Fixture: compensated accumulation — nothing to flag.
+use detsim::KahanSum;
+
+pub struct Acc {
+    sum: KahanSum,
+}
+
+impl Acc {
+    pub fn update(&mut self, value: f64, dt: f64) {
+        self.sum.add(value * dt);
+    }
+}

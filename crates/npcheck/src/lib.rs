@@ -1,0 +1,239 @@
+//! `npcheck` — determinism & hot-path safety linter for the LAPS
+//! workspace.
+//!
+//! The paper's evaluation (Figs. 7–9) rests on a deterministic
+//! discrete-event simulation: two runs with the same seed must produce
+//! byte-identical reports, and A/B scheduler comparisons are only valid
+//! because both sides see the exact same arrival process. `npcheck`
+//! statically enforces the workspace rules that protect that property
+//! (see DESIGN.md, "Determinism contract"):
+//!
+//! | rule | severity | what it catches |
+//! |------|----------|-----------------|
+//! | `nondet-collections` | deny | `HashMap`/`HashSet`/`RandomState` with the default random-seeded hasher in simulation crates |
+//! | `wall-clock` | deny | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `from_entropy` outside the sanctioned timing crates |
+//! | `hot-path-panic` | deny | `.unwrap()`, `.expect(…)`, and slice/array indexing in designated hot-path modules |
+//! | `float-accum` | warn | naive `+=`/`-=` accumulation of computed `f64` terms in `detsim::stats` instead of the compensated helpers |
+//!
+//! Any finding can be suppressed with a justification comment on the
+//! same line or the line directly above:
+//!
+//! ```text
+//! // npcheck: allow(hot-path-panic) — index bounded by n_cores above
+//! ```
+//!
+//! The linter is a hand-rolled token scanner, not a full parser: it
+//! understands comments, strings (including raw strings), char
+//! literals, and lifetimes, which is enough to match the rule patterns
+//! without false positives from text inside literals or docs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub mod lexer;
+pub mod rules;
+
+pub use lexer::{lex, LexedFile, Tok};
+pub use rules::{Severity, RULES};
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see [`RULES`]).
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was matched and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render as `file:line: severity [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Scan one source file (given its workspace-relative path, which
+/// drives rule scoping) and return all findings, sorted by line.
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lexed = lex(text);
+    let mut findings = Vec::new();
+    for rule in rules::RULES {
+        if (rule.applies)(rel_path) {
+            (rule.check)(rel_path, &lexed, &mut findings);
+        }
+    }
+    // Drop findings covered by an allow comment on the same or the
+    // preceding line.
+    findings.retain(|f| {
+        !lexed
+            .allows
+            .iter()
+            .any(|(line, rule_id)| rule_id == f.rule && (*line == f.line || *line + 1 == f.line))
+    });
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Recursively scan every `.rs` file under `root`, skipping build
+/// output, VCS metadata, and the linter's own fixture trees.
+///
+/// Returns `(findings, files_scanned)`. Findings are sorted by
+/// `(file, line, rule)` so reports are byte-stable across runs.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(scan_source(rel, &text));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok((findings, files.len()))
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modules"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Machine-readable report: deterministic field order, findings sorted.
+pub fn json_report(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!(
+        "  \"deny_count\": {},\n",
+        findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    ));
+    out.push_str(&format!(
+        "  \"warn_count\": {},\n",
+        findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    ));
+    out.push_str("  \"counts_by_rule\": {");
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{rule}\": {n}"));
+    }
+    if !counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"findings\": [");
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            f.rule,
+            f.severity.as_str(),
+            f.file,
+            f.line,
+            escape_json(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_comment_suppresses_same_line() {
+        let src = "use std::collections::HashMap; // npcheck: allow(nondet-collections)\n";
+        assert!(scan_source("crates/npsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_line() {
+        let src = "// npcheck: allow(nondet-collections) — fixed-seed hasher defined here\nuse std::collections::HashMap;\n";
+        assert!(scan_source("crates/npsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "// npcheck: allow(wall-clock)\nuse std::collections::HashMap;\n";
+        assert_eq!(scan_source("crates/npsim/src/engine.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn json_report_is_valid_and_stable() {
+        let f = vec![Finding {
+            rule: "wall-clock",
+            severity: Severity::Deny,
+            file: "a.rs".into(),
+            line: 3,
+            message: "bad \"clock\"".into(),
+        }];
+        let a = json_report(&f, 7);
+        let b = json_report(&f, 7);
+        assert_eq!(a, b);
+        assert!(a.contains("\"deny_count\": 1"));
+        assert!(a.contains("\\\"clock\\\""));
+    }
+}

@@ -1,0 +1,408 @@
+//! The lint rule table.
+//!
+//! Rules are data: an id, a severity, a scope predicate over
+//! workspace-relative paths, and a token-level checker. Adding a rule
+//! means adding one entry to [`RULES`] — the driver, allow-comment
+//! handling, JSON report, and fixtures all pick it up automatically.
+
+use crate::lexer::{LexedFile, Tok};
+use crate::Finding;
+
+/// How a finding affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Always fails the run.
+    Deny,
+    /// Fails only under `--deny-warnings`.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One table-driven rule.
+pub struct RuleSpec {
+    /// Stable identifier (used in `npcheck: allow(<id>)`).
+    pub id: &'static str,
+    /// Effect on exit status.
+    pub severity: Severity,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Why the rule exists (printed by `--list-rules`).
+    pub why: &'static str,
+    /// Path scope: does this rule apply to `rel_path`?
+    pub applies: fn(&str) -> bool,
+    /// Token-level checker; pushes findings.
+    pub check: fn(&str, &LexedFile, &mut Vec<Finding>),
+}
+
+impl std::fmt::Debug for RuleSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RuleSpec({})", self.id)
+    }
+}
+
+/// Crates whose results must be bit-reproducible: the simulation
+/// kernel, the NP model, the schedulers, the detector, the hashing
+/// substrate, and the workload models.
+const SIM_CRATE_PREFIXES: &[&str] = &[
+    "crates/detsim/",
+    "crates/npsim/",
+    "crates/core/",
+    "crates/afd/",
+    "crates/nphash/",
+    "crates/nptraffic/",
+];
+
+/// Modules on the per-packet critical path: a panic here is a dropped
+/// simulation, and `unwrap`-dense code hides the queue/map invariants
+/// the paper's migration logic depends on.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/npsim/src/engine.rs",
+    "crates/npsim/src/order.rs",
+    "crates/core/src/laps.rs",
+    "crates/afd/src/cache.rs",
+];
+
+/// The only places allowed to read wall clocks or OS entropy: the
+/// benchmark harness, its criterion shim, and the explicit
+/// wall-clock-timing experiment binary.
+const WALL_CLOCK_EXEMPT: &[&str] = &[
+    "crates/bench/",
+    "crates/shims/criterion/",
+    "crates/experiments/src/bin/timing.rs",
+];
+
+fn in_sim_crate(path: &str) -> bool {
+    SIM_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+fn is_hot_path(path: &str) -> bool {
+    HOT_PATH_FILES.contains(&path)
+}
+
+fn wall_clock_scoped(path: &str) -> bool {
+    !WALL_CLOCK_EXEMPT
+        .iter()
+        .any(|p| path.starts_with(p) || path == *p)
+}
+
+/// The rule table.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        id: "nondet-collections",
+        severity: Severity::Deny,
+        summary: "HashMap/HashSet/RandomState with the default hasher in simulation crates",
+        why: "std's default hasher is seeded from OS entropy per process, so iteration \
+              order differs between runs; any code that iterates such a map breaks \
+              byte-reproducibility of reports and paired scheduler comparisons. Use \
+              nphash::det::{DetHashMap, DetHashSet} or a BTreeMap/BTreeSet.",
+        applies: in_sim_crate,
+        check: check_nondet_collections,
+    },
+    RuleSpec {
+        id: "wall-clock",
+        severity: Severity::Deny,
+        summary: "Instant::now / SystemTime / thread_rng / rand::random / from_entropy outside timing crates",
+        why: "Wall-clock reads and OS entropy inject host state into the simulation: \
+              results stop being a function of (config, seed). Virtual time comes from \
+              detsim::SimTime; randomness from detsim::rng::SeedSequence streams.",
+        applies: wall_clock_scoped,
+        check: check_wall_clock,
+    },
+    RuleSpec {
+        id: "hot-path-panic",
+        severity: Severity::Deny,
+        summary: ".unwrap()/.expect()/slice indexing in hot-path modules",
+        why: "npsim::engine, npsim::order, core::laps and afd::cache run per packet; a \
+              panic there kills the whole experiment sweep, and indexing hides the \
+              bounds invariant. Handle the None/Err case or document the invariant \
+              with an allow comment.",
+        applies: is_hot_path,
+        check: check_hot_path_panic,
+    },
+    RuleSpec {
+        id: "float-accum",
+        severity: Severity::Warn,
+        summary: "naive += / -= of computed float terms in detsim::stats",
+        why: "Repeated naive f64 accumulation loses low-order bits, and its error \
+              depends on summation order — a silent threat to cross-run comparisons \
+              of long simulations. Use detsim::stats::KahanSum (compensated \
+              summation) or justify with an allow comment.",
+        applies: |p| p == "crates/detsim/src/stats.rs",
+        check: check_float_accum,
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleSpec> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static RuleSpec,
+    file: &str,
+    line: usize,
+    message: String,
+) {
+    findings.push(Finding {
+        rule: rule.id,
+        severity: rule.severity,
+        file: file.to_string(),
+        line,
+        message,
+    });
+}
+
+fn rule(id: &str) -> &'static RuleSpec {
+    // npcheck: allow(hot-path-panic) — not a hot path; table lookup of a const id
+    rule_by_id(id).unwrap_or_else(|| panic!("rule table entry `{id}` missing"))
+}
+
+fn check_nondet_collections(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("nondet-collections");
+    for (i, (line, tok)) in lexed.tokens.iter().enumerate() {
+        let Tok::Ident(name) = tok else { continue };
+        if name != "HashMap" && name != "HashSet" && name != "RandomState" {
+            continue;
+        }
+        // `HashMap<K, V, S>` with an explicit third type parameter (a
+        // chosen hasher) is fine; only the default-hasher form is
+        // flagged. Detecting that generally needs a parser, so the
+        // deterministic aliases (DetHashMap/DetHashSet) are the
+        // sanctioned route and raw names are always flagged here.
+        let _ = i;
+        push(
+            findings,
+            spec,
+            file,
+            *line,
+            format!("`{name}` uses a randomly-seeded hasher; use nphash::det::{{DetHashMap, DetHashSet}} or BTreeMap/BTreeSet"),
+        );
+    }
+}
+
+fn check_wall_clock(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("wall-clock");
+    let toks = &lexed.tokens;
+    for (i, (line, tok)) in toks.iter().enumerate() {
+        let Tok::Ident(name) = tok else { continue };
+        match name.as_str() {
+            "SystemTime" => push(
+                findings,
+                spec,
+                file,
+                *line,
+                "`SystemTime` reads the wall clock; simulation time must come from detsim::SimTime".into(),
+            ),
+            "thread_rng" => push(
+                findings,
+                spec,
+                file,
+                *line,
+                "`thread_rng` is OS-entropy-seeded; mint seeded streams via detsim::rng::SeedSequence".into(),
+            ),
+            "from_entropy" => push(
+                findings,
+                spec,
+                file,
+                *line,
+                "`from_entropy` seeds from the OS; use seed_from_u64 with a derived seed".into(),
+            ),
+            // Only `Instant::now(...)` — the type name alone can
+            // appear in signatures of exempted helpers.
+            "Instant"
+                if toks.get(i + 1).is_some_and(|(_, t)| t.is_punct(":"))
+                    && toks.get(i + 2).is_some_and(|(_, t)| t.is_punct(":"))
+                    && toks.get(i + 3).is_some_and(|(_, t)| t.is_ident("now")) =>
+            {
+                push(
+                    findings,
+                    spec,
+                    file,
+                    *line,
+                    "`Instant::now` reads the wall clock; simulation time must come from detsim::SimTime".into(),
+                );
+            }
+            // `rand::random` path form.
+            "random"
+                if i >= 3
+                    && toks.get(i - 1).is_some_and(|(_, t)| t.is_punct(":"))
+                    && toks.get(i - 2).is_some_and(|(_, t)| t.is_punct(":"))
+                    && toks.get(i - 3).is_some_and(|(_, t)| t.is_ident("rand")) =>
+            {
+                push(
+                    findings,
+                    spec,
+                    file,
+                    *line,
+                    "`rand::random` is thread_rng in disguise; draw from a seeded stream".into(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_hot_path_panic(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("hot-path-panic");
+    let toks = &lexed.tokens;
+    let limit = lexed.cfg_test_line.unwrap_or(usize::MAX);
+    for (i, (line, tok)) in toks.iter().enumerate() {
+        // The in-file test module (from `#[cfg(test)]` down) may
+        // unwrap freely — tests *should* panic on violated invariants.
+        if *line >= limit {
+            break;
+        }
+        match tok {
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let is_method_call = i >= 1
+                    && toks.get(i - 1).is_some_and(|(_, t)| t.is_punct("."))
+                    && toks.get(i + 1).is_some_and(|(_, t)| t.is_punct("("));
+                if is_method_call {
+                    push(
+                        findings,
+                        spec,
+                        file,
+                        *line,
+                        format!("`.{name}()` on the per-packet path; handle the miss or document the invariant"),
+                    );
+                }
+            }
+            Tok::Punct(p) if p == "[" => {
+                // Expression indexing: `[` directly after an identifier,
+                // `)`, or `]`. Attributes (`#[...]`), array types/
+                // literals, and macro brackets don't match this shape.
+                // Keywords can't name an indexable value, so `&mut [T]`
+                // slice types and `in [..]` literals are excluded.
+                const KEYWORDS: &[&str] = &[
+                    "mut", "dyn", "in", "as", "return", "break", "else", "match", "impl",
+                ];
+                let is_index = i >= 1
+                    && toks.get(i - 1).is_some_and(|(_, t)| match t {
+                        Tok::Ident(name) => !KEYWORDS.contains(&name.as_str()),
+                        other => other.is_punct(")") || other.is_punct("]"),
+                    });
+                if is_index {
+                    push(
+                        findings,
+                        spec,
+                        file,
+                        *line,
+                        "slice/array indexing can panic on the per-packet path; use .get()/.get_mut() or document the bound".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_float_accum(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("float-accum");
+    let toks = &lexed.tokens;
+    let limit = lexed.cfg_test_line.unwrap_or(usize::MAX);
+    for (i, (line, tok)) in toks.iter().enumerate() {
+        if *line >= limit {
+            break;
+        }
+        let Tok::Punct(op) = tok else { continue };
+        if op != "+=" && op != "-=" {
+            continue;
+        }
+        // Scan the right-hand side (to `;`): arithmetic on computed
+        // terms (`*`, `/`), float literals, or an `as f64` cast mark a
+        // float accumulation; bare counter bumps (`+= 1`, `+= n`) pass.
+        let mut j = i + 1;
+        let mut suspicious = false;
+        while let Some((_, t)) = toks.get(j) {
+            if t.is_punct(";") {
+                break;
+            }
+            match t {
+                Tok::Punct(p) if p == "*" || p == "/" => suspicious = true,
+                Tok::Num(nm) if nm.contains('.') => suspicious = true,
+                Tok::Ident(id) if id == "f64" || id == "f32" => suspicious = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if suspicious {
+            push(
+                findings,
+                spec,
+                file,
+                *line,
+                format!(
+                    "`{op}` accumulates computed float terms; use KahanSum (compensated summation)"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scan_source;
+
+    #[test]
+    fn hashmap_flagged_in_sim_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan_source("crates/npsim/src/engine.rs", src).len(), 1);
+        assert_eq!(scan_source("crates/nptrace/src/gen.rs", src).len(), 0);
+        assert_eq!(scan_source("crates/npcheck/src/lib.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn wall_clock_variants() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\nlet r = thread_rng();\nlet x: u8 = rand::random();\n";
+        let f = scan_source("crates/detsim/src/time.rs", src);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(scan_source("crates/bench/benches/x.rs", src).is_empty());
+        assert!(scan_source("crates/experiments/src/bin/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_type_position_not_flagged() {
+        let src = "fn f(t: Instant) -> Instant { t }\n";
+        assert!(scan_source("crates/npsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_unwrap_and_indexing() {
+        let src = "fn f(v: &[u8], m: &M) { let a = m.get(0).unwrap(); let b = v[3]; let c = m.load.expect(\"x\"); }\n";
+        let f = scan_source("crates/npsim/src/engine.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        // Same code off the hot path: clean.
+        assert!(scan_source("crates/npsim/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn attributes_and_array_types_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn g() -> [u8; 2] { [0, 1] }\nlet v = vec![1, 2];\n";
+        assert!(scan_source("crates/npsim/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_module_exempt_from_hot_path() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n#[cfg(test)]\nmod tests { fn g(v: &[u8]) -> u8 { v.first().copied().unwrap() } }\n";
+        let f = scan_source("crates/npsim/src/order.rs", src);
+        assert_eq!(f.len(), 1, "only the pre-test indexing: {f:?}");
+    }
+
+    #[test]
+    fn float_accum_flags_computed_terms_only() {
+        let src = "impl T {\nfn a(&mut self) { self.count += 1; }\nfn b(&mut self, d: f64) { self.sum += d * 2.0; }\nfn c(&mut self, n: u64) { self.total += n; }\n}\n";
+        let f = scan_source("crates/detsim/src/stats.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f.first().map(|x| x.line), Some(3));
+    }
+}

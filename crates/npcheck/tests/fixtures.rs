@@ -1,0 +1,114 @@
+//! End-to-end self-tests against the fixture trees.
+//!
+//! `fixtures/bad/` mirrors the workspace layout with one violation of
+//! every rule; `fixtures/good/` holds the cleaned equivalents. The bad
+//! tree must produce a finding for each rule and a non-zero CLI exit;
+//! the good tree must scan completely clean.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let (findings, files) =
+        npcheck::scan_workspace(&fixture("bad")).expect("scan bad fixture tree");
+    assert_eq!(files, 4, "expected the four bad fixture files");
+    let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    for expected in [
+        "nondet-collections",
+        "wall-clock",
+        "hot-path-panic",
+        "float-accum",
+    ] {
+        assert!(rules.contains(expected), "no finding for rule {expected}");
+    }
+    // Spot-check severities: float-accum warns, the rest deny.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "float-accum" && f.severity == npcheck::Severity::Warn));
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "hot-path-panic" && f.severity == npcheck::Severity::Deny));
+}
+
+#[test]
+fn bad_fixture_findings_are_sorted_and_stable() {
+    let (a, _) = npcheck::scan_workspace(&fixture("bad")).expect("scan");
+    let (b, _) = npcheck::scan_workspace(&fixture("bad")).expect("scan again");
+    let render = |fs: &[npcheck::Finding]| fs.iter().map(|f| f.render()).collect::<Vec<_>>();
+    assert_eq!(render(&a), render(&b), "reports must be byte-stable");
+    let mut sorted = render(&a);
+    sorted.sort();
+    assert_eq!(render(&a), sorted, "findings must come out sorted");
+}
+
+#[test]
+fn good_fixture_is_clean() {
+    let (findings, files) =
+        npcheck::scan_workspace(&fixture("good")).expect("scan good fixture tree");
+    assert_eq!(files, 3, "expected the three good fixture files");
+    assert!(
+        findings.is_empty(),
+        "good fixtures must be clean, got:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_bad_and_zero_on_good() {
+    let bin = env!("CARGO_BIN_EXE_npcheck");
+    let bad = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("run npcheck on bad fixtures");
+    assert_eq!(bad.status.code(), Some(1), "bad tree must fail the lint");
+
+    let good = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("good"))
+        .output()
+        .expect("run npcheck on good fixtures");
+    assert_eq!(good.status.code(), Some(0), "good tree must pass");
+}
+
+#[test]
+fn cli_json_report_parses_and_counts() {
+    let bin = env!("CARGO_BIN_EXE_npcheck");
+    let out = Command::new(bin)
+        .args(["--json", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("run npcheck --json");
+    let text = String::from_utf8(out.stdout).expect("utf8 report");
+    let v = serde_json::parse_value(&text).expect("valid JSON report");
+    let findings = match v.get("findings") {
+        Some(serde::Value::Array(items)) => items,
+        other => panic!("findings must be an array, got {other:?}"),
+    };
+    assert!(!findings.is_empty());
+    for f in findings {
+        for key in ["file", "rule", "severity"] {
+            assert!(
+                matches!(f.get(key), Some(serde::Value::Str(_))),
+                "finding missing string field {key}: {f:?}"
+            );
+        }
+        assert!(
+            matches!(f.get("line"), Some(serde::Value::U64(_))),
+            "finding missing numeric line: {f:?}"
+        );
+    }
+    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(4)));
+}

@@ -153,7 +153,12 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..300u32 {
             data.push((i.wrapping_mul(2654435761) >> 24) as u8);
-            assert_eq!(t.hash(&data), crc16_ccitt_bitwise(&data), "len={}", data.len());
+            assert_eq!(
+                t.hash(&data),
+                crc16_ccitt_bitwise(&data),
+                "len={}",
+                data.len()
+            );
         }
     }
 

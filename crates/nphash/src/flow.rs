@@ -38,7 +38,13 @@ impl FlowId {
     }
 
     /// Construct from dotted-quad octets.
-    pub const fn v4(src: [u8; 4], dst: [u8; 4], src_port: u16, dst_port: u16, protocol: u8) -> Self {
+    pub const fn v4(
+        src: [u8; 4],
+        dst: [u8; 4],
+        src_port: u16,
+        dst_port: u16,
+        protocol: u8,
+    ) -> Self {
         FlowId {
             src_ip: u32::from_be_bytes(src),
             dst_ip: u32::from_be_bytes(dst),
@@ -121,7 +127,17 @@ impl fmt::Display for FlowId {
         write!(
             f,
             "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
-            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port, self.protocol
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.src_port,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.dst_port,
+            self.protocol
         )
     }
 }
@@ -129,7 +145,7 @@ impl fmt::Display for FlowId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn bytes_roundtrip_fields() {
@@ -144,7 +160,7 @@ mod tests {
 
     #[test]
     fn from_index_is_injective_on_prefix() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for i in 0..200_000u64 {
             assert!(seen.insert(FlowId::from_index(i)), "collision at {i}");
         }

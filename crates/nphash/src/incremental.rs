@@ -139,7 +139,9 @@ mod tests {
     #[test]
     fn grow_remaps_small_fraction() {
         let mut ih = IncrementalHash::new(8);
-        let hashes: Vec<u64> = (0..50_000u64).map(|h| h.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let hashes: Vec<u64> = (0..50_000u64)
+            .map(|h| h.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         let before: Vec<u32> = hashes.iter().map(|&h| ih.bucket(h)).collect();
         ih.grow();
         let moved = hashes
@@ -150,7 +152,10 @@ mod tests {
         // Expected: half of bucket 0 ≈ 1/16 of flows; allow slack.
         let frac = moved as f64 / hashes.len() as f64;
         assert!(frac < 0.10, "grow remapped {frac:.3} of flows");
-        assert!(frac > 0.01, "grow remapped suspiciously few flows ({frac:.4})");
+        assert!(
+            frac > 0.01,
+            "grow remapped suspiciously few flows ({frac:.4})"
+        );
     }
 
     #[test]

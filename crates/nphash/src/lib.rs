@@ -16,6 +16,10 @@
 //! * [`maptable`] — a per-service map table: bucket list + incremental
 //!   hash → core ID, with grow/shrink operations used by dynamic core
 //!   allocation.
+//! * [`det`] — fixed-seed hashed collections ([`DetHashMap`],
+//!   [`DetHashSet`]) for reproducible simulation state; required by the
+//!   `npcheck` determinism contract in place of std's randomly-seeded
+//!   maps.
 //!
 //! ```
 //! use nphash::{FlowId, MapTable};
@@ -35,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod crc;
+pub mod det;
 pub mod flow;
 pub mod incremental;
 pub mod maptable;
 pub mod toeplitz;
 
 pub use crc::{crc16_arc, crc16_ccitt, crc32c, Crc16Ccitt};
+pub use det::{DetHashMap, DetHashSet};
 pub use flow::FlowId;
 pub use incremental::IncrementalHash;
 pub use maptable::MapTable;

@@ -25,11 +25,11 @@ use crate::restore::RestorationBuffer;
 use crate::sched::{QueueInfo, Scheduler, SystemView};
 use crate::source::{RateSpec, SourceConfig, TrafficSource};
 use detsim::{BoundedQueue, EventQueue, PushOutcome, SeedSequence, SimTime};
+use nphash::det::{det_map, DetHashMap};
 use nphash::FlowId;
 use nptraffic::{DelayModel, ServiceKind};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -101,24 +101,43 @@ enum Ev {
     RateUpdate,
 }
 
+/// A traffic source paired with its private arrival-process RNG stream
+/// (keeping them in one slot makes per-source access a single bounds
+/// check and rules out the two parallel arrays drifting apart).
+#[derive(Debug)]
+struct SourceSlot {
+    source: TrafficSource,
+    rng: StdRng,
+}
+
 /// The simulation engine, generic over the scheduling policy.
 pub struct Engine<S: Scheduler> {
     cfg: EngineConfig,
     delay: DelayModel,
     scheduler: S,
-    sources: Vec<TrafficSource>,
-    source_rngs: Vec<StdRng>,
+    sources: Vec<SourceSlot>,
     cores: Vec<Core>,
     events: EventQueue<Ev>,
     /// Per-flow next arrival sequence number.
-    flow_seq: HashMap<FlowId, u64>,
+    flow_seq: DetHashMap<FlowId, u64>,
     /// Per-flow last core a packet was *enqueued* to.
-    last_core: HashMap<FlowId, usize>,
+    last_core: DetHashMap<FlowId, usize>,
     order: OrderTracker,
     classifier_rng: StdRng,
     restoration: Option<RestorationBuffer>,
     report: SimReport,
     next_packet_id: u64,
+}
+
+impl<S: Scheduler> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scheduler", &self.scheduler.name())
+            .field("n_cores", &self.cores.len())
+            .field("n_sources", &self.sources.len())
+            .field("next_packet_id", &self.next_packet_id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -137,18 +156,20 @@ impl<S: Scheduler> Engine<S> {
         let seq = SeedSequence::new(cfg.seed);
         let mut delay = cfg.delay;
         delay.scale = cfg.scale;
-        let sources_built: Vec<TrafficSource> = sources
+        let sources_built: Vec<SourceSlot> = sources
             .iter()
-            .map(|sc| {
+            .enumerate()
+            .map(|(i, sc)| {
                 let mut sc = sc.clone();
                 if let RateSpec::HoltWinters(hw) = sc.rate {
-                    sc.rate = RateSpec::HoltWinters(hw.with_period_compressed(cfg.period_compression));
+                    sc.rate =
+                        RateSpec::HoltWinters(hw.with_period_compressed(cfg.period_compression));
                 }
-                TrafficSource::new(&sc)
+                SourceSlot {
+                    source: TrafficSource::new(&sc),
+                    rng: seq.indexed_rng("source", i),
+                }
             })
-            .collect();
-        let source_rngs = (0..sources_built.len())
-            .map(|i| seq.indexed_rng("source", i))
             .collect();
         let cores = (0..cfg.n_cores)
             .map(|_| Core {
@@ -166,11 +187,10 @@ impl<S: Scheduler> Engine<S> {
             delay,
             scheduler,
             sources: sources_built,
-            source_rngs,
             cores,
             events: EventQueue::with_capacity(1024),
-            flow_seq: HashMap::new(),
-            last_core: HashMap::new(),
+            flow_seq: det_map(),
+            last_core: det_map(),
             order: OrderTracker::new(),
             classifier_rng: seq.rng("fm-classifier"),
             restoration,
@@ -183,10 +203,10 @@ impl<S: Scheduler> Engine<S> {
     /// Record a packet leaving the system (after restoration, if any).
     fn emit(&mut self, pkt: PacketDesc, now: SimTime) {
         self.report.processed += 1;
-        self.report.per_service[pkt.service.index()].processed += 1;
+        self.report.service_mut(pkt.service).processed += 1;
         if self.order.record_departure(pkt.flow, pkt.flow_seq) {
             self.report.out_of_order += 1;
-            self.report.per_service[pkt.service.index()].out_of_order += 1;
+            self.report.service_mut(pkt.service).out_of_order += 1;
         }
         self.report.latency.record((now - pkt.arrival).as_nanos());
     }
@@ -205,16 +225,23 @@ impl<S: Scheduler> Engine<S> {
     }
 
     fn start_processing(&mut self, core: usize, now: SimTime) {
-        if self.cores[core].current.is_some() {
+        // Core IDs originate from our own event queue / scheduler-checked
+        // dispatch; an out-of-range ID is a bug upstream, not a reason to
+        // panic mid-run.
+        let Some(slot) = self.cores.get_mut(core) else {
+            debug_assert!(false, "start_processing on unknown core {core}");
+            return;
+        };
+        if slot.current.is_some() {
             return;
         }
-        let Some(pkt) = self.cores[core].queue.pop() else {
-            if self.cores[core].idle_since.is_none() {
-                self.cores[core].idle_since = Some(now);
+        let Some(pkt) = slot.queue.pop() else {
+            if slot.idle_since.is_none() {
+                slot.idle_since = Some(now);
             }
             return;
         };
-        let cold = self.cores[core].last_service != Some(pkt.service);
+        let cold = slot.last_service != Some(pkt.service);
         if cold {
             self.report.cold_starts += 1;
         }
@@ -225,28 +252,42 @@ impl<S: Scheduler> Engine<S> {
             .delay
             .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
         let d = SimTime::from_micros_f64(d_us);
-        self.cores[core].busy_ns += d.as_nanos();
-        self.cores[core].last_service = Some(pkt.service);
-        self.cores[core].current = Some(pkt);
-        self.cores[core].idle_since = None;
+        slot.busy_ns += d.as_nanos();
+        slot.last_service = Some(pkt.service);
+        slot.current = Some(pkt);
+        slot.idle_since = None;
         self.events.push(now + d, Ev::Finish(core));
+    }
+
+    /// Schedule the next arrival from `src` if it lands in the horizon.
+    fn schedule_next_arrival(&mut self, src: usize, now: SimTime) {
+        let scale = self.cfg.scale;
+        let Some(slot) = self.sources.get_mut(src) else {
+            debug_assert!(false, "arrival from unknown source {src}");
+            return;
+        };
+        let gap = slot.source.next_gap(scale, &mut slot.rng);
+        let next = now + gap;
+        if next <= self.cfg.duration {
+            self.events.push(next, Ev::Arrival(src));
+        }
     }
 
     fn on_arrival(&mut self, src: usize, now: SimTime) {
         // Draw the header and build the descriptor.
-        let (flow, size) = self.sources[src].next_header();
-        let service = self.sources[src].service;
+        let Some(slot) = self.sources.get_mut(src) else {
+            debug_assert!(false, "arrival from unknown source {src}");
+            return;
+        };
+        let (flow, size) = slot.source.next_header();
+        let service = slot.source.service;
         // Frame-manager classification (Fig. 1): control-plane packets
         // take the slow path and never enter the data-plane scheduler.
         if self.cfg.control_plane_fraction > 0.0
             && self.classifier_rng.gen::<f64>() < self.cfg.control_plane_fraction
         {
             self.report.slow_path += 1;
-            let gap = self.sources[src].next_gap(self.cfg.scale, &mut self.source_rngs[src]);
-            let next = now + gap;
-            if next <= self.cfg.duration {
-                self.events.push(next, Ev::Arrival(src));
-            }
+            self.schedule_next_arrival(src, now);
             return;
         }
         let seq_ref = self.flow_seq.entry(flow).or_insert(0);
@@ -263,21 +304,35 @@ impl<S: Scheduler> Engine<S> {
         };
         self.next_packet_id += 1;
         self.report.offered += 1;
-        self.report.per_service[service.index()].offered += 1;
+        self.report.service_mut(service).offered += 1;
 
         // Ask the policy for a target core.
         let infos = self.queue_infos();
-        let view = SystemView { now, queues: &infos };
+        let view = SystemView {
+            now,
+            queues: &infos,
+        };
         let target = self.scheduler.schedule(&pkt, &view);
-        assert!(target < self.cfg.n_cores, "scheduler returned core {target}");
+        assert!(
+            target < self.cfg.n_cores,
+            "scheduler returned core {target}"
+        );
 
         let migrated = matches!(self.last_core.get(&flow), Some(&c) if c != target);
         pkt.migrated = migrated;
-        match self.cores[target].queue.push(pkt) {
+        // `target` < n_cores was just asserted, so the lookup is total.
+        let outcome = self
+            .cores
+            .get_mut(target)
+            .map(|c| c.queue.push(pkt))
+            .unwrap_or(PushOutcome::Dropped);
+        match outcome {
             PushOutcome::Dropped => {
-                self.cores[target].last_congested = now;
+                if let Some(c) = self.cores.get_mut(target) {
+                    c.last_congested = now;
+                }
                 self.report.dropped += 1;
-                self.report.per_service[service.index()].dropped += 1;
+                self.report.service_mut(service).dropped += 1;
                 self.scheduler.on_drop(&pkt, target);
                 // The frame manager knows this sequence number will never
                 // depart; tell the restoration buffer not to wait for it.
@@ -289,7 +344,9 @@ impl<S: Scheduler> Engine<S> {
             }
             PushOutcome::Enqueued(len) => {
                 if len >= self.cfg.congestion_watermark {
-                    self.cores[target].last_congested = now;
+                    if let Some(c) = self.cores.get_mut(target) {
+                        c.last_congested = now;
+                    }
                 }
                 if migrated {
                     self.report.migration_events += 1;
@@ -301,18 +358,20 @@ impl<S: Scheduler> Engine<S> {
 
         // Schedule the next arrival from this source, if still within the
         // horizon.
-        let gap = self.sources[src].next_gap(self.cfg.scale, &mut self.source_rngs[src]);
-        let next = now + gap;
-        if next <= self.cfg.duration {
-            self.events.push(next, Ev::Arrival(src));
-        }
+        self.schedule_next_arrival(src, now);
     }
 
     fn on_finish(&mut self, core: usize, now: SimTime) {
-        let pkt = self.cores[core]
-            .current
-            .take()
-            .expect("finish event without packet in service");
+        // A finish event always carries the packet placed by
+        // start_processing; a missing one means the event queue and core
+        // state disagree — flag it in debug, skip it in release.
+        let Some(pkt) = self.cores.get_mut(core).and_then(|c| c.current.take()) else {
+            debug_assert!(
+                false,
+                "finish event without packet in service on core {core}"
+            );
+            return;
+        };
         match self.restoration.as_mut() {
             None => self.emit(pkt, now),
             Some(buf) => {
@@ -327,13 +386,44 @@ impl<S: Scheduler> Engine<S> {
     }
 
     fn on_rate_update(&mut self, now: SimTime) {
-        for (i, s) in self.sources.iter_mut().enumerate() {
-            s.refresh_rate(now, &mut self.source_rngs[i]);
+        for slot in &mut self.sources {
+            slot.source.refresh_rate(now, &mut slot.rng);
         }
         let next = now + self.cfg.rate_update_interval;
         if next <= self.cfg.duration {
             self.events.push(next, Ev::RateUpdate);
         }
+    }
+
+    /// Runtime invariant checks, compiled in with `--features invariants`
+    /// (debug builds of the `invariants` feature; zero cost otherwise).
+    ///
+    /// Checked at every event dispatch:
+    /// 1. **Packet conservation** — every offered packet is either
+    ///    processed, dropped, queued, in service, or waiting in the
+    ///    restoration buffer: `offered == processed + dropped + in_flight`.
+    /// 2. **Monotone virtual time** — the event clock never runs
+    ///    backwards.
+    #[cfg(feature = "invariants")]
+    fn check_invariants(&self, now: SimTime, previous: SimTime) {
+        assert!(
+            now >= previous,
+            "virtual time ran backwards: {previous:?} -> {now:?}"
+        );
+        let queued: u64 = self.cores.iter().map(|c| c.queue.len() as u64).sum();
+        let in_service: u64 = self.cores.iter().filter(|c| c.current.is_some()).count() as u64;
+        let buffered = self
+            .restoration
+            .as_ref()
+            .map_or(0, |b| b.occupancy() as u64);
+        let accounted =
+            self.report.processed + self.report.dropped + queued + in_service + buffered;
+        assert_eq!(
+            self.report.offered, accounted,
+            "packet conservation violated at t={now:?}: offered {} != processed {} + dropped {} \
+             + queued {queued} + in-service {in_service} + restoration-buffered {buffered}",
+            self.report.offered, self.report.processed, self.report.dropped
+        );
     }
 
     /// Run to completion (horizon + drain) and return the report.
@@ -345,24 +435,34 @@ impl<S: Scheduler> Engine<S> {
     /// can read policy-internal statistics (e.g. LAPS park/wake counts).
     pub fn run_returning_scheduler(mut self) -> (SimReport, S) {
         // Prime arrivals and the rate-update ticker.
-        for i in 0..self.sources.len() {
-            let gap = self.sources[i].next_gap(self.cfg.scale, &mut self.source_rngs[i]);
+        let scale = self.cfg.scale;
+        let mut primed = Vec::with_capacity(self.sources.len());
+        for (i, slot) in self.sources.iter_mut().enumerate() {
+            let gap = slot.source.next_gap(scale, &mut slot.rng);
             if gap <= self.cfg.duration {
-                self.events.push(gap, Ev::Arrival(i));
+                primed.push((gap, Ev::Arrival(i)));
             }
         }
+        for (at, ev) in primed {
+            self.events.push(at, ev);
+        }
         if self.cfg.rate_update_interval <= self.cfg.duration {
-            self.events.push(self.cfg.rate_update_interval, Ev::RateUpdate);
+            self.events
+                .push(self.cfg.rate_update_interval, Ev::RateUpdate);
         }
 
         let mut last_t = SimTime::ZERO;
         while let Some((t, ev)) = self.events.pop() {
+            #[cfg(feature = "invariants")]
+            self.check_invariants(t, last_t);
             last_t = t;
             match ev {
                 Ev::Arrival(src) => self.on_arrival(src, t),
                 Ev::Finish(core) => self.on_finish(core, t),
                 Ev::RateUpdate => self.on_rate_update(t),
             }
+            #[cfg(feature = "invariants")]
+            self.check_invariants(t, last_t);
         }
         self.report.end_time = last_t.max(self.cfg.duration);
 
@@ -442,15 +542,21 @@ mod tests {
         // Overloaded single core: 1 Mpps offered into 2 Mpps... IP fwd
         // takes 0.5µs ⇒ capacity exactly 2 Mpps; offer 4 Mpps to force
         // drops.
-        let report = Engine::new(quick_cfg(1, 20), &one_source(4.0), JoinShortestQueue::new()).run();
+        let report =
+            Engine::new(quick_cfg(1, 20), &one_source(4.0), JoinShortestQueue::new()).run();
         assert!(report.offered > 0);
         assert!(report.dropped > 0, "overload must drop");
-        assert_eq!(report.offered, report.accounted(), "drain accounts for every packet");
+        assert_eq!(
+            report.offered,
+            report.accounted(),
+            "drain accounts for every packet"
+        );
     }
 
     #[test]
     fn underload_single_core_no_drops() {
-        let report = Engine::new(quick_cfg(1, 20), &one_source(1.0), JoinShortestQueue::new()).run();
+        let report =
+            Engine::new(quick_cfg(1, 20), &one_source(1.0), JoinShortestQueue::new()).run();
         assert_eq!(report.dropped, 0, "0.5 load should not drop");
         assert_eq!(report.offered, report.processed);
     }
@@ -504,7 +610,13 @@ mod tests {
     fn deterministic_replay() {
         let run = || {
             let r = Engine::new(quick_cfg(4, 30), &one_source(5.0), JoinShortestQueue::new()).run();
-            (r.offered, r.dropped, r.processed, r.out_of_order, r.migration_events)
+            (
+                r.offered,
+                r.dropped,
+                r.processed,
+                r.out_of_order,
+                r.migration_events,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -532,7 +644,11 @@ mod tests {
         let r1 = Engine::new(quick_cfg(4, 20), &one_source(1.0), JoinShortestQueue::new()).run();
         let r2 = Engine::new(quick_cfg(4, 40), &one_source(1.0), JoinShortestQueue::new()).run();
         // 1 Mpps for 20 ms ≈ 20k packets.
-        assert!((r1.offered as f64 - 20_000.0).abs() < 2_000.0, "offered {}", r1.offered);
+        assert!(
+            (r1.offered as f64 - 20_000.0).abs() < 2_000.0,
+            "offered {}",
+            r1.offered
+        );
         let ratio = r2.offered as f64 / r1.offered as f64;
         assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
     }
@@ -574,7 +690,11 @@ mod tests {
         let stats = with.restoration.expect("stats recorded");
         assert!(stats.buffered > 0, "some packets must have waited");
         assert!(stats.peak_occupancy > 0);
-        assert_eq!(with.offered, with.dropped + with.processed, "conservation holds");
+        assert_eq!(
+            with.offered,
+            with.dropped + with.processed,
+            "conservation holds"
+        );
     }
 
     #[test]

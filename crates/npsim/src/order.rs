@@ -7,14 +7,14 @@
 //! late the packet is), an extension beyond the paper's scalar count.
 
 use detsim::Histogram;
+use nphash::det::DetHashMap;
 use nphash::FlowId;
-use std::collections::HashMap;
 
 /// Tracks per-flow departure order.
 #[derive(Debug, Default)]
 pub struct OrderTracker {
     /// Highest flow_seq already departed, per flow.
-    max_departed: HashMap<FlowId, u64>,
+    max_departed: DetHashMap<FlowId, u64>,
     departed: u64,
     out_of_order: u64,
     extent: Histogram,

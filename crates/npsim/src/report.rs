@@ -86,6 +86,16 @@ impl SimReport {
         }
     }
 
+    /// The per-service counters of `service` (the hot-path-safe way to
+    /// reach `per_service`: `ServiceKind::index()` is 0..4 and the array
+    /// has exactly one slot per kind, so no packet-path indexing panic
+    /// is possible through this accessor).
+    pub fn service_mut(&mut self, service: nptraffic::ServiceKind) -> &mut ServiceBreakdown {
+        let idx = service.index().min(self.per_service.len() - 1);
+        // npcheck: allow(hot-path-panic) — idx clamped to the array above
+        &mut self.per_service[idx]
+    }
+
     /// Fraction of offered packets dropped — Fig. 7(a) / Fig. 9(a).
     pub fn drop_fraction(&self) -> f64 {
         if self.offered == 0 {
@@ -180,7 +190,7 @@ mod tests {
     fn throughput_unscales() {
         let mut r = SimReport::new("x", SimTime::from_secs(1), 50.0);
         r.processed = 1_000_000; // 1 Mp in 1 s at scale 50 → 0.05 Mpps × 50 = 50...
-        // 1e6 packets / 1e6 µs = 1 pkt/µs = 1 Mpps at sim scale → ×50 = 50 Mpps.
+                                 // 1e6 packets / 1e6 µs = 1 pkt/µs = 1 Mpps at sim scale → ×50 = 50 Mpps.
         assert!((r.throughput_mpps() - 50.0).abs() < 1e-9);
     }
 

@@ -17,9 +17,10 @@
 
 use crate::packet::PacketDesc;
 use detsim::{Histogram, SimTime};
+use nphash::det::{det_map, DetHashMap};
 use nphash::FlowId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Cumulative restoration statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -41,9 +42,9 @@ pub struct RestorationStats {
 pub struct RestorationBuffer {
     timeout: SimTime,
     /// Next sequence number each flow is allowed to release.
-    next_expected: HashMap<FlowId, u64>,
+    next_expected: DetHashMap<FlowId, u64>,
     /// Held packets: flow → seq → (packet, buffered_at).
-    held: HashMap<FlowId, BTreeMap<u64, (PacketDesc, SimTime)>>,
+    held: DetHashMap<FlowId, BTreeMap<u64, (PacketDesc, SimTime)>>,
     occupancy: usize,
     stats: RestorationStats,
 }
@@ -53,8 +54,8 @@ impl RestorationBuffer {
     pub fn new(timeout: SimTime) -> Self {
         RestorationBuffer {
             timeout,
-            next_expected: HashMap::new(),
-            held: HashMap::new(),
+            next_expected: det_map(),
+            held: det_map(),
             occupancy: 0,
             stats: RestorationStats::default(),
         }
@@ -135,7 +136,9 @@ impl RestorationBuffer {
             }
             let (pkt, since) = q.remove(&seq).expect("peeked");
             self.occupancy -= 1;
-            self.stats.buffer_wait.record((now.saturating_sub(since)).as_nanos());
+            self.stats
+                .buffer_wait
+                .record((now.saturating_sub(since)).as_nanos());
             *expected += 1;
             out.push(pkt);
         }
@@ -180,7 +183,9 @@ impl RestorationBuffer {
             // A flow may hold interior gaps (e.g. seqs {5, 7}); jump the
             // window over each gap until the flow's queue is empty.
             while let Some(q) = self.held.get_mut(&flow) {
-                let Some((&seq, _)) = q.iter().next() else { break };
+                let Some((&seq, _)) = q.iter().next() else {
+                    break;
+                };
                 self.next_expected.insert(flow, seq);
                 out.extend(self.drain_ready(flow, now));
             }

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let qs = view(&[0, 0, 0]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut rr = RoundRobin::new();
         let picks: Vec<usize> = (0..6).map(|_| rr.schedule(&pkt(), &v)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
@@ -187,7 +190,10 @@ mod tests {
     #[test]
     fn jsq_picks_shortest_with_tie_to_lowest() {
         let qs = view(&[3, 1, 1, 5]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         let mut jsq = JoinShortestQueue::new();
         assert_eq!(jsq.schedule(&pkt(), &v), 1);
     }
@@ -195,7 +201,10 @@ mod tests {
     #[test]
     fn view_helpers() {
         let qs = view(&[3, 1, 4, 0]);
-        let v = SystemView { now: SimTime::ZERO, queues: &qs };
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
         assert_eq!(v.n_cores(), 4);
         assert_eq!(v.min_queue_core(&[0, 2]), Some(0));
         assert_eq!(v.min_queue_core(&[]), None);

@@ -7,8 +7,8 @@
 
 use detsim::SimTime;
 use nphash::FlowId;
-use nptraffic::{HoltWinters, ServiceKind};
 use nptrace::{TraceGenerator, TracePreset};
+use nptraffic::{HoltWinters, ServiceKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -121,7 +121,9 @@ mod tests {
         let s = source(RateSpec::Constant(2.0)); // 2 Mpps → mean gap 0.5 µs
         let mut rng = StdRng::seed_from_u64(1);
         let n = 50_000;
-        let total: f64 = (0..n).map(|_| s.next_gap(1.0, &mut rng).as_micros_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| s.next_gap(1.0, &mut rng).as_micros_f64())
+            .sum();
         let mean = total / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean gap {mean}");
     }
@@ -131,7 +133,9 @@ mod tests {
         let s = source(RateSpec::Constant(2.0));
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let total: f64 = (0..n).map(|_| s.next_gap(50.0, &mut rng).as_micros_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| s.next_gap(50.0, &mut rng).as_micros_f64())
+            .sum();
         let mean = total / n as f64;
         assert!((mean - 25.0).abs() < 1.0, "scaled mean gap {mean}");
     }

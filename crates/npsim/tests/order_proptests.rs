@@ -1,0 +1,111 @@
+//! Property-based tests for the reordering metric (`npsim::order`).
+//!
+//! Two properties the paper's evaluation quietly relies on:
+//!
+//! 1. **Permutation-free streams measure zero.** If every flow's packets
+//!    depart in arrival-sequence order — however the flows interleave
+//!    with each other, and whatever gaps drops left — the metric must be
+//!    exactly zero. Inter-flow interleaving is *not* reordering.
+//! 2. **Flow labels carry no information.** Relabeling flows through any
+//!    injective map must leave every reported number unchanged: the
+//!    metric may depend only on the per-flow sequence structure.
+
+use nphash::FlowId;
+use npsim::OrderTracker;
+use proptest::prelude::*;
+
+fn flow(i: u64) -> FlowId {
+    FlowId::from_index(i)
+}
+
+/// Replay `(flow_index, seq)` departures and return the tracker.
+fn replay(departures: &[(u64, u64)]) -> OrderTracker {
+    let mut t = OrderTracker::new();
+    for &(f, s) in departures {
+        t.record_departure(flow(f), s);
+    }
+    t
+}
+
+/// Reference O(n²) implementation of the RFC 4737 singleton metric: a
+/// departure is out of order iff a same-flow packet with a *higher*
+/// sequence departed before it.
+fn brute_force_ooo(departures: &[(u64, u64)]) -> u64 {
+    let mut count = 0;
+    for (i, &(f, s)) in departures.iter().enumerate() {
+        let late = departures.iter().take(i).any(|&(pf, ps)| pf == f && ps > s);
+        if late {
+            count += 1;
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Any interleaving of per-flow in-order streams (with drop gaps)
+    /// measures zero reordering.
+    #[test]
+    fn permutation_free_stream_is_zero(
+        choices in proptest::collection::vec(any::<u64>(), 1..200),
+        n_flows in 1u64..8,
+    ) {
+        // Each element picks which flow departs next; per-flow sequence
+        // numbers only ever increase (low bit adds drop gaps).
+        let mut next_seq = vec![0u64; n_flows as usize];
+        let mut departures = Vec::with_capacity(choices.len());
+        for c in &choices {
+            let f = c % n_flows;
+            let seq = &mut next_seq[f as usize];
+            departures.push((f, *seq));
+            *seq += 1 + (c & 1); // sometimes skip a seq: a dropped packet
+        }
+        let t = replay(&departures);
+        prop_assert_eq!(t.out_of_order(), 0);
+        prop_assert_eq!(t.ooo_fraction(), 0.0);
+        prop_assert_eq!(t.departed(), departures.len() as u64);
+        prop_assert_eq!(t.extent_histogram().count(), 0);
+    }
+
+    /// Relabeling flow IDs through an injective map changes nothing.
+    #[test]
+    fn metric_invariant_under_flow_relabeling(
+        raw in proptest::collection::vec(any::<u64>(), 1..200),
+        mul in any::<u64>(),
+        shift in any::<u64>(),
+    ) {
+        // Arbitrary (possibly reordered) departure stream over 6 flows.
+        let departures: Vec<(u64, u64)> = raw
+            .iter()
+            .map(|r| (r % 6, (r >> 3) % 32))
+            .collect();
+        // Odd multipliers are invertible mod 2^64, so this is injective.
+        let odd = mul | 1;
+        let relabeled: Vec<(u64, u64)> = departures
+            .iter()
+            .map(|&(f, s)| (f.wrapping_mul(odd).wrapping_add(shift), s))
+            .collect();
+
+        let a = replay(&departures);
+        let b = replay(&relabeled);
+        prop_assert_eq!(a.departed(), b.departed());
+        prop_assert_eq!(a.out_of_order(), b.out_of_order());
+        prop_assert_eq!(a.ooo_fraction(), b.ooo_fraction());
+        prop_assert_eq!(a.flows_seen(), b.flows_seen());
+        prop_assert_eq!(a.extent_histogram().count(), b.extent_histogram().count());
+        prop_assert_eq!(a.extent_histogram().max(), b.extent_histogram().max());
+        prop_assert_eq!(a.extent_histogram().mean(), b.extent_histogram().mean());
+    }
+
+    /// The incremental tracker agrees with the O(n²) definition.
+    #[test]
+    fn tracker_matches_reference_definition(
+        raw in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let departures: Vec<(u64, u64)> = raw
+            .iter()
+            .map(|r| (r % 4, (r >> 2) % 16))
+            .collect();
+        let t = replay(&departures);
+        prop_assert_eq!(t.out_of_order(), brute_force_ooo(&departures));
+    }
+}

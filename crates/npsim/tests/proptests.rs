@@ -16,9 +16,7 @@ struct ChaosScheduler {
 
 impl ChaosScheduler {
     fn new(seed: u64) -> Self {
-        ChaosScheduler {
-            state: seed | 1,
-        }
+        ChaosScheduler { state: seed | 1 }
     }
 }
 
@@ -36,7 +34,13 @@ impl Scheduler for ChaosScheduler {
     }
 }
 
-fn run(n_cores: usize, rate: f64, seed: u64, chaos_seed: u64, duration_us: u64) -> npsim::SimReport {
+fn run(
+    n_cores: usize,
+    rate: f64,
+    seed: u64,
+    chaos_seed: u64,
+    duration_us: u64,
+) -> npsim::SimReport {
     let cfg = EngineConfig {
         n_cores,
         duration: SimTime::from_micros(duration_us),

@@ -85,7 +85,9 @@ impl TraceStats {
             return 0.0;
         }
         let ranked = self.rank_size();
-        let k = ((ranked.len() as f64 * frac).ceil() as usize).max(1).min(ranked.len());
+        let k = ((ranked.len() as f64 * frac).ceil() as usize)
+            .max(1)
+            .min(ranked.len());
         let top: u64 = ranked[..k].iter().sum();
         top as f64 / self.total_packets as f64
     }
@@ -156,7 +158,10 @@ mod tests {
             name: "t".into(),
             flow_space: 1,
             n_flows: flows.iter().copied().max().unwrap_or(0) + 1,
-            packets: flows.iter().map(|&f| PacketRecord { flow: f, size: 64 }).collect(),
+            packets: flows
+                .iter()
+                .map(|&f| PacketRecord { flow: f, size: 64 })
+                .collect(),
         }
     }
 

@@ -88,7 +88,11 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Build a generator for `config`, seeded with `seed`.
     pub fn new(config: TraceConfig, seed: u64) -> Self {
-        let zipf = ZipfSampler::shifted(config.n_flows as usize, config.zipf_exponent, config.head_offset);
+        let zipf = ZipfSampler::shifted(
+            config.n_flows as usize,
+            config.zipf_exponent,
+            config.head_offset,
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let profiles = (0..config.n_flows)
             .map(|rank| config.size_model.assign(rank, &mut rng))
@@ -214,7 +218,11 @@ mod tests {
         let counts = stats.counts_by_flow();
         let max = counts.iter().copied().max().unwrap();
         // Flow 0 (rank 0) should be at or near the maximum.
-        assert!(counts[0] as f64 > max as f64 * 0.5, "flow0={} max={max}", counts[0]);
+        assert!(
+            counts[0] as f64 > max as f64 * 0.5,
+            "flow0={} max={max}",
+            counts[0]
+        );
     }
 
     #[test]

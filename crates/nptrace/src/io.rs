@@ -43,11 +43,17 @@ pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Trace> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let name_len = read_u32(r)? as usize;
     if name_len > 1 << 20 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable name length"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unreasonable name length",
+        ));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;

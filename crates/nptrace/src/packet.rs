@@ -25,7 +25,11 @@ impl PacketRecord {
     /// trace's `flow_space` so different traces don't share flow IDs.
     #[inline]
     pub fn flow_id(&self, flow_space: u64) -> FlowId {
-        FlowId::from_index(flow_space.wrapping_mul(1 << 32).wrapping_add(self.flow as u64))
+        FlowId::from_index(
+            flow_space
+                .wrapping_mul(1 << 32)
+                .wrapping_add(self.flow as u64),
+        )
     }
 }
 
@@ -65,7 +69,9 @@ impl Trace {
 
     /// Iterate `(FlowId, size)` pairs in stream order.
     pub fn iter_ids(&self) -> impl Iterator<Item = (FlowId, u16)> + '_ {
-        self.packets.iter().map(|p| (p.flow_id(self.flow_space), p.size))
+        self.packets
+            .iter()
+            .map(|p| (p.flow_id(self.flow_space), p.size))
     }
 
     /// Compute offline statistics (per-flow counts, rank-size, top-k).
@@ -93,7 +99,10 @@ mod tests {
             n_flows: 2,
             packets: vec![
                 PacketRecord { flow: 0, size: 64 },
-                PacketRecord { flow: 1, size: 1500 },
+                PacketRecord {
+                    flow: 1,
+                    size: 1500,
+                },
                 PacketRecord { flow: 0, size: 64 },
             ],
         }
@@ -113,7 +122,12 @@ mod tests {
     fn mean_size() {
         let t = tiny();
         assert!((t.mean_packet_size() - (64.0 + 1500.0 + 64.0) / 3.0).abs() < 1e-9);
-        let e = Trace { name: "e".into(), flow_space: 0, n_flows: 0, packets: vec![] };
+        let e = Trace {
+            name: "e".into(),
+            flow_space: 0,
+            n_flows: 0,
+            packets: vec![],
+        };
         assert_eq!(e.mean_packet_size(), 0.0);
         assert!(e.is_empty());
     }

@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for p in TracePreset::all_caida().into_iter().chain(TracePreset::all_auckland()) {
+        for p in TracePreset::all_caida()
+            .into_iter()
+            .chain(TracePreset::all_auckland())
+        {
             assert_eq!(TracePreset::parse(&p.name()), Some(p));
         }
         assert_eq!(TracePreset::parse("caida7"), None);

@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn profiles_emit_valid_sizes() {
         let mut rng = StdRng::seed_from_u64(0);
-        for p in [SizeProfile::Small, SizeProfile::Medium, SizeProfile::Large, SizeProfile::Mixed] {
+        for p in [
+            SizeProfile::Small,
+            SizeProfile::Medium,
+            SizeProfile::Large,
+            SizeProfile::Mixed,
+        ] {
             for _ in 0..100 {
                 let s = p.sample(&mut rng);
                 assert!(matches!(s, 64 | 576 | 1500), "size {s}");

@@ -40,8 +40,14 @@ impl ZipfSampler {
     /// Panics if `n == 0`, or `s`/`q` are not finite, or `q < 0`.
     pub fn shifted(n: usize, s: f64, q: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
-        assert!(q.is_finite() && q >= 0.0, "head offset must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
+        assert!(
+            q.is_finite() && q >= 0.0,
+            "head offset must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for i in 1..=n {

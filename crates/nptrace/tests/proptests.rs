@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = TraceConfig> {
     // Keep the search space small enough to run fast.
-    (1u32..200, 0.5f64..1.5, 1usize..2_000, 1.0f64..6.0).prop_map(|(n_flows, exp, n_packets, burst)| {
-        TraceConfig {
+    (1u32..200, 0.5f64..1.5, 1usize..2_000, 1.0f64..6.0).prop_map(
+        |(n_flows, exp, n_packets, burst)| TraceConfig {
             name: "prop".into(),
             flow_space: 77,
             n_flows,
@@ -19,8 +19,8 @@ fn arb_config() -> impl Strategy<Value = TraceConfig> {
             concurrency: 1,
             mouse_lifetime: 0.0,
             size_model: SizeModel::default(),
-        }
-    })
+        },
+    )
 }
 
 proptest! {

@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn seasonal_shapes_bounded() {
-        for shape in [SeasonalShape::Sine, SeasonalShape::Sawtooth, SeasonalShape::Square] {
+        for shape in [
+            SeasonalShape::Sine,
+            SeasonalShape::Sawtooth,
+            SeasonalShape::Square,
+        ] {
             for i in 0..1000 {
                 let v = shape.eval(i as f64 * 0.1, 7.0);
                 assert!((-1.0..=1.0).contains(&v), "{shape:?} at {i}: {v}");

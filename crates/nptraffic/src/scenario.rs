@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// capacity of 16 cores), `Set2` the overload scenario. The paper's
 /// obvious typos (`b = 025`, `b = 02`) are read as `0.025` / `0.02`, and
 /// the trend is per-minute — see DESIGN.md.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ParameterSet {
     /// Under-load: aggregate ≈ 10–11 core-equivalents of demand.
     Set1,
@@ -57,7 +57,7 @@ impl ParameterSet {
 }
 
 /// Table V: which trace feeds each service's packet headers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TraceGroup {
     /// caida1..4
     G1,
@@ -71,7 +71,12 @@ pub enum TraceGroup {
 
 impl TraceGroup {
     /// All four groups.
-    pub const ALL: [TraceGroup; 4] = [TraceGroup::G1, TraceGroup::G2, TraceGroup::G3, TraceGroup::G4];
+    pub const ALL: [TraceGroup; 4] = [
+        TraceGroup::G1,
+        TraceGroup::G2,
+        TraceGroup::G3,
+        TraceGroup::G4,
+    ];
 
     /// The trace for each service S1..S4, per Table V.
     pub fn traces(self) -> [TracePreset; 4] {
@@ -190,16 +195,27 @@ mod tests {
     #[test]
     fn table_iv_rows() {
         let hw = ParameterSet::Set1.rate_model(ServiceKind::VpnOut);
-        assert_eq!((hw.a, hw.b, hw.c, hw.m, hw.sigma), (1.0, 0.03, 0.3, 40.0, 0.1));
+        assert_eq!(
+            (hw.a, hw.b, hw.c, hw.m, hw.sigma),
+            (1.0, 0.03, 0.3, 40.0, 0.1)
+        );
         let hw = ParameterSet::Set2.rate_model(ServiceKind::VpnInScan);
-        assert_eq!((hw.a, hw.b, hw.c, hw.m, hw.sigma), (0.7, 0.01, 0.18, 200.0, 0.3));
+        assert_eq!(
+            (hw.a, hw.b, hw.c, hw.m, hw.sigma),
+            (0.7, 0.01, 0.18, 200.0, 0.3)
+        );
     }
 
     #[test]
     fn eight_scenarios_cover_both_sets() {
         let all = Scenario::all();
         assert_eq!(all.len(), 8);
-        assert_eq!(all.iter().filter(|s| s.params == ParameterSet::Set1).count(), 4);
+        assert_eq!(
+            all.iter()
+                .filter(|s| s.params == ParameterSet::Set1)
+                .count(),
+            4
+        );
         assert_eq!(all[0].name(), "T1");
         assert_eq!(all[7].name(), "T8");
         assert_eq!(Scenario::by_id(5).unwrap().params, ParameterSet::Set2);

@@ -123,7 +123,8 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> = ServiceKind::ALL.iter().map(|s| s.name()).collect();
+        let names: std::collections::BTreeSet<_> =
+            ServiceKind::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 4);
     }
 }

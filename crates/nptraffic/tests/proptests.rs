@@ -1,7 +1,7 @@
 //! Property-based tests on the traffic and delay models.
 
-use nptraffic::{HoltWinters, ParameterSet, SeasonalShape, ServiceKind};
 use nptraffic::{DelayModel, Scenario};
+use nptraffic::{HoltWinters, ParameterSet, SeasonalShape, ServiceKind};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,9 +73,12 @@ proptest! {
 #[test]
 fn scenarios_are_exhaustive_and_unique() {
     let all = Scenario::all();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for s in &all {
-        assert!(seen.insert((s.params, s.group)), "duplicate scenario combination");
+        assert!(
+            seen.insert((s.params, s.group)),
+            "duplicate scenario combination"
+        );
         assert!((1..=8).contains(&s.id));
     }
     assert_eq!(all.len(), 8);

@@ -1,0 +1,247 @@
+//! Offline stand-in for the subset of `criterion` the bench harness
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `Throughput`, `BenchmarkId`, and `black_box`.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then a fixed
+//! number of timed batches, reporting min/mean per iteration. It is a
+//! smoke-level harness: good enough to catch order-of-magnitude
+//! regressions and to keep every bench target compiling and runnable
+//! offline, not a statistics engine.
+//!
+//! This crate is the *one* place outside `crates/bench` and
+//! `experiments/bin/timing.rs` where wall-clock reads are sanctioned;
+//! the `npcheck` wall-clock rule exempts it by path.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level bench context handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            group: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, mut f: F) {
+        run_bench("", &id.render(), None, 10, &mut f);
+    }
+}
+
+/// Throughput annotation for per-element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing throughput/sizing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    group: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Number of timed samples per bench (min 3 here).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(3);
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, mut f: F) {
+        run_bench(
+            &self.group,
+            &id.render(),
+            self.throughput,
+            self.sample_size,
+            &mut f,
+        );
+    }
+
+    /// End the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Things acceptable as a benchmark name (`&str` or `BenchmarkId`).
+pub trait BenchId {
+    /// Render to the printed name.
+    fn render(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl BenchId for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn render(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// Passed to the bench closure; `iter` times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, running enough iterations per sample to get above timer
+    /// resolution, for `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that takes
+        // ≥ ~5 ms per sample (or 1 if a single call is already slow).
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_nanos() as f64 / b.iters_per_sample as f64;
+    let min = b
+        .samples
+        .iter()
+        .map(&per_iter)
+        .fold(f64::INFINITY, f64::min);
+    let mean = b.samples.iter().map(&per_iter).sum::<f64>() / b.samples.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (mean * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (mean * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!("{label:<40} min {min:>12.1} ns/iter  mean {mean:>12.1} ns/iter{rate}");
+}
+
+/// Declare a bench group: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::new("add", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran + 1)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

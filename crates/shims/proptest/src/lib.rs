@@ -1,0 +1,332 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Property tests keep their exact source form (`proptest! { fn f(x in
+//! 0u64..100) {...} }`), but inputs are drawn from a **fixed-seed**
+//! deterministic RNG — every run of the suite explores the same cases,
+//! which is precisely the reproducibility contract `npcheck` enforces
+//! on the simulations themselves. There is no shrinking: a failing case
+//! prints its case index, and the fixed seeding makes it replayable.
+//!
+//! Supported strategy forms: integer/float ranges, `any::<T>()`,
+//! `Just`, tuples (2–4), `proptest::collection::vec`, `.prop_map`, and
+//! `prop_oneof!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng, Uniform};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derive the deterministic RNG for a (test, case) pair.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one input.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `.prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: Copy + SampleRangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_range(self.clone(), rng)
+    }
+}
+
+/// Helper bridging `Range<T>` strategies onto the rand shim.
+pub trait SampleRangeValue: Sized {
+    /// Draw from a half-open range.
+    fn sample_range(range: Range<Self>, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_sample_range_value {
+    ($($t:ty),*) => {$(
+        impl SampleRangeValue for $t {
+            fn sample_range(range: Range<Self>, rng: &mut StdRng) -> Self {
+                SampleRange::sample_from(range, rng)
+            }
+        }
+    )*};
+}
+impl_sample_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// `any::<T>()` — uniform over the whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform strategy over all of `T`.
+pub fn any<T: Uniform>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Uniform> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from pre-boxed options; panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        // Vec::get avoids indexing-panic lint noise; i is in range.
+        self.options
+            .get(i)
+            .map(|s| s.sample(rng))
+            .unwrap_or_else(|| unreachable!("gen_range bounded by len"))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SampleRangeValue, Strategy};
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`] (`usize` = exact
+    /// length, `Range<usize>` = drawn per case), mirroring upstream
+    /// `Into<SizeRange>`.
+    pub trait IntoSizeRange {
+        /// Convert to a half-open range of lengths.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// Vec of values from `element`, length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_size_range(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = usize::sample_range(self.len.clone(), rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy, Union,
+    };
+}
+
+/// The property-test macro: same surface syntax as upstream `proptest!`,
+/// expanded into a deterministic loop over seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!` — plain assert (no shrink machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// `prop_oneof!` — uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $(Box::new($s) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map(t in prop_oneof![Just(1u64), Just(10u64)], m in (0u8..4, 0u8..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(t == 1u64 || t == 10u64);
+            prop_assert!(m <= 6);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::case_rng("t", 0);
+        let mut b = crate::case_rng("t", 0);
+        let s = crate::collection::vec(any::<u64>(), 0..50);
+        assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The container cannot reach crates.io, so the real `serde` cannot be
+//! fetched. Call sites only need `#[derive(Serialize, Deserialize)]`
+//! plus `serde_json::{to_string, to_string_pretty, from_str}`, so this
+//! shim models serialization as conversion to/from an in-memory
+//! [`Value`] tree; the sibling `serde_json` shim renders and parses the
+//! tree as JSON text.
+//!
+//! Object keys keep **insertion order** (a `Vec` of pairs, not a map),
+//! so serialized reports are byte-stable across runs — the same
+//! determinism contract `npcheck` enforces on the simulation itself.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An in-memory serialization tree (the shim's `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (kept exact; never routed through `f64`).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Convenience constructor used by derives.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    concat!("value {} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::msg(format!("value {n} out of range for i64"))
+                    })?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    concat!("value {} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    /// Values beyond `u64::MAX` render as decimal strings (our JSON
+    /// model has no 128-bit number); everything else stays numeric.
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::U64(n) => Ok(u128::from(*n)),
+            Value::I64(n) if *n >= 0 => Ok(*n as u128),
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|e| Error::msg(format!("bad u128 `{s}`: {e}"))),
+            other => Err(Error::msg(format!("expected u128, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error::msg(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys render via their own serialization; non-string keys are
+        // stringified through the JSON writer downstream.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        Value::U64(n) => n.to_string(),
+                        Value::I64(n) => n.to_string(),
+                        other => format!("{other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-5i32).to_value()), Ok(-5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<u16> = vec![1, 2, 3];
+        assert_eq!(Vec::<u16>::from_value(&v.to_value()), Ok(v));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

@@ -70,7 +70,10 @@ fn main() {
     )
     .run();
 
-    println!("Scenario {} (overload) — partitioning alone vs full LAPS\n", scenario.name());
+    println!(
+        "Scenario {} (overload) — partitioning alone vs full LAPS\n",
+        scenario.name()
+    );
     println!(
         "{:<18} {:>9} {:>9} {:>11} {:>9}",
         "scheduler", "dropped", "ooo", "cold-cache", "reallocs"

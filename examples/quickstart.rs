@@ -43,12 +43,30 @@ fn main() {
 
     println!("scheduler        : {}", report.scheduler);
     println!("packets offered  : {}", report.offered);
-    println!("packets dropped  : {} ({:.2}%)", report.dropped, 100.0 * report.drop_fraction());
-    println!("out-of-order     : {} ({:.3}%)", report.out_of_order, 100.0 * report.ooo_fraction());
+    println!(
+        "packets dropped  : {} ({:.2}%)",
+        report.dropped,
+        100.0 * report.drop_fraction()
+    );
+    println!(
+        "out-of-order     : {} ({:.3}%)",
+        report.out_of_order,
+        100.0 * report.ooo_fraction()
+    );
     println!("flow migrations  : {}", report.migration_events);
-    println!("cold-cache starts: {} ({:.3}%)", report.cold_starts, 100.0 * report.cold_fraction());
-    println!("throughput       : {:.1} Mpps (paper scale)", report.throughput_mpps());
-    println!("mean latency     : {:.1} µs (sim scale)", report.mean_latency_us());
+    println!(
+        "cold-cache starts: {} ({:.3}%)",
+        report.cold_starts,
+        100.0 * report.cold_fraction()
+    );
+    println!(
+        "throughput       : {:.1} Mpps (paper scale)",
+        report.throughput_mpps()
+    );
+    println!(
+        "mean latency     : {:.1} µs (sim scale)",
+        report.mean_latency_us()
+    );
 
     assert_eq!(report.offered, report.dropped + report.processed);
 }

@@ -13,9 +13,17 @@ fn main() -> std::io::Result<()> {
     let trace = TracePreset::Caida(1).generate(100_000);
     let stats = trace.analyze();
 
-    println!("trace {}: {} packets over {} distinct flows", trace.name, trace.len(), stats.active_flows());
+    println!(
+        "trace {}: {} packets over {} distinct flows",
+        trace.name,
+        trace.len(),
+        stats.active_flows()
+    );
     println!("mean packet size: {:.0} B", trace.mean_packet_size());
-    println!("top 1% of flows carry {:.1}% of packets", 100.0 * stats.top_fraction(0.01));
+    println!(
+        "top 1% of flows carry {:.1}% of packets",
+        100.0 * stats.top_fraction(0.01)
+    );
 
     // Rank-size at log-spaced ranks (the Fig. 2 curve).
     let rs = stats.rank_size();
@@ -32,13 +40,21 @@ fn main() -> std::io::Result<()> {
     io::save(&trace, &path)?;
     let back = io::load(&path)?;
     assert_eq!(back.packets, trace.packets);
-    println!("binary round-trip ok: {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    println!(
+        "binary round-trip ok: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
 
     // pcap export (headers only), timestamped at 1 Mpps.
     let pcap = std::env::temp_dir().join("laps_caida1.pcap");
     let mut f = std::io::BufWriter::new(std::fs::File::create(&pcap)?);
     io::write_pcap(&trace, 1_000_000, &mut f)?;
     drop(f);
-    println!("pcap written: {} ({} bytes)", pcap.display(), std::fs::metadata(&pcap)?.len());
+    println!(
+        "pcap written: {} ({} bytes)",
+        pcap.display(),
+        std::fs::metadata(&pcap)?.len()
+    );
     Ok(())
 }

@@ -20,7 +20,11 @@ fn all_schedulers(c: &EngineConfig) -> Vec<Box<dyn Scheduler>> {
     vec![
         Box::new(Fcfs::new()),
         Box::new(StaticHash::new(c.n_cores)),
-        Box::new(Afs::new(c.n_cores, 24, SimTime::from_micros_f64(4.0 * c.scale))),
+        Box::new(Afs::new(
+            c.n_cores,
+            24,
+            SimTime::from_micros_f64(4.0 * c.scale),
+        )),
         Box::new(AdaptiveHash::new(c.n_cores, 4_096, 8)),
         Box::new(TopKMigration::new(
             c.n_cores,
@@ -53,9 +57,18 @@ fn every_scheduler_conserves_packets_on_every_scenario() {
             let off: u64 = r.per_service.iter().map(|s| s.offered).sum();
             let drp: u64 = r.per_service.iter().map(|s| s.dropped).sum();
             let prc: u64 = r.per_service.iter().map(|s| s.processed).sum();
-            assert_eq!(off, r.offered, "{name} on T{id}: per-service offered mismatch");
-            assert_eq!(drp, r.dropped, "{name} on T{id}: per-service dropped mismatch");
-            assert_eq!(prc, r.processed, "{name} on T{id}: per-service processed mismatch");
+            assert_eq!(
+                off, r.offered,
+                "{name} on T{id}: per-service offered mismatch"
+            );
+            assert_eq!(
+                drp, r.dropped,
+                "{name} on T{id}: per-service dropped mismatch"
+            );
+            assert_eq!(
+                prc, r.processed,
+                "{name} on T{id}: per-service processed mismatch"
+            );
             assert!(r.out_of_order <= r.processed);
             assert!(r.cold_starts <= r.processed);
             assert!(r.migrated_packets <= r.processed);
@@ -83,8 +96,14 @@ fn identical_seeds_replay_identically_for_every_scheduler() {
         assert_eq!(ra.offered, rb.offered, "{name}: offered diverged");
         assert_eq!(ra.dropped, rb.dropped, "{name}: dropped diverged");
         assert_eq!(ra.out_of_order, rb.out_of_order, "{name}: ooo diverged");
-        assert_eq!(ra.migration_events, rb.migration_events, "{name}: migrations diverged");
-        assert_eq!(ra.core_busy_ns, rb.core_busy_ns, "{name}: busy time diverged");
+        assert_eq!(
+            ra.migration_events, rb.migration_events,
+            "{name}: migrations diverged"
+        );
+        assert_eq!(
+            ra.core_busy_ns, rb.core_busy_ns,
+            "{name}: busy time diverged"
+        );
     }
 }
 

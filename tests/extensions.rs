@@ -25,7 +25,10 @@ fn restoration_reorders_fcfs_into_near_order() {
     c.restoration = Some(SimTime::from_micros_f64(100.0 * c.scale));
     let restored = Engine::new(c, &sources, Fcfs::new()).run();
 
-    assert!(plain.ooo_fraction() > 0.1, "fcfs must reorder heavily on T3");
+    assert!(
+        plain.ooo_fraction() > 0.1,
+        "fcfs must reorder heavily on T3"
+    );
     assert!(
         restored.ooo_fraction() < plain.ooo_fraction() * 0.1,
         "restoration cut ooo only from {} to {}",
@@ -37,7 +40,11 @@ fn restoration_reorders_fcfs_into_near_order() {
     assert_eq!(plain.dropped, restored.dropped);
     // But it costs real buffer space and wait time.
     let stats = restored.restoration.expect("restoration stats");
-    assert!(stats.peak_occupancy > 8, "peak occupancy {}", stats.peak_occupancy);
+    assert!(
+        stats.peak_occupancy > 8,
+        "peak occupancy {}",
+        stats.peak_occupancy
+    );
     assert!(stats.buffer_wait.mean() > 0.0);
     // Conservation still holds with the egress stage in place.
     assert_eq!(restored.offered, restored.dropped + restored.processed);
@@ -107,7 +114,11 @@ fn adaptive_hash_beats_static_under_skewed_overload() {
     // It migrates buckets to get there, so some reordering appears —
     // but far less than a per-packet shifter would produce.
     assert!(adpt.migration_events > 0);
-    assert!(adpt.ooo_fraction() < 0.05, "adaptive ooo {}", adpt.ooo_fraction());
+    assert!(
+        adpt.ooo_fraction() < 0.05,
+        "adaptive ooo {}",
+        adpt.ooo_fraction()
+    );
 }
 
 #[test]
@@ -131,5 +142,9 @@ fn parked_plus_restoration_compose() {
     let r = Engine::new(c, &sources, laps).run();
     assert_eq!(r.offered, r.dropped + r.processed);
     assert!(r.restoration.is_some());
-    assert!(r.ooo_fraction() < 0.01, "restored LAPS ooo {}", r.ooo_fraction());
+    assert!(
+        r.ooo_fraction() < 0.01,
+        "restored LAPS ooo {}",
+        r.ooo_fraction()
+    );
 }

@@ -22,16 +22,14 @@ fn engine_cfg(seed: u64) -> EngineConfig {
 }
 
 fn laps_scheduler(cfg: &EngineConfig) -> Laps {
-    Laps::new(
-        LapsConfig {
-            n_cores: cfg.n_cores,
-            // Time-valued knobs scale with the engine (paper-scale
-            // idle_th ≈ 10 µs → 1 ms at scale 100).
-            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-            ..LapsConfig::default()
-        },
-    )
+    Laps::new(LapsConfig {
+        n_cores: cfg.n_cores,
+        // Time-valued knobs scale with the engine (paper-scale
+        // idle_th ≈ 10 µs → 1 ms at scale 100).
+        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
+        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
+        ..LapsConfig::default()
+    })
 }
 
 fn run_scenario(id: u8, seed: u64) -> (SimReport, SimReport, SimReport) {
@@ -39,7 +37,12 @@ fn run_scenario(id: u8, seed: u64) -> (SimReport, SimReport, SimReport) {
     let sources = scenario_sources(scenario);
     let cfg = engine_cfg(seed);
     let fcfs = Engine::new(cfg.clone(), &sources, Fcfs::new()).run();
-    let afs = Engine::new(cfg.clone(), &sources, Afs::new(cfg.n_cores, 24, SimTime::from_micros_f64(4.0 * cfg.scale))).run();
+    let afs = Engine::new(
+        cfg.clone(),
+        &sources,
+        Afs::new(cfg.n_cores, 24, SimTime::from_micros_f64(4.0 * cfg.scale)),
+    )
+    .run();
     let laps = Engine::new(cfg.clone(), &sources, laps_scheduler(&cfg)).run();
     (fcfs, afs, laps)
 }
@@ -48,8 +51,16 @@ fn run_scenario(id: u8, seed: u64) -> (SimReport, SimReport, SimReport) {
 fn fig7_shape_underload_t1() {
     let (fcfs, afs, laps) = run_scenario(1, 11);
     // Fig 7(b): FCFS/AFS run cold on most packets; LAPS barely at all.
-    assert!(fcfs.cold_fraction() > 0.3, "fcfs cold {}", fcfs.cold_fraction());
-    assert!(afs.cold_fraction() > 0.3, "afs cold {}", afs.cold_fraction());
+    assert!(
+        fcfs.cold_fraction() > 0.3,
+        "fcfs cold {}",
+        fcfs.cold_fraction()
+    );
+    assert!(
+        afs.cold_fraction() > 0.3,
+        "afs cold {}",
+        afs.cold_fraction()
+    );
     assert!(
         laps.cold_fraction() < 0.1,
         "laps cold fraction {} should be small",
@@ -63,8 +74,16 @@ fn fig7_shape_underload_t1() {
         afs.drop_fraction()
     );
     // Fig 7(c): FCFS reorders massively; LAPS minimally.
-    assert!(fcfs.ooo_fraction() > 0.05, "fcfs ooo {}", fcfs.ooo_fraction());
-    assert!(laps.ooo_fraction() < 0.02, "laps ooo {}", laps.ooo_fraction());
+    assert!(
+        fcfs.ooo_fraction() > 0.05,
+        "fcfs ooo {}",
+        fcfs.ooo_fraction()
+    );
+    assert!(
+        laps.ooo_fraction() < 0.02,
+        "laps ooo {}",
+        laps.ooo_fraction()
+    );
 }
 
 #[test]
@@ -73,7 +92,12 @@ fn fig7_shape_reordering_t3() {
     // meaningfully separates the schemes; on the CAIDA groups per-flow
     // packet gaps are so long that even AFS barely reorders.
     let (fcfs, afs, laps) = run_scenario(3, 11);
-    assert!(fcfs.ooo_fraction() > afs.ooo_fraction(), "fcfs {} vs afs {}", fcfs.ooo_fraction(), afs.ooo_fraction());
+    assert!(
+        fcfs.ooo_fraction() > afs.ooo_fraction(),
+        "fcfs {} vs afs {}",
+        fcfs.ooo_fraction(),
+        afs.ooo_fraction()
+    );
     assert!(
         laps.ooo_fraction() < afs.ooo_fraction() * 0.5,
         "laps ooo {} should be well below afs {}",
