@@ -14,6 +14,7 @@
 use nphash::det::{det_map_with_capacity, DetHashMap};
 use nphash::FlowId;
 use std::collections::BTreeSet;
+use std::hash::Hash;
 
 /// Replacement policy of a [`FlowCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,18 +31,22 @@ struct Entry {
     stamp: u64,
 }
 
-/// A fixed-capacity, fully-associative cache of flow IDs with counters.
+/// A fixed-capacity, fully-associative cache of flow keys with counters.
+///
+/// Generic over the key: the experiments address flows by [`FlowId`]
+/// (the default), while the simulation hot path uses dense
+/// `nphash::FlowSlot`s — same structure, cheaper keys.
 #[derive(Debug, Clone)]
-pub struct FlowCache {
+pub struct FlowCache<K = FlowId> {
     policy: CachePolicy,
     capacity: usize,
-    entries: DetHashMap<FlowId, Entry>,
+    entries: DetHashMap<K, Entry>,
     /// Eviction order: smallest element is the next victim.
-    order: BTreeSet<(u64, u64, FlowId)>,
+    order: BTreeSet<(u64, u64, K)>,
     tick: u64,
 }
 
-impl FlowCache {
+impl<K: Copy + Eq + Ord + Hash> FlowCache<K> {
     /// An empty cache of `capacity` entries.
     ///
     /// # Panics
@@ -85,18 +90,18 @@ impl FlowCache {
     }
 
     /// Whether `flow` is resident.
-    pub fn contains(&self, flow: FlowId) -> bool {
+    pub fn contains(&self, flow: K) -> bool {
         self.entries.contains_key(&flow)
     }
 
     /// The hit counter of `flow`, if resident.
-    pub fn count_of(&self, flow: FlowId) -> Option<u64> {
+    pub fn count_of(&self, flow: K) -> Option<u64> {
         self.entries.get(&flow).map(|e| e.count)
     }
 
     /// Touch `flow` if resident: bump its counter (and recency), returning
     /// the new count. `None` on miss — the cache is *not* modified.
-    pub fn touch(&mut self, flow: FlowId) -> Option<u64> {
+    pub fn touch(&mut self, flow: K) -> Option<u64> {
         self.tick += 1;
         let tick = self.tick;
         let entry = self.entries.get_mut(&flow)?;
@@ -122,7 +127,7 @@ impl FlowCache {
     ///
     /// Inserting a flow that is already resident just overwrites its
     /// counter (no eviction).
-    pub fn insert(&mut self, flow: FlowId, count: u64) -> Option<(FlowId, u64)> {
+    pub fn insert(&mut self, flow: K, count: u64) -> Option<(K, u64)> {
         self.tick += 1;
         if let Some(e) = self.entries.get(&flow).copied() {
             let r = self.rank(&e);
@@ -155,7 +160,7 @@ impl FlowCache {
     /// is empty — `order` and `entries` are maintained in lockstep, so
     /// an ordered key is always resident (a desync degrades to a
     /// zero-count eviction rather than a panic on the packet path).
-    fn evict_victim(&mut self) -> Option<(FlowId, u64)> {
+    fn evict_victim(&mut self) -> Option<(K, u64)> {
         let (r0, r1, vflow) = self.order.iter().next().copied()?;
         self.order.remove(&(r0, r1, vflow));
         let count = self.entries.remove(&vflow).map_or(0, |e| e.count);
@@ -163,7 +168,7 @@ impl FlowCache {
     }
 
     /// Remove `flow`, returning its count if it was resident.
-    pub fn remove(&mut self, flow: FlowId) -> Option<u64> {
+    pub fn remove(&mut self, flow: K) -> Option<u64> {
         let e = self.entries.remove(&flow)?;
         let r = self.rank(&e);
         self.order.remove(&(r.0, r.1, flow));
@@ -171,7 +176,7 @@ impl FlowCache {
     }
 
     /// The current replacement victim (least-ranked entry), if any.
-    pub fn victim(&self) -> Option<(FlowId, u64)> {
+    pub fn victim(&self) -> Option<(K, u64)> {
         self.order.iter().next().map(|&(c, _, f)| {
             (
                 f,
@@ -186,13 +191,13 @@ impl FlowCache {
     }
 
     /// Resident flows, unordered.
-    pub fn flows(&self) -> Vec<FlowId> {
+    pub fn flows(&self) -> Vec<K> {
         self.entries.keys().copied().collect()
     }
 
     /// Resident flows ordered by descending counter (descending rank).
-    pub fn flows_by_count(&self) -> Vec<(FlowId, u64)> {
-        let mut v: Vec<(FlowId, u64)> = self.entries.iter().map(|(&f, e)| (f, e.count)).collect();
+    pub fn flows_by_count(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self.entries.iter().map(|(&f, e)| (f, e.count)).collect();
         v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -200,7 +205,7 @@ impl FlowCache {
     /// Halve every counter (counter aging, used by long-running
     /// deployments to let stale elephants decay; ablation knob).
     pub fn age_counters(&mut self) {
-        let snapshot: Vec<(FlowId, Entry)> = self.entries.iter().map(|(&f, &e)| (f, e)).collect();
+        let snapshot: Vec<(K, Entry)> = self.entries.iter().map(|(&f, &e)| (f, e)).collect();
         self.order.clear();
         for (f, mut e) in snapshot {
             e.count /= 2;

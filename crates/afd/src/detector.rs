@@ -18,6 +18,7 @@
 use crate::cache::{CachePolicy, FlowCache};
 use nphash::FlowId;
 use serde::{Deserialize, Serialize};
+use std::hash::Hash;
 
 /// How annex→AFC promotion is decided once the threshold is crossed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,18 +103,22 @@ pub struct AfdStats {
 }
 
 /// The Aggressive Flow Detector.
+///
+/// Generic over the flow key (default [`FlowId`]); the scheduler hot
+/// path instantiates it with dense `nphash::FlowSlot`s so detector
+/// probes hash a 4-byte index instead of a 13-byte header.
 #[derive(Debug, Clone)]
-pub struct Afd {
+pub struct Afd<K = FlowId> {
     cfg: AfdConfig,
-    afc: FlowCache,
-    annex: FlowCache,
+    afc: FlowCache<K>,
+    annex: FlowCache<K>,
     stats: AfdStats,
     /// Deterministic sampling state (xorshift64*), independent of any
     /// external RNG so sampling does not perturb other streams.
     sample_state: u64,
 }
 
-impl Afd {
+impl<K: Copy + Eq + Ord + Hash> Afd<K> {
     /// Build a detector.
     ///
     /// # Panics
@@ -157,7 +162,7 @@ impl Afd {
     }
 
     /// Offer one packet's flow ID to the detector.
-    pub fn access(&mut self, flow: FlowId) -> AfdAccess {
+    pub fn access(&mut self, flow: K) -> AfdAccess {
         self.stats.offered += 1;
         if !self.sample_coin() {
             return AfdAccess::NotSampled;
@@ -193,7 +198,7 @@ impl Afd {
 
     /// Move `flow` (count `count`) from the annex into the AFC, demoting
     /// the AFC victim back into the annex.
-    fn promote(&mut self, flow: FlowId, count: u64) {
+    fn promote(&mut self, flow: K, count: u64) {
         self.annex.remove(flow);
         if let Some((victim, vcount)) = self.afc.insert(flow, count) {
             // "The victim flow from AFC is then placed in the annex
@@ -206,12 +211,12 @@ impl Afd {
 
     /// Whether `flow` is currently considered aggressive (= resident in
     /// the AFC). Read-only: does not touch counters.
-    pub fn is_aggressive(&self, flow: FlowId) -> bool {
+    pub fn is_aggressive(&self, flow: K) -> bool {
         self.afc.contains(flow)
     }
 
     /// The current aggressive set, highest counter first.
-    pub fn aggressive_flows(&self) -> Vec<FlowId> {
+    pub fn aggressive_flows(&self) -> Vec<K> {
         self.afc
             .flows_by_count()
             .into_iter()
@@ -226,7 +231,7 @@ impl Afd {
     /// been rebalanced it must re-prove its aggressiveness before it can
     /// be moved again — this is what prevents an elephant from
     /// ping-ponging between cores while an overload persists.
-    pub fn invalidate(&mut self, flow: FlowId) {
+    pub fn invalidate(&mut self, flow: K) {
         if self.afc.remove(flow).is_some() {
             self.stats.invalidations += 1;
             self.annex.insert(flow, 1);
@@ -240,12 +245,12 @@ impl Afd {
     }
 
     /// Direct read access to the AFC (tests, experiments).
-    pub fn afc(&self) -> &FlowCache {
+    pub fn afc(&self) -> &FlowCache<K> {
         &self.afc
     }
 
     /// Direct read access to the annex cache (tests, experiments).
-    pub fn annex(&self) -> &FlowCache {
+    pub fn annex(&self) -> &FlowCache<K> {
         &self.annex
     }
 }
@@ -410,7 +415,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sample probability")]
     fn zero_sampling_rejected() {
-        Afd::new(AfdConfig {
+        Afd::<FlowId>::new(AfdConfig {
             sample_prob: 0.0,
             ..AfdConfig::default()
         });

@@ -10,28 +10,41 @@
 
 use nphash::det::DetHashMap;
 use nphash::FlowId;
+use std::hash::Hash;
 
 /// Exact packet counters for every flow ever seen.
-#[derive(Debug, Clone, Default)]
-pub struct ExactTopK {
-    counts: DetHashMap<FlowId, u64>,
+///
+/// Generic over the flow key (default [`FlowId`]); the oracle detector
+/// arm of the ablation instantiates it with dense `nphash::FlowSlot`s.
+#[derive(Debug, Clone)]
+pub struct ExactTopK<K = FlowId> {
+    counts: DetHashMap<K, u64>,
     total: u64,
 }
 
-impl ExactTopK {
+impl<K> Default for ExactTopK<K> {
+    fn default() -> Self {
+        ExactTopK {
+            counts: DetHashMap::default(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Copy + Eq + Ord + Hash> ExactTopK<K> {
     /// An empty counter set.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Count one packet.
-    pub fn access(&mut self, flow: FlowId) {
+    pub fn access(&mut self, flow: K) {
         *self.counts.entry(flow).or_insert(0) += 1;
         self.total += 1;
     }
 
     /// Exact count of `flow`.
-    pub fn count_of(&self, flow: FlowId) -> u64 {
+    pub fn count_of(&self, flow: K) -> u64 {
         self.counts.get(&flow).copied().unwrap_or(0)
     }
 
@@ -47,14 +60,14 @@ impl ExactTopK {
 
     /// The `k` heaviest flows, descending; ties break on the flow ID for
     /// determinism.
-    pub fn top_k(&self, k: usize) -> Vec<FlowId> {
-        let mut v: Vec<(&FlowId, &u64)> = self.counts.iter().collect();
+    pub fn top_k(&self, k: usize) -> Vec<K> {
+        let mut v: Vec<(&K, &u64)> = self.counts.iter().collect();
         v.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         v.into_iter().take(k).map(|(&f, _)| f).collect()
     }
 
     /// Whether `flow` ranks among the top `k`.
-    pub fn is_top_k(&self, flow: FlowId, k: usize) -> bool {
+    pub fn is_top_k(&self, flow: K, k: usize) -> bool {
         self.top_k(k).contains(&flow)
     }
 

@@ -9,7 +9,7 @@ use detsim::SimTime;
 use laps::prelude::*;
 use laps_bench::bench_laps;
 use nphash::crc::crc16_ccitt_bitwise;
-use nphash::{Crc16Ccitt, FlowId, MapTable, ToeplitzHasher};
+use nphash::{Crc16Ccitt, FlowId, FlowSlot, MapTable, ToeplitzHasher};
 use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
 
 fn flows(n: usize) -> Vec<FlowId> {
@@ -77,6 +77,7 @@ fn bench_policies(c: &mut Criterion) {
         .map(|(i, &flow)| PacketDesc {
             id: i as u64,
             flow,
+            slot: FlowSlot::new(i as u32),
             service: ServiceKind::ALL[i % 4],
             size: 64,
             arrival: SimTime::ZERO,

@@ -1,0 +1,70 @@
+//! The engine hot path: packets/sec and events/sec through a full
+//! simulation on the `caida1` preset — the criterion twin of the
+//! `laps-bench --emit-baseline` wall-clock runner (same workload, same
+//! schedulers), tracking the arena/flow-slot fast path end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laps::prelude::*;
+
+/// The hot-path engine configuration (mirrors `src/main.rs`): paper-scale
+/// timing so the event loop is packet-dominated, single service, caida1.
+fn hotpath_cfg(duration_ms: u64) -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(duration_ms),
+        scale: 1.0,
+        seed: 7,
+        ..EngineConfig::default()
+    }
+}
+
+fn hotpath_sources() -> Vec<SourceConfig> {
+    vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(1),
+        rate: RateSpec::Constant(24.0),
+    }]
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let duration_ms = 10;
+    let sources = hotpath_sources();
+
+    // One probe run per scheduler to size the throughput denominators.
+    let probe = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+    let packets = probe.offered + probe.slow_path;
+
+    let mut g = c.benchmark_group("hotpath");
+    g.throughput(Throughput::Elements(packets));
+    g.bench_function(BenchmarkId::new("engine", "fcfs"), |b| {
+        b.iter(|| {
+            let report = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+            black_box(report.processed)
+        })
+    });
+    g.bench_function(BenchmarkId::new("engine", "laps"), |b| {
+        b.iter(|| {
+            let laps = Laps::new(LapsConfig {
+                n_cores: 16,
+                ..LapsConfig::default()
+            });
+            let report = Engine::new(hotpath_cfg(duration_ms), &sources, laps).run();
+            black_box(report.processed)
+        })
+    });
+    g.finish();
+
+    // Events/sec view: same run, denominated in dispatched events.
+    let mut g = c.benchmark_group("hotpath_events");
+    g.throughput(Throughput::Elements(probe.events));
+    g.bench_function(BenchmarkId::new("engine", "fcfs-events"), |b| {
+        b.iter(|| {
+            let report = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+            black_box(report.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

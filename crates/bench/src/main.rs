@@ -1,0 +1,124 @@
+//! `laps-bench` — the tracked performance baseline runner.
+//!
+//! Runs the hot-path workloads (the same ones `benches/hotpath.rs`
+//! exercises under criterion) with plain wall-clock timing and writes a
+//! machine-readable baseline file so successive PRs can diff the
+//! performance trajectory:
+//!
+//! ```text
+//! cargo run --release -p laps-bench -- --emit-baseline
+//! ```
+//!
+//! writes `BENCH_PR2.json` at the invocation directory (the repo root
+//! when run via cargo) with the schema
+//! `bench name → {packets_per_sec, events_per_sec, wall_ms}`.
+//!
+//! Flags: `--emit-baseline` (write the JSON; otherwise print only),
+//! `--short` (CI-sized run), `--out <path>` (override the output path).
+
+use laps::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured bench row.
+struct BenchRow {
+    name: &'static str,
+    packets_per_sec: f64,
+    events_per_sec: f64,
+    wall_ms: f64,
+}
+
+/// The hot-path engine configuration: paper-scale timing (scale 1) so the
+/// event loop is packet-dominated, single service on the `caida1` preset.
+fn hotpath_cfg(duration_ms: u64) -> EngineConfig {
+    EngineConfig {
+        n_cores: 16,
+        duration: SimTime::from_millis(duration_ms),
+        scale: 1.0,
+        seed: 7,
+        ..EngineConfig::default()
+    }
+}
+
+fn hotpath_sources() -> Vec<SourceConfig> {
+    vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(1),
+        rate: RateSpec::Constant(24.0),
+    }]
+}
+
+/// Events dispatched by a run — counted exactly by the engine's run loop
+/// (arrivals, service completions, rate updates) and identical across
+/// event-queue backends.
+fn events_of(report: &SimReport) -> f64 {
+    report.events as f64
+}
+
+fn measure<S: Scheduler>(
+    name: &'static str,
+    duration_ms: u64,
+    mk_scheduler: impl Fn() -> S,
+) -> BenchRow {
+    // Warm-up pass (touch the allocator and caches), then the timed run.
+    let _ = Engine::new(hotpath_cfg(2), &hotpath_sources(), mk_scheduler()).run();
+    let engine = Engine::new(hotpath_cfg(duration_ms), &hotpath_sources(), mk_scheduler());
+    let start = Instant::now();
+    let report = engine.run();
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    BenchRow {
+        name,
+        packets_per_sec: (report.offered + report.slow_path) as f64 / secs,
+        events_per_sec: events_of(&report) / secs,
+        wall_ms: secs * 1_000.0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let short = args.iter().any(|a| a == "--short");
+    let emit = args.iter().any(|a| a == "--emit-baseline");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let duration_ms = if short { 10 } else { 100 };
+
+    let rows = [
+        measure("hotpath", duration_ms, Fcfs::new),
+        measure("hotpath-laps", duration_ms, || {
+            Laps::new(LapsConfig {
+                n_cores: 16,
+                ..LapsConfig::default()
+            })
+        }),
+    ];
+
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>14}: {:>12.0} packets/s  {:>12.0} events/s  {:>8.1} ms",
+            r.name, r.packets_per_sec, r.events_per_sec, r.wall_ms
+        );
+        let _ = write!(
+            json,
+            "  \"{}\": {{\"packets_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"wall_ms\": {:.2}}}",
+            r.name, r.packets_per_sec, r.events_per_sec, r.wall_ms
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+
+    if emit {
+        match std::fs::write(&out_path, &json) {
+            Ok(()) => eprintln!("wrote {out_path}"),
+            Err(e) => {
+                eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

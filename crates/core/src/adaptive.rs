@@ -129,7 +129,7 @@ impl Scheduler for AdaptiveHash {
 mod tests {
     use super::*;
     use detsim::SimTime;
-    use nphash::FlowId;
+    use nphash::{FlowId, FlowSlot};
     use npsim::QueueInfo;
     use nptraffic::ServiceKind;
 
@@ -137,6 +137,7 @@ mod tests {
         PacketDesc {
             id: i,
             flow: FlowId::from_index(i),
+            slot: FlowSlot::new(i as u32),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,

@@ -76,8 +76,7 @@ impl Scheduler for Afs {
             // loaded core — whenever that core is strictly less loaded
             // (AFS shifts even between overloaded cores; it has no notion
             // of aggregate overload).
-            let all: Vec<usize> = (0..view.n_cores()).collect();
-            let minq = view.min_queue_core(&all).expect("cores exist");
+            let minq = view.min_queue_core_all().expect("cores exist");
             if cooled && minq != target && view.queues[minq].len < view.queues[target].len {
                 let bucket = self.table.bucket_of(pkt.flow);
                 self.table.reassign_bucket(bucket, minq);
@@ -94,7 +93,7 @@ impl Scheduler for Afs {
 mod tests {
     use super::*;
     use detsim::SimTime;
-    use nphash::FlowId;
+    use nphash::{FlowId, FlowSlot};
     use npsim::QueueInfo;
     use nptraffic::ServiceKind;
 
@@ -102,6 +101,7 @@ mod tests {
         PacketDesc {
             id: i,
             flow: FlowId::from_index(i),
+            slot: FlowSlot::new(i as u32),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,

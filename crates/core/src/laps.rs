@@ -33,14 +33,14 @@ use crate::config::LapsConfig;
 use crate::migration::MigrationTable;
 use detsim::SimTime;
 use npafd::Afd;
-use nphash::MapTable;
+use nphash::{FlowSlot, MapTable};
 use npsim::{PacketDesc, Scheduler, SystemView};
 use nptraffic::ServiceKind;
 
 #[derive(Debug)]
 struct ServiceState {
     map: MapTable<usize>,
-    migration: MigrationTable,
+    migration: MigrationTable<FlowSlot>,
     /// Drops since this service last gained a core; reaching
     /// `drop_request_threshold` escalates to `request_core()`.
     drops_since_gain: u64,
@@ -67,7 +67,7 @@ pub struct Laps {
     cfg: LapsConfig,
     services: Vec<ServiceState>,
     cores: Vec<CoreState>,
-    afd: Afd,
+    afd: Afd<FlowSlot>,
     migrations: u64,
     reallocs: u64,
     parked_time_ns: u64,
@@ -154,7 +154,7 @@ impl Laps {
     }
 
     /// Read access to the AFD (experiments inspect detector state).
-    pub fn afd(&self) -> &Afd {
+    pub fn afd(&self) -> &Afd<FlowSlot> {
         &self.afd
     }
 
@@ -311,12 +311,12 @@ impl Laps {
     }
 
     fn resolve_target(&mut self, svc: usize, pkt: &PacketDesc) -> usize {
-        if let Some(c) = self.svc(svc).migration.get(pkt.flow) {
+        if let Some(c) = self.svc(svc).migration.get(pkt.slot) {
             // A stale override (core since transferred away) is dropped.
             if self.cores.get(c).map(|cs| cs.owner) == Some(svc) {
                 return c;
             }
-            self.svc_mut(svc).migration.remove(pkt.flow);
+            self.svc_mut(svc).migration.remove(pkt.slot);
         }
         self.svc(svc).map.lookup(pkt.flow)
     }
@@ -329,29 +329,31 @@ impl Scheduler for Laps {
 
     fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
         let svc = pkt.service.index();
-        // The AFD observes every (sampled) packet in the background.
-        self.afd.access(pkt.flow);
+        // The AFD observes every (sampled) packet in the background
+        // (keyed by the packet's arena slot: no hashing on this probe).
+        self.afd.access(pkt.slot);
         self.park_idle_cores(view);
 
-        let has_override = self.svc(svc).migration.get(pkt.flow).is_some();
+        let has_override = self.svc(svc).migration.get(pkt.slot).is_some();
         let mut target = self.resolve_target(svc, pkt);
         let qlen = |c: usize| view.queues.get(c).map_or(0, |q| q.len);
 
         // Listing 1: load-imbalance handling.
         if qlen(target) >= self.cfg.high_thresh {
-            let cores = self.svc(svc).map.cores().to_vec();
             // A service always owns ≥ 1 core, so min_queue_core is Some;
             // degrade to the hashed target if that ever breaks.
-            let minq = view.min_queue_core(&cores).unwrap_or(target);
+            let minq = view
+                .min_queue_core(self.svc(svc).map.cores())
+                .unwrap_or(target);
             if qlen(minq) < self.cfg.high_thresh
                 && self.svc(svc).drops_since_gain < self.cfg.drop_request_threshold
             {
                 // A flow that already sits in the migration table is not
                 // migrated again — re-shuffling it would reorder it a
                 // second time for no balancing gain.
-                if minq != target && !has_override && self.afd.is_aggressive(pkt.flow) {
-                    self.svc_mut(svc).migration.insert(pkt.flow, minq);
-                    self.afd.invalidate(pkt.flow);
+                if minq != target && !has_override && self.afd.is_aggressive(pkt.slot) {
+                    self.svc_mut(svc).migration.insert(pkt.slot, minq);
+                    self.afd.invalidate(pkt.slot);
                     self.migrations += 1;
                     target = minq;
                 }
@@ -401,6 +403,7 @@ mod tests {
         PacketDesc {
             id: i,
             flow: FlowId::from_index(i),
+            slot: FlowSlot::new(i as u32),
             service,
             size: 64,
             arrival: SimTime::ZERO,
@@ -510,7 +513,7 @@ mod tests {
         for _ in 0..20 {
             home = l.schedule(&elephant, &calm);
         }
-        assert!(l.afd().is_aggressive(elephant.flow));
+        assert!(l.afd().is_aggressive(elephant.slot));
         // Overload the home core only; everything recently congested so
         // no reallocation interferes.
         let mut spec = ViewSpec::calm(16);
@@ -528,7 +531,7 @@ mod tests {
         );
         assert_eq!(l.migrations(), 1);
         assert!(
-            !l.afd().is_aggressive(elephant.flow),
+            !l.afd().is_aggressive(elephant.slot),
             "invalidated after migration"
         );
         // Override persists.

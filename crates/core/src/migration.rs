@@ -9,16 +9,21 @@
 use nphash::det::{det_map_with_capacity, DetHashMap};
 use nphash::FlowId;
 use std::collections::VecDeque;
+use std::hash::Hash;
 
 /// A bounded flow → core override table with FIFO recycling.
+///
+/// Generic over the key so callers can index by [`nphash::FlowId`] (the
+/// default, paper-literal CAM) or by the arena [`nphash::FlowSlot`] a
+/// packet already carries (the zero-hash hot path).
 #[derive(Debug, Clone)]
-pub struct MigrationTable {
+pub struct MigrationTable<K = FlowId> {
     cap: usize,
-    map: DetHashMap<FlowId, usize>,
-    order: VecDeque<FlowId>,
+    map: DetHashMap<K, usize>,
+    order: VecDeque<K>,
 }
 
-impl MigrationTable {
+impl<K: Copy + Eq + Ord + Hash> MigrationTable<K> {
     /// A table with room for `cap` overrides.
     ///
     /// # Panics
@@ -43,13 +48,13 @@ impl MigrationTable {
     }
 
     /// The override for `flow`, if any.
-    pub fn get(&self, flow: FlowId) -> Option<usize> {
+    pub fn get(&self, flow: K) -> Option<usize> {
         self.map.get(&flow).copied()
     }
 
     /// Install (or move) an override. Evicts the oldest entry when full.
     /// Returns the evicted flow, if any.
-    pub fn insert(&mut self, flow: FlowId, core: usize) -> Option<FlowId> {
+    pub fn insert(&mut self, flow: K, core: usize) -> Option<K> {
         if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(flow) {
             e.insert(core);
             // Refresh age.
@@ -70,7 +75,7 @@ impl MigrationTable {
     }
 
     /// Remove the override for `flow`.
-    pub fn remove(&mut self, flow: FlowId) {
+    pub fn remove(&mut self, flow: K) {
         if self.map.remove(&flow).is_some() {
             self.order.retain(|&f| f != flow);
         }
@@ -85,7 +90,7 @@ impl MigrationTable {
     }
 
     /// Iterate `(flow, core)` overrides, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = (FlowId, usize)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (K, usize)> + '_ {
         self.order.iter().map(move |&f| (f, self.map[&f]))
     }
 }

@@ -46,6 +46,7 @@ impl Scheduler for StaticHash {
 mod tests {
     use super::*;
     use detsim::SimTime;
+    use nphash::FlowSlot;
     use npsim::QueueInfo;
     use nptraffic::ServiceKind;
 
@@ -53,6 +54,7 @@ mod tests {
         PacketDesc {
             id: i,
             flow: FlowId::from_index(i),
+            slot: FlowSlot::new(i as u32),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,

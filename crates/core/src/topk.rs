@@ -16,7 +16,7 @@
 use crate::migration::MigrationTable;
 use npafd::{Afd, AfdConfig, ExactTopK};
 use nphash::det::{det_set, DetHashSet};
-use nphash::{FlowId, MapTable};
+use nphash::{FlowSlot, MapTable};
 use npsim::{PacketDesc, Scheduler, SystemView};
 
 /// Which aggressive-flow detector drives migration.
@@ -36,14 +36,14 @@ pub enum DetectorKind {
 
 #[derive(Debug)]
 enum DetectorImpl {
-    Afd(Afd),
+    Afd(Afd<FlowSlot>),
     Oracle {
-        counts: ExactTopK,
+        counts: ExactTopK<FlowSlot>,
         k: usize,
         refresh: usize,
         since_refresh: usize,
-        cached: DetHashSet<FlowId>,
-        invalidated: DetHashSet<FlowId>,
+        cached: DetHashSet<FlowSlot>,
+        invalidated: DetHashSet<FlowSlot>,
     },
 }
 
@@ -62,7 +62,7 @@ impl DetectorImpl {
         }
     }
 
-    fn access(&mut self, flow: FlowId) {
+    fn access(&mut self, flow: FlowSlot) {
         match self {
             DetectorImpl::Afd(afd) => {
                 afd.access(flow);
@@ -88,14 +88,14 @@ impl DetectorImpl {
         }
     }
 
-    fn is_aggressive(&self, flow: FlowId) -> bool {
+    fn is_aggressive(&self, flow: FlowSlot) -> bool {
         match self {
             DetectorImpl::Afd(afd) => afd.is_aggressive(flow),
             DetectorImpl::Oracle { cached, .. } => cached.contains(&flow),
         }
     }
 
-    fn invalidate(&mut self, flow: FlowId) {
+    fn invalidate(&mut self, flow: FlowSlot) {
         match self {
             DetectorImpl::Afd(afd) => afd.invalidate(flow),
             DetectorImpl::Oracle {
@@ -116,7 +116,7 @@ impl DetectorImpl {
 #[derive(Debug)]
 pub struct TopKMigration {
     table: MapTable<usize>,
-    migration: MigrationTable,
+    migration: MigrationTable<FlowSlot>,
     detector: DetectorImpl,
     high_thresh: usize,
     migrations: u64,
@@ -155,21 +155,20 @@ impl Scheduler for TopKMigration {
     }
 
     fn schedule(&mut self, pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
-        self.detector.access(pkt.flow);
+        self.detector.access(pkt.slot);
         // Migration table has priority over the hash table.
-        let override_core = self.migration.get(pkt.flow);
+        let override_core = self.migration.get(pkt.slot);
         let target = override_core.unwrap_or_else(|| self.table.lookup(pkt.flow));
         if view.queues[target].len >= self.high_thresh {
-            let all: Vec<usize> = (0..view.n_cores()).collect();
-            let minq = view.min_queue_core(&all).expect("cores exist");
+            let minq = view.min_queue_core_all().expect("cores exist");
             // Already-migrated flows are never re-shuffled.
             if minq != target
                 && override_core.is_none()
                 && view.queues[minq].len < self.high_thresh
-                && self.detector.is_aggressive(pkt.flow)
+                && self.detector.is_aggressive(pkt.slot)
             {
-                self.migration.insert(pkt.flow, minq);
-                self.detector.invalidate(pkt.flow);
+                self.migration.insert(pkt.slot, minq);
+                self.detector.invalidate(pkt.slot);
                 self.migrations += 1;
                 return minq;
             }
@@ -182,6 +181,7 @@ impl Scheduler for TopKMigration {
 mod tests {
     use super::*;
     use detsim::SimTime;
+    use nphash::FlowId;
     use npsim::QueueInfo;
     use nptraffic::ServiceKind;
 
@@ -189,6 +189,7 @@ mod tests {
         PacketDesc {
             id: i,
             flow: FlowId::from_index(i),
+            slot: FlowSlot::new(i as u32),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,

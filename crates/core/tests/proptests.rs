@@ -3,7 +3,7 @@
 
 use detsim::SimTime;
 use laps::{Afs, DetectorKind, Laps, LapsConfig, StaticHash, TopKMigration};
-use nphash::FlowId;
+use nphash::{FlowId, FlowSlot};
 use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
 use nptraffic::ServiceKind;
 use proptest::prelude::*;
@@ -12,6 +12,7 @@ fn pkt(flow: u64, svc: usize) -> PacketDesc {
     PacketDesc {
         id: flow,
         flow: FlowId::from_index(flow),
+        slot: FlowSlot::new(flow as u32),
         service: ServiceKind::from_index(svc % 4),
         size: 64,
         arrival: SimTime::ZERO,

@@ -13,7 +13,7 @@
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 
 const SLOTS: usize = 256;
 const LEVELS: usize = 4;
@@ -25,21 +25,64 @@ struct Entry<E> {
     event: E,
 }
 
+/// Min-heap adapter over `(time, seq)` for the current-tick ready set.
+#[derive(Debug)]
+struct ReadyEntry<E>(Entry<E>);
+
+impl<E> PartialEq for ReadyEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+
+impl<E> Eq for ReadyEntry<E> {}
+
+impl<E> PartialOrd for ReadyEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ReadyEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the smallest
+        // `(time, seq)` at the top.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
 /// A 4-level, 256-slot hierarchical timer wheel.
 #[derive(Debug)]
 pub struct TimerWheel<E> {
     /// Nanoseconds per tick of the innermost wheel.
     tick_ns: u64,
+    /// `log2(tick_ns)` when the tick is a power of two (`u32::MAX`
+    /// otherwise): time→tick conversion happens on every push and
+    /// cascade, and a shift is an order of magnitude cheaper than a
+    /// 64-bit division by a runtime divisor.
+    tick_shift: u32,
     /// `levels[l][slot]` holds entries expiring in that slot's span.
     levels: Vec<Vec<VecDeque<Entry<E>>>>,
     /// Events beyond the wheel horizon.
     overflow: EventQueue<Entry<E>>,
+    /// Entries belonging to the *current* tick, drained from the
+    /// innermost slot in one pass and served in `(time, seq)` order.
+    /// While this set is non-empty the clock does not advance, so new
+    /// same-tick pushes are routed here directly.
+    ready: BinaryHeap<ReadyEntry<E>>,
     /// Current time in ticks (all entries before this have been popped).
     now_ticks: u64,
     next_seq: u64,
     len: usize,
     /// Entries resident in the wheel levels (excludes overflow).
     wheel_len: usize,
+    /// Per-level entry counts; lets `pop` jump the clock over tick
+    /// ranges where no slot can expire and no cascade can move anything.
+    occupancy: [usize; LEVELS],
+    /// One bit per innermost slot (256 bits): set when the slot *may*
+    /// hold entries. Finding the next occupied level-0 slot is then a
+    /// handful of word scans instead of probing up to 255 deques.
+    occ0: [u64; SLOTS / 64],
 }
 
 impl<E> TimerWheel<E> {
@@ -51,14 +94,22 @@ impl<E> TimerWheel<E> {
         assert!(tick_ns > 0, "tick must be positive");
         TimerWheel {
             tick_ns,
+            tick_shift: if tick_ns.is_power_of_two() {
+                tick_ns.trailing_zeros()
+            } else {
+                u32::MAX
+            },
             levels: (0..LEVELS)
                 .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
                 .collect(),
             overflow: EventQueue::new(),
+            ready: BinaryHeap::new(),
             now_ticks: 0,
             next_seq: 0,
             len: 0,
             wheel_len: 0,
+            occupancy: [0; LEVELS],
+            occ0: [0; SLOTS / 64],
         }
     }
 
@@ -72,18 +123,34 @@ impl<E> TimerWheel<E> {
         self.len == 0
     }
 
+    #[inline]
     fn ticks_of(&self, t: SimTime) -> u64 {
-        t.as_nanos() / self.tick_ns
+        if self.tick_shift != u32::MAX {
+            t.as_nanos() >> self.tick_shift
+        } else {
+            t.as_nanos() / self.tick_ns
+        }
     }
 
-    /// Span (in ticks) of one slot at `level`.
+    /// Span (in ticks) of one slot at `level` — `256^level`, computed as
+    /// a shift (slot arithmetic runs on every push and cascade; a `pow`
+    /// with a runtime exponent or a division by a runtime span would
+    /// dominate the hot path).
+    #[inline]
     fn slot_span(level: usize) -> u64 {
-        (SLOTS as u64).pow(level as u32)
+        1u64 << (8 * level as u32)
     }
 
-    /// Horizon (in ticks) of `level` relative to now.
+    /// Horizon (in ticks) of `level` relative to now — `256^(level+1)`.
+    #[inline]
     fn level_horizon(level: usize) -> u64 {
-        (SLOTS as u64).pow(level as u32 + 1)
+        1u64 << (8 * (level as u32 + 1))
+    }
+
+    /// The `level`-slot a tick count falls into: bits `[8·level, 8·level+8)`.
+    #[inline]
+    fn slot_of(ticks: u64, level: usize) -> usize {
+        ((ticks >> (8 * level as u32)) & (SLOTS as u64 - 1)) as usize
     }
 
     /// Place an entry; returns whether it landed in the wheel (vs the
@@ -95,10 +162,22 @@ impl<E> TimerWheel<E> {
         // ring slot.
         let ticks = self.ticks_of(entry.time).max(self.now_ticks);
         let delta = ticks.saturating_sub(self.now_ticks);
+        if delta == 0 {
+            // Current-tick entries bypass the ring: the innermost slot
+            // for this tick has already been drained (or will be drained
+            // wholesale), so they join the ready set directly. Counted in
+            // `len` only, like overflow entries.
+            self.ready.push(ReadyEntry(entry));
+            return false;
+        }
         for level in 0..LEVELS {
             if delta < Self::level_horizon(level) {
-                let slot = ((ticks / Self::slot_span(level)) % SLOTS as u64) as usize;
+                let slot = Self::slot_of(ticks, level);
+                if level == 0 {
+                    self.occ0[slot >> 6] |= 1 << (slot & 63);
+                }
                 self.levels[level][slot].push_back(entry);
+                self.occupancy[level] += 1;
                 return true;
             }
         }
@@ -119,8 +198,12 @@ impl<E> TimerWheel<E> {
 
     /// Cascade: pull the current outer slot's entries down one level.
     fn cascade(&mut self, level: usize) {
-        let slot = ((self.now_ticks / Self::slot_span(level)) % SLOTS as u64) as usize;
+        let slot = Self::slot_of(self.now_ticks, level);
+        if self.levels[level][slot].is_empty() {
+            return;
+        }
         let entries: Vec<Entry<E>> = self.levels[level][slot].drain(..).collect();
+        self.occupancy[level] -= entries.len();
         for e in entries {
             // Re-place relative to the advanced clock; entries that fall
             // into an inner level land in a (strictly) finer position.
@@ -131,9 +214,45 @@ impl<E> TimerWheel<E> {
                 // Still belongs at this level (same slot is impossible —
                 // we just drained it at the current position).
                 .unwrap_or(level);
-            let s = ((ticks / Self::slot_span(dest)) % SLOTS as u64) as usize;
+            let s = Self::slot_of(ticks, dest);
+            if dest == 0 {
+                self.occ0[s >> 6] |= 1 << (s & 63);
+            }
             self.levels[dest][s].push_back(e);
+            self.occupancy[dest] += 1;
         }
+    }
+
+    /// Distance in ticks (1..=256, wrapping) from slot `s0` to the next
+    /// marked level-0 slot, via the occupancy bitmap; `None` when no bit
+    /// is set. `s0`'s own bit must already be cleared by the caller.
+    #[inline]
+    fn next_occ0_distance(&self, s0: usize) -> Option<u64> {
+        const WORDS: usize = SLOTS / 64;
+        let w0 = s0 >> 6;
+        let b0 = (s0 & 63) as u32;
+        // Bits strictly above `b0` in the starting word come first.
+        let high = if b0 == 63 {
+            0
+        } else {
+            self.occ0[w0] & (u64::MAX << (b0 + 1))
+        };
+        if high != 0 {
+            let p = (w0 << 6) + high.trailing_zeros() as usize;
+            return Some((p - s0) as u64);
+        }
+        // Then whole words, wrapping; the final iteration revisits `w0`,
+        // whose remaining set bits are all ≤ `b0` (wrapped distances).
+        for i in 1..=WORDS {
+            let w = (w0 + i) % WORDS;
+            let m = self.occ0[w];
+            if m != 0 {
+                let p = (w << 6) + m.trailing_zeros() as usize;
+                let d = (p + SLOTS - s0) % SLOTS;
+                return Some(if d == 0 { SLOTS as u64 } else { d as u64 });
+            }
+        }
+        None
     }
 
     /// Remove and return the earliest event as `(time, event)`; equal
@@ -141,6 +260,15 @@ impl<E> TimerWheel<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         if self.len == 0 {
             return None;
+        }
+        // Serve the current tick's ready set first. While it is
+        // non-empty the clock is pinned, every new push for this tick
+        // lands here directly, and the remaining overflow entries are
+        // ≥ one full horizon away — so the head of `ready` is the
+        // global `(time, seq)` minimum.
+        if let Some(ReadyEntry(e)) = self.ready.pop() {
+            self.len -= 1;
+            return Some((e.time, e.event));
         }
         // Pull any overflow entries that now fit the wheel horizon. An
         // overflow entry placed long ago can have a *smaller* absolute
@@ -165,25 +293,63 @@ impl<E> TimerWheel<E> {
             return Some((e.time, e.event));
         }
         loop {
-            // Drain the innermost current slot first.
+            // Drain the innermost current slot first. The whole slot is
+            // moved into the ready heap in one pass — O(k log k) for a
+            // k-entry tick instead of an O(k) scan per pop — and the
+            // minimum is served from there.
             let slot0 = (self.now_ticks % SLOTS as u64) as usize;
             if !self.levels[0][slot0].is_empty() {
-                // The slot may hold multiple distinct (time, seq): pick
-                // the minimum to preserve total order.
-                let q = &self.levels[0][slot0];
-                let (best_idx, _) = q
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| (e.time, e.seq))
-                    .expect("non-empty");
-                let e = self.levels[0][slot0].remove(best_idx).expect("index valid");
+                let k = self.levels[0][slot0].len();
+                self.wheel_len -= k;
+                self.occupancy[0] -= k;
+                self.occ0[slot0 >> 6] &= !(1u64 << (slot0 & 63));
                 self.len -= 1;
-                self.wheel_len -= 1;
+                // `ready` is empty here (drained at the top of `pop`), so
+                // a single-entry slot — the common case at fine ticks —
+                // skips the ready heap entirely.
+                if k == 1 {
+                    if let Some(e) = self.levels[0][slot0].pop_front() {
+                        return Some((e.time, e.event));
+                    }
+                }
+                self.ready
+                    .extend(self.levels[0][slot0].drain(..).map(ReadyEntry));
+                let ReadyEntry(e) = self.ready.pop().expect("slot was non-empty");
                 return Some((e.time, e.event));
             }
-            // Advance the clock one tick; cascade outer levels when we
-            // wrap into their next slot.
-            self.now_ticks += 1;
+            self.occ0[slot0 >> 6] &= !(1u64 << (slot0 & 63));
+            // The innermost slot is empty, so nothing can expire until
+            // either (a) the next occupied level-0 slot — a level-0 entry's
+            // expiry tick is the unique tick in `[now, now+SLOTS)` congruent
+            // to its slot index, so scanning ahead finds it exactly — or
+            // (b) the next cascade/refill boundary of an *occupied* outer
+            // level (or the overflow heap). Boundaries of empty levels host
+            // no-op cascades, so the clock can jump straight over them.
+            let mut jump = u64::MAX;
+            if self.occupancy[0] > 0 {
+                if let Some(d) = self.next_occ0_distance(slot0) {
+                    jump = d;
+                }
+            }
+            for level in 1..LEVELS {
+                if self.occupancy[level] > 0 {
+                    let span = Self::slot_span(level);
+                    jump = jump.min(span - self.now_ticks % span);
+                }
+            }
+            if !self.overflow.is_empty() {
+                let h = Self::level_horizon(LEVELS - 1);
+                jump = jump.min(h - self.now_ticks % h);
+            }
+            debug_assert!(jump != u64::MAX, "non-empty wheel with nothing actionable");
+            if jump == u64::MAX {
+                // Unreachable when occupancy is consistent; fall back to
+                // single-tick stepping rather than warping the clock.
+                jump = 1;
+            }
+            // Advance the clock (by at least one tick); cascade outer
+            // levels when we land on their slot boundary.
+            self.now_ticks += jump;
             if self.now_ticks.is_multiple_of(Self::slot_span(1)) {
                 self.cascade(1);
             }

@@ -1,8 +1,23 @@
-//! Run every figure binary in sequence (same flags forwarded), so
+//! Run every figure binary (same flags forwarded), so
 //! `cargo run --release -p laps-experiments --bin run_all` regenerates
 //! the entire evaluation.
+//!
+//! The binaries are independent deterministic simulations, so they run
+//! concurrently via [`laps_experiments::parallel_map`]; each child's
+//! stdout/stderr is buffered and replayed in the canonical order, so the
+//! console output is byte-for-byte what the old sequential runner
+//! printed. Failures don't abort the batch: every binary runs, then a
+//! summary lists the ones that failed and the process exits non-zero.
 
+use laps_experiments::parallel_map;
 use std::process::Command;
+
+/// The outcome of one figure binary.
+struct RunOutcome {
+    bin: &'static str,
+    output: Option<std::process::Output>,
+    launch_error: Option<String>,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,7 +26,7 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    for bin in [
+    let bins = vec![
         "fig2",
         "fig7",
         "fig8",
@@ -21,13 +36,50 @@ fn main() {
         "restoration",
         "power",
         "replication",
-    ] {
-        println!("\n########## {bin} ##########");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+    ];
+
+    let outcomes = parallel_map(bins, |bin| {
+        let result = Command::new(exe_dir.join(bin)).args(&args).output();
+        match result {
+            Ok(output) => RunOutcome {
+                bin,
+                output: Some(output),
+                launch_error: None,
+            },
+            Err(e) => RunOutcome {
+                bin,
+                output: None,
+                launch_error: Some(e.to_string()),
+            },
+        }
+    });
+
+    let mut failed: Vec<String> = Vec::new();
+    for o in &outcomes {
+        println!("\n########## {} ##########", o.bin);
+        match (&o.output, &o.launch_error) {
+            (Some(out), _) => {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                if !out.status.success() {
+                    failed.push(format!("{} (exit {:?})", o.bin, out.status.code()));
+                }
+            }
+            (None, Some(e)) => {
+                eprintln!("failed to launch {}: {e}", o.bin);
+                failed.push(format!("{} (launch failed: {e})", o.bin));
+            }
+            (None, None) => unreachable!("outcome has neither output nor error"),
+        }
     }
-    println!("\nAll experiments complete; CSVs in results/.");
+
+    if failed.is_empty() {
+        println!("\nAll experiments complete; CSVs in results/.");
+    } else {
+        eprintln!("\n{} experiment(s) failed:", failed.len());
+        for f in &failed {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
 }

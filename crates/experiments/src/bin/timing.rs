@@ -10,7 +10,7 @@
 use detsim::SimTime;
 use laps::prelude::*;
 use laps_experiments::{laps_config, print_table, results_dir, write_csv};
-use nphash::{Crc16Ccitt, FlowId, MapTable};
+use nphash::{Crc16Ccitt, FlowId, FlowSlot, MapTable};
 use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
 use std::time::Instant;
 
@@ -19,6 +19,7 @@ fn mk_packets(n: usize) -> Vec<PacketDesc> {
         .map(|i| PacketDesc {
             id: i as u64,
             flow: FlowId::from_index((i % 10_000) as u64),
+            slot: FlowSlot::new((i % 10_000) as u32),
             service: ServiceKind::ALL[i % 4],
             size: 64,
             arrival: SimTime::ZERO,

@@ -2,14 +2,17 @@
 //!
 //! The paper hashes the 5-tuple with **CRC16** ("CRC16 is shown to provide
 //! good performance for hashing IP headers" — Cao, Wang & Zegura,
-//! INFOCOM 2000). We provide the two common CRC16 variants plus CRC32C,
-//! each as a bitwise reference and a byte-table fast path; unit and
-//! property tests pin the two against each other and against published
-//! check values.
+//! INFOCOM 2000). We provide the two common CRC16 variants plus CRC32C.
+//! The default entry points ([`crc16_ccitt`], [`crc16_arc`], [`crc32c`])
+//! are table-driven — `const`-built 256-entry tables, and slice-by-4 for
+//! CRC32C — while the `*_bitwise` functions remain as independent oracles
+//! that unit and property tests pin the tables against, together with the
+//! published check values.
 
 /// Bitwise CRC16-CCITT-FALSE (poly `0x1021`, init `0xFFFF`, no reflection).
 ///
-/// Check value: `crc16_ccitt(b"123456789") == 0x29B1`.
+/// Check value: `crc16_ccitt_bitwise(b"123456789") == 0x29B1`. Reference
+/// oracle for the table-driven [`crc16_ccitt`].
 pub fn crc16_ccitt_bitwise(data: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &byte in data {
@@ -27,8 +30,9 @@ pub fn crc16_ccitt_bitwise(data: &[u8]) -> u16 {
 
 /// Bitwise CRC16-ARC (poly `0x8005` reflected = `0xA001`, init `0x0000`).
 ///
-/// Check value: `crc16_arc(b"123456789") == 0xBB3D`.
-pub fn crc16_arc(data: &[u8]) -> u16 {
+/// Check value: `crc16_arc_bitwise(b"123456789") == 0xBB3D`. Reference
+/// oracle for the table-driven [`crc16_arc`].
+pub fn crc16_arc_bitwise(data: &[u8]) -> u16 {
     let mut crc: u16 = 0x0000;
     for &byte in data {
         crc ^= byte as u16;
@@ -45,8 +49,9 @@ pub fn crc16_arc(data: &[u8]) -> u16 {
 
 /// Bitwise CRC32C (Castagnoli, reflected poly `0x82F63B78`).
 ///
-/// Check value: `crc32c(b"123456789") == 0xE3069283`.
-pub fn crc32c(data: &[u8]) -> u32 {
+/// Check value: `crc32c_bitwise(b"123456789") == 0xE3069283`. Reference
+/// oracle for the slice-by-4 [`crc32c`].
+pub fn crc32c_bitwise(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &byte in data {
         crc ^= byte as u32;
@@ -61,61 +66,173 @@ pub fn crc32c(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Table-driven CRC16-CCITT-FALSE.
+/// One table entry for the non-reflected CCITT polynomial.
+const fn ccitt_entry(i: u16) -> u16 {
+    let mut crc = i << 8;
+    let mut bit = 0;
+    while bit < 8 {
+        if crc & 0x8000 != 0 {
+            crc = (crc << 1) ^ 0x1021;
+        } else {
+            crc <<= 1;
+        }
+        bit += 1;
+    }
+    crc
+}
+
+/// The 256-entry CCITT table, built at compile time.
+const fn ccitt_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = ccitt_entry(i as u16);
+        i += 1;
+    }
+    table
+}
+
+static CCITT_TABLE: [u16; 256] = ccitt_table();
+
+/// One table entry for a reflected 16-bit polynomial.
+const fn reflected16_entry(i: u16, poly: u16) -> u16 {
+    let mut crc = i;
+    let mut bit = 0;
+    while bit < 8 {
+        if crc & 1 != 0 {
+            crc = (crc >> 1) ^ poly;
+        } else {
+            crc >>= 1;
+        }
+        bit += 1;
+    }
+    crc
+}
+
+/// The 256-entry ARC table, built at compile time.
+const fn arc_table() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = reflected16_entry(i as u16, 0xA001);
+        i += 1;
+    }
+    table
+}
+
+static ARC_TABLE: [u16; 256] = arc_table();
+
+/// One table entry for a reflected 32-bit polynomial.
+const fn reflected32_entry(i: u32, poly: u32) -> u32 {
+    let mut crc = i;
+    let mut bit = 0;
+    while bit < 8 {
+        if crc & 1 != 0 {
+            crc = (crc >> 1) ^ poly;
+        } else {
+            crc >>= 1;
+        }
+        bit += 1;
+    }
+    crc
+}
+
+/// The four 256-entry CRC32C tables for slice-by-4, built at compile
+/// time. `[0]` is the classic byte-at-a-time table; `[k]` advances a byte
+/// `k` positions further through the shift register.
+const fn crc32c_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        t[0][i] = reflected32_entry(i as u32, 0x82F6_3B78);
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+static CRC32C_TABLES: [[u32; 256]; 4] = crc32c_tables();
+
+/// Table-driven CRC16-CCITT-FALSE — the default fast path.
+///
+/// Check value: `crc16_ccitt(b"123456789") == 0x29B1`.
+#[inline]
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        let idx = ((crc >> 8) ^ byte as u16) as usize & 0xFF;
+        crc = (crc << 8) ^ CCITT_TABLE[idx];
+    }
+    crc
+}
+
+/// Table-driven CRC16-ARC — the default fast path.
+///
+/// Check value: `crc16_arc(b"123456789") == 0xBB3D`.
+#[inline]
+pub fn crc16_arc(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0x0000;
+    for &byte in data {
+        let idx = ((crc ^ byte as u16) & 0xFF) as usize;
+        crc = (crc >> 8) ^ ARC_TABLE[idx];
+    }
+    crc
+}
+
+/// Slice-by-4 CRC32C — the default fast path. Processes four bytes per
+/// iteration through four parallel tables, then finishes the tail
+/// byte-at-a-time.
+///
+/// Check value: `crc32c(b"123456789") == 0xE3069283`.
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        // chunks_exact(4) guarantees the length; to_le_bytes-style
+        // decomposition keeps this endian-independent.
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let x = crc ^ word;
+        crc = CRC32C_TABLES[3][(x & 0xFF) as usize]
+            ^ CRC32C_TABLES[2][((x >> 8) & 0xFF) as usize]
+            ^ CRC32C_TABLES[1][((x >> 16) & 0xFF) as usize]
+            ^ CRC32C_TABLES[0][((x >> 24) & 0xFF) as usize];
+    }
+    for &byte in chunks.remainder() {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32C_TABLES[0][idx];
+    }
+    !crc
+}
+
+/// Table-driven CRC16-CCITT-FALSE as a value type.
 ///
 /// This is the scheduler's hot path (§III-G: "the critical path is
-/// dominated by hash delay"); the 256-entry table is built once at
-/// construction.
-#[derive(Debug, Clone)]
-pub struct Crc16Ccitt {
-    table: [u16; 256],
-}
-
-impl Default for Crc16Ccitt {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// dominated by hash delay"); the 256-entry table is shared and
+/// `const`-built, so construction is free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crc16Ccitt;
 
 impl Crc16Ccitt {
-    /// Build the lookup table.
-    pub fn new() -> Self {
-        let mut table = [0u16; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut crc = (i as u16) << 8;
-            for _ in 0..8 {
-                if crc & 0x8000 != 0 {
-                    crc = (crc << 1) ^ 0x1021;
-                } else {
-                    crc <<= 1;
-                }
-            }
-            *slot = crc;
-        }
-        Crc16Ccitt { table }
+    /// Construct (the table is a compile-time constant; nothing to build).
+    pub const fn new() -> Self {
+        Crc16Ccitt
     }
 
     /// Hash a byte slice.
     #[inline]
     pub fn hash(&self, data: &[u8]) -> u16 {
-        let mut crc: u16 = 0xFFFF;
-        for &byte in data {
-            let idx = ((crc >> 8) ^ byte as u16) as usize;
-            crc = (crc << 8) ^ self.table[idx];
-        }
-        crc
+        crc16_ccitt(data)
     }
-}
-
-/// Convenience: table-driven CRC16-CCITT via a thread-local table.
-///
-/// Callers on the hot path should hold their own [`Crc16Ccitt`]; this
-/// helper is for tests and one-off use.
-pub fn crc16_ccitt(data: &[u8]) -> u16 {
-    thread_local! {
-        static TABLE: Crc16Ccitt = Crc16Ccitt::new();
-    }
-    TABLE.with(|t| t.hash(data))
 }
 
 #[cfg(test)]
@@ -125,41 +242,59 @@ mod tests {
     const CHECK: &[u8] = b"123456789";
 
     #[test]
-    fn ccitt_check_value() {
-        assert_eq!(crc16_ccitt_bitwise(CHECK), 0x29B1);
+    fn check_values_both_ways() {
+        // Published check values, table-driven and bitwise.
         assert_eq!(crc16_ccitt(CHECK), 0x29B1);
-    }
-
-    #[test]
-    fn arc_check_value() {
+        assert_eq!(crc16_ccitt_bitwise(CHECK), 0x29B1);
         assert_eq!(crc16_arc(CHECK), 0xBB3D);
-    }
-
-    #[test]
-    fn crc32c_check_value() {
+        assert_eq!(crc16_arc_bitwise(CHECK), 0xBB3D);
         assert_eq!(crc32c(CHECK), 0xE306_9283);
+        assert_eq!(crc32c_bitwise(CHECK), 0xE306_9283);
     }
 
     #[test]
     fn empty_input() {
+        assert_eq!(crc16_ccitt(b""), 0xFFFF);
         assert_eq!(crc16_ccitt_bitwise(b""), 0xFFFF);
         assert_eq!(crc16_arc(b""), 0x0000);
+        assert_eq!(crc16_arc_bitwise(b""), 0x0000);
         assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c_bitwise(b""), 0x0000_0000);
     }
 
     #[test]
-    fn table_matches_bitwise_on_varied_inputs() {
-        let t = Crc16Ccitt::new();
+    fn tables_match_bitwise_on_varied_inputs() {
+        // Lengths 1..300 with pseudo-random bytes cover every tail length
+        // of the slice-by-4 loop and every table index.
         let mut data = Vec::new();
         for i in 0..300u32 {
             data.push((i.wrapping_mul(2654435761) >> 24) as u8);
             assert_eq!(
-                t.hash(&data),
+                crc16_ccitt(&data),
                 crc16_ccitt_bitwise(&data),
-                "len={}",
+                "ccitt len={}",
+                data.len()
+            );
+            assert_eq!(
+                crc16_arc(&data),
+                crc16_arc_bitwise(&data),
+                "arc len={}",
+                data.len()
+            );
+            assert_eq!(
+                crc32c(&data),
+                crc32c_bitwise(&data),
+                "crc32c len={}",
                 data.len()
             );
         }
+    }
+
+    #[test]
+    fn crc16_value_type_matches_free_fn() {
+        let t = Crc16Ccitt::new();
+        assert_eq!(t.hash(CHECK), crc16_ccitt(CHECK));
+        assert_eq!(t.hash(b""), 0xFFFF);
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`maptable`] — a per-service map table: bucket list + incremental
 //!   hash → core ID, with grow/shrink operations used by dynamic core
 //!   allocation.
+//! * [`interner`] — dense flow interning ([`FlowInterner`] /
+//!   [`FlowSlot`]): every distinct flow is hashed **once**, on first
+//!   emission; all later per-flow state is a plain array index, keeping
+//!   the simulator's per-packet path as hash-free as the hardware the
+//!   paper models.
 //! * [`det`] — fixed-seed hashed collections ([`DetHashMap`],
 //!   [`DetHashSet`]) for reproducible simulation state; required by the
 //!   `npcheck` determinism contract in place of std's randomly-seeded
@@ -42,6 +47,7 @@ pub mod crc;
 pub mod det;
 pub mod flow;
 pub mod incremental;
+pub mod interner;
 pub mod maptable;
 pub mod toeplitz;
 
@@ -49,5 +55,6 @@ pub use crc::{crc16_arc, crc16_ccitt, crc32c, Crc16Ccitt};
 pub use det::{DetHashMap, DetHashSet};
 pub use flow::FlowId;
 pub use incremental::IncrementalHash;
+pub use interner::{FlowInterner, FlowSlot};
 pub use maptable::MapTable;
 pub use toeplitz::ToeplitzHasher;

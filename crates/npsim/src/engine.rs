@@ -24,12 +24,33 @@ use crate::report::SimReport;
 use crate::restore::RestorationBuffer;
 use crate::sched::{QueueInfo, Scheduler, SystemView};
 use crate::source::{RateSpec, SourceConfig, TrafficSource};
-use detsim::{BoundedQueue, EventQueue, PushOutcome, SeedSequence, SimTime};
-use nphash::det::{det_map, DetHashMap};
-use nphash::FlowId;
+use detsim::{BoundedQueue, EventQueue, PushOutcome, SeedSequence, SimTime, TimerWheel};
+use nphash::{FlowInterner, FlowSlot};
 use nptraffic::{DelayModel, ServiceKind};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Which event-queue implementation drives the run loop.
+///
+/// Both structures implement the same deterministic contract — earliest
+/// time first, FIFO among equal `(time, seq)` — so the two backends
+/// produce **byte-identical reports** for the same configuration and
+/// seed (pinned by the workspace `backend_equivalence` property test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventBackend {
+    /// `detsim::EventQueue` — the O(log n) binary heap. The default:
+    /// the engine's pending-event set is tiny (≈ one finish event per
+    /// busy core plus one arrival per source), and at that size a
+    /// contiguous heap measurably outruns the wheel's slot machinery
+    /// (see DESIGN.md "Hot path & perf baseline" for the numbers).
+    #[default]
+    Heap,
+    /// `detsim::TimerWheel` — O(1)-amortized hierarchical timing wheel.
+    /// Wins when the pending set is large (thousands of timers); kept a
+    /// config knob away, with a byte-identical-report equivalence test,
+    /// so event-heavy scenarios can flip it with zero semantic risk.
+    Wheel,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +85,10 @@ pub struct EngineConfig {
     /// scheduler. The paper studies data-plane scheduling, so 0 by
     /// default.
     pub control_plane_fraction: f64,
+    /// Event-queue implementation behind the run loop (default: the
+    /// binary heap; the timer wheel is retained for event-heavy
+    /// scenarios and cross-checking).
+    pub event_backend: EventBackend,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +105,7 @@ impl Default for EngineConfig {
             delay: DelayModel::default(),
             restoration: None,
             control_plane_fraction: 0.0,
+            event_backend: EventBackend::default(),
         }
     }
 }
@@ -101,6 +127,109 @@ enum Ev {
     RateUpdate,
 }
 
+/// Sentinel in [`FlowTable::last_core`]: the flow has not been enqueued
+/// anywhere yet.
+const NO_CORE: u32 = u32::MAX;
+
+/// Struct-of-arrays per-flow state, indexed by [`FlowSlot`] — the
+/// hash-free replacement for the former `DetHashMap<FlowId, _>` pair.
+/// One predictable array access per packet per field.
+#[derive(Debug, Default)]
+struct FlowTable {
+    /// Next arrival sequence number per flow.
+    seq: Vec<u64>,
+    /// Core the flow's last packet was enqueued to (`NO_CORE` = none).
+    last_core: Vec<u32>,
+}
+
+impl FlowTable {
+    /// Ensure slots `0..n` exist (new slots: seq 0, no last core).
+    fn grow_to(&mut self, n: usize) {
+        if self.seq.len() < n {
+            self.seq.resize(n, 0);
+            self.last_core.resize(n, NO_CORE);
+        }
+    }
+
+    /// Fetch-and-increment the flow's arrival sequence counter.
+    fn next_seq(&mut self, slot: FlowSlot) -> u64 {
+        match self.seq.get_mut(slot.index()) {
+            Some(s) => {
+                let v = *s;
+                *s += 1;
+                v
+            }
+            None => {
+                // Unreachable: the table is grown to the interner's length
+                // before any lookup.
+                debug_assert!(false, "flow table not grown to slot {slot:?}");
+                0
+            }
+        }
+    }
+
+    /// The core the flow's previous packet was enqueued to, if any.
+    fn last_core(&self, slot: FlowSlot) -> Option<usize> {
+        self.last_core
+            .get(slot.index())
+            .and_then(|&c| (c != NO_CORE).then_some(c as usize))
+    }
+
+    /// Record the core the flow's packet was just enqueued to.
+    fn set_last_core(&mut self, slot: FlowSlot, core: usize) {
+        if let Some(c) = self.last_core.get_mut(slot.index()) {
+            *c = core as u32;
+        } else {
+            debug_assert!(false, "flow table not grown to slot {slot:?}");
+        }
+    }
+}
+
+/// The engine's event queue, behind the [`EventBackend`] knob. Both
+/// variants share the `(time, seq)` total order, so swapping them cannot
+/// change a run's result — only its wall-clock speed.
+#[derive(Debug)]
+enum EventSchedule {
+    Heap(EventQueue<Ev>),
+    Wheel(Box<TimerWheel<Ev>>),
+}
+
+impl EventSchedule {
+    /// Pick the backend; the wheel's tick granularity adapts to the time
+    /// scale so that a slot spans roughly one packet service time
+    /// (deterministic: derived from the configuration only).
+    fn new(backend: EventBackend, scale: f64) -> Self {
+        match backend {
+            EventBackend::Heap => EventSchedule::Heap(EventQueue::with_capacity(1024)),
+            EventBackend::Wheel => {
+                // Power of two so the wheel's time→tick conversion is a
+                // shift, not a division; roughly one tick per paper-scale
+                // inter-arrival at the bench rates.
+                let tick_ns = ((scale * 50.0) as u64).clamp(32, 2048).next_power_of_two();
+                EventSchedule::Wheel(Box::new(TimerWheel::new(tick_ns)))
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        match self {
+            EventSchedule::Heap(q) => {
+                q.push(at, ev);
+            }
+            EventSchedule::Wheel(w) => w.push(at, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        match self {
+            EventSchedule::Heap(q) => q.pop(),
+            EventSchedule::Wheel(w) => w.pop(),
+        }
+    }
+}
+
 /// A traffic source paired with its private arrival-process RNG stream
 /// (keeping them in one slot makes per-source access a single bounds
 /// check and rules out the two parallel arrays drifting apart).
@@ -117,16 +246,21 @@ pub struct Engine<S: Scheduler> {
     scheduler: S,
     sources: Vec<SourceSlot>,
     cores: Vec<Core>,
-    events: EventQueue<Ev>,
-    /// Per-flow next arrival sequence number.
-    flow_seq: DetHashMap<FlowId, u64>,
-    /// Per-flow last core a packet was *enqueued* to.
-    last_core: DetHashMap<FlowId, usize>,
+    events: EventSchedule,
+    /// Flow arena: FlowId → dense slot, assigned at first emission.
+    interner: FlowInterner,
+    /// Per-flow state (arrival seq, last core), slot-indexed.
+    flows: FlowTable,
     order: OrderTracker,
     classifier_rng: StdRng,
     restoration: Option<RestorationBuffer>,
     report: SimReport,
     next_packet_id: u64,
+    /// Per-core scheduler view, maintained **incrementally**: only the
+    /// core an event touched is resynced (one entry per event instead of
+    /// an `n_cores` rebuild per arrival), and the buffer itself is
+    /// steady-state allocation-free.
+    infos: Vec<QueueInfo>,
 }
 
 impl<S: Scheduler> std::fmt::Debug for Engine<S> {
@@ -171,7 +305,7 @@ impl<S: Scheduler> Engine<S> {
                 }
             })
             .collect();
-        let cores = (0..cfg.n_cores)
+        let cores: Vec<Core> = (0..cfg.n_cores)
             .map(|_| Core {
                 queue: BoundedQueue::new(cfg.queue_capacity),
                 current: None,
@@ -183,19 +317,30 @@ impl<S: Scheduler> Engine<S> {
             .collect();
         let report = SimReport::new(scheduler.name(), cfg.duration, cfg.scale);
         let restoration = cfg.restoration.map(RestorationBuffer::new);
+        let infos = cores
+            .iter()
+            .map(|c: &Core| QueueInfo {
+                len: c.queue.len(),
+                capacity: c.queue.capacity(),
+                busy: c.current.is_some(),
+                idle_since: c.idle_since,
+                last_congested: c.last_congested,
+            })
+            .collect();
         Engine {
             delay,
             scheduler,
             sources: sources_built,
             cores,
-            events: EventQueue::with_capacity(1024),
-            flow_seq: det_map(),
-            last_core: det_map(),
+            events: EventSchedule::new(cfg.event_backend, cfg.scale),
+            interner: FlowInterner::new(),
+            flows: FlowTable::default(),
             order: OrderTracker::new(),
             classifier_rng: seq.rng("fm-classifier"),
             restoration,
             report,
             next_packet_id: 0,
+            infos,
             cfg,
         }
     }
@@ -204,24 +349,27 @@ impl<S: Scheduler> Engine<S> {
     fn emit(&mut self, pkt: PacketDesc, now: SimTime) {
         self.report.processed += 1;
         self.report.service_mut(pkt.service).processed += 1;
-        if self.order.record_departure(pkt.flow, pkt.flow_seq) {
+        if self.order.record_departure(pkt.slot, pkt.flow_seq) {
             self.report.out_of_order += 1;
             self.report.service_mut(pkt.service).out_of_order += 1;
         }
         self.report.latency.record((now - pkt.arrival).as_nanos());
     }
 
-    fn queue_infos(&self) -> Vec<QueueInfo> {
-        self.cores
-            .iter()
-            .map(|c| QueueInfo {
+    /// Resync core `i`'s scheduler-view entry after mutating it. Every
+    /// event touches exactly one core, so this keeps the view coherent at
+    /// one entry write per event instead of an `n_cores` rebuild.
+    #[inline]
+    fn sync_info(&mut self, i: usize) {
+        if let (Some(info), Some(c)) = (self.infos.get_mut(i), self.cores.get(i)) {
+            *info = QueueInfo {
                 len: c.queue.len(),
                 capacity: c.queue.capacity(),
                 busy: c.current.is_some(),
                 idle_since: c.idle_since,
                 last_congested: c.last_congested,
-            })
-            .collect()
+            };
+        }
     }
 
     fn start_processing(&mut self, core: usize, now: SimTime) {
@@ -279,7 +427,7 @@ impl<S: Scheduler> Engine<S> {
             debug_assert!(false, "arrival from unknown source {src}");
             return;
         };
-        let (flow, size) = slot.source.next_header();
+        let (flow, flow_slot, size) = slot.source.next_header_interned(&mut self.interner);
         let service = slot.source.service;
         // Frame-manager classification (Fig. 1): control-plane packets
         // take the slow path and never enter the data-plane scheduler.
@@ -290,12 +438,12 @@ impl<S: Scheduler> Engine<S> {
             self.schedule_next_arrival(src, now);
             return;
         }
-        let seq_ref = self.flow_seq.entry(flow).or_insert(0);
-        let flow_seq = *seq_ref;
-        *seq_ref += 1;
+        self.flows.grow_to(self.interner.len());
+        let flow_seq = self.flows.next_seq(flow_slot);
         let mut pkt = PacketDesc {
             id: self.next_packet_id,
             flow,
+            slot: flow_slot,
             service,
             size,
             arrival: now,
@@ -306,19 +454,22 @@ impl<S: Scheduler> Engine<S> {
         self.report.offered += 1;
         self.report.service_mut(service).offered += 1;
 
-        // Ask the policy for a target core.
-        let infos = self.queue_infos();
+        // Ask the policy for a target core. The view is maintained
+        // incrementally (see `sync_info`); it is briefly moved out so the
+        // scheduler can borrow it alongside `&mut self.scheduler`.
+        let infos = std::mem::take(&mut self.infos);
         let view = SystemView {
             now,
             queues: &infos,
         };
         let target = self.scheduler.schedule(&pkt, &view);
+        self.infos = infos;
         assert!(
             target < self.cfg.n_cores,
             "scheduler returned core {target}"
         );
 
-        let migrated = matches!(self.last_core.get(&flow), Some(&c) if c != target);
+        let migrated = matches!(self.flows.last_core(flow_slot), Some(c) if c != target);
         pkt.migrated = migrated;
         // `target` < n_cores was just asserted, so the lookup is total.
         let outcome = self
@@ -337,7 +488,7 @@ impl<S: Scheduler> Engine<S> {
                 // The frame manager knows this sequence number will never
                 // depart; tell the restoration buffer not to wait for it.
                 if let Some(buf) = self.restoration.as_mut() {
-                    for released in buf.note_gap(pkt.flow, pkt.flow_seq, now) {
+                    for released in buf.note_gap(pkt.slot, pkt.flow_seq, now) {
                         self.emit(released, now);
                     }
                 }
@@ -351,10 +502,13 @@ impl<S: Scheduler> Engine<S> {
                 if migrated {
                     self.report.migration_events += 1;
                 }
-                self.last_core.insert(flow, target);
+                self.flows.set_last_core(flow_slot, target);
                 self.start_processing(target, now);
             }
         }
+        // The only core this arrival touched; bring its view entry up to
+        // date for the next schedule() call.
+        self.sync_info(target);
 
         // Schedule the next arrival from this source, if still within the
         // horizon.
@@ -383,6 +537,7 @@ impl<S: Scheduler> Engine<S> {
             }
         }
         self.start_processing(core, now);
+        self.sync_info(core);
     }
 
     fn on_rate_update(&mut self, now: SimTime) {
@@ -424,6 +579,18 @@ impl<S: Scheduler> Engine<S> {
              + queued {queued} + in-service {in_service} + restoration-buffered {buffered}",
             self.report.offered, self.report.processed, self.report.dropped
         );
+        // 3. **View coherence** — the incrementally maintained scheduler
+        //    view matches a from-scratch rebuild of the core state.
+        for (i, (info, c)) in self.infos.iter().zip(self.cores.iter()).enumerate() {
+            assert!(
+                info.len == c.queue.len()
+                    && info.capacity == c.queue.capacity()
+                    && info.busy == c.current.is_some()
+                    && info.idle_since == c.idle_since
+                    && info.last_congested == c.last_congested,
+                "scheduler view out of sync with core {i} at t={now:?}"
+            );
+        }
     }
 
     /// Run to completion (horizon + drain) and return the report.
@@ -456,6 +623,7 @@ impl<S: Scheduler> Engine<S> {
             #[cfg(feature = "invariants")]
             self.check_invariants(t, last_t);
             last_t = t;
+            self.report.events += 1;
             match ev {
                 Ev::Arrival(src) => self.on_arrival(src, t),
                 Ev::Finish(core) => self.on_finish(core, t),

@@ -42,7 +42,7 @@ pub mod restore;
 pub mod sched;
 pub mod source;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EventBackend};
 pub use order::OrderTracker;
 pub use packet::PacketDesc;
 pub use report::{ServiceBreakdown, SimReport};

@@ -5,16 +5,22 @@
 //! reordering definition (cf. RFC 4737 "reordered" singleton metric). We
 //! additionally record the *reorder extent* (how many sequence numbers
 //! late the packet is), an extension beyond the paper's scalar count.
+//!
+//! The tracker is slot-indexed: flows are identified by their dense
+//! [`FlowSlot`], so recording a departure is one array access — no hash
+//! probe on the departure path.
 
 use detsim::Histogram;
-use nphash::det::DetHashMap;
-use nphash::FlowId;
+use nphash::FlowSlot;
 
-/// Tracks per-flow departure order.
+/// Tracks per-flow departure order, indexed by [`FlowSlot`].
 #[derive(Debug, Default)]
 pub struct OrderTracker {
-    /// Highest flow_seq already departed, per flow.
-    max_departed: DetHashMap<FlowId, u64>,
+    /// Per slot: `0` = no departure seen yet; otherwise the highest
+    /// departed `flow_seq` **plus one** (so the vector's zero-fill is the
+    /// "never seen" state and growth is a plain resize).
+    max_departed_plus_one: Vec<u64>,
+    flows: usize,
     departed: u64,
     out_of_order: u64,
     extent: Histogram,
@@ -26,28 +32,34 @@ impl OrderTracker {
         Self::default()
     }
 
-    /// Record a departure of packet `flow_seq` of `flow`. Returns `true`
-    /// if the departure is out of order.
-    pub fn record_departure(&mut self, flow: FlowId, flow_seq: u64) -> bool {
+    /// Record a departure of packet `flow_seq` of the flow in `slot`.
+    /// Returns `true` if the departure is out of order.
+    pub fn record_departure(&mut self, slot: FlowSlot, flow_seq: u64) -> bool {
         self.departed += 1;
-        match self.max_departed.get_mut(&flow) {
-            None => {
-                self.max_departed.insert(flow, flow_seq);
-                // First departure of the flow can still be "late" only if
-                // earlier-seq packets were dropped — drops are not
-                // reorderings, so it is in order by definition.
-                false
-            }
-            Some(max) => {
-                if flow_seq < *max {
-                    self.out_of_order += 1;
-                    self.extent.record(*max - flow_seq);
-                    true
-                } else {
-                    *max = flow_seq;
-                    false
-                }
-            }
+        let i = slot.index();
+        if i >= self.max_departed_plus_one.len() {
+            self.max_departed_plus_one.resize(i + 1, 0);
+        }
+        let Some(entry) = self.max_departed_plus_one.get_mut(i) else {
+            // Unreachable: just resized to cover `i`.
+            return false;
+        };
+        if *entry == 0 {
+            // First departure of the flow can still be "late" only if
+            // earlier-seq packets were dropped — drops are not
+            // reorderings, so it is in order by definition.
+            *entry = flow_seq + 1;
+            self.flows += 1;
+            return false;
+        }
+        let max = *entry - 1;
+        if flow_seq < max {
+            self.out_of_order += 1;
+            self.extent.record(max - flow_seq);
+            true
+        } else {
+            *entry = flow_seq + 1;
+            false
         }
     }
 
@@ -77,7 +89,7 @@ impl OrderTracker {
 
     /// Number of distinct flows that have departed packets.
     pub fn flows_seen(&self) -> usize {
-        self.max_departed.len()
+        self.flows
     }
 }
 
@@ -85,15 +97,15 @@ impl OrderTracker {
 mod tests {
     use super::*;
 
-    fn f(i: u64) -> FlowId {
-        FlowId::from_index(i)
+    fn s(i: u32) -> FlowSlot {
+        FlowSlot::new(i)
     }
 
     #[test]
     fn in_order_flow_is_clean() {
         let mut t = OrderTracker::new();
-        for s in 0..10 {
-            assert!(!t.record_departure(f(1), s));
+        for seq in 0..10 {
+            assert!(!t.record_departure(s(1), seq));
         }
         assert_eq!(t.out_of_order(), 0);
         assert_eq!(t.departed(), 10);
@@ -103,9 +115,9 @@ mod tests {
     #[test]
     fn late_packet_is_ooo() {
         let mut t = OrderTracker::new();
-        t.record_departure(f(1), 0);
-        t.record_departure(f(1), 2); // 1 still in flight
-        assert!(t.record_departure(f(1), 1)); // late
+        t.record_departure(s(1), 0);
+        t.record_departure(s(1), 2); // 1 still in flight
+        assert!(t.record_departure(s(1), 1)); // late
         assert_eq!(t.out_of_order(), 1);
         assert_eq!(t.extent_histogram().count(), 1);
         assert_eq!(t.extent_histogram().max(), 1);
@@ -114,17 +126,17 @@ mod tests {
     #[test]
     fn flows_are_independent() {
         let mut t = OrderTracker::new();
-        t.record_departure(f(1), 5);
-        assert!(!t.record_departure(f(2), 0), "other flows unaffected");
+        t.record_departure(s(1), 5);
+        assert!(!t.record_departure(s(2), 0), "other flows unaffected");
         assert_eq!(t.flows_seen(), 2);
     }
 
     #[test]
     fn gaps_from_drops_are_not_reordering() {
         let mut t = OrderTracker::new();
-        assert!(!t.record_departure(f(1), 0));
+        assert!(!t.record_departure(s(1), 0));
         // seq 1 was dropped upstream; 2 departing next is in order.
-        assert!(!t.record_departure(f(1), 2));
+        assert!(!t.record_departure(s(1), 2));
         assert_eq!(t.out_of_order(), 0);
     }
 
@@ -132,15 +144,23 @@ mod tests {
     fn equal_seq_not_counted() {
         // Defensive: duplicate sequence (should not happen) is not OOO.
         let mut t = OrderTracker::new();
-        t.record_departure(f(1), 3);
-        assert!(!t.record_departure(f(1), 3));
+        t.record_departure(s(1), 3);
+        assert!(!t.record_departure(s(1), 3));
     }
 
     #[test]
     fn extent_measures_lateness() {
         let mut t = OrderTracker::new();
-        t.record_departure(f(1), 10);
-        t.record_departure(f(1), 4);
+        t.record_departure(s(1), 10);
+        t.record_departure(s(1), 4);
         assert_eq!(t.extent_histogram().max(), 6);
+    }
+
+    #[test]
+    fn sparse_slots_grow_on_demand() {
+        let mut t = OrderTracker::new();
+        assert!(!t.record_departure(s(1000), 0));
+        assert!(!t.record_departure(s(0), 7));
+        assert_eq!(t.flows_seen(), 2);
     }
 }

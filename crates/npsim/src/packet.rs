@@ -1,7 +1,7 @@
 //! Packet descriptors.
 
 use detsim::SimTime;
-use nphash::FlowId;
+use nphash::{FlowId, FlowSlot};
 use nptraffic::ServiceKind;
 
 /// A packet descriptor, as the frame manager would hand it to the
@@ -13,6 +13,9 @@ pub struct PacketDesc {
     pub id: u64,
     /// The 5-tuple flow this packet belongs to.
     pub flow: FlowId,
+    /// The flow's dense arena slot (see [`nphash::FlowInterner`]): the
+    /// hash-free key for all per-flow state on the packet path.
+    pub slot: FlowSlot,
     /// Which service must process it.
     pub service: ServiceKind,
     /// Size in bytes (drives path-1/path-4 processing time).
@@ -36,6 +39,7 @@ mod tests {
         let p = PacketDesc {
             id: 1,
             flow: FlowId::from_index(3),
+            slot: FlowSlot::new(0),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::from_micros(5),

@@ -60,6 +60,10 @@ pub struct SimReport {
     /// (control plane, §II / Fig. 1); they never reach the data-plane
     /// scheduler and are excluded from `offered`.
     pub slow_path: u64,
+    /// Discrete events dispatched by the run loop (arrivals, service
+    /// completions, rate updates) — identical across event-queue
+    /// backends; the denominator-free half of the events/sec metric.
+    pub events: u64,
 }
 
 impl SimReport {
@@ -83,6 +87,7 @@ impl SimReport {
             restoration: None,
             core_busy_ns: Vec::new(),
             slow_path: 0,
+            events: 0,
         }
     }
 

@@ -18,7 +18,7 @@
 use crate::packet::PacketDesc;
 use detsim::{Histogram, SimTime};
 use nphash::det::{det_map, DetHashMap};
-use nphash::FlowId;
+use nphash::FlowSlot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -41,10 +41,11 @@ pub struct RestorationStats {
 #[derive(Debug)]
 pub struct RestorationBuffer {
     timeout: SimTime,
-    /// Next sequence number each flow is allowed to release.
-    next_expected: DetHashMap<FlowId, u64>,
-    /// Held packets: flow → seq → (packet, buffered_at).
-    held: DetHashMap<FlowId, BTreeMap<u64, (PacketDesc, SimTime)>>,
+    /// Next sequence number each flow is allowed to release, keyed by
+    /// the flow's dense arena slot.
+    next_expected: DetHashMap<FlowSlot, u64>,
+    /// Held packets: flow slot → seq → (packet, buffered_at).
+    held: DetHashMap<FlowSlot, BTreeMap<u64, (PacketDesc, SimTime)>>,
     occupancy: usize,
     stats: RestorationStats,
 }
@@ -78,11 +79,11 @@ impl RestorationBuffer {
 
     /// The frame manager dropped `(flow, seq)` at ingress: that sequence
     /// number will never arrive, so releases must not wait for it.
-    pub fn note_gap(&mut self, flow: FlowId, seq: u64, now: SimTime) -> Vec<PacketDesc> {
-        let expected = self.next_expected.entry(flow).or_insert(0);
+    pub fn note_gap(&mut self, slot: FlowSlot, seq: u64, now: SimTime) -> Vec<PacketDesc> {
+        let expected = self.next_expected.entry(slot).or_insert(0);
         if seq == *expected {
             *expected += 1;
-            return self.drain_ready(flow, now);
+            return self.drain_ready(slot, now);
         }
         // A gap beyond the window: nothing releasable yet; the hole will
         // be skipped when the window reaches it (we remember nothing —
@@ -95,7 +96,7 @@ impl RestorationBuffer {
     /// A packet finished processing at `now`. Returns every packet that
     /// can now be released, in order.
     pub fn on_departure(&mut self, pkt: PacketDesc, now: SimTime) -> Vec<PacketDesc> {
-        let expected = *self.next_expected.get(&pkt.flow).unwrap_or(&0);
+        let expected = *self.next_expected.get(&pkt.slot).unwrap_or(&0);
         if pkt.flow_seq < expected {
             // Predecessor of an already-released (or gap-skipped)
             // position: emit immediately, it is late but holding it helps
@@ -105,15 +106,15 @@ impl RestorationBuffer {
         }
         if pkt.flow_seq == expected {
             self.stats.pass_through += 1;
-            self.next_expected.insert(pkt.flow, expected + 1);
+            self.next_expected.insert(pkt.slot, expected + 1);
             let mut out = vec![pkt];
-            out.extend(self.drain_ready(pkt.flow, now));
+            out.extend(self.drain_ready(pkt.slot, now));
             return out;
         }
         // Out of order: hold it.
         self.stats.buffered += 1;
         self.held
-            .entry(pkt.flow)
+            .entry(pkt.slot)
             .or_default()
             .insert(pkt.flow_seq, (pkt, now));
         self.occupancy += 1;
@@ -124,12 +125,12 @@ impl RestorationBuffer {
     }
 
     /// Release consecutive held successors of `flow`'s window.
-    fn drain_ready(&mut self, flow: FlowId, now: SimTime) -> Vec<PacketDesc> {
+    fn drain_ready(&mut self, slot: FlowSlot, now: SimTime) -> Vec<PacketDesc> {
         let mut out = Vec::new();
-        let Some(q) = self.held.get_mut(&flow) else {
+        let Some(q) = self.held.get_mut(&slot) else {
             return out;
         };
-        let expected = self.next_expected.entry(flow).or_insert(0);
+        let expected = self.next_expected.entry(slot).or_insert(0);
         while let Some((&seq, _)) = q.iter().next() {
             if seq != *expected {
                 break;
@@ -143,7 +144,7 @@ impl RestorationBuffer {
             out.push(pkt);
         }
         if q.is_empty() {
-            self.held.remove(&flow);
+            self.held.remove(&slot);
         }
         out
     }
@@ -153,10 +154,10 @@ impl RestorationBuffer {
     /// released packets (in per-flow order).
     pub fn flush_timeouts(&mut self, now: SimTime) -> Vec<PacketDesc> {
         let mut out = Vec::new();
-        let flows: Vec<FlowId> = self.held.keys().copied().collect();
-        for flow in flows {
+        let flows: Vec<FlowSlot> = self.held.keys().copied().collect();
+        for slot in flows {
             let expired = {
-                let q = &self.held[&flow];
+                let q = &self.held[&slot];
                 q.iter()
                     .next()
                     .map(|(_, (_, since))| now.saturating_sub(*since) >= self.timeout)
@@ -166,11 +167,11 @@ impl RestorationBuffer {
                 continue;
             }
             // Jump the window to the oldest held packet and drain.
-            let q = self.held.get_mut(&flow).expect("present");
+            let q = self.held.get_mut(&slot).expect("present");
             let (&seq, _) = q.iter().next().expect("non-empty");
-            self.next_expected.insert(flow, seq);
+            self.next_expected.insert(slot, seq);
             self.stats.timeout_releases += 1;
-            out.extend(self.drain_ready(flow, now));
+            out.extend(self.drain_ready(slot, now));
         }
         out
     }
@@ -178,16 +179,16 @@ impl RestorationBuffer {
     /// Release everything (end of simulation), in per-flow order.
     pub fn drain_all(&mut self, now: SimTime) -> Vec<PacketDesc> {
         let mut out = Vec::new();
-        let flows: Vec<FlowId> = self.held.keys().copied().collect();
-        for flow in flows {
+        let flows: Vec<FlowSlot> = self.held.keys().copied().collect();
+        for slot in flows {
             // A flow may hold interior gaps (e.g. seqs {5, 7}); jump the
             // window over each gap until the flow's queue is empty.
-            while let Some(q) = self.held.get_mut(&flow) {
+            while let Some(q) = self.held.get_mut(&slot) {
                 let Some((&seq, _)) = q.iter().next() else {
                     break;
                 };
-                self.next_expected.insert(flow, seq);
-                out.extend(self.drain_ready(flow, now));
+                self.next_expected.insert(slot, seq);
+                out.extend(self.drain_ready(slot, now));
             }
         }
         out
@@ -197,12 +198,14 @@ impl RestorationBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nphash::FlowId;
     use nptraffic::ServiceKind;
 
     fn pkt(flow: u64, seq: u64) -> PacketDesc {
         PacketDesc {
             id: seq,
             flow: FlowId::from_index(flow),
+            slot: FlowSlot::new(flow as u32),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,
@@ -255,7 +258,7 @@ mod tests {
         let mut b = RestorationBuffer::new(t(100));
         assert!(b.on_departure(pkt(1, 1), t(0)).is_empty());
         // Seq 0 was dropped at ingress: the note releases seq 1.
-        let out = b.note_gap(FlowId::from_index(1), 0, t(1));
+        let out = b.note_gap(FlowSlot::new(1), 0, t(1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].flow_seq, 1);
     }

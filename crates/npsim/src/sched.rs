@@ -57,6 +57,28 @@ impl SystemView<'_> {
     pub fn max_queue_len(&self, cores: &[usize]) -> usize {
         cores.iter().map(|&c| self.queues[c].len).max().unwrap_or(0)
     }
+
+    /// The core with the shortest queue among **all** cores (ties to the
+    /// lowest index). Unlike [`SystemView::min_queue_core`], this needs no
+    /// core-index slice, so per-packet callers allocate nothing.
+    pub fn min_queue_core_all(&self) -> Option<usize> {
+        // Manual strict-less scan (first minimum wins, i.e. ties go to
+        // the lowest index, same as `min_by_key` over `(len, c)`): this
+        // runs once per packet, and the simple loop compiles to a tight
+        // compare-and-select over the queue slice.
+        if self.queues.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_len = usize::MAX;
+        for (c, q) in self.queues.iter().enumerate() {
+            if q.len < best_len {
+                best = c;
+                best_len = q.len;
+            }
+        }
+        Some(best)
+    }
 }
 
 /// A packet-scheduling policy.
@@ -140,21 +162,22 @@ impl Scheduler for JoinShortestQueue {
     }
 
     fn schedule(&mut self, _pkt: &PacketDesc, view: &SystemView<'_>) -> usize {
-        let all: Vec<usize> = (0..view.n_cores()).collect();
-        view.min_queue_core(&all).expect("at least one core")
+        // Allocation-free: this runs once per packet.
+        view.min_queue_core_all().unwrap_or(0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nphash::FlowId;
+    use nphash::{FlowId, FlowSlot};
     use nptraffic::ServiceKind;
 
     fn pkt() -> PacketDesc {
         PacketDesc {
             id: 0,
             flow: FlowId::from_index(1),
+            slot: FlowSlot::new(0),
             service: ServiceKind::IpForward,
             size: 64,
             arrival: SimTime::ZERO,
@@ -209,5 +232,6 @@ mod tests {
         assert_eq!(v.min_queue_core(&[0, 2]), Some(0));
         assert_eq!(v.min_queue_core(&[]), None);
         assert_eq!(v.max_queue_len(&[0, 1, 2, 3]), 4);
+        assert_eq!(v.min_queue_core_all(), Some(3));
     }
 }

@@ -6,7 +6,7 @@
 //! at paper scale; the engine divides by the configured scale factor.
 
 use detsim::SimTime;
-use nphash::FlowId;
+use nphash::{FlowId, FlowInterner, FlowSlot};
 use nptrace::{TraceGenerator, TracePreset};
 use nptraffic::{HoltWinters, ServiceKind};
 use rand::rngs::StdRng;
@@ -59,7 +59,15 @@ pub struct TrafficSource {
     rate: RateSpec,
     /// Rate currently in force (Mpps, unscaled), refreshed periodically.
     current_rate: f64,
+    /// Global [`FlowSlot`] of each trace-local flow index, `u32::MAX` =
+    /// not yet interned. The trace generator hands out *dense* per-trace
+    /// flow indices, so after a flow's first packet every later packet
+    /// resolves its slot with one `Vec` access — zero hash probes.
+    slot_cache: Vec<u32>,
 }
+
+/// Sentinel in `slot_cache`: this trace-local flow has no global slot yet.
+const UNINTERNED: u32 = u32::MAX;
 
 impl TrafficSource {
     /// Instantiate from configuration. `trace_len` bounds the streaming
@@ -74,6 +82,7 @@ impl TrafficSource {
             gen,
             rate: cfg.rate,
             current_rate: cfg.rate.mean_rate_at(SimTime::ZERO),
+            slot_cache: Vec::new(),
         }
     }
 
@@ -100,6 +109,40 @@ impl TrafficSource {
         let space = self.gen.flow_space();
         let p = self.gen.next_packet();
         (p.flow_id(space), p.size)
+    }
+
+    /// Draw the next packet header with its interned arena slot:
+    /// `(flow, slot, size)`.
+    ///
+    /// Only the *first* packet of each flow pays an interner probe; every
+    /// repeat resolves through the per-source slot cache (a plain `Vec`
+    /// lookup on the trace's dense flow index).
+    pub fn next_header_interned(&mut self, interner: &mut FlowInterner) -> (FlowId, FlowSlot, u16) {
+        let space = self.gen.flow_space();
+        let p = self.gen.next_packet();
+        let local = p.flow as usize;
+        if local >= self.slot_cache.len() {
+            self.slot_cache.resize(local + 1, UNINTERNED);
+        }
+        match self.slot_cache.get_mut(local) {
+            Some(cached) if *cached != UNINTERNED => {
+                let slot = FlowSlot::new(*cached);
+                // The interner resolves a slot with one array access —
+                // cheaper than re-deriving the FlowId from the header.
+                match interner.resolve(slot) {
+                    Some(flow) => (flow, slot, p.size),
+                    None => (p.flow_id(space), slot, p.size),
+                }
+            }
+            cached => {
+                let flow = p.flow_id(space);
+                let slot = interner.intern(flow);
+                if let Some(c) = cached {
+                    *c = slot.raw();
+                }
+                (flow, slot, p.size)
+            }
+        }
     }
 }
 
@@ -148,6 +191,23 @@ mod tests {
         let mut s2 = source(RateSpec::Constant(1.0));
         let (f2, _) = s2.next_header();
         assert_eq!(f1, f2, "same preset+seed → same header stream");
+    }
+
+    #[test]
+    fn interned_headers_match_plain_headers() {
+        // The interned path must emit exactly the same header stream as
+        // the plain one, with slots that round-trip through the interner.
+        let mut a = source(RateSpec::Constant(1.0));
+        let mut b = source(RateSpec::Constant(1.0));
+        let mut interner = FlowInterner::new();
+        for _ in 0..5_000 {
+            let (f1, sz1) = a.next_header();
+            let (f2, slot, sz2) = b.next_header_interned(&mut interner);
+            assert_eq!(f1, f2);
+            assert_eq!(sz1, sz2);
+            assert_eq!(interner.resolve(slot), Some(f2));
+        }
+        assert!(interner.len() > 1, "trace should contain several flows");
     }
 
     #[test]

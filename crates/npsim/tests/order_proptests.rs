@@ -10,19 +10,19 @@
 //!    injective map must leave every reported number unchanged: the
 //!    metric may depend only on the per-flow sequence structure.
 
-use nphash::FlowId;
+use nphash::{FlowId, FlowInterner};
 use npsim::OrderTracker;
 use proptest::prelude::*;
 
-fn flow(i: u64) -> FlowId {
-    FlowId::from_index(i)
-}
-
-/// Replay `(flow_index, seq)` departures and return the tracker.
+/// Replay `(flow_label, seq)` departures and return the tracker. Labels
+/// are interned to dense slots exactly as the engine does, so arbitrary
+/// u64 labels exercise the same slot-indexed path.
 fn replay(departures: &[(u64, u64)]) -> OrderTracker {
     let mut t = OrderTracker::new();
+    let mut interner = FlowInterner::new();
     for &(f, s) in departures {
-        t.record_departure(flow(f), s);
+        let slot = interner.intern(FlowId::from_index(f));
+        t.record_departure(slot, s);
     }
     t
 }

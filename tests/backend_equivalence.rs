@@ -1,0 +1,80 @@
+//! The heap and timer-wheel event-queue backends are interchangeable:
+//! both implement the same `(time, seq)` total order with FIFO among
+//! equal times, so a simulation must produce the byte-identical report
+//! regardless of which backend dispatched its events. This is the
+//! contract that lets the engine default to the wheel while keeping the
+//! heap as the reference implementation.
+
+use laps_repro::npsim::EventBackend;
+use laps_repro::prelude::*;
+use proptest::prelude::*;
+
+fn run(backend: EventBackend, preset: u8, seed: u64, duration_ms: u64, scale: f64) -> String {
+    let cfg = EngineConfig {
+        n_cores: 8,
+        duration: SimTime::from_millis(duration_ms),
+        scale,
+        seed,
+        event_backend: backend,
+        ..EngineConfig::default()
+    };
+    let sources = vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(preset),
+        rate: RateSpec::Constant(8.0),
+    }];
+    let laps = Laps::new(LapsConfig {
+        n_cores: cfg.n_cores,
+        ..LapsConfig::default()
+    });
+    let report = Engine::new(cfg, &sources, laps).run();
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random caida presets, seeds, horizons and scales: the wheel's
+    /// report is byte-for-byte the heap's report.
+    #[test]
+    fn wheel_report_is_byte_identical_to_heap(
+        preset in 1u8..7,
+        seed in 0u64..1_000,
+        duration_ms in 1u64..7,
+        scale_i in 1u32..41,
+    ) {
+        let scale = scale_i as f64;
+        let heap = run(EventBackend::Heap, preset, seed, duration_ms, scale);
+        let wheel = run(EventBackend::Wheel, preset, seed, duration_ms, scale);
+        prop_assert_eq!(heap, wheel);
+    }
+}
+
+/// A fixed multi-service spot check at a longer horizon (covers the
+/// wheel's cascade levels and the overflow heap deterministically).
+#[test]
+fn multi_service_spot_check() {
+    let mk = |backend| {
+        let cfg = EngineConfig {
+            n_cores: 16,
+            duration: SimTime::from_millis(40),
+            scale: 150.0,
+            period_compression: 60.0,
+            rate_update_interval: SimTime::from_millis(8),
+            seed: 42,
+            event_backend: backend,
+            ..EngineConfig::default()
+        };
+        let sources =
+            laps_repro::scenario_sources(nptraffic::Scenario::by_id(1).expect("scenario 1 exists"));
+        let laps = Laps::new(LapsConfig {
+            n_cores: cfg.n_cores,
+            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
+            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
+            ..LapsConfig::default()
+        });
+        let report = Engine::new(cfg, &sources, laps).run();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    assert_eq!(mk(EventBackend::Heap), mk(EventBackend::Wheel));
+}
