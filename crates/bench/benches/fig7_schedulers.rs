@@ -16,26 +16,33 @@ fn bench_fig7(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("sim", "fcfs"), |b| {
         b.iter(|| {
-            let cfg = bench_engine(1);
-            black_box(Engine::new(cfg, &sources, Fcfs::new()).run().processed)
+            let run = SimBuilder::new()
+                .config(bench_engine(1))
+                .sources(sources.iter().cloned())
+                .run_with(Fcfs::new());
+            black_box(run.processed)
         })
     });
     g.bench_function(BenchmarkId::new("sim", "afs"), |b| {
         b.iter(|| {
             let cfg = bench_engine(1);
             let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            black_box(
-                Engine::new(cfg, &sources, Afs::new(16, 24, cd))
-                    .run()
-                    .processed,
-            )
+            let run = SimBuilder::new()
+                .config(cfg)
+                .sources(sources.iter().cloned())
+                .run_with(Afs::new(16, 24, cd));
+            black_box(run.processed)
         })
     });
     g.bench_function(BenchmarkId::new("sim", "laps"), |b| {
         b.iter(|| {
             let cfg = bench_engine(1);
             let laps = bench_laps(&cfg);
-            black_box(Engine::new(cfg, &sources, laps).run().processed)
+            let run = SimBuilder::new()
+                .config(cfg)
+                .sources(sources.iter().cloned())
+                .run_with(laps);
+            black_box(run.processed)
         })
     });
     g.finish();

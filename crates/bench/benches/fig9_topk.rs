@@ -24,6 +24,14 @@ fn sources() -> Vec<SourceConfig> {
     }]
 }
 
+/// One simulated run via the builder (static dispatch, no probes).
+fn run_arm<S: Scheduler>(cfg: EngineConfig, sources: &[SourceConfig], scheduler: S) -> SimReport {
+    SimBuilder::new()
+        .config(cfg)
+        .sources(sources.iter().cloned())
+        .run_with(scheduler)
+}
+
 fn bench_fig9(c: &mut Criterion) {
     let sources = sources();
     let mut g = c.benchmark_group("fig9_overload");
@@ -32,30 +40,16 @@ fn bench_fig9(c: &mut Criterion) {
         b.iter(|| {
             let cfg = engine();
             let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            black_box(
-                Engine::new(cfg, &sources, Afs::new(16, 24, cd))
-                    .run()
-                    .dropped,
-            )
+            black_box(run_arm(cfg, &sources, Afs::new(16, 24, cd)).dropped)
         })
     });
     g.bench_function(BenchmarkId::new("arm", "none"), |b| {
-        b.iter(|| {
-            black_box(
-                Engine::new(engine(), &sources, StaticHash::new(16))
-                    .run()
-                    .dropped,
-            )
-        })
+        b.iter(|| black_box(run_arm(engine(), &sources, StaticHash::new(16)).dropped))
     });
     g.bench_function(BenchmarkId::new("arm", "top16-afd"), |b| {
         b.iter(|| {
             let det = DetectorKind::Afd(AfdConfig::default());
-            black_box(
-                Engine::new(engine(), &sources, TopKMigration::new(16, 24, det))
-                    .run()
-                    .dropped,
-            )
+            black_box(run_arm(engine(), &sources, TopKMigration::new(16, 24, det)).dropped)
         })
     });
     g.bench_function(BenchmarkId::new("arm", "top16-oracle"), |b| {
@@ -64,11 +58,7 @@ fn bench_fig9(c: &mut Criterion) {
                 k: 16,
                 refresh: 1_000,
             };
-            black_box(
-                Engine::new(engine(), &sources, TopKMigration::new(16, 24, det))
-                    .run()
-                    .dropped,
-            )
+            black_box(run_arm(engine(), &sources, TopKMigration::new(16, 24, det)).dropped)
         })
     });
     g.finish();

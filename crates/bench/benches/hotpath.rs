@@ -26,19 +26,28 @@ fn hotpath_sources() -> Vec<SourceConfig> {
     }]
 }
 
+/// One simulated run via the builder: static dispatch, zero-probe fast
+/// path (no probes attached) — the configuration the baseline tracks.
+fn run_sim<S: Scheduler>(duration_ms: u64, sources: &[SourceConfig], scheduler: S) -> SimReport {
+    SimBuilder::new()
+        .config(hotpath_cfg(duration_ms))
+        .sources(sources.iter().cloned())
+        .run_with(scheduler)
+}
+
 fn bench_hotpath(c: &mut Criterion) {
     let duration_ms = 10;
     let sources = hotpath_sources();
 
     // One probe run per scheduler to size the throughput denominators.
-    let probe = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+    let probe = run_sim(duration_ms, &sources, Fcfs::new());
     let packets = probe.offered + probe.slow_path;
 
     let mut g = c.benchmark_group("hotpath");
     g.throughput(Throughput::Elements(packets));
     g.bench_function(BenchmarkId::new("engine", "fcfs"), |b| {
         b.iter(|| {
-            let report = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+            let report = run_sim(duration_ms, &sources, Fcfs::new());
             black_box(report.processed)
         })
     });
@@ -48,7 +57,7 @@ fn bench_hotpath(c: &mut Criterion) {
                 n_cores: 16,
                 ..LapsConfig::default()
             });
-            let report = Engine::new(hotpath_cfg(duration_ms), &sources, laps).run();
+            let report = run_sim(duration_ms, &sources, laps);
             black_box(report.processed)
         })
     });
@@ -59,7 +68,7 @@ fn bench_hotpath(c: &mut Criterion) {
     g.throughput(Throughput::Elements(probe.events));
     g.bench_function(BenchmarkId::new("engine", "fcfs-events"), |b| {
         b.iter(|| {
-            let report = Engine::new(hotpath_cfg(duration_ms), &sources, Fcfs::new()).run();
+            let report = run_sim(duration_ms, &sources, Fcfs::new());
             black_box(report.events)
         })
     });

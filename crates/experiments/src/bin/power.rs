@@ -18,26 +18,11 @@
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{
-    laps_config, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
-};
+use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
 
 const P_ACTIVE: f64 = 1.0;
 const P_IDLE: f64 = 0.3;
 const P_PARKED: f64 = 0.05;
-
-fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
-    let traces = scenario.group.traces();
-    ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
-}
 
 /// Energy proxy in core-duration units (16.0 = all cores active for the
 /// whole run).
@@ -61,24 +46,20 @@ fn main() {
         .collect();
     let results: Vec<(SimReport, u64, u64, u64)> = parallel_map(jobs.clone(), |(id, arm)| {
         let scenario = Scenario::by_id(id).expect("scenario");
-        let sources = sources_for(scenario);
         let cfg = fidelity.engine_config(31);
+        let builder = SimBuilder::new().config(cfg).scenario(scenario);
         match arm {
-            "fcfs" => (Engine::new(cfg, &sources, Fcfs::new()).run(), 0, 0, 0),
-            "laps" => {
-                let laps = Laps::new(laps_config(&cfg));
-                (Engine::new(cfg, &sources, laps).run(), 0, 0, 0)
-            }
+            "fcfs" => (builder.run_named("fcfs").expect("builtin"), 0, 0, 0),
+            "laps" => (builder.run_named("laps").expect("builtin"), 0, 0, 0),
             _ => {
-                let mut lc = laps_config(&cfg);
+                let cfg = builder.engine_config();
+                let duration = cfg.duration;
+                let mut lc = laps_config_for(cfg);
                 lc.parking = Some(ParkConfig {
                     park_after: SimTime::from_micros_f64(50.0 * cfg.scale),
                     min_cores: 1,
                 });
-                let laps = Laps::new(lc);
-                let duration = cfg.duration;
-                let engine = Engine::new(cfg, &sources, laps);
-                run_with_parking(engine, duration)
+                run_with_parking(builder, Laps::new(lc), duration)
             }
         }
     });
@@ -137,9 +118,13 @@ fn main() {
     );
 }
 
-/// Run the engine, then read the power counters off the scheduler.
-fn run_with_parking(engine: Engine<Laps>, duration: SimTime) -> (SimReport, u64, u64, u64) {
-    let (report, laps) = engine.run_returning_scheduler();
+/// Run the simulation, then read the power counters off the scheduler.
+fn run_with_parking(
+    builder: SimBuilder,
+    laps: Laps,
+    duration: SimTime,
+) -> (SimReport, u64, u64, u64) {
+    let (report, laps) = builder.run_with_returning(laps);
     let parked = laps.parked_time_ns(duration);
     let (parks, wakes) = laps.park_events();
     (report, parked, parks, wakes)

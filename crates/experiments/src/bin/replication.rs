@@ -5,24 +5,9 @@
 //! orderings in EXPERIMENTS.md are not artifacts of a single seed.
 //! (`--seeds N` to override the default of 8.)
 
-use detsim::{SimTime, WelfordMean};
+use detsim::WelfordMean;
 use laps::prelude::*;
-use laps_experiments::{
-    laps_scheduler, parallel_map, print_table, results_dir, write_csv, Fidelity,
-};
-
-fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
-    let traces = scenario.group.traces();
-    ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
-}
+use laps_experiments::{parallel_map, print_table, results_dir, write_csv, Fidelity};
 
 fn n_seeds() -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -49,20 +34,11 @@ fn main() {
     }
     let reports = parallel_map(jobs.clone(), |(id, arm, seed)| {
         let scenario = Scenario::by_id(id).expect("scenario");
-        let sources = sources_for(scenario);
-        let cfg = fidelity.engine_config(seed);
-        match arm {
-            "fcfs" => Engine::new(cfg, &sources, Fcfs::new()).run(),
-            "afs" => {
-                let cd = SimTime::from_micros_f64(4.0 * cfg.scale);
-                let n = cfg.n_cores;
-                Engine::new(cfg, &sources, Afs::new(n, 24, cd)).run()
-            }
-            _ => {
-                let laps = laps_scheduler(&cfg);
-                Engine::new(cfg, &sources, laps).run()
-            }
-        }
+        SimBuilder::new()
+            .config(fidelity.engine_config(seed))
+            .scenario(scenario)
+            .run_named(arm)
+            .expect("builtin scheduler")
     });
 
     let mut rows = Vec::new();

@@ -14,22 +14,7 @@
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{
-    laps_scheduler, parallel_map, pct, print_table, results_dir, write_csv, Fidelity,
-};
-
-fn sources_for(scenario: Scenario) -> Vec<SourceConfig> {
-    let traces = scenario.group.traces();
-    ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
-}
+use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
 
 fn main() {
     let fidelity = Fidelity::from_args();
@@ -41,20 +26,20 @@ fn main() {
         .collect();
     let reports: Vec<SimReport> = parallel_map(jobs.clone(), |(id, arm)| {
         let scenario = Scenario::by_id(id).expect("scenario");
-        let sources = sources_for(scenario);
-        let mut cfg = fidelity.engine_config(77);
+        let builder = SimBuilder::new()
+            .config(fidelity.engine_config(77))
+            .scenario(scenario);
         match arm {
-            "fcfs" => Engine::new(cfg, &sources, Fcfs::new()).run(),
-            "fcfs+restore" => {
-                // Timeout: ten cold-cache penalties — generous enough
-                // that only drop-created gaps expire.
-                cfg.restoration = Some(SimTime::from_micros_f64(100.0 * cfg.scale));
-                Engine::new(cfg, &sources, Fcfs::new()).run()
-            }
-            _ => {
-                let laps = laps_scheduler(&cfg);
-                Engine::new(cfg, &sources, laps).run()
-            }
+            "fcfs" => builder.run_named("fcfs").expect("builtin"),
+            "fcfs+restore" => builder
+                .configure(|cfg| {
+                    // Timeout: ten cold-cache penalties — generous enough
+                    // that only drop-created gaps expire.
+                    cfg.restoration = Some(SimTime::from_micros_f64(100.0 * cfg.scale));
+                })
+                .run_named("fcfs")
+                .expect("builtin"),
+            _ => builder.run_named("laps").expect("builtin"),
         }
     });
 

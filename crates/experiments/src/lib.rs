@@ -75,15 +75,10 @@ impl Fidelity {
 }
 
 /// The LAPS configuration used by the figure binaries, time-scaled to the
-/// engine configuration.
+/// engine configuration (delegates to the canonical wiring in the `laps`
+/// crate's registry module).
 pub fn laps_config(cfg: &EngineConfig) -> LapsConfig {
-    LapsConfig {
-        n_cores: cfg.n_cores,
-        // idle_th ≈ 10 µs at paper scale; claim damping ≈ 300 µs.
-        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-        ..LapsConfig::default()
-    }
+    laps_config_for(cfg)
 }
 
 /// Build the LAPS scheduler for an engine configuration.

@@ -1,0 +1,12 @@
+//! Fixture: a probe that allocates on every delivered event.
+pub struct ChattyProbe {
+    labels: Vec<String>,
+}
+impl ChattyProbe {
+    pub fn on_event(&mut self, now: u64, core: usize) {
+        self.labels.push(format!("core {core} at {now}"));
+        let scratch: Vec<usize> = (0..core).collect();
+        let extra: Vec<u64> = Vec::with_capacity(core);
+        let _ = (scratch, extra);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: a probe that only records into preallocated state.
+
+pub struct QuietProbe {
+    arrivals: u64,
+    per_core: Vec<u64>,
+}
+
+impl QuietProbe {
+    pub fn on_event(&mut self, _now: u64, core: usize) {
+        self.arrivals += 1;
+        if core >= self.per_core.len() {
+            self.per_core.resize(core + 1, 0);
+        }
+        if let Some(slot) = self.per_core.get_mut(core) {
+            *slot += 1;
+        }
+    }
+
+    pub fn summary(&self) -> String {
+        format!("{} arrivals over {} cores", self.arrivals, self.per_core.len())
+    }
+}

@@ -13,6 +13,7 @@
 //! | `nondet-collections` | deny | `HashMap`/`HashSet`/`RandomState` with the default random-seeded hasher in simulation crates |
 //! | `wall-clock` | deny | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `from_entropy` outside the sanctioned timing crates |
 //! | `hot-path-panic` | deny | `.unwrap()`, `.expect(…)`, and slice/array indexing in designated hot-path modules |
+//! | `probe-hot-path` | warn | allocation (`Vec::new`, `.to_string()`, `collect`, `format!`, …) or `HashMap`/`HashSet` inside a probe's `on_event` — the observability bus runs per published event |
 //! | `float-accum` | warn | naive `+=`/`-=` accumulation of computed `f64` terms in `detsim::stats` instead of the compensated helpers |
 //!
 //! Any finding can be suppressed with a justification comment on the

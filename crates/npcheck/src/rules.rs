@@ -63,9 +63,11 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
 
 /// Modules on the per-packet critical path: a panic here is a dropped
 /// simulation, and `unwrap`-dense code hides the queue/map invariants
-/// the paper's migration logic depends on.
-const HOT_PATH_FILES: &[&str] = &[
-    "crates/npsim/src/engine.rs",
+/// the paper's migration logic depends on. Matched by prefix so the
+/// `engine/` stage directory (ingest/dispatch/service/record) is
+/// covered as one unit.
+const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/npsim/src/engine",
     "crates/npsim/src/order.rs",
     "crates/core/src/laps.rs",
     "crates/afd/src/cache.rs",
@@ -85,7 +87,7 @@ fn in_sim_crate(path: &str) -> bool {
 }
 
 fn is_hot_path(path: &str) -> bool {
-    HOT_PATH_FILES.contains(&path)
+    HOT_PATH_PREFIXES.iter().any(|p| path.starts_with(p))
 }
 
 fn wall_clock_scoped(path: &str) -> bool {
@@ -127,6 +129,19 @@ pub const RULES: &[RuleSpec] = &[
               with an allow comment.",
         applies: is_hot_path,
         check: check_hot_path_panic,
+    },
+    RuleSpec {
+        id: "probe-hot-path",
+        severity: Severity::Warn,
+        summary: "allocation or nondeterministic collections inside a probe's `on_event`",
+        why: "Probes observe every published simulation event; an allocation there \
+              (Vec::new, to_string, collect, format!, …) turns the observability bus \
+              into a per-event allocator and perturbs timing-sensitive benchmarks, \
+              while HashMap/HashSet iteration makes probe output nondeterministic. \
+              Preallocate in the constructor — amortized `push`/`resize` into \
+              existing buffers is fine.",
+        applies: in_sim_crate,
+        check: check_probe_hot_path,
     },
     RuleSpec {
         id: "float-accum",
@@ -306,6 +321,108 @@ fn check_hot_path_panic(file: &str, lexed: &LexedFile, findings: &mut Vec<Findin
     }
 }
 
+fn check_probe_hot_path(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("probe-hot-path");
+    let toks = &lexed.tokens;
+    let limit = lexed.cfg_test_line.unwrap_or(usize::MAX);
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        // Find each `fn on_event` (test modules may allocate freely).
+        if toks[i].0 >= limit {
+            break;
+        }
+        if !(toks[i].1.is_ident("fn") && toks[i + 1].1.is_ident("on_event")) {
+            i += 1;
+            continue;
+        }
+        // Skip to the body's opening `{`; a `;` first means a trait
+        // declaration without a body.
+        let mut j = i + 2;
+        loop {
+            match toks.get(j) {
+                None => return,
+                Some((_, t)) if t.is_punct(";") => break,
+                Some((_, t)) if t.is_punct("{") => break,
+                _ => j += 1,
+            }
+        }
+        if toks.get(j).is_some_and(|(_, t)| t.is_punct(";")) {
+            i = j + 1;
+            continue;
+        }
+        // Brace-track the body and flag allocating constructs inside.
+        let mut depth = 0usize;
+        while let Some((line, t)) = toks.get(j) {
+            match t {
+                Tok::Punct(p) if p == "{" => depth += 1,
+                Tok::Punct(p) if p == "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(n) if n == "HashMap" || n == "HashSet" => push(
+                    findings,
+                    spec,
+                    file,
+                    *line,
+                    format!(
+                        "`{n}` in `on_event`: probe state must be deterministic and preallocated"
+                    ),
+                ),
+                Tok::Ident(n) if n == "Vec" || n == "String" || n == "Box" => {
+                    let ctor = toks.get(j + 1).is_some_and(|(_, t)| t.is_punct(":"))
+                        && toks.get(j + 2).is_some_and(|(_, t)| t.is_punct(":"))
+                        && toks.get(j + 3).is_some_and(|(_, t)| {
+                            matches!(t, Tok::Ident(m)
+                                if m == "new" || m == "with_capacity" || m == "from")
+                        });
+                    if ctor {
+                        push(
+                            findings,
+                            spec,
+                            file,
+                            *line,
+                            format!("`{n}::…` constructor in `on_event` allocates per event; preallocate in the probe constructor"),
+                        );
+                    }
+                }
+                Tok::Ident(n)
+                    if n == "to_string" || n == "to_owned" || n == "to_vec" || n == "collect" =>
+                {
+                    let method_call = j >= 1
+                        && toks.get(j - 1).is_some_and(|(_, t)| t.is_punct("."))
+                        && toks.get(j + 1).is_some_and(|(_, t)| t.is_punct("("));
+                    if method_call {
+                        push(
+                            findings,
+                            spec,
+                            file,
+                            *line,
+                            format!("`.{n}()` in `on_event` allocates per event; record into preallocated probe state"),
+                        );
+                    }
+                }
+                Tok::Ident(n)
+                    if (n == "format" || n == "vec")
+                        && toks.get(j + 1).is_some_and(|(_, t)| t.is_punct("!")) =>
+                {
+                    push(
+                        findings,
+                        spec,
+                        file,
+                        *line,
+                        format!("`{n}!` in `on_event` allocates per event; defer rendering to `on_finish` or an accessor"),
+                    );
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
 fn check_float_accum(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
     let spec = rule("float-accum");
     let toks = &lexed.tokens;
@@ -396,6 +513,37 @@ mod tests {
         let src = "fn f(v: &[u8]) -> u8 { v[0] }\n#[cfg(test)]\nmod tests { fn g(v: &[u8]) -> u8 { v.first().copied().unwrap() } }\n";
         let f = scan_source("crates/npsim/src/order.rs", src);
         assert_eq!(f.len(), 1, "only the pre-test indexing: {f:?}");
+    }
+
+    #[test]
+    fn probe_on_event_allocation_flagged() {
+        let src = "impl Probe for P {\nfn on_event(&mut self, t: SimTime, ev: &SimEvent) {\nlet v = Vec::new();\nlet s = x.to_string();\nlet m = format!(\"{t}\");\nlet all: Vec<u32> = it.collect();\n}\n}\n";
+        let f = scan_source("crates/npsim/src/probe.rs", src);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "probe-hot-path"));
+    }
+
+    #[test]
+    fn probe_on_event_amortized_push_allowed() {
+        let src = "impl Probe for P {\nfn on_event(&mut self, t: SimTime, ev: &SimEvent) {\nself.entries.push((t, *ev));\nself.counts.resize(n, 0);\nself.total += 1;\n}\n}\n";
+        assert!(scan_source("crates/npsim/src/probe.rs", src).is_empty());
+    }
+
+    #[test]
+    fn probe_rule_ignores_trait_declarations_and_other_fns() {
+        let src = "pub trait Probe {\nfn on_event(&mut self, t: SimTime, ev: &SimEvent);\n}\nfn helper() -> String { format!(\"ok\") }\n";
+        assert!(scan_source("crates/npsim/src/probe.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_stage_directory_is_hot_path() {
+        let src = "fn f(v: &[u8]) -> u8 { v[3] }\n";
+        assert_eq!(
+            scan_source("crates/npsim/src/engine/service.rs", src).len(),
+            1
+        );
+        assert_eq!(scan_source("crates/npsim/src/engine.rs", src).len(), 1);
+        assert!(scan_source("crates/npsim/src/report.rs", src).is_empty());
     }
 
     #[test]

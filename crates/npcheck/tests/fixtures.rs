@@ -19,12 +19,13 @@ fn fixture(name: &str) -> PathBuf {
 fn bad_fixture_trips_every_rule() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("bad")).expect("scan bad fixture tree");
-    assert_eq!(files, 4, "expected the four bad fixture files");
+    assert_eq!(files, 5, "expected the five bad fixture files");
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
     for expected in [
         "nondet-collections",
         "wall-clock",
         "hot-path-panic",
+        "probe-hot-path",
         "float-accum",
     ] {
         assert!(rules.contains(expected), "no finding for rule {expected}");
@@ -53,7 +54,7 @@ fn bad_fixture_findings_are_sorted_and_stable() {
 fn good_fixture_is_clean() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("good")).expect("scan good fixture tree");
-    assert_eq!(files, 3, "expected the three good fixture files");
+    assert_eq!(files, 4, "expected the four good fixture files");
     assert!(
         findings.is_empty(),
         "good fixtures must be clean, got:\n{}",
@@ -110,5 +111,5 @@ fn cli_json_report_parses_and_counts() {
             "finding missing numeric line: {f:?}"
         );
     }
-    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(4)));
+    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(5)));
 }

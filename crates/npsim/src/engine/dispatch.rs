@@ -1,0 +1,172 @@
+//! Dispatch stage: per-flow state and the scheduling decision.
+//!
+//! Owns the scheduling policy, the struct-of-arrays flow table (arrival
+//! sequence numbers and last-core memory), and the incrementally
+//! maintained per-core [`QueueInfo`] view handed to the policy.
+
+use crate::packet::PacketDesc;
+use crate::sched::{QueueInfo, SchedEvent, Scheduler, SystemView};
+use nphash::FlowSlot;
+
+/// Sentinel in [`FlowTable::last_core`]: the flow has not been enqueued
+/// anywhere yet.
+const NO_CORE: u32 = u32::MAX;
+
+/// Struct-of-arrays per-flow state, indexed by [`FlowSlot`] — the
+/// hash-free replacement for the former `DetHashMap<FlowId, _>` pair.
+/// One predictable array access per packet per field.
+#[derive(Debug, Default)]
+struct FlowTable {
+    /// Next arrival sequence number per flow.
+    seq: Vec<u64>,
+    /// Core the flow's last packet was enqueued to (`NO_CORE` = none).
+    last_core: Vec<u32>,
+}
+
+impl FlowTable {
+    /// Ensure slots `0..n` exist (new slots: seq 0, no last core).
+    fn grow_to(&mut self, n: usize) {
+        if self.seq.len() < n {
+            self.seq.resize(n, 0);
+            self.last_core.resize(n, NO_CORE);
+        }
+    }
+
+    /// Fetch-and-increment the flow's arrival sequence counter.
+    fn next_seq(&mut self, slot: FlowSlot) -> u64 {
+        match self.seq.get_mut(slot.index()) {
+            Some(s) => {
+                let v = *s;
+                *s += 1;
+                v
+            }
+            None => {
+                // Unreachable: the table is grown to the interner's length
+                // before any lookup.
+                debug_assert!(false, "flow table not grown to slot {slot:?}");
+                0
+            }
+        }
+    }
+
+    /// The core the flow's previous packet was enqueued to, if any.
+    fn last_core(&self, slot: FlowSlot) -> Option<usize> {
+        self.last_core
+            .get(slot.index())
+            .and_then(|&c| (c != NO_CORE).then_some(c as usize))
+    }
+
+    /// Record the core the flow's packet was just enqueued to.
+    fn set_last_core(&mut self, slot: FlowSlot, core: usize) {
+        if let Some(c) = self.last_core.get_mut(slot.index()) {
+            *c = core as u32;
+        } else {
+            debug_assert!(false, "flow table not grown to slot {slot:?}");
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(super) struct DispatchStage<S> {
+    scheduler: S,
+    /// Per-flow state (arrival seq, last core), slot-indexed.
+    flows: FlowTable,
+    /// Per-core scheduler view, maintained **incrementally**: only the
+    /// core an event touched is resynced (one entry per event instead of
+    /// an `n_cores` rebuild per arrival), and the buffer itself is
+    /// steady-state allocation-free.
+    infos: Vec<QueueInfo>,
+}
+
+impl<S: Scheduler> DispatchStage<S> {
+    pub(super) fn new(scheduler: S, infos: Vec<QueueInfo>) -> Self {
+        DispatchStage {
+            scheduler,
+            flows: FlowTable::default(),
+            infos,
+        }
+    }
+
+    /// Ensure the flow table covers `n` interned flows.
+    pub(super) fn grow_flows(&mut self, n: usize) {
+        self.flows.grow_to(n);
+    }
+
+    /// Fetch-and-increment the flow's arrival sequence counter.
+    pub(super) fn next_seq(&mut self, slot: FlowSlot) -> u64 {
+        self.flows.next_seq(slot)
+    }
+
+    /// The core the flow's previous packet was enqueued to, if any.
+    pub(super) fn last_core(&self, slot: FlowSlot) -> Option<usize> {
+        self.flows.last_core(slot)
+    }
+
+    /// Record the core the flow's packet was just enqueued to.
+    pub(super) fn set_last_core(&mut self, slot: FlowSlot, core: usize) {
+        self.flows.set_last_core(slot, core);
+    }
+
+    /// Ask the policy for a target core. The view is maintained
+    /// incrementally (see [`DispatchStage::set_info`]); it is briefly
+    /// moved out so the scheduler can borrow it alongside the policy.
+    ///
+    /// # Panics
+    /// Panics if the policy returns a core index `>= n_cores`.
+    pub(super) fn choose_core(
+        &mut self,
+        pkt: &PacketDesc,
+        now: detsim::SimTime,
+        n_cores: usize,
+    ) -> usize {
+        let infos = std::mem::take(&mut self.infos);
+        let view = SystemView {
+            now,
+            queues: &infos,
+        };
+        let target = self.scheduler.schedule(pkt, &view);
+        self.infos = infos;
+        assert!(target < n_cores, "scheduler returned core {target}");
+        target
+    }
+
+    /// Resync one core's view entry after the service stage mutated it.
+    #[inline]
+    pub(super) fn set_info(&mut self, core: usize, info: QueueInfo) {
+        if let Some(slot) = self.infos.get_mut(core) {
+            *slot = info;
+        }
+    }
+
+    /// Congestion feedback passthrough to the policy.
+    pub(super) fn on_drop(&mut self, pkt: &PacketDesc, core: usize) {
+        self.scheduler.on_drop(pkt, core);
+    }
+
+    pub(super) fn name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    pub(super) fn core_reallocations(&self) -> u64 {
+        self.scheduler.core_reallocations()
+    }
+
+    /// Drain the policy's buffered [`SchedEvent`]s into `buf`.
+    pub(super) fn drain_events_into(&mut self, buf: &mut Vec<SchedEvent>) {
+        self.scheduler.drain_events(&mut |ev| buf.push(ev));
+    }
+
+    pub(super) fn scheduler_ref(&self) -> &S {
+        &self.scheduler
+    }
+
+    pub(super) fn into_scheduler(self) -> S {
+        self.scheduler
+    }
+
+    /// The maintained view, for invariant checking.
+    #[cfg(feature = "invariants")]
+    pub(super) fn infos(&self) -> &[QueueInfo] {
+        &self.infos
+    }
+}

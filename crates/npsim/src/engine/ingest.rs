@@ -1,0 +1,166 @@
+//! Ingest stage: arrival generation and frame-manager admission.
+//!
+//! Owns the traffic sources (each with its private arrival-process RNG
+//! stream), the flow interner, the control-plane classifier, and the
+//! packet-ID counter. Per arrival it draws the next header, classifies
+//! it (fast path vs. control-plane slow path), and assigns the global
+//! packet ID; the inter-arrival gap draws for the *next* arrival also
+//! come from here so the RNG stream per source is exactly the
+//! pre-refactor sequence.
+
+use crate::source::{RateSpec, SourceConfig, TrafficSource};
+use detsim::{SeedSequence, SimTime};
+use nphash::{FlowId, FlowInterner, FlowSlot};
+use nptraffic::ServiceKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A traffic source paired with its private arrival-process RNG stream
+/// (keeping them in one slot makes per-source access a single bounds
+/// check and rules out the two parallel arrays drifting apart).
+#[derive(Debug)]
+struct SourceSlot {
+    source: TrafficSource,
+    rng: StdRng,
+}
+
+/// A fast-path packet header admitted by the ingest stage.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Header {
+    pub flow: FlowId,
+    pub slot: FlowSlot,
+    pub service: ServiceKind,
+    pub size: u16,
+    pub id: u64,
+}
+
+/// Outcome of admitting one arrival.
+pub(super) enum Admission {
+    /// The source index was invalid (flagged via `debug_assert`).
+    Missing,
+    /// The classifier diverted the packet to the control-plane slow path.
+    SlowPath {
+        /// Service of the diverted packet.
+        service: ServiceKind,
+    },
+    /// A data-plane packet, ready for dispatch.
+    FastPath(Header),
+}
+
+#[derive(Debug)]
+pub(super) struct IngestStage {
+    sources: Vec<SourceSlot>,
+    /// Flow arena: FlowId → dense slot, assigned at first emission.
+    interner: FlowInterner,
+    classifier_rng: StdRng,
+    next_packet_id: u64,
+    scale: f64,
+    control_plane_fraction: f64,
+}
+
+impl IngestStage {
+    /// Build the stage. RNG streams derive from `seq` exactly as the
+    /// monolithic engine did: `indexed_rng("source", i)` per source,
+    /// `rng("fm-classifier")` for the classifier.
+    pub(super) fn new(
+        seq: &SeedSequence,
+        sources: &[SourceConfig],
+        period_compression: f64,
+        scale: f64,
+        control_plane_fraction: f64,
+    ) -> Self {
+        let sources_built: Vec<SourceSlot> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| {
+                let mut sc = sc.clone();
+                if let RateSpec::HoltWinters(hw) = sc.rate {
+                    sc.rate = RateSpec::HoltWinters(hw.with_period_compressed(period_compression));
+                }
+                SourceSlot {
+                    source: TrafficSource::new(&sc),
+                    rng: seq.indexed_rng("source", i),
+                }
+            })
+            .collect();
+        IngestStage {
+            sources: sources_built,
+            interner: FlowInterner::new(),
+            classifier_rng: seq.rng("fm-classifier"),
+            next_packet_id: 0,
+            scale,
+            control_plane_fraction,
+        }
+    }
+
+    /// Number of configured sources.
+    pub(super) fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Packet IDs handed out so far.
+    pub(super) fn next_packet_id(&self) -> u64 {
+        self.next_packet_id
+    }
+
+    /// Flows interned so far (the flow table's required size).
+    pub(super) fn flow_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Admit one arrival from `src`: draw the header, classify it, and —
+    /// for fast-path packets — assign the global packet ID.
+    pub(super) fn admit(&mut self, src: usize) -> Admission {
+        let Some(slot) = self.sources.get_mut(src) else {
+            debug_assert!(false, "arrival from unknown source {src}");
+            return Admission::Missing;
+        };
+        let (flow, flow_slot, size) = slot.source.next_header_interned(&mut self.interner);
+        let service = slot.source.service;
+        // Frame-manager classification (Fig. 1): control-plane packets
+        // take the slow path and never enter the data-plane scheduler.
+        if self.control_plane_fraction > 0.0
+            && self.classifier_rng.gen::<f64>() < self.control_plane_fraction
+        {
+            return Admission::SlowPath { service };
+        }
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        Admission::FastPath(Header {
+            flow,
+            slot: flow_slot,
+            service,
+            size,
+            id,
+        })
+    }
+
+    /// Draw the inter-arrival gap to `src`'s next packet.
+    pub(super) fn next_gap(&mut self, src: usize) -> Option<SimTime> {
+        let scale = self.scale;
+        let Some(slot) = self.sources.get_mut(src) else {
+            debug_assert!(false, "arrival from unknown source {src}");
+            return None;
+        };
+        Some(slot.source.next_gap(scale, &mut slot.rng))
+    }
+
+    /// Draw the initial inter-arrival gap of every source, in source
+    /// order (the run loop's priming pass).
+    pub(super) fn prime_gaps(&mut self) -> Vec<(usize, SimTime)> {
+        let scale = self.scale;
+        let mut primed = Vec::with_capacity(self.sources.len());
+        for (i, slot) in self.sources.iter_mut().enumerate() {
+            let gap = slot.source.next_gap(scale, &mut slot.rng);
+            primed.push((i, gap));
+        }
+        primed
+    }
+
+    /// Re-sample every source's rate law at time `now`.
+    pub(super) fn refresh_rates(&mut self, now: SimTime) {
+        for slot in &mut self.sources {
+            slot.source.refresh_rate(now, &mut slot.rng);
+        }
+    }
+}

@@ -17,18 +17,46 @@
 //! After the horizon, arrivals stop and the queues drain, so every offered
 //! packet is finally either dropped or processed — an invariant the tests
 //! assert.
+//!
+//! # Pipeline architecture
+//!
+//! The engine is a thin orchestrator over four stages:
+//!
+//! * **ingest** — traffic sources, arrival-gap draws, the flow interner,
+//!   and frame-manager admission (slow-path classifier, packet IDs).
+//! * **dispatch** — the scheduling policy, per-flow state (sequence
+//!   numbers, last core), and the incrementally maintained
+//!   [`QueueInfo`](crate::QueueInfo) view.
+//! * **service** — per-core bounded queues, the Eq. 3 delay model,
+//!   busy-time accounting.
+//! * **record** — the observability-bus terminal: the order tracker, the
+//!   optional restoration buffer, the always-on report probe, and any
+//!   attached dynamic [`Probe`](crate::Probe)s.
+//!
+//! Stages communicate through typed [`SimEvent`]s published to the
+//! record stage. With no probes attached (`P = ()`) the publishing
+//! compiles down to the direct counter updates of the pre-pipeline
+//! engine — the zero-probe fast path — and runs produce byte-identical
+//! [`SimReport`]s either way (pinned by the golden-report fixture test).
 
-use crate::order::OrderTracker;
+mod dispatch;
+mod ingest;
+mod record;
+mod service;
+
+use crate::event::SimEvent;
 use crate::packet::PacketDesc;
+use crate::probe::{ProbeHost, ProbeStack, ReportProbe};
 use crate::report::SimReport;
 use crate::restore::RestorationBuffer;
-use crate::sched::{QueueInfo, Scheduler, SystemView};
-use crate::source::{RateSpec, SourceConfig, TrafficSource};
-use detsim::{BoundedQueue, EventQueue, PushOutcome, SeedSequence, SimTime, TimerWheel};
-use nphash::{FlowInterner, FlowSlot};
-use nptraffic::{DelayModel, ServiceKind};
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::sched::{SchedEvent, Scheduler};
+use crate::source::SourceConfig;
+use detsim::{EventQueue, PushOutcome, SeedSequence, SimTime, TimerWheel};
+
+use dispatch::DispatchStage;
+use ingest::{Admission, IngestStage};
+use record::RecordStage;
+use service::ServiceStage;
 
 /// Which event-queue implementation drives the run loop.
 ///
@@ -74,7 +102,7 @@ pub struct EngineConfig {
     /// still see seasonal variation (1.0 = periods as published).
     pub period_compression: f64,
     /// Penalty model; its `scale` field is overridden by `scale` above.
-    pub delay: DelayModel,
+    pub delay: nptraffic::DelayModel,
     /// Enable an egress order-restoration buffer with this timeout (the
     /// §VI alternative to order preservation). `None` = packets depart
     /// the instant processing finishes (the paper's model).
@@ -102,7 +130,7 @@ impl Default for EngineConfig {
             rate_update_interval: SimTime::from_millis(100),
             congestion_watermark: 2,
             period_compression: 1.0,
-            delay: DelayModel::default(),
+            delay: nptraffic::DelayModel::default(),
             restoration: None,
             control_plane_fraction: 0.0,
             event_backend: EventBackend::default(),
@@ -110,79 +138,11 @@ impl Default for EngineConfig {
     }
 }
 
-#[derive(Debug)]
-struct Core {
-    queue: BoundedQueue<PacketDesc>,
-    current: Option<PacketDesc>,
-    last_service: Option<ServiceKind>,
-    idle_since: Option<SimTime>,
-    last_congested: SimTime,
-    busy_ns: u64,
-}
-
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     Arrival(usize),
     Finish(usize),
     RateUpdate,
-}
-
-/// Sentinel in [`FlowTable::last_core`]: the flow has not been enqueued
-/// anywhere yet.
-const NO_CORE: u32 = u32::MAX;
-
-/// Struct-of-arrays per-flow state, indexed by [`FlowSlot`] — the
-/// hash-free replacement for the former `DetHashMap<FlowId, _>` pair.
-/// One predictable array access per packet per field.
-#[derive(Debug, Default)]
-struct FlowTable {
-    /// Next arrival sequence number per flow.
-    seq: Vec<u64>,
-    /// Core the flow's last packet was enqueued to (`NO_CORE` = none).
-    last_core: Vec<u32>,
-}
-
-impl FlowTable {
-    /// Ensure slots `0..n` exist (new slots: seq 0, no last core).
-    fn grow_to(&mut self, n: usize) {
-        if self.seq.len() < n {
-            self.seq.resize(n, 0);
-            self.last_core.resize(n, NO_CORE);
-        }
-    }
-
-    /// Fetch-and-increment the flow's arrival sequence counter.
-    fn next_seq(&mut self, slot: FlowSlot) -> u64 {
-        match self.seq.get_mut(slot.index()) {
-            Some(s) => {
-                let v = *s;
-                *s += 1;
-                v
-            }
-            None => {
-                // Unreachable: the table is grown to the interner's length
-                // before any lookup.
-                debug_assert!(false, "flow table not grown to slot {slot:?}");
-                0
-            }
-        }
-    }
-
-    /// The core the flow's previous packet was enqueued to, if any.
-    fn last_core(&self, slot: FlowSlot) -> Option<usize> {
-        self.last_core
-            .get(slot.index())
-            .and_then(|&c| (c != NO_CORE).then_some(c as usize))
-    }
-
-    /// Record the core the flow's packet was just enqueued to.
-    fn set_last_core(&mut self, slot: FlowSlot, core: usize) {
-        if let Some(c) = self.last_core.get_mut(slot.index()) {
-            *c = core as u32;
-        } else {
-            debug_assert!(false, "flow table not grown to slot {slot:?}");
-        }
-    }
 }
 
 /// The engine's event queue, behind the [`EventBackend`] knob. Both
@@ -230,56 +190,67 @@ impl EventSchedule {
     }
 }
 
-/// A traffic source paired with its private arrival-process RNG stream
-/// (keeping them in one slot makes per-source access a single bounds
-/// check and rules out the two parallel arrays drifting apart).
-#[derive(Debug)]
-struct SourceSlot {
-    source: TrafficSource,
-    rng: StdRng,
-}
-
-/// The simulation engine, generic over the scheduling policy.
-pub struct Engine<S: Scheduler> {
+/// The simulation engine, generic over the scheduling policy `S` and the
+/// probe host `P` (default `()`: no probes, the zero-cost fast path).
+pub struct Engine<S: Scheduler, P: ProbeHost = ()> {
     cfg: EngineConfig,
-    delay: DelayModel,
-    scheduler: S,
-    sources: Vec<SourceSlot>,
-    cores: Vec<Core>,
+    ingest: IngestStage,
+    dispatch: DispatchStage<S>,
+    service: ServiceStage,
+    record: RecordStage<P>,
     events: EventSchedule,
-    /// Flow arena: FlowId → dense slot, assigned at first emission.
-    interner: FlowInterner,
-    /// Per-flow state (arrival seq, last core), slot-indexed.
-    flows: FlowTable,
-    order: OrderTracker,
-    classifier_rng: StdRng,
-    restoration: Option<RestorationBuffer>,
-    report: SimReport,
-    next_packet_id: u64,
-    /// Per-core scheduler view, maintained **incrementally**: only the
-    /// core an event touched is resynced (one entry per event instead of
-    /// an `n_cores` rebuild per arrival), and the buffer itself is
-    /// steady-state allocation-free.
-    infos: Vec<QueueInfo>,
+    /// Reusable drain buffer for the scheduler's [`SchedEvent`] feed
+    /// (taken/restored around the drain to avoid aliasing the stages).
+    sched_ev_buf: Vec<SchedEvent>,
 }
 
-impl<S: Scheduler> std::fmt::Debug for Engine<S> {
+impl<S: Scheduler, P: ProbeHost> std::fmt::Debug for Engine<S, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("scheduler", &self.scheduler.name())
-            .field("n_cores", &self.cores.len())
-            .field("n_sources", &self.sources.len())
-            .field("next_packet_id", &self.next_packet_id)
+            .field("scheduler", &self.dispatch.name())
+            .field("n_cores", &self.service.n_cores())
+            .field("n_sources", &self.ingest.n_sources())
+            .field("next_packet_id", &self.ingest.next_packet_id())
             .finish_non_exhaustive()
     }
 }
 
 impl<S: Scheduler> Engine<S> {
-    /// Build an engine over `sources`, scheduled by `scheduler`.
+    /// Build an engine over `sources`, scheduled by `scheduler`, with no
+    /// probes attached (the zero-probe fast path).
     ///
     /// # Panics
     /// Panics on a zero-core configuration or an empty source list.
     pub fn new(cfg: EngineConfig, sources: &[SourceConfig], scheduler: S) -> Self {
+        Engine::with_probes(cfg, sources, scheduler, ())
+    }
+}
+
+impl<S: Scheduler> Engine<S, ProbeStack> {
+    /// Build an engine with a dynamic probe stack attached to the
+    /// observability bus. Probes see every published [`SimEvent`] and
+    /// are handed back by [`Engine::run_full`].
+    pub fn with_probe_stack(
+        cfg: EngineConfig,
+        sources: &[SourceConfig],
+        scheduler: S,
+        probes: ProbeStack,
+    ) -> Self {
+        Engine::with_probes(cfg, sources, scheduler, probes)
+    }
+}
+
+impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
+    /// Build an engine with an arbitrary probe host.
+    ///
+    /// # Panics
+    /// Panics on a zero-core configuration or an empty source list.
+    pub fn with_probes(
+        cfg: EngineConfig,
+        sources: &[SourceConfig],
+        mut scheduler: S,
+        probes: P,
+    ) -> Self {
         assert!(cfg.n_cores > 0, "need at least one core");
         assert!(!sources.is_empty(), "need at least one traffic source");
         assert!(cfg.scale > 0.0, "scale must be positive");
@@ -290,70 +261,51 @@ impl<S: Scheduler> Engine<S> {
         let seq = SeedSequence::new(cfg.seed);
         let mut delay = cfg.delay;
         delay.scale = cfg.scale;
-        let sources_built: Vec<SourceSlot> = sources
-            .iter()
-            .enumerate()
-            .map(|(i, sc)| {
-                let mut sc = sc.clone();
-                if let RateSpec::HoltWinters(hw) = sc.rate {
-                    sc.rate =
-                        RateSpec::HoltWinters(hw.with_period_compressed(cfg.period_compression));
-                }
-                SourceSlot {
-                    source: TrafficSource::new(&sc),
-                    rng: seq.indexed_rng("source", i),
-                }
-            })
-            .collect();
-        let cores: Vec<Core> = (0..cfg.n_cores)
-            .map(|_| Core {
-                queue: BoundedQueue::new(cfg.queue_capacity),
-                current: None,
-                last_service: None,
-                idle_since: Some(SimTime::ZERO),
-                last_congested: SimTime::ZERO,
-                busy_ns: 0,
-            })
-            .collect();
-        let report = SimReport::new(scheduler.name(), cfg.duration, cfg.scale);
-        let restoration = cfg.restoration.map(RestorationBuffer::new);
-        let infos = cores
-            .iter()
-            .map(|c: &Core| QueueInfo {
-                len: c.queue.len(),
-                capacity: c.queue.capacity(),
-                busy: c.current.is_some(),
-                idle_since: c.idle_since,
-                last_congested: c.last_congested,
-            })
-            .collect();
-        Engine {
+        let ingest = IngestStage::new(
+            &seq,
+            sources,
+            cfg.period_compression,
+            cfg.scale,
+            cfg.control_plane_fraction,
+        );
+        let service = ServiceStage::new(
+            cfg.n_cores,
+            cfg.queue_capacity,
             delay,
-            scheduler,
-            sources: sources_built,
-            cores,
+            cfg.congestion_watermark,
+        );
+        let infos = (0..cfg.n_cores)
+            .filter_map(|i| service.snapshot(i))
+            .collect();
+        let report = ReportProbe::new(scheduler.name(), cfg.duration, cfg.scale);
+        let restoration = cfg.restoration.map(RestorationBuffer::new);
+        // Policies with a park/wake side channel only buffer events when
+        // someone is listening.
+        scheduler.set_event_feed(P::ACTIVE);
+        Engine {
+            ingest,
+            dispatch: DispatchStage::new(scheduler, infos),
+            service,
+            record: RecordStage::new(report, restoration, probes),
             events: EventSchedule::new(cfg.event_backend, cfg.scale),
-            interner: FlowInterner::new(),
-            flows: FlowTable::default(),
-            order: OrderTracker::new(),
-            classifier_rng: seq.rng("fm-classifier"),
-            restoration,
-            report,
-            next_packet_id: 0,
-            infos,
+            sched_ev_buf: Vec::new(),
             cfg,
         }
     }
 
-    /// Record a packet leaving the system (after restoration, if any).
-    fn emit(&mut self, pkt: PacketDesc, now: SimTime) {
-        self.report.processed += 1;
-        self.report.service_mut(pkt.service).processed += 1;
-        if self.order.record_departure(pkt.slot, pkt.flow_seq) {
-            self.report.out_of_order += 1;
-            self.report.service_mut(pkt.service).out_of_order += 1;
+    /// Republish the scheduler's buffered park/wake transitions on the
+    /// bus. Only reached when probes are attached.
+    fn drain_sched_events(&mut self, now: SimTime) {
+        let mut buf = std::mem::take(&mut self.sched_ev_buf);
+        self.dispatch.drain_events_into(&mut buf);
+        for ev in buf.drain(..) {
+            let sim_ev = match ev {
+                SchedEvent::CoreParked { core } => SimEvent::CoreParked { core },
+                SchedEvent::CoreUnparked { core } => SimEvent::CoreUnparked { core },
+            };
+            self.record.publish(now, &sim_ev);
         }
-        self.report.latency.record((now - pkt.arrival).as_nanos());
+        self.sched_ev_buf = buf;
     }
 
     /// Resync core `i`'s scheduler-view entry after mutating it. Every
@@ -361,60 +313,34 @@ impl<S: Scheduler> Engine<S> {
     /// one entry write per event instead of an `n_cores` rebuild.
     #[inline]
     fn sync_info(&mut self, i: usize) {
-        if let (Some(info), Some(c)) = (self.infos.get_mut(i), self.cores.get(i)) {
-            *info = QueueInfo {
-                len: c.queue.len(),
-                capacity: c.queue.capacity(),
-                busy: c.current.is_some(),
-                idle_since: c.idle_since,
-                last_congested: c.last_congested,
-            };
+        if let Some(info) = self.service.snapshot(i) {
+            self.dispatch.set_info(i, info);
         }
     }
 
+    /// Pull the next queued packet into service on `core`, publishing
+    /// `ServiceStart` and arming the finish timer.
     fn start_processing(&mut self, core: usize, now: SimTime) {
-        // Core IDs originate from our own event queue / scheduler-checked
-        // dispatch; an out-of-range ID is a bug upstream, not a reason to
-        // panic mid-run.
-        let Some(slot) = self.cores.get_mut(core) else {
-            debug_assert!(false, "start_processing on unknown core {core}");
-            return;
-        };
-        if slot.current.is_some() {
-            return;
+        if let Some(started) = self.service.start_processing(core, now) {
+            self.events.push(now + started.duration, Ev::Finish(core));
+            self.record.publish(
+                now,
+                &SimEvent::ServiceStart {
+                    core,
+                    service: started.service,
+                    cold: started.cold,
+                    migrated: started.migrated,
+                    duration: started.duration,
+                },
+            );
         }
-        let Some(pkt) = slot.queue.pop() else {
-            if slot.idle_since.is_none() {
-                slot.idle_since = Some(now);
-            }
-            return;
-        };
-        let cold = slot.last_service != Some(pkt.service);
-        if cold {
-            self.report.cold_starts += 1;
-        }
-        if pkt.migrated {
-            self.report.migrated_packets += 1;
-        }
-        let d_us = self
-            .delay
-            .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
-        let d = SimTime::from_micros_f64(d_us);
-        slot.busy_ns += d.as_nanos();
-        slot.last_service = Some(pkt.service);
-        slot.current = Some(pkt);
-        slot.idle_since = None;
-        self.events.push(now + d, Ev::Finish(core));
     }
 
     /// Schedule the next arrival from `src` if it lands in the horizon.
     fn schedule_next_arrival(&mut self, src: usize, now: SimTime) {
-        let scale = self.cfg.scale;
-        let Some(slot) = self.sources.get_mut(src) else {
-            debug_assert!(false, "arrival from unknown source {src}");
+        let Some(gap) = self.ingest.next_gap(src) else {
             return;
         };
-        let gap = slot.source.next_gap(scale, &mut slot.rng);
         let next = now + gap;
         if next <= self.cfg.duration {
             self.events.push(next, Ev::Arrival(src));
@@ -422,87 +348,89 @@ impl<S: Scheduler> Engine<S> {
     }
 
     fn on_arrival(&mut self, src: usize, now: SimTime) {
-        // Draw the header and build the descriptor.
-        let Some(slot) = self.sources.get_mut(src) else {
-            debug_assert!(false, "arrival from unknown source {src}");
-            return;
+        let header = match self.ingest.admit(src) {
+            Admission::Missing => return,
+            Admission::SlowPath { service } => {
+                self.record
+                    .publish(now, &SimEvent::DivertedSlowPath { service });
+                self.schedule_next_arrival(src, now);
+                return;
+            }
+            Admission::FastPath(h) => h,
         };
-        let (flow, flow_slot, size) = slot.source.next_header_interned(&mut self.interner);
-        let service = slot.source.service;
-        // Frame-manager classification (Fig. 1): control-plane packets
-        // take the slow path and never enter the data-plane scheduler.
-        if self.cfg.control_plane_fraction > 0.0
-            && self.classifier_rng.gen::<f64>() < self.cfg.control_plane_fraction
-        {
-            self.report.slow_path += 1;
-            self.schedule_next_arrival(src, now);
-            return;
-        }
-        self.flows.grow_to(self.interner.len());
-        let flow_seq = self.flows.next_seq(flow_slot);
+        self.dispatch.grow_flows(self.ingest.flow_count());
+        let flow_seq = self.dispatch.next_seq(header.slot);
         let mut pkt = PacketDesc {
-            id: self.next_packet_id,
-            flow,
-            slot: flow_slot,
-            service,
-            size,
+            id: header.id,
+            flow: header.flow,
+            slot: header.slot,
+            service: header.service,
+            size: header.size,
             arrival: now,
             flow_seq,
             migrated: false,
         };
-        self.next_packet_id += 1;
-        self.report.offered += 1;
-        self.report.service_mut(service).offered += 1;
-
-        // Ask the policy for a target core. The view is maintained
-        // incrementally (see `sync_info`); it is briefly moved out so the
-        // scheduler can borrow it alongside `&mut self.scheduler`.
-        let infos = std::mem::take(&mut self.infos);
-        let view = SystemView {
+        self.record.publish(
             now,
-            queues: &infos,
-        };
-        let target = self.scheduler.schedule(&pkt, &view);
-        self.infos = infos;
-        assert!(
-            target < self.cfg.n_cores,
-            "scheduler returned core {target}"
+            &SimEvent::PacketArrived {
+                id: pkt.id,
+                slot: pkt.slot,
+                service: pkt.service,
+                size: pkt.size,
+            },
         );
 
-        let migrated = matches!(self.flows.last_core(flow_slot), Some(c) if c != target);
+        // Ask the policy for a target core, then republish any park/wake
+        // transitions the decision triggered.
+        let target = self.dispatch.choose_core(&pkt, now, self.cfg.n_cores);
+        if P::ACTIVE {
+            self.drain_sched_events(now);
+        }
+
+        let prev_core = self.dispatch.last_core(pkt.slot);
+        let migrated = matches!(prev_core, Some(c) if c != target);
         pkt.migrated = migrated;
-        // `target` < n_cores was just asserted, so the lookup is total.
-        let outcome = self
-            .cores
-            .get_mut(target)
-            .map(|c| c.queue.push(pkt))
-            .unwrap_or(PushOutcome::Dropped);
-        match outcome {
+        match self.service.enqueue(target, pkt, now) {
             PushOutcome::Dropped => {
-                if let Some(c) = self.cores.get_mut(target) {
-                    c.last_congested = now;
-                }
-                self.report.dropped += 1;
-                self.report.service_mut(service).dropped += 1;
-                self.scheduler.on_drop(&pkt, target);
-                // The frame manager knows this sequence number will never
-                // depart; tell the restoration buffer not to wait for it.
-                if let Some(buf) = self.restoration.as_mut() {
-                    for released in buf.note_gap(pkt.slot, pkt.flow_seq, now) {
-                        self.emit(released, now);
-                    }
-                }
+                self.record.publish(
+                    now,
+                    &SimEvent::Dropped {
+                        id: pkt.id,
+                        slot: pkt.slot,
+                        service: pkt.service,
+                        core: target,
+                    },
+                );
+                self.dispatch.on_drop(&pkt, target);
+                self.record.note_drop_gap(pkt.slot, pkt.flow_seq, now);
             }
             PushOutcome::Enqueued(len) => {
-                if len >= self.cfg.congestion_watermark {
-                    if let Some(c) = self.cores.get_mut(target) {
-                        c.last_congested = now;
-                    }
+                if P::ACTIVE {
+                    self.record.publish(
+                        now,
+                        &SimEvent::Dispatched {
+                            id: pkt.id,
+                            slot: pkt.slot,
+                            service: pkt.service,
+                            core: target,
+                            queue_len: len,
+                            migrated,
+                        },
+                    );
                 }
                 if migrated {
-                    self.report.migration_events += 1;
+                    if let Some(from) = prev_core {
+                        self.record.publish(
+                            now,
+                            &SimEvent::Migration {
+                                slot: pkt.slot,
+                                from,
+                                to: target,
+                            },
+                        );
+                    }
                 }
-                self.flows.set_last_core(flow_slot, target);
+                self.dispatch.set_last_core(pkt.slot, target);
                 self.start_processing(target, now);
             }
         }
@@ -519,30 +447,31 @@ impl<S: Scheduler> Engine<S> {
         // A finish event always carries the packet placed by
         // start_processing; a missing one means the event queue and core
         // state disagree — flag it in debug, skip it in release.
-        let Some(pkt) = self.cores.get_mut(core).and_then(|c| c.current.take()) else {
+        let Some(pkt) = self.service.take_current(core) else {
             debug_assert!(
                 false,
                 "finish event without packet in service on core {core}"
             );
             return;
         };
-        match self.restoration.as_mut() {
-            None => self.emit(pkt, now),
-            Some(buf) => {
-                let mut released = buf.on_departure(pkt, now);
-                released.extend(buf.flush_timeouts(now));
-                for p in released {
-                    self.emit(p, now);
-                }
-            }
+        if P::ACTIVE {
+            self.record.publish(
+                now,
+                &SimEvent::ServiceEnd {
+                    core,
+                    service: pkt.service,
+                },
+            );
         }
+        self.record.departure(pkt, now);
         self.start_processing(core, now);
         self.sync_info(core);
     }
 
     fn on_rate_update(&mut self, now: SimTime) {
-        for slot in &mut self.sources {
-            slot.source.refresh_rate(now, &mut slot.rng);
+        self.ingest.refresh_rates(now);
+        if P::ACTIVE {
+            self.record.publish(now, &SimEvent::EpochTick);
         }
         let next = now + self.cfg.rate_update_interval;
         if next <= self.cfg.duration {
@@ -565,29 +494,29 @@ impl<S: Scheduler> Engine<S> {
             now >= previous,
             "virtual time ran backwards: {previous:?} -> {now:?}"
         );
-        let queued: u64 = self.cores.iter().map(|c| c.queue.len() as u64).sum();
-        let in_service: u64 = self.cores.iter().filter(|c| c.current.is_some()).count() as u64;
-        let buffered = self
-            .restoration
-            .as_ref()
-            .map_or(0, |b| b.occupancy() as u64);
-        let accounted =
-            self.report.processed + self.report.dropped + queued + in_service + buffered;
+        let queued = self.service.queued_total();
+        let in_service = self.service.in_service_total();
+        let buffered = self.record.restoration_occupancy();
+        let report = self.record.report_ref();
+        let accounted = report.processed + report.dropped + queued + in_service + buffered;
         assert_eq!(
-            self.report.offered, accounted,
+            report.offered, accounted,
             "packet conservation violated at t={now:?}: offered {} != processed {} + dropped {} \
              + queued {queued} + in-service {in_service} + restoration-buffered {buffered}",
-            self.report.offered, self.report.processed, self.report.dropped
+            report.offered, report.processed, report.dropped
         );
         // 3. **View coherence** — the incrementally maintained scheduler
         //    view matches a from-scratch rebuild of the core state.
-        for (i, (info, c)) in self.infos.iter().zip(self.cores.iter()).enumerate() {
+        for (i, info) in self.dispatch.infos().iter().enumerate() {
+            let fresh = self.service.snapshot(i);
             assert!(
-                info.len == c.queue.len()
-                    && info.capacity == c.queue.capacity()
-                    && info.busy == c.current.is_some()
-                    && info.idle_since == c.idle_since
-                    && info.last_congested == c.last_congested,
+                fresh.is_some_and(|f| {
+                    info.len == f.len
+                        && info.capacity == f.capacity
+                        && info.busy == f.busy
+                        && info.idle_since == f.idle_since
+                        && info.last_congested == f.last_congested
+                }),
                 "scheduler view out of sync with core {i} at t={now:?}"
             );
         }
@@ -595,23 +524,24 @@ impl<S: Scheduler> Engine<S> {
 
     /// Run to completion (horizon + drain) and return the report.
     pub fn run(self) -> SimReport {
-        self.run_returning_scheduler().0
+        self.run_full().0
     }
 
     /// Like [`Engine::run`], but also hands back the scheduler so callers
     /// can read policy-internal statistics (e.g. LAPS park/wake counts).
-    pub fn run_returning_scheduler(mut self) -> (SimReport, S) {
+    pub fn run_returning_scheduler(self) -> (SimReport, S) {
+        let (report, scheduler, _probes) = self.run_full();
+        (report, scheduler)
+    }
+
+    /// Run to completion and hand back the report, the scheduler, and
+    /// the probe host (with everything the probes accumulated).
+    pub fn run_full(mut self) -> (SimReport, S, P) {
         // Prime arrivals and the rate-update ticker.
-        let scale = self.cfg.scale;
-        let mut primed = Vec::with_capacity(self.sources.len());
-        for (i, slot) in self.sources.iter_mut().enumerate() {
-            let gap = slot.source.next_gap(scale, &mut slot.rng);
+        for (i, gap) in self.ingest.prime_gaps() {
             if gap <= self.cfg.duration {
-                primed.push((gap, Ev::Arrival(i)));
+                self.events.push(gap, Ev::Arrival(i));
             }
-        }
-        for (at, ev) in primed {
-            self.events.push(at, ev);
         }
         if self.cfg.rate_update_interval <= self.cfg.duration {
             self.events
@@ -623,7 +553,7 @@ impl<S: Scheduler> Engine<S> {
             #[cfg(feature = "invariants")]
             self.check_invariants(t, last_t);
             last_t = t;
-            self.report.events += 1;
+            self.record.note_loop_event();
             match ev {
                 Ev::Arrival(src) => self.on_arrival(src, t),
                 Ev::Finish(core) => self.on_finish(core, t),
@@ -632,35 +562,32 @@ impl<S: Scheduler> Engine<S> {
             #[cfg(feature = "invariants")]
             self.check_invariants(t, last_t);
         }
-        self.report.end_time = last_t.max(self.cfg.duration);
+        self.record.set_end_time(last_t.max(self.cfg.duration));
 
         // Anything still waiting in the restoration buffer departs at the
         // final instant.
-        if let Some(mut buf) = self.restoration.take() {
-            let now = self.cfg.duration;
-            for p in buf.drain_all(now) {
-                self.emit(p, now);
-            }
-            self.report.restoration = Some(buf.into_stats());
-        }
-        self.report.out_of_order = self.order.out_of_order();
-        self.report.core_reallocations = self.scheduler.core_reallocations();
-        self.report.core_busy_ns = self.cores.iter().map(|c| c.busy_ns).collect();
-        (self.report, self.scheduler)
+        self.record.drain_restoration(self.cfg.duration);
+        let reallocs = self.dispatch.core_reallocations();
+        let busy = self.service.busy_ns();
+        let (report, probes) = self.record.finalize(reallocs, busy);
+        (report, self.dispatch.into_scheduler(), probes)
     }
 
     /// Borrow the scheduler (e.g. to inspect detector state post-run in
     /// tests that drive the engine manually).
     pub fn scheduler(&self) -> &S {
-        &self.scheduler
+        self.dispatch.scheduler_ref()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::{JoinShortestQueue, RoundRobin};
+    use crate::probe::{EventLogProbe, MetricsProbe, UtilizationProbe};
+    use crate::sched::{JoinShortestQueue, RoundRobin, SystemView};
+    use crate::source::RateSpec;
     use nptrace::TracePreset;
+    use nptraffic::ServiceKind;
 
     fn one_source(rate_mpps: f64) -> Vec<SourceConfig> {
         vec![SourceConfig {
@@ -925,5 +852,78 @@ mod tests {
         assert_eq!(off, r.offered);
         assert_eq!(drop, r.dropped);
         assert_eq!(proc, r.processed);
+    }
+
+    #[test]
+    fn probes_do_not_change_the_report() {
+        // The bus contract: attaching any probe set leaves the report
+        // byte-identical to the zero-probe run.
+        let bare = Engine::new(quick_cfg(2, 30), &one_source(3.0), PingPong(0)).run();
+        let probes: ProbeStack = vec![
+            Box::new(MetricsProbe::new()),
+            Box::new(UtilizationProbe::new(SimTime::from_millis(1))),
+            Box::new(EventLogProbe::new()),
+        ];
+        let (probed, _sched, _probes) =
+            Engine::with_probe_stack(quick_cfg(2, 30), &one_source(3.0), PingPong(0), probes)
+                .run_full();
+        let a = serde_json::to_string(&bare).expect("bare report serializes");
+        let b = serde_json::to_string(&probed).expect("probed report serializes");
+        assert_eq!(a, b, "probes must be invisible to the report");
+    }
+
+    #[test]
+    fn metrics_probe_agrees_with_report() {
+        let probes: ProbeStack = vec![Box::new(MetricsProbe::new())];
+        let (report, _sched, probes) =
+            Engine::with_probe_stack(quick_cfg(2, 30), &one_source(4.0), PingPong(0), probes)
+                .run_full();
+        let metrics = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<MetricsProbe>())
+            .expect("metrics probe comes back");
+        let counters = metrics.counters();
+        let by_name = |n: &str| {
+            counters
+                .iter()
+                .find(|(name, _)| *name == n)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(by_name("arrivals"), report.offered);
+        assert_eq!(by_name("drops"), report.dropped);
+        assert_eq!(by_name("departures"), report.processed);
+        assert_eq!(by_name("migrations"), report.migration_events);
+        assert_eq!(by_name("cold_starts"), report.cold_starts);
+        assert_eq!(by_name("reorders"), report.out_of_order);
+        assert_eq!(
+            by_name("dispatched") + by_name("drops"),
+            report.offered,
+            "every offered packet is dispatched or dropped"
+        );
+    }
+
+    #[test]
+    fn utilization_probe_matches_busy_time() {
+        let probes: ProbeStack = vec![Box::new(UtilizationProbe::new(SimTime::from_millis(1)))];
+        let (report, _sched, probes) =
+            Engine::with_probe_stack(quick_cfg(4, 20), &one_source(2.0), PinByHash, probes)
+                .run_full();
+        let util = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<UtilizationProbe>())
+            .expect("utilization probe comes back");
+        let bucket_ns = util.bucket_width().as_nanos() as f64;
+        for (core, &busy) in report.core_busy_ns.iter().enumerate() {
+            let probe_busy: f64 = util
+                .timeline(core)
+                .iter()
+                .map(|frac| frac * bucket_ns)
+                .sum();
+            assert!(
+                (probe_busy - busy as f64).abs() < 1.0,
+                "core {core}: probe {probe_busy} vs report {busy}"
+            );
+        }
     }
 }

@@ -1,0 +1,168 @@
+//! Service stage: per-core bounded queues and packet execution.
+//!
+//! Owns the core array (queue, packet in service, cache state, busy
+//! time) and the Eq. 3 delay model. Enqueue outcomes and service starts
+//! are returned to the orchestrator, which publishes the corresponding
+//! bus events and schedules the finish timer.
+
+use crate::packet::PacketDesc;
+use crate::sched::QueueInfo;
+use detsim::{BoundedQueue, PushOutcome, SimTime};
+use nptraffic::{DelayModel, ServiceKind};
+
+#[derive(Debug)]
+struct Core {
+    queue: BoundedQueue<PacketDesc>,
+    current: Option<PacketDesc>,
+    last_service: Option<ServiceKind>,
+    idle_since: Option<SimTime>,
+    last_congested: SimTime,
+    busy_ns: u64,
+}
+
+/// A packet entering service: what the orchestrator needs to publish
+/// `ServiceStart` and arm the finish timer.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Started {
+    pub service: ServiceKind,
+    pub cold: bool,
+    pub migrated: bool,
+    pub duration: SimTime,
+}
+
+#[derive(Debug)]
+pub(super) struct ServiceStage {
+    cores: Vec<Core>,
+    delay: DelayModel,
+    congestion_watermark: usize,
+}
+
+impl ServiceStage {
+    pub(super) fn new(
+        n_cores: usize,
+        queue_capacity: usize,
+        delay: DelayModel,
+        congestion_watermark: usize,
+    ) -> Self {
+        let cores = (0..n_cores)
+            .map(|_| Core {
+                queue: BoundedQueue::new(queue_capacity),
+                current: None,
+                last_service: None,
+                idle_since: Some(SimTime::ZERO),
+                last_congested: SimTime::ZERO,
+                busy_ns: 0,
+            })
+            .collect();
+        ServiceStage {
+            cores,
+            delay,
+            congestion_watermark,
+        }
+    }
+
+    pub(super) fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Try to enqueue `pkt` on `target`, maintaining the congestion
+    /// timestamps exactly as the monolithic engine did (a drop or a
+    /// queue at/above the watermark stamps `last_congested`).
+    pub(super) fn enqueue(&mut self, target: usize, pkt: PacketDesc, now: SimTime) -> PushOutcome {
+        // `target` < n_cores is asserted at dispatch, so the lookup is
+        // total.
+        let outcome = self
+            .cores
+            .get_mut(target)
+            .map(|c| c.queue.push(pkt))
+            .unwrap_or(PushOutcome::Dropped);
+        match outcome {
+            PushOutcome::Dropped => {
+                if let Some(c) = self.cores.get_mut(target) {
+                    c.last_congested = now;
+                }
+            }
+            PushOutcome::Enqueued(len) => {
+                if len >= self.congestion_watermark {
+                    if let Some(c) = self.cores.get_mut(target) {
+                        c.last_congested = now;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Pull the next queued packet into service on `core`, if the core
+    /// is free and work is waiting. Returns the service parameters so
+    /// the orchestrator can arm the finish timer; `None` if the core is
+    /// busy or its queue is empty (the latter marks the idle start).
+    pub(super) fn start_processing(&mut self, core: usize, now: SimTime) -> Option<Started> {
+        // Core IDs originate from our own event queue / scheduler-checked
+        // dispatch; an out-of-range ID is a bug upstream, not a reason to
+        // panic mid-run.
+        let Some(slot) = self.cores.get_mut(core) else {
+            debug_assert!(false, "start_processing on unknown core {core}");
+            return None;
+        };
+        if slot.current.is_some() {
+            return None;
+        }
+        let Some(pkt) = slot.queue.pop() else {
+            if slot.idle_since.is_none() {
+                slot.idle_since = Some(now);
+            }
+            return None;
+        };
+        let cold = slot.last_service != Some(pkt.service);
+        let d_us = self
+            .delay
+            .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
+        let d = SimTime::from_micros_f64(d_us);
+        slot.busy_ns += d.as_nanos();
+        slot.last_service = Some(pkt.service);
+        let started = Started {
+            service: pkt.service,
+            cold,
+            migrated: pkt.migrated,
+            duration: d,
+        };
+        slot.current = Some(pkt);
+        slot.idle_since = None;
+        Some(started)
+    }
+
+    /// Take the packet in service on `core` (a finish event fired).
+    pub(super) fn take_current(&mut self, core: usize) -> Option<PacketDesc> {
+        self.cores.get_mut(core).and_then(|c| c.current.take())
+    }
+
+    /// A fresh [`QueueInfo`] snapshot of `core`'s state.
+    #[inline]
+    pub(super) fn snapshot(&self, core: usize) -> Option<QueueInfo> {
+        self.cores.get(core).map(|c| QueueInfo {
+            len: c.queue.len(),
+            capacity: c.queue.capacity(),
+            busy: c.current.is_some(),
+            idle_since: c.idle_since,
+            last_congested: c.last_congested,
+        })
+    }
+
+    /// Per-core busy nanoseconds, for the final report.
+    pub(super) fn busy_ns(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.busy_ns).collect()
+    }
+
+    /// Packets waiting across all queues (invariant checking).
+    #[cfg(feature = "invariants")]
+    pub(super) fn queued_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.queue.len() as u64).sum()
+    }
+
+    /// Packets currently in service (invariant checking).
+    #[cfg(feature = "invariants")]
+    pub(super) fn in_service_total(&self) -> u64 {
+        self.cores.iter().filter(|c| c.current.is_some()).count() as u64
+    }
+}

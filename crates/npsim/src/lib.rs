@@ -35,17 +35,23 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod event;
 pub mod order;
 pub mod packet;
+pub mod probe;
 pub mod report;
 pub mod restore;
 pub mod sched;
 pub mod source;
 
 pub use engine::{Engine, EngineConfig, EventBackend};
+pub use event::SimEvent;
 pub use order::OrderTracker;
 pub use packet::PacketDesc;
+pub use probe::{
+    EventLogProbe, MetricsProbe, Probe, ProbeHost, ProbeStack, ReportProbe, UtilizationProbe,
+};
 pub use report::{ServiceBreakdown, SimReport};
 pub use restore::{RestorationBuffer, RestorationStats};
-pub use sched::{JoinShortestQueue, QueueInfo, RoundRobin, Scheduler, SystemView};
+pub use sched::{JoinShortestQueue, QueueInfo, RoundRobin, SchedEvent, Scheduler, SystemView};
 pub use source::{RateSpec, SourceConfig, TrafficSource};

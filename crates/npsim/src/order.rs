@@ -35,6 +35,13 @@ impl OrderTracker {
     /// Record a departure of packet `flow_seq` of the flow in `slot`.
     /// Returns `true` if the departure is out of order.
     pub fn record_departure(&mut self, slot: FlowSlot, flow_seq: u64) -> bool {
+        self.record_departure_extent(slot, flow_seq).is_some()
+    }
+
+    /// Like [`OrderTracker::record_departure`], but returns the reorder
+    /// extent (how many sequence numbers late the packet was); `None`
+    /// means the departure was in order.
+    pub fn record_departure_extent(&mut self, slot: FlowSlot, flow_seq: u64) -> Option<u64> {
         self.departed += 1;
         let i = slot.index();
         if i >= self.max_departed_plus_one.len() {
@@ -42,7 +49,7 @@ impl OrderTracker {
         }
         let Some(entry) = self.max_departed_plus_one.get_mut(i) else {
             // Unreachable: just resized to cover `i`.
-            return false;
+            return None;
         };
         if *entry == 0 {
             // First departure of the flow can still be "late" only if
@@ -50,16 +57,17 @@ impl OrderTracker {
             // reorderings, so it is in order by definition.
             *entry = flow_seq + 1;
             self.flows += 1;
-            return false;
+            return None;
         }
         let max = *entry - 1;
         if flow_seq < max {
             self.out_of_order += 1;
-            self.extent.record(max - flow_seq);
-            true
+            let extent = max - flow_seq;
+            self.extent.record(extent);
+            Some(extent)
         } else {
             *entry = flow_seq + 1;
-            false
+            None
         }
     }
 
@@ -154,6 +162,14 @@ mod tests {
         t.record_departure(s(1), 10);
         t.record_departure(s(1), 4);
         assert_eq!(t.extent_histogram().max(), 6);
+    }
+
+    #[test]
+    fn extent_variant_reports_lateness_inline() {
+        let mut t = OrderTracker::new();
+        assert_eq!(t.record_departure_extent(s(1), 10), None);
+        assert_eq!(t.record_departure_extent(s(1), 4), Some(6));
+        assert_eq!(t.record_departure_extent(s(1), 11), None);
     }
 
     #[test]

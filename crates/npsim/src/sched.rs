@@ -81,6 +81,24 @@ impl SystemView<'_> {
     }
 }
 
+/// A policy-internal state transition the engine republishes on the
+/// observability bus. Core parking is a *scheduler* decision (LAPS
+/// §III-D surplus cores), invisible to the engine's own state machine,
+/// so policies that park report it through this side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// The policy parked a surplus core.
+    CoreParked {
+        /// The parked core.
+        core: usize,
+    },
+    /// The policy woke a parked core.
+    CoreUnparked {
+        /// The woken core.
+        core: usize,
+    },
+}
+
 /// A packet-scheduling policy.
 pub trait Scheduler {
     /// Display name used in reports and figures.
@@ -100,6 +118,17 @@ pub trait Scheduler {
     fn core_reallocations(&self) -> u64 {
         0
     }
+
+    /// Enable or disable the [`SchedEvent`] feed. The engine switches it
+    /// on only when probes are attached, so policies that buffer events
+    /// pay nothing on the zero-probe fast path. Default: ignored
+    /// (policies without parkable cores have nothing to report).
+    fn set_event_feed(&mut self, _enabled: bool) {}
+
+    /// Drain buffered [`SchedEvent`]s, in occurrence order, into `sink`.
+    /// Called by the engine after each scheduling decision while the
+    /// feed is enabled. Default: no events.
+    fn drain_events(&mut self, _sink: &mut dyn FnMut(SchedEvent)) {}
 }
 
 impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
@@ -114,6 +143,12 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
     }
     fn core_reallocations(&self) -> u64 {
         (**self).core_reallocations()
+    }
+    fn set_event_feed(&mut self, enabled: bool) {
+        (**self).set_event_feed(enabled)
+    }
+    fn drain_events(&mut self, sink: &mut dyn FnMut(SchedEvent)) {
+        (**self).drain_events(sink)
     }
 }
 

@@ -3,7 +3,8 @@
 //! Anything implementing `npsim::Scheduler` runs on the same engine and
 //! is measured by the same report as the paper's policies. Here we build
 //! a "service-partitioned static hash" — LAPS's I-cache partitioning
-//! without migration or dynamic allocation — and see how much each LAPS
+//! without migration or dynamic allocation — register it in the
+//! scheduler registry next to the built-ins, and see how much each LAPS
 //! mechanism buys on an overloaded scenario.
 //!
 //! ```sh
@@ -11,7 +12,6 @@
 //! ```
 
 use laps_repro::prelude::*;
-use laps_repro::scenario_sources;
 use nphash::MapTable;
 use npsim::{PacketDesc, SystemView};
 
@@ -46,7 +46,6 @@ impl Scheduler for PartitionedHash {
 
 fn main() {
     let scenario = Scenario::by_id(5).expect("T5: overload");
-    let sources = scenario_sources(scenario);
     let cfg = EngineConfig {
         n_cores: 16,
         duration: SimTime::from_millis(400),
@@ -57,18 +56,18 @@ fn main() {
         ..EngineConfig::default()
     };
 
-    let custom = Engine::new(cfg.clone(), &sources, PartitionedHash::new(cfg.n_cores)).run();
-    let laps = Engine::new(
-        cfg.clone(),
-        &sources,
-        Laps::new(LapsConfig {
-            n_cores: cfg.n_cores,
-            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-            ..LapsConfig::default()
-        }),
-    )
-    .run();
+    // A custom policy registers like any built-in: a name plus a
+    // constructor from the engine configuration.
+    let builder = || {
+        SimBuilder::new()
+            .config(cfg.clone())
+            .scenario(scenario)
+            .register("partitioned", |cfg| {
+                Box::new(PartitionedHash::new(cfg.n_cores))
+            })
+    };
+    let custom = builder().run_named("partitioned").expect("just registered");
+    let laps = builder().run_named("laps").expect("builtin");
 
     println!(
         "Scenario {} (overload) — partitioning alone vs full LAPS\n",

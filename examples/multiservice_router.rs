@@ -15,7 +15,6 @@
 //! ```
 
 use laps_repro::prelude::*;
-use laps_repro::scenario_sources;
 
 fn main() {
     let scenario = Scenario::by_id(1).expect("T1 exists");
@@ -35,26 +34,19 @@ fn main() {
         seed: 42,
         ..EngineConfig::default()
     };
-    let sources = scenario_sources(scenario);
 
-    let fcfs = Engine::new(cfg.clone(), &sources, Fcfs::new()).run();
-    let afs = Engine::new(
-        cfg.clone(),
-        &sources,
-        Afs::new(cfg.n_cores, 24, SimTime::from_micros_f64(4.0 * cfg.scale)),
-    )
-    .run();
-    let laps = Engine::new(
-        cfg.clone(),
-        &sources,
-        Laps::new(LapsConfig {
-            n_cores: cfg.n_cores,
-            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-            ..LapsConfig::default()
-        }),
-    )
-    .run();
+    // Identical traffic, three policies from the registry (the registry
+    // wires AFS's cooldown and LAPS's thresholds to the time scale).
+    let run = |name: &str| {
+        SimBuilder::new()
+            .config(cfg.clone())
+            .scenario(scenario)
+            .run_named(name)
+            .expect("builtin scheduler")
+    };
+    let fcfs = run("fcfs");
+    let afs = run("afs");
+    let laps = run("laps");
 
     println!(
         "{:<12} {:>9} {:>9} {:>11} {:>12} {:>10}",

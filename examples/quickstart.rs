@@ -8,38 +8,25 @@
 use laps_repro::prelude::*;
 
 fn main() {
-    // Traffic: IP forwarding at 6 Mpps — 75 % of the ideal capacity of
-    // the 4-core partition LAPS initially gives each service — with
-    // headers drawn from a synthetic backbone-like trace. (Push the rate
-    // past 8 Mpps and you will see `core_reallocations` climb as LAPS
-    // claims cores from the three idle services.)
-    let sources = vec![SourceConfig {
-        service: ServiceKind::IpForward,
-        trace: TracePreset::Caida(1),
-        rate: RateSpec::Constant(6.0),
-    }];
-
-    // A 16-core processor with 32-descriptor input queues, simulated for
-    // 50 ms at scale 20 (rates ÷20, service times ×20 — load-invariant,
-    // see DESIGN.md).
-    let cfg = EngineConfig {
-        n_cores: 16,
-        queue_capacity: 32,
-        duration: SimTime::from_millis(50),
-        scale: 20.0,
-        seed: 7,
-        ..EngineConfig::default()
-    };
-
-    // The paper's scheduler, with time-valued knobs matched to the scale.
-    let scheduler = Laps::new(LapsConfig {
-        n_cores: cfg.n_cores,
-        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-        ..LapsConfig::default()
-    });
-
-    let report = Engine::new(cfg, &sources, scheduler).run();
+    // A 16-core processor simulated for 50 ms at scale 20 (rates ÷20,
+    // service times ×20 — load-invariant, see DESIGN.md), offered IP
+    // forwarding at 6 Mpps — 75 % of the ideal capacity of the 4-core
+    // partition LAPS initially gives each service — with headers drawn
+    // from a synthetic backbone-like trace. (Push the rate past 8 Mpps
+    // and you will see `core_reallocations` climb as LAPS claims cores
+    // from the three idle services.)
+    //
+    // The policy resolves by name through the scheduler registry, which
+    // wires LAPS's time-valued knobs to the configured scale; see
+    // `examples/custom_scheduler.rs` for registering your own policy.
+    let report = SimBuilder::new()
+        .cores(16)
+        .duration(SimTime::from_millis(50))
+        .scale(20.0)
+        .seed(7)
+        .constant_source(ServiceKind::IpForward, TracePreset::Caida(1), 6.0)
+        .run_named("laps")
+        .expect("laps is a builtin policy");
 
     println!("scheduler        : {}", report.scheduler);
     println!("packets offered  : {}", report.offered);

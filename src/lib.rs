@@ -23,19 +23,9 @@ pub mod prelude {
     pub use laps::prelude::*;
 }
 
-/// Build the four Fig. 7 traffic sources for a Table VI scenario.
-pub fn scenario_sources(scenario: nptraffic::Scenario) -> Vec<npsim::SourceConfig> {
-    let traces = scenario.group.traces();
-    nptraffic::ServiceKind::ALL
-        .iter()
-        .zip(traces.iter())
-        .map(|(&service, &trace)| npsim::SourceConfig {
-            service,
-            trace,
-            rate: npsim::RateSpec::HoltWinters(scenario.params.rate_model(service)),
-        })
-        .collect()
-}
+/// Build the four Fig. 7 traffic sources for a Table VI scenario
+/// (re-export of the canonical helper in the `laps` crate).
+pub use laps::scenario_sources;
 
 #[cfg(test)]
 mod tests {

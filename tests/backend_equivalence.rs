@@ -10,24 +10,19 @@ use laps_repro::prelude::*;
 use proptest::prelude::*;
 
 fn run(backend: EventBackend, preset: u8, seed: u64, duration_ms: u64, scale: f64) -> String {
-    let cfg = EngineConfig {
-        n_cores: 8,
-        duration: SimTime::from_millis(duration_ms),
-        scale,
-        seed,
-        event_backend: backend,
-        ..EngineConfig::default()
-    };
-    let sources = vec![SourceConfig {
-        service: ServiceKind::IpForward,
-        trace: TracePreset::Caida(preset),
-        rate: RateSpec::Constant(8.0),
-    }];
-    let laps = Laps::new(LapsConfig {
-        n_cores: cfg.n_cores,
-        ..LapsConfig::default()
-    });
-    let report = Engine::new(cfg, &sources, laps).run();
+    // Typed `run_with` keeps the exact Laps wiring (unscaled defaults)
+    // these property runs have always measured.
+    let report = SimBuilder::new()
+        .cores(8)
+        .duration(SimTime::from_millis(duration_ms))
+        .scale(scale)
+        .seed(seed)
+        .configure(|cfg| cfg.event_backend = backend)
+        .constant_source(ServiceKind::IpForward, TracePreset::Caida(preset), 8.0)
+        .run_with(Laps::new(LapsConfig {
+            n_cores: 8,
+            ..LapsConfig::default()
+        }));
     serde_json::to_string(&report).expect("report serializes")
 }
 
@@ -55,25 +50,19 @@ proptest! {
 #[test]
 fn multi_service_spot_check() {
     let mk = |backend| {
-        let cfg = EngineConfig {
-            n_cores: 16,
-            duration: SimTime::from_millis(40),
-            scale: 150.0,
-            period_compression: 60.0,
-            rate_update_interval: SimTime::from_millis(8),
-            seed: 42,
-            event_backend: backend,
-            ..EngineConfig::default()
-        };
-        let sources =
-            laps_repro::scenario_sources(nptraffic::Scenario::by_id(1).expect("scenario 1 exists"));
-        let laps = Laps::new(LapsConfig {
-            n_cores: cfg.n_cores,
-            idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-            ..LapsConfig::default()
-        });
-        let report = Engine::new(cfg, &sources, laps).run();
+        let report = SimBuilder::new()
+            .cores(16)
+            .duration(SimTime::from_millis(40))
+            .scale(150.0)
+            .seed(42)
+            .configure(|cfg| {
+                cfg.period_compression = 60.0;
+                cfg.rate_update_interval = SimTime::from_millis(8);
+                cfg.event_backend = backend;
+            })
+            .scenario(Scenario::by_id(1).expect("scenario 1 exists"))
+            .run_named("laps")
+            .expect("builtin policy");
         serde_json::to_string(&report).expect("report serializes")
     };
     assert_eq!(mk(EventBackend::Heap), mk(EventBackend::Wheel));

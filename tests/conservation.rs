@@ -2,53 +2,32 @@
 //! and a spread of scenarios — the accounting every figure rests on.
 
 use laps_repro::prelude::*;
-use laps_repro::scenario_sources;
 
-fn cfg(seed: u64) -> EngineConfig {
-    EngineConfig {
-        n_cores: 16,
-        duration: SimTime::from_millis(120),
-        scale: 200.0,
-        period_compression: 60.0,
-        rate_update_interval: SimTime::from_millis(10),
-        seed,
-        ..EngineConfig::default()
-    }
-}
+/// Every policy under test, resolved through the scheduler registry (the
+/// same wiring the figure binaries use).
+const ALL_POLICIES: [&str; 6] = ["fcfs", "static", "afs", "adaptive", "topk-afd", "laps"];
 
-fn all_schedulers(c: &EngineConfig) -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(Fcfs::new()),
-        Box::new(StaticHash::new(c.n_cores)),
-        Box::new(Afs::new(
-            c.n_cores,
-            24,
-            SimTime::from_micros_f64(4.0 * c.scale),
-        )),
-        Box::new(AdaptiveHash::new(c.n_cores, 4_096, 8)),
-        Box::new(TopKMigration::new(
-            c.n_cores,
-            24,
-            DetectorKind::Afd(AfdConfig::default()),
-        )),
-        Box::new(Laps::new(LapsConfig {
-            n_cores: c.n_cores,
-            idle_release: SimTime::from_micros_f64(10.0 * c.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * c.scale),
-            ..LapsConfig::default()
-        })),
-    ]
+fn builder(id: u8, seed: u64) -> SimBuilder {
+    let scenario = Scenario::by_id(id).unwrap();
+    SimBuilder::new()
+        .cores(16)
+        .duration(SimTime::from_millis(120))
+        .scale(200.0)
+        .seed(seed)
+        .configure(|cfg| {
+            cfg.period_compression = 60.0;
+            cfg.rate_update_interval = SimTime::from_millis(10);
+        })
+        .scenario(scenario)
 }
 
 #[test]
 fn every_scheduler_conserves_packets_on_every_scenario() {
     for id in [1u8, 4, 5, 8] {
-        let scenario = Scenario::by_id(id).unwrap();
-        let sources = scenario_sources(scenario);
-        let c = cfg(500 + id as u64);
-        for sched in all_schedulers(&c) {
-            let name = sched.name().to_string();
-            let r = Engine::new(c.clone(), &sources, sched).run();
+        for name in ALL_POLICIES {
+            let b = builder(id, 500 + id as u64);
+            let n_cores = b.engine_config().n_cores;
+            let r = b.run_named(name).expect("builtin policy");
             assert_eq!(
                 r.offered,
                 r.dropped + r.processed,
@@ -72,7 +51,7 @@ fn every_scheduler_conserves_packets_on_every_scenario() {
             assert!(r.out_of_order <= r.processed);
             assert!(r.cold_starts <= r.processed);
             assert!(r.migrated_packets <= r.processed);
-            assert_eq!(r.core_busy_ns.len(), c.n_cores);
+            assert_eq!(r.core_busy_ns.len(), n_cores);
             // Busy time can never exceed wall time on any core.
             for (core, &b) in r.core_busy_ns.iter().enumerate() {
                 assert!(
@@ -86,13 +65,9 @@ fn every_scheduler_conserves_packets_on_every_scenario() {
 
 #[test]
 fn identical_seeds_replay_identically_for_every_scheduler() {
-    let scenario = Scenario::by_id(3).unwrap();
-    let sources = scenario_sources(scenario);
-    let c = cfg(777);
-    for (a, b) in all_schedulers(&c).into_iter().zip(all_schedulers(&c)) {
-        let name = a.name().to_string();
-        let ra = Engine::new(c.clone(), &sources, a).run();
-        let rb = Engine::new(c.clone(), &sources, b).run();
+    for name in ALL_POLICIES {
+        let ra = builder(3, 777).run_named(name).expect("builtin policy");
+        let rb = builder(3, 777).run_named(name).expect("builtin policy");
         assert_eq!(ra.offered, rb.offered, "{name}: offered diverged");
         assert_eq!(ra.dropped, rb.dropped, "{name}: dropped diverged");
         assert_eq!(ra.out_of_order, rb.out_of_order, "{name}: ooo diverged");
@@ -112,12 +87,9 @@ fn identical_arrivals_across_schedulers() {
     // The paired-comparison guarantee: every scheduler sees the same
     // offered traffic under the same seed, because arrival draws are
     // scheduler-independent streams.
-    let scenario = Scenario::by_id(2).unwrap();
-    let sources = scenario_sources(scenario);
-    let c = cfg(31337);
-    let offered: Vec<u64> = all_schedulers(&c)
-        .into_iter()
-        .map(|s| Engine::new(c.clone(), &sources, s).run().offered)
+    let offered: Vec<u64> = ALL_POLICIES
+        .iter()
+        .map(|name| builder(2, 31337).run_named(name).expect("builtin").offered)
         .collect();
     for w in offered.windows(2) {
         assert_eq!(w[0], w[1], "offered packets differ between schedulers");
@@ -127,10 +99,9 @@ fn identical_arrivals_across_schedulers() {
 #[test]
 fn static_hash_never_reorders_or_migrates_anywhere() {
     for id in 1..=8u8 {
-        let scenario = Scenario::by_id(id).unwrap();
-        let sources = scenario_sources(scenario);
-        let c = cfg(id as u64);
-        let r = Engine::new(c.clone(), &sources, StaticHash::new(c.n_cores)).run();
+        let r = builder(id, id as u64)
+            .run_named("static")
+            .expect("builtin policy");
         assert_eq!(r.out_of_order, 0, "T{id}: pinned flows reordered");
         assert_eq!(r.migration_events, 0, "T{id}: pinned flows migrated");
     }

@@ -2,28 +2,30 @@
 //! restoration, power-aware core parking, and adaptive hashing.
 
 use laps_repro::prelude::*;
-use laps_repro::scenario_sources;
 
-fn cfg(seed: u64) -> EngineConfig {
-    EngineConfig {
-        n_cores: 16,
-        duration: SimTime::from_millis(150),
-        scale: 150.0,
-        period_compression: 60.0,
-        rate_update_interval: SimTime::from_millis(10),
-        seed,
-        ..EngineConfig::default()
-    }
+fn builder(id: u8, seed: u64) -> SimBuilder {
+    let scenario = Scenario::by_id(id).unwrap();
+    SimBuilder::new()
+        .cores(16)
+        .duration(SimTime::from_millis(150))
+        .scale(150.0)
+        .seed(seed)
+        .configure(|cfg| {
+            cfg.period_compression = 60.0;
+            cfg.rate_update_interval = SimTime::from_millis(10);
+        })
+        .scenario(scenario)
 }
 
 #[test]
 fn restoration_reorders_fcfs_into_near_order() {
-    let scenario = Scenario::by_id(3).unwrap();
-    let sources = scenario_sources(scenario);
-    let plain = Engine::new(cfg(1), &sources, Fcfs::new()).run();
-    let mut c = cfg(1);
-    c.restoration = Some(SimTime::from_micros_f64(100.0 * c.scale));
-    let restored = Engine::new(c, &sources, Fcfs::new()).run();
+    let plain = builder(3, 1).run_named("fcfs").expect("builtin policy");
+    let restored = builder(3, 1)
+        .configure(|cfg| {
+            cfg.restoration = Some(SimTime::from_micros_f64(100.0 * cfg.scale));
+        })
+        .run_named("fcfs")
+        .expect("builtin policy");
 
     assert!(
         plain.ooo_fraction() > 0.1,
@@ -52,27 +54,22 @@ fn restoration_reorders_fcfs_into_near_order() {
 
 #[test]
 fn parking_saves_idle_core_time_in_underload() {
-    let scenario = Scenario::by_id(1).unwrap();
-    let sources = scenario_sources(scenario);
-    let c = cfg(2);
-    let base_laps = |parking| {
-        Laps::new(LapsConfig {
-            n_cores: c.n_cores,
-            idle_release: SimTime::from_micros_f64(10.0 * c.scale),
-            realloc_cooldown: SimTime::from_micros_f64(300.0 * c.scale),
-            parking,
-            ..LapsConfig::default()
-        })
-    };
-    let park_cfg = ParkConfig {
-        park_after: SimTime::from_micros_f64(50.0 * c.scale),
-        min_cores: 1,
-    };
-    let plain = Engine::new(c.clone(), &sources, base_laps(None)).run();
-    let (parked_report, laps) =
-        Engine::new(c.clone(), &sources, base_laps(Some(park_cfg))).run_returning_scheduler();
+    let plain = builder(1, 2).run_named("laps").expect("builtin policy");
 
-    let parked_ns = laps.parked_time_ns(c.duration);
+    // The parking arm needs the scheduler back for its power statistics,
+    // so wire the laps-park configuration by hand and keep static
+    // dispatch via `run_with_returning`.
+    let b = builder(1, 2);
+    let cfg = b.engine_config();
+    let duration = cfg.duration;
+    let mut lc = laps_config_for(cfg);
+    lc.parking = Some(ParkConfig {
+        park_after: SimTime::from_micros_f64(50.0 * cfg.scale),
+        min_cores: 1,
+    });
+    let (parked_report, laps) = b.run_with_returning(Laps::new(lc));
+
+    let parked_ns = laps.parked_time_ns(duration);
     assert!(parked_ns > 0, "under-load must park something");
     let (parks, wakes) = laps.park_events();
     assert!(parks > 0);
@@ -86,7 +83,7 @@ fn parking_saves_idle_core_time_in_underload() {
     );
     // On average at least one core's worth of time was parked.
     assert!(
-        parked_ns as f64 / c.duration.as_nanos() as f64 > 1.0,
+        parked_ns as f64 / duration.as_nanos() as f64 > 1.0,
         "parked core-time {} too small",
         parked_ns
     );
@@ -96,15 +93,20 @@ fn parking_saves_idle_core_time_in_underload() {
 fn adaptive_hash_beats_static_under_skewed_overload() {
     // Single-service at ~105 % capacity: the adaptive controller must
     // relieve the hash hotspots that static hashing is stuck with.
-    let sources = vec![SourceConfig {
-        service: ServiceKind::IpForward,
-        trace: TracePreset::Caida(1),
-        rate: RateSpec::Constant(33.6),
-    }];
-    let mut c = cfg(3);
-    c.rate_update_interval = SimTime::from_secs(1_000);
-    let stat = Engine::new(c.clone(), &sources, StaticHash::new(c.n_cores)).run();
-    let adpt = Engine::new(c.clone(), &sources, AdaptiveHash::new(c.n_cores, 4_096, 8)).run();
+    let builder = || {
+        SimBuilder::new()
+            .cores(16)
+            .duration(SimTime::from_millis(150))
+            .scale(150.0)
+            .seed(3)
+            .configure(|cfg| {
+                cfg.period_compression = 60.0;
+                cfg.rate_update_interval = SimTime::from_secs(1_000);
+            })
+            .constant_source(ServiceKind::IpForward, TracePreset::Caida(1), 33.6)
+    };
+    let stat = builder().run_named("static").expect("builtin policy");
+    let adpt = builder().run_named("adaptive").expect("builtin policy");
     assert!(
         adpt.drop_fraction() < stat.drop_fraction(),
         "adaptive {} !< static {}",
@@ -124,22 +126,14 @@ fn adaptive_hash_beats_static_under_skewed_overload() {
 #[test]
 fn parked_plus_restoration_compose() {
     // The two extensions are orthogonal engine/scheduler features; they
-    // must work together without violating conservation.
-    let scenario = Scenario::by_id(2).unwrap();
-    let sources = scenario_sources(scenario);
-    let mut c = cfg(4);
-    c.restoration = Some(SimTime::from_micros_f64(100.0 * c.scale));
-    let laps = Laps::new(LapsConfig {
-        n_cores: c.n_cores,
-        idle_release: SimTime::from_micros_f64(10.0 * c.scale),
-        realloc_cooldown: SimTime::from_micros_f64(300.0 * c.scale),
-        parking: Some(ParkConfig {
-            park_after: SimTime::from_micros_f64(50.0 * c.scale),
-            min_cores: 1,
-        }),
-        ..LapsConfig::default()
-    });
-    let r = Engine::new(c, &sources, laps).run();
+    // must work together without violating conservation — `laps-park` is
+    // exactly the hand wiring this test used to repeat.
+    let r = builder(2, 4)
+        .configure(|cfg| {
+            cfg.restoration = Some(SimTime::from_micros_f64(100.0 * cfg.scale));
+        })
+        .run_named("laps-park")
+        .expect("builtin policy");
     assert_eq!(r.offered, r.dropped + r.processed);
     assert!(r.restoration.is_some());
     assert!(

@@ -5,46 +5,26 @@
 //! direction — not absolute numbers.
 
 use laps_repro::prelude::*;
-use laps_repro::scenario_sources;
 
-fn engine_cfg(seed: u64) -> EngineConfig {
-    EngineConfig {
-        n_cores: 16,
-        duration: SimTime::from_millis(400),
+fn builder(id: u8, seed: u64) -> SimBuilder {
+    let scenario = Scenario::by_id(id).unwrap();
+    SimBuilder::new()
+        .cores(16)
+        .duration(SimTime::from_millis(400))
         // Scale 100: offered load and timescales preserved, ~100x fewer
         // events; compress seasons so rate dynamics still happen.
-        scale: 100.0,
-        period_compression: 50.0,
-        rate_update_interval: SimTime::from_millis(10),
-        seed,
-        ..EngineConfig::default()
-    }
-}
-
-fn laps_scheduler(cfg: &EngineConfig) -> Laps {
-    Laps::new(LapsConfig {
-        n_cores: cfg.n_cores,
-        // Time-valued knobs scale with the engine (paper-scale
-        // idle_th ≈ 10 µs → 1 ms at scale 100).
-        idle_release: SimTime::from_micros_f64(10.0 * cfg.scale),
-        realloc_cooldown: SimTime::from_micros_f64(300.0 * cfg.scale),
-        ..LapsConfig::default()
-    })
+        .scale(100.0)
+        .seed(seed)
+        .configure(|cfg| {
+            cfg.period_compression = 50.0;
+            cfg.rate_update_interval = SimTime::from_millis(10);
+        })
+        .scenario(scenario)
 }
 
 fn run_scenario(id: u8, seed: u64) -> (SimReport, SimReport, SimReport) {
-    let scenario = Scenario::by_id(id).unwrap();
-    let sources = scenario_sources(scenario);
-    let cfg = engine_cfg(seed);
-    let fcfs = Engine::new(cfg.clone(), &sources, Fcfs::new()).run();
-    let afs = Engine::new(
-        cfg.clone(),
-        &sources,
-        Afs::new(cfg.n_cores, 24, SimTime::from_micros_f64(4.0 * cfg.scale)),
-    )
-    .run();
-    let laps = Engine::new(cfg.clone(), &sources, laps_scheduler(&cfg)).run();
-    (fcfs, afs, laps)
+    let run = |name| builder(id, seed).run_named(name).expect("builtin policy");
+    (run("fcfs"), run("afs"), run("laps"))
 }
 
 #[test]
