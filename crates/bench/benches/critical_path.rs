@@ -92,6 +92,7 @@ fn bench_policies(c: &mut Criterion) {
             busy: true,
             idle_since: None,
             last_congested: SimTime::ZERO,
+            up: true,
         })
         .collect();
     let view = SystemView {

@@ -154,6 +154,7 @@ mod tests {
                 busy: false,
                 idle_since: None,
                 last_congested: SimTime::ZERO,
+                up: true,
             })
             .collect()
     }

@@ -144,6 +144,18 @@ impl SimBuilder {
         self
     }
 
+    /// Attach a deterministic fault plan (see `npsim::FaultPlan`).
+    pub fn faults(mut self, plan: npsim::FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Choose the full-ingress-queue degradation policy.
+    pub fn drop_policy(mut self, policy: npsim::DropPolicy) -> Self {
+        self.cfg.drop_policy = policy;
+        self
+    }
+
     /// Append one traffic source.
     pub fn source(mut self, source: SourceConfig) -> Self {
         self.sources.push(source);

@@ -34,7 +34,7 @@ use crate::migration::MigrationTable;
 use detsim::SimTime;
 use npafd::Afd;
 use nphash::{FlowSlot, MapTable};
-use npsim::{PacketDesc, SchedEvent, Scheduler, SystemView};
+use npsim::{PacketDesc, RepairOutcome, SchedEvent, Scheduler, SystemView};
 use nptraffic::ServiceKind;
 
 #[derive(Debug)]
@@ -59,6 +59,21 @@ struct CoreState {
     parked_since: Option<SimTime>,
     /// When the core was last woken (re-park hysteresis).
     last_wake: Option<SimTime>,
+    /// The core crashed (engine fault injection) and has not healed:
+    /// excluded from surplus claims, wakes, parking, and migration
+    /// overrides until `on_core_up`.
+    dead: bool,
+}
+
+/// What `on_core_down` retired, so `on_core_up` can undo it exactly:
+/// the buckets taken from the dead core and the owning service's table
+/// length at retirement (a changed length means buckets were renumbered
+/// and an exact restore is no longer sound).
+#[derive(Debug, Clone)]
+struct RetiredRecord {
+    svc: usize,
+    buckets: Vec<u32>,
+    map_len: usize,
 }
 
 /// The LAPS scheduler over the four router services.
@@ -80,6 +95,9 @@ pub struct Laps {
     /// Park/wake transitions since the last drain (only filled while
     /// `event_feed` is on).
     pending_events: Vec<SchedEvent>,
+    /// Per-core retirement record while the core is dead (see
+    /// [`RetiredRecord`]); `None` for live cores.
+    retired: Vec<Option<RetiredRecord>>,
 }
 
 impl Laps {
@@ -115,6 +133,7 @@ impl Laps {
                 owner: c % n_services,
                 parked_since: None,
                 last_wake: None,
+                dead: false,
             })
             .collect();
         Laps {
@@ -128,6 +147,7 @@ impl Laps {
             wakes: 0,
             event_feed: false,
             pending_events: Vec::new(),
+            retired: vec![None; cfg.n_cores],
             cfg,
         }
     }
@@ -210,7 +230,7 @@ impl Laps {
             let Some(cs) = self.cores.get(c).copied() else {
                 continue;
             };
-            if cs.parked_since.is_some() {
+            if cs.parked_since.is_some() || cs.dead {
                 continue;
             }
             let owner = cs.owner;
@@ -249,6 +269,7 @@ impl Laps {
             .cores
             .iter()
             .enumerate()
+            .filter(|(_, cs)| !cs.dead)
             .filter_map(|(c, cs)| cs.parked_since.map(|t| (t, c)))
             .min()
             .map(|(_, c)| c)?;
@@ -280,6 +301,7 @@ impl Laps {
             .filter(|&(c, cs)| {
                 let victim = cs.owner;
                 cs.parked_since.is_none()
+                    && !cs.dead
                     && victim != svc
                     && self.svc(victim).map.len() > 1
                     && self.cooled(self.svc(victim).last_loss, view.now)
@@ -327,13 +349,30 @@ impl Laps {
 
     fn resolve_target(&mut self, svc: usize, pkt: &PacketDesc) -> usize {
         if let Some(c) = self.svc(svc).migration.get(pkt.slot) {
-            // A stale override (core since transferred away) is dropped.
-            if self.cores.get(c).map(|cs| cs.owner) == Some(svc) {
+            // A stale override (core since transferred away, or dead) is
+            // dropped.
+            if self
+                .cores
+                .get(c)
+                .is_some_and(|cs| cs.owner == svc && !cs.dead)
+            {
                 return c;
             }
             self.svc_mut(svc).migration.remove(pkt.slot);
         }
         self.svc(svc).map.lookup(pkt.flow)
+    }
+
+    /// The distinct live cores of `owner`'s map table, excluding `core`
+    /// (the crash-repair replacement set, in bucket order).
+    fn live_peers(&self, owner: usize, core: usize) -> Vec<usize> {
+        let mut peers = Vec::new();
+        for &c in self.svc(owner).map.cores() {
+            if c != core && !peers.contains(&c) && self.cores.get(c).is_some_and(|cs| !cs.dead) {
+                peers.push(c);
+            }
+        }
+        peers
     }
 }
 
@@ -407,6 +446,87 @@ impl Scheduler for Laps {
             sink(ev);
         }
     }
+
+    /// Minimum-migration crash repair: retire exactly the dead core's
+    /// buckets to its service's surviving cores (no table shrink, so
+    /// *only* the flows resident on the failed core migrate), and record
+    /// the retirement for an exact undo on heal. A single-core service
+    /// cannot shrink and honestly reports `Unrepaired` — the engine's
+    /// redirect path carries the degradation for it.
+    fn on_core_down(&mut self, core: usize) -> RepairOutcome {
+        let Some(cs) = self.cores.get(core).copied() else {
+            return RepairOutcome::Unrepaired;
+        };
+        if cs.dead {
+            return RepairOutcome::Repaired; // already retired
+        }
+        if cs.parked_since.is_some() {
+            // A parked core is in no map table: nothing dispatches to
+            // it, so marking it un-wakeable completes the repair.
+            if let Some(c) = self.cores.get_mut(core) {
+                c.dead = true;
+            }
+            return RepairOutcome::Repaired;
+        }
+        let owner = cs.owner;
+        let peers = self.live_peers(owner, core);
+        if let Some(c) = self.cores.get_mut(core) {
+            c.dead = true;
+        }
+        if peers.is_empty() {
+            return RepairOutcome::Unrepaired;
+        }
+        let s = self.svc_mut(owner);
+        let buckets = s.map.retire_core(core, &peers);
+        s.migration.remove_core(core);
+        let map_len = s.map.len();
+        if let Some(r) = self.retired.get_mut(core) {
+            *r = Some(RetiredRecord {
+                svc: owner,
+                buckets,
+                map_len,
+            });
+        }
+        RepairOutcome::Repaired
+    }
+
+    /// Heal: give the core its retired buckets back verbatim when the
+    /// owning service's table kept its shape (exactly the flows that
+    /// left at crash time migrate back); fall back to an incremental
+    /// grow when the table changed underneath.
+    fn on_core_up(&mut self, core: usize) -> RepairOutcome {
+        let Some(cs) = self.cores.get(core).copied() else {
+            return RepairOutcome::Unrepaired;
+        };
+        if !cs.dead {
+            return RepairOutcome::Repaired; // never crashed: nothing to do
+        }
+        if let Some(c) = self.cores.get_mut(core) {
+            c.dead = false;
+        }
+        if let Some(rec) = self.retired.get_mut(core).and_then(Option::take) {
+            let s = self.svc_mut(rec.svc);
+            if s.map.len() == rec.map_len {
+                s.map.restore_core(core, &rec.buckets);
+            } else {
+                s.map.add_core(core);
+            }
+            if let Some(c) = self.cores.get_mut(core) {
+                c.owner = rec.svc;
+            }
+            return RepairOutcome::Repaired;
+        }
+        if cs.parked_since.is_some() {
+            // Crashed while parked: it simply becomes wakeable again.
+            return RepairOutcome::Repaired;
+        }
+        // Unrepaired crash (single-core service): the mapping still
+        // points at the core, so healing restores service by itself.
+        if self.svc(cs.owner).map.contains(core) {
+            return RepairOutcome::Repaired;
+        }
+        RepairOutcome::Unrepaired
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +582,7 @@ mod tests {
                     busy: len > 0,
                     idle_since: if len == 0 { Some(SimTime::ZERO) } else { None },
                     last_congested,
+                    up: true,
                 })
                 .collect()
         }
@@ -834,6 +955,96 @@ mod tests {
             now: spec.now,
             queues: &infos,
         };
+        let back = l.schedule(&elephant, &calm);
+        assert_ne!(back, new_core);
+        assert!(l.cores_of(svc).contains(&back));
+    }
+
+    #[test]
+    fn crash_repair_migrates_only_failed_cores_flows() {
+        let mut l = Laps::new(cfg(8)); // two cores per service
+        let svc = ServiceKind::IpForward;
+        let dead = l.cores_of(svc)[0];
+        let packets: Vec<PacketDesc> = (0..4_000).map(|i| pkt(i, svc)).collect();
+        let spec = ViewSpec::calm(8);
+        let infos = spec.infos();
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
+        let before: Vec<usize> = packets.iter().map(|p| l.schedule(p, &v)).collect();
+        assert_eq!(l.on_core_down(dead), RepairOutcome::Repaired);
+        for (p, &old) in packets.iter().zip(before.iter()) {
+            let new = l.schedule(p, &v);
+            assert_ne!(new, dead, "no flow may target the dead core");
+            if old != dead {
+                assert_eq!(new, old, "only the dead core's flows migrate");
+            }
+        }
+        assert_eq!(l.on_core_up(dead), RepairOutcome::Repaired);
+        let after: Vec<usize> = packets.iter().map(|p| l.schedule(p, &v)).collect();
+        assert_eq!(before, after, "heal restores the exact pre-crash mapping");
+    }
+
+    #[test]
+    fn single_core_service_crash_is_honestly_unrepaired() {
+        let mut l = Laps::new(cfg(4)); // one core per service
+        let svc = ServiceKind::IpForward;
+        let only = l.cores_of(svc)[0];
+        assert_eq!(l.on_core_down(only), RepairOutcome::Unrepaired);
+        // Healing restores service with no table change needed.
+        assert_eq!(l.on_core_up(only), RepairOutcome::Repaired);
+        assert!(l.cores_of(svc).contains(&only));
+    }
+
+    #[test]
+    fn dead_core_is_never_claimed_or_woken() {
+        let mut l = Laps::new(cfg(8));
+        let svc = ServiceKind::IpForward;
+        let victim_core = l.cores_of(ServiceKind::VpnOut)[0];
+        assert_eq!(l.on_core_down(victim_core), RepairOutcome::Repaired);
+        // Everything long-spare: the dead core must not look claimable.
+        let mut spec = ViewSpec::calm(8);
+        spec.now = SimTime::from_millis(10);
+        let infos = spec.infos();
+        let v = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
+        assert!(!l.surplus_candidates(&v, svc).contains(&victim_core));
+        for s in ServiceKind::ALL {
+            assert!(!l.cores_of(s).contains(&victim_core));
+        }
+    }
+
+    #[test]
+    fn migration_override_to_dead_core_is_dropped() {
+        let mut l = Laps::new(cfg(8));
+        let svc = ServiceKind::IpForward;
+        let elephant = pkt(7, svc);
+        let spec = ViewSpec::calm(8);
+        let infos = spec.infos();
+        let calm = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
+        let mut home = 0;
+        for _ in 0..20 {
+            home = l.schedule(&elephant, &calm);
+        }
+        let mut spec = ViewSpec::calm(8);
+        spec.lens[home] = 10;
+        spec.congested = vec![spec.now; 8];
+        let infos = spec.infos();
+        let hot = SystemView {
+            now: spec.now,
+            queues: &infos,
+        };
+        let new_core = l.schedule(&elephant, &hot);
+        assert_ne!(new_core, home);
+        // The override's target crashes: the flow must fall back to a
+        // live core of its own service.
+        assert_eq!(l.on_core_down(new_core), RepairOutcome::Repaired);
         let back = l.schedule(&elephant, &calm);
         assert_ne!(back, new_core);
         assert!(l.cores_of(svc).contains(&back));

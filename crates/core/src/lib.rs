@@ -47,6 +47,7 @@ pub mod adaptive;
 pub mod afs;
 pub mod builder;
 pub mod config;
+pub mod faults;
 pub mod laps;
 pub mod migration;
 pub mod registry;
@@ -57,6 +58,7 @@ pub use adaptive::AdaptiveHash;
 pub use afs::Afs;
 pub use builder::{scenario_sources, SimBuilder, UnknownScheduler};
 pub use config::{LapsConfig, ParkConfig};
+pub use faults::{crash_with_heal, random_plan, single_crash};
 pub use laps::Laps;
 pub use migration::MigrationTable;
 pub use registry::{laps_config_for, BoxedScheduler, SchedulerCtor, SchedulerRegistry};
@@ -69,14 +71,16 @@ pub use npsim::JoinShortestQueue as Fcfs;
 /// Convenience re-exports for downstream binaries.
 pub mod prelude {
     pub use crate::{
-        laps_config_for, scenario_sources, AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig,
-        ParkConfig, SchedulerRegistry, SimBuilder, StaticHash, TopKMigration,
+        crash_with_heal, laps_config_for, random_plan, scenario_sources, single_crash,
+        AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, SchedulerRegistry,
+        SimBuilder, StaticHash, TopKMigration,
     };
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
     pub use npsim::{
-        Engine, EngineConfig, EventLogProbe, MetricsProbe, Probe, ProbeStack, RateSpec, Scheduler,
-        SimEvent, SimReport, SourceConfig, UtilizationProbe,
+        DropPolicy, Engine, EngineConfig, EventLogProbe, FaultAction, FaultPlan, FaultProbe,
+        FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec, RepairOutcome, Scheduler, SimEvent,
+        SimReport, SourceConfig, UtilizationProbe,
     };
     pub use nptrace::TracePreset;
     pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};

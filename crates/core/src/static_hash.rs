@@ -7,12 +7,15 @@
 //! "no migration" arm of Fig. 9.
 
 use nphash::{FlowId, MapTable};
-use npsim::{PacketDesc, Scheduler, SystemView};
+use npsim::{PacketDesc, RepairOutcome, Scheduler, SystemView};
 
 /// Hash-only scheduler over all cores.
 #[derive(Debug, Clone)]
 pub struct StaticHash {
     table: MapTable<usize>,
+    /// Dead cores (engine fault injection), with the bucket list each
+    /// retirement took so a heal can undo it exactly.
+    retired: Vec<(usize, Vec<u32>, usize)>,
 }
 
 impl StaticHash {
@@ -23,6 +26,7 @@ impl StaticHash {
     pub fn new(n_cores: usize) -> Self {
         StaticHash {
             table: MapTable::new((0..n_cores).collect()),
+            retired: Vec::new(),
         }
     }
 
@@ -39,6 +43,45 @@ impl Scheduler for StaticHash {
 
     fn schedule(&mut self, pkt: &PacketDesc, _view: &SystemView<'_>) -> usize {
         self.table.lookup(pkt.flow)
+    }
+
+    /// Minimum-migration repair: hand the dead core's buckets to the
+    /// surviving cores (round-robin) without shrinking the table, so
+    /// only its resident flows migrate. With no survivor left the
+    /// policy honestly reports `Unrepaired`.
+    fn on_core_down(&mut self, core: usize) -> RepairOutcome {
+        if self.retired.iter().any(|(c, _, _)| *c == core) {
+            return RepairOutcome::Repaired; // already retired
+        }
+        let mut survivors = Vec::new();
+        for &c in self.table.cores() {
+            if c != core && !survivors.contains(&c) && !self.retired.iter().any(|(d, _, _)| *d == c)
+            {
+                survivors.push(c);
+            }
+        }
+        if survivors.is_empty() {
+            return RepairOutcome::Unrepaired;
+        }
+        let buckets = self.table.retire_core(core, &survivors);
+        let len = self.table.len();
+        self.retired.push((core, buckets, len));
+        RepairOutcome::Repaired
+    }
+
+    /// Heal: restore the retired buckets verbatim (the table never
+    /// resizes here, so the undo is always exact).
+    fn on_core_up(&mut self, core: usize) -> RepairOutcome {
+        let Some(pos) = self.retired.iter().position(|(c, _, _)| *c == core) else {
+            return RepairOutcome::Repaired; // never crashed: nothing to do
+        };
+        let (_, buckets, len) = self.retired.swap_remove(pos);
+        if self.table.len() == len {
+            self.table.restore_core(core, &buckets);
+            RepairOutcome::Repaired
+        } else {
+            RepairOutcome::Unrepaired
+        }
     }
 }
 
@@ -72,6 +115,7 @@ mod tests {
                 busy: false,
                 idle_since: None,
                 last_congested: SimTime::ZERO,
+                up: true,
             })
             .collect();
         let v = SystemView {
@@ -98,6 +142,7 @@ mod tests {
                 busy: false,
                 idle_since: None,
                 last_congested: SimTime::ZERO,
+                up: true,
             })
             .collect();
         let v = SystemView {
@@ -110,5 +155,33 @@ mod tests {
             hit[s.schedule(&pkt(i), &v)] = true;
         }
         assert!(hit.iter().all(|&h| h), "200 flows should touch all 8 cores");
+    }
+
+    #[test]
+    fn crash_repair_and_heal_round_trip() {
+        let mut s = StaticHash::new(4);
+        let before: Vec<usize> = (0..2_000)
+            .map(|i| s.core_of(FlowId::from_index(i)))
+            .collect();
+        assert_eq!(s.on_core_down(2), RepairOutcome::Repaired);
+        for (i, &old) in before.iter().enumerate() {
+            let new = s.core_of(FlowId::from_index(i as u64));
+            assert_ne!(new, 2);
+            if old != 2 {
+                assert_eq!(new, old, "only core 2's flows migrate");
+            }
+        }
+        assert_eq!(s.on_core_up(2), RepairOutcome::Repaired);
+        let after: Vec<usize> = (0..2_000)
+            .map(|i| s.core_of(FlowId::from_index(i)))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn last_core_crash_is_unrepaired() {
+        let mut s = StaticHash::new(2);
+        assert_eq!(s.on_core_down(0), RepairOutcome::Repaired);
+        assert_eq!(s.on_core_down(1), RepairOutcome::Unrepaired);
     }
 }

@@ -206,6 +206,7 @@ mod tests {
                 busy: len > 0,
                 idle_since: None,
                 last_congested: SimTime::ZERO,
+                up: true,
             })
             .collect()
     }

@@ -30,6 +30,7 @@ fn view_from(lens: &[u8], congested_ago_us: &[u32], now_us: u64) -> Vec<QueueInf
             busy: len > 0,
             idle_since: if len == 0 { Some(SimTime::ZERO) } else { None },
             last_congested: SimTime::from_micros(now_us.saturating_sub(ago as u64)),
+            up: true,
         })
         .collect()
 }

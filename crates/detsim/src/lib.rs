@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod plan;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -49,6 +50,7 @@ pub mod time;
 pub mod wheel;
 
 pub use event::{EventEntry, EventQueue};
+pub use plan::TimedPlan;
 pub use queue::{BoundedQueue, PushOutcome};
 pub use rng::{derive_seed, SeedSequence, SplitMix64};
 pub use stats::{Counter, Histogram, KahanSum, TimeWeighted, WelfordMean};

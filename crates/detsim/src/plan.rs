@@ -1,0 +1,138 @@
+//! Timed plans: deterministic schedules of domain actions.
+//!
+//! A [`TimedPlan`] is an ordered list of `(SimTime, T)` entries — the
+//! kernel-side representation of "inject action X at time T" scripts
+//! (fault plans, traffic scripts, …). Entries are kept **stably sorted
+//! by time**: two entries at the same instant preserve their insertion
+//! order, so priming them into an [`EventQueue`](crate::EventQueue)
+//! (which breaks time ties by insertion sequence) replays them exactly
+//! in plan order. The plan itself is domain-agnostic; `npsim` layers
+//! its `FaultPlan` on top.
+
+use crate::time::SimTime;
+
+/// A stably time-sorted schedule of `(SimTime, T)` entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedPlan<T> {
+    entries: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for TimedPlan<T> {
+    fn default() -> Self {
+        TimedPlan {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> TimedPlan<T> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a plan from arbitrary-order entries; the result is stably
+    /// sorted by time (equal-time entries keep their input order).
+    pub fn from_entries(mut entries: Vec<(SimTime, T)>) -> Self {
+        entries.sort_by_key(|(at, _)| *at);
+        TimedPlan { entries }
+    }
+
+    /// Append one entry, keeping the plan sorted. An entry earlier than
+    /// the current tail is inserted before every strictly-later entry
+    /// (stable with respect to equal times).
+    pub fn push(&mut self, at: SimTime, item: T) {
+        let idx = self.entries.partition_point(|(t, _)| *t <= at);
+        self.entries.insert(idx, (at, item));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&(SimTime, T)> {
+        self.entries.get(idx)
+    }
+
+    /// Iterate entries in schedule order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (SimTime, T)> {
+        self.entries.iter()
+    }
+
+    /// The sorted entries as a slice.
+    pub fn entries(&self) -> &[(SimTime, T)] {
+        &self.entries
+    }
+
+    /// Consume the plan, yielding its sorted entries.
+    pub fn into_entries(self) -> Vec<(SimTime, T)> {
+        self.entries
+    }
+
+    /// Time of the last entry (the plan horizon), if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.entries.last().map(|(t, _)| *t)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a TimedPlan<T> {
+    type Item = &'a (SimTime, T);
+    type IntoIter = std::slice::Iter<'a, (SimTime, T)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn entries_are_sorted_by_time() {
+        let plan = TimedPlan::from_entries(vec![(t(30), "c"), (t(10), "a"), (t(20), "b")]);
+        let order: Vec<&str> = plan.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(plan.last_time(), Some(t(30)));
+    }
+
+    #[test]
+    fn equal_times_keep_insertion_order() {
+        let mut plan = TimedPlan::new();
+        plan.push(t(5), "first");
+        plan.push(t(5), "second");
+        plan.push(t(5), "third");
+        let order: Vec<&str> = plan.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn push_inserts_out_of_order_entry_in_place() {
+        let mut plan = TimedPlan::new();
+        plan.push(t(10), "late");
+        plan.push(t(1), "early");
+        plan.push(t(10), "later-still");
+        let order: Vec<&str> = plan.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, ["early", "late", "later-still"]);
+    }
+
+    #[test]
+    fn empty_plan_basics() {
+        let plan: TimedPlan<u32> = TimedPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.get(0), None);
+        assert_eq!(plan.last_time(), None);
+    }
+}

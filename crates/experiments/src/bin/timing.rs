@@ -37,6 +37,7 @@ fn mk_view(n_cores: usize) -> Vec<QueueInfo> {
             busy: true,
             idle_since: None,
             last_congested: SimTime::ZERO,
+            up: true,
         })
         .collect()
 }

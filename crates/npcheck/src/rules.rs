@@ -69,7 +69,9 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
 const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/npsim/src/engine",
     "crates/npsim/src/order.rs",
+    "crates/npsim/src/fault.rs",
     "crates/core/src/laps.rs",
+    "crates/core/src/faults.rs",
     "crates/afd/src/cache.rs",
 ];
 

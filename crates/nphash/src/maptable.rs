@@ -118,6 +118,40 @@ impl<C: Copy + Eq> MapTable<C> {
         self.cores[bucket as usize] = core;
     }
 
+    /// Reassign every bucket owned by `core` to the given replacement
+    /// cores (round-robin), *without* shrinking the bucket list. Exactly
+    /// the flows resident on `core` migrate — the minimum-migration
+    /// repair for a crashed core. ([`MapTable::remove_core`] would also
+    /// migrate the merged top bucket's flows, and would renumber buckets
+    /// so an exact undo on heal is impossible.) Returns the retired
+    /// bucket indices so the caller can undo the retirement via
+    /// [`MapTable::restore_core`]; empty (and the table unchanged) when
+    /// `core` owns no buckets or `replacements` is empty.
+    pub fn retire_core(&mut self, core: C, replacements: &[C]) -> Vec<u32> {
+        if replacements.is_empty() {
+            return Vec::new();
+        }
+        let buckets = self.buckets_of_core(core);
+        for (i, &b) in buckets.iter().enumerate() {
+            self.cores[b as usize] = replacements[i % replacements.len()];
+        }
+        buckets
+    }
+
+    /// Give the listed buckets back to `core` — the inverse of
+    /// [`MapTable::retire_core`], restoring the exact pre-crash mapping
+    /// on heal (the flows that migrated off the crashed core, and only
+    /// those, migrate back). Out-of-range buckets are ignored; callers
+    /// that resized the table since retirement guard with
+    /// [`MapTable::len`].
+    pub fn restore_core(&mut self, core: C, buckets: &[u32]) {
+        for &b in buckets {
+            if let Some(slot) = self.cores.get_mut(b as usize) {
+                *slot = core;
+            }
+        }
+    }
+
     /// Buckets currently assigned to `core`.
     pub fn buckets_of_core(&self, core: C) -> Vec<u32> {
         self.cores
@@ -228,6 +262,41 @@ mod tests {
             }
         }
         assert_eq!(t.buckets_of_core(9), vec![1]);
+    }
+
+    #[test]
+    fn retire_core_migrates_only_resident_flows() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let fs = flows(20_000);
+        let before: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        let retired = t.retire_core(2, &[0, 1]);
+        assert_eq!(retired, vec![2]);
+        assert_eq!(t.len(), 8, "retirement never shrinks the table");
+        for (f, &old) in fs.iter().zip(before.iter()) {
+            let new = t.lookup(*f);
+            assert_ne!(new, 2, "no flow may map to the retired core");
+            if old != 2 {
+                assert_eq!(new, old, "only the retired core's flows migrate");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_core_is_exact_inverse_of_retire() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        let fs = flows(5_000);
+        let before: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        let retired = t.retire_core(1, &[3]);
+        t.restore_core(1, &retired);
+        let after: Vec<u32> = fs.iter().map(|&f| t.lookup(f)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn retire_with_no_replacements_is_noop() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1]);
+        assert!(t.retire_core(0, &[]).is_empty());
+        assert_eq!(t.cores(), &[0, 1]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! maintained per-core [`QueueInfo`] view handed to the policy.
 
 use crate::packet::PacketDesc;
-use crate::sched::{QueueInfo, SchedEvent, Scheduler, SystemView};
+use crate::sched::{QueueInfo, RepairOutcome, SchedEvent, Scheduler, SystemView};
 use nphash::FlowSlot;
 
 /// Sentinel in [`FlowTable::last_core`]: the flow has not been enqueued
@@ -141,6 +141,16 @@ impl<S: Scheduler> DispatchStage<S> {
     /// Congestion feedback passthrough to the policy.
     pub(super) fn on_drop(&mut self, pkt: &PacketDesc, core: usize) {
         self.scheduler.on_drop(pkt, core);
+    }
+
+    /// Fault passthrough: a core crashed; ask the policy to repair.
+    pub(super) fn on_core_down(&mut self, core: usize) -> RepairOutcome {
+        self.scheduler.on_core_down(core)
+    }
+
+    /// Fault passthrough: a core healed; the policy may re-grow onto it.
+    pub(super) fn on_core_up(&mut self, core: usize) -> RepairOutcome {
+        self.scheduler.on_core_up(core)
     }
 
     pub(super) fn name(&self) -> &str {

@@ -56,6 +56,10 @@ pub(super) struct IngestStage {
     next_packet_id: u64,
     scale: f64,
     control_plane_fraction: f64,
+    /// Per-source flood multiplier (fault injection): drawn inter-arrival
+    /// gaps are divided by this *after* sampling, so the RNG stream is
+    /// byte-identical to an unflooded run. 1.0 = no flood.
+    flood: Vec<f64>,
 }
 
 impl IngestStage {
@@ -83,6 +87,7 @@ impl IngestStage {
                 }
             })
             .collect();
+        let n = sources_built.len();
         IngestStage {
             sources: sources_built,
             interner: FlowInterner::new(),
@@ -90,6 +95,7 @@ impl IngestStage {
             next_packet_id: 0,
             scale,
             control_plane_fraction,
+            flood: vec![1.0; n],
         }
     }
 
@@ -135,14 +141,34 @@ impl IngestStage {
         })
     }
 
-    /// Draw the inter-arrival gap to `src`'s next packet.
+    /// Draw the inter-arrival gap to `src`'s next packet. A flood factor
+    /// compresses the gap after the draw (the RNG stream is untouched).
     pub(super) fn next_gap(&mut self, src: usize) -> Option<SimTime> {
         let scale = self.scale;
         let Some(slot) = self.sources.get_mut(src) else {
             debug_assert!(false, "arrival from unknown source {src}");
             return None;
         };
-        Some(slot.source.next_gap(scale, &mut slot.rng))
+        let gap = slot.source.next_gap(scale, &mut slot.rng);
+        let factor = self.flood.get(src).copied().unwrap_or(1.0);
+        if factor != 1.0 && factor > 0.0 {
+            Some(SimTime::from_nanos(
+                (gap.as_nanos() as f64 / factor).max(1.0) as u64,
+            ))
+        } else {
+            Some(gap)
+        }
+    }
+
+    /// Set `src`'s flood multiplier (fault injection). `factor` > 1.0
+    /// compresses inter-arrival gaps by that ratio; 1.0 restores the
+    /// nominal rate. Non-positive factors are ignored.
+    pub(super) fn set_flood(&mut self, src: usize, factor: f64) {
+        if let Some(f) = self.flood.get_mut(src) {
+            if factor > 0.0 {
+                *f = factor;
+            }
+        }
     }
 
     /// Draw the initial inter-arrival gap of every source, in source

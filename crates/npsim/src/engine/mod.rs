@@ -45,18 +45,19 @@ mod record;
 mod service;
 
 use crate::event::SimEvent;
+use crate::fault::{DropPolicy, FaultAction, FaultPlan, FaultStats};
 use crate::packet::PacketDesc;
 use crate::probe::{ProbeHost, ProbeStack, ReportProbe};
 use crate::report::SimReport;
 use crate::restore::RestorationBuffer;
-use crate::sched::{SchedEvent, Scheduler};
+use crate::sched::{RepairOutcome, SchedEvent, Scheduler};
 use crate::source::SourceConfig;
-use detsim::{EventQueue, PushOutcome, SeedSequence, SimTime, TimerWheel};
+use detsim::{EventQueue, SeedSequence, SimTime, TimerWheel};
 
 use dispatch::DispatchStage;
 use ingest::{Admission, IngestStage};
 use record::RecordStage;
-use service::ServiceStage;
+use service::{EnqueueOutcome, ServiceStage};
 
 /// Which event-queue implementation drives the run loop.
 ///
@@ -117,6 +118,14 @@ pub struct EngineConfig {
     /// binary heap; the timer wheel is retained for event-heavy
     /// scenarios and cross-checking).
     pub event_backend: EventBackend,
+    /// Deterministic fault script (crashes, heals, throttles, stalls,
+    /// floods), delivered through the event queue. Empty by default:
+    /// the fault machinery stays dormant and runs are byte-identical to
+    /// the fault-free engine.
+    pub faults: FaultPlan,
+    /// What to do with an arrival at a full per-core queue (default:
+    /// drop-tail, the paper's model).
+    pub drop_policy: DropPolicy,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +143,8 @@ impl Default for EngineConfig {
             restoration: None,
             control_plane_fraction: 0.0,
             event_backend: EventBackend::default(),
+            faults: FaultPlan::new(),
+            drop_policy: DropPolicy::default(),
         }
     }
 }
@@ -141,8 +152,16 @@ impl Default for EngineConfig {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     Arrival(usize),
-    Finish(usize),
+    /// A core's service completion. Carries the core's finish
+    /// generation at arming time: a crash bumps the generation, so the
+    /// dead core's in-flight finish event is recognized as stale and
+    /// discarded instead of completing a dropped packet.
+    Finish(usize, u32),
     RateUpdate,
+    /// The fault-plan entry at this index fires.
+    Fault(usize),
+    /// A transient stall on this core ends.
+    StallEnd(usize),
 }
 
 /// The engine's event queue, behind the [`EventBackend`] knob. Both
@@ -202,6 +221,13 @@ pub struct Engine<S: Scheduler, P: ProbeHost = ()> {
     /// Reusable drain buffer for the scheduler's [`SchedEvent`] feed
     /// (taken/restored around the drain to avoid aliasing the stages).
     sched_ev_buf: Vec<SchedEvent>,
+    /// Whether any fault machinery is configured (non-empty plan or a
+    /// non-default drop policy). Guards the per-packet dead-core check
+    /// so the fault-free hot path is untouched.
+    faults_enabled: bool,
+    /// Fault-path counters; folded into the report when
+    /// `faults_enabled`.
+    fstats: FaultStats,
 }
 
 impl<S: Scheduler, P: ProbeHost> std::fmt::Debug for Engine<S, P> {
@@ -258,6 +284,9 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             (0.0..1.0).contains(&cfg.control_plane_fraction),
             "control-plane fraction must be in [0, 1)"
         );
+        if let Err(e) = cfg.faults.validate(cfg.n_cores, sources.len()) {
+            panic!("invalid fault plan: {e}");
+        }
         let seq = SeedSequence::new(cfg.seed);
         let mut delay = cfg.delay;
         delay.scale = cfg.scale;
@@ -273,6 +302,7 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             cfg.queue_capacity,
             delay,
             cfg.congestion_watermark,
+            cfg.drop_policy,
         );
         let infos = (0..cfg.n_cores)
             .filter_map(|i| service.snapshot(i))
@@ -282,6 +312,7 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         // Policies with a park/wake side channel only buffer events when
         // someone is listening.
         scheduler.set_event_feed(P::ACTIVE);
+        let faults_enabled = !cfg.faults.is_empty() || cfg.drop_policy != DropPolicy::DropTail;
         Engine {
             ingest,
             dispatch: DispatchStage::new(scheduler, infos),
@@ -289,6 +320,8 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             record: RecordStage::new(report, restoration, probes),
             events: EventSchedule::new(cfg.event_backend, cfg.scale),
             sched_ev_buf: Vec::new(),
+            faults_enabled,
+            fstats: FaultStats::default(),
             cfg,
         }
     }
@@ -322,7 +355,9 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
     /// `ServiceStart` and arming the finish timer.
     fn start_processing(&mut self, core: usize, now: SimTime) {
         if let Some(started) = self.service.start_processing(core, now) {
-            self.events.push(now + started.duration, Ev::Finish(core));
+            let generation = self.service.generation(core);
+            self.events
+                .push(now + started.duration, Ev::Finish(core, generation));
             self.record.publish(
                 now,
                 &SimEvent::ServiceStart {
@@ -382,16 +417,64 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
 
         // Ask the policy for a target core, then republish any park/wake
         // transitions the decision triggered.
-        let target = self.dispatch.choose_core(&pkt, now, self.cfg.n_cores);
+        let mut target = self.dispatch.choose_core(&pkt, now, self.cfg.n_cores);
         if P::ACTIVE {
             self.drain_sched_events(now);
+        }
+
+        // Degradation path: a policy that did not (or could not) repair
+        // after a crash may still pick the dead core; redirect the
+        // arrival to the least-backlogged live core, or drop it when
+        // none is left. Guarded by `faults_enabled` so the fault-free
+        // hot path pays nothing.
+        if self.faults_enabled && !self.service.is_up(target) {
+            match self.service.shortest_up_queue() {
+                Some(alt) => {
+                    self.fstats.redirects += 1;
+                    target = alt;
+                }
+                None => {
+                    self.fstats.fault_drops += 1;
+                    self.record.publish(
+                        now,
+                        &SimEvent::Dropped {
+                            id: pkt.id,
+                            slot: pkt.slot,
+                            service: pkt.service,
+                            core: target,
+                        },
+                    );
+                    self.record.note_drop_gap(pkt.slot, pkt.flow_seq, now);
+                    self.sync_info(target);
+                    self.schedule_next_arrival(src, now);
+                    return;
+                }
+            }
         }
 
         let prev_core = self.dispatch.last_core(pkt.slot);
         let migrated = matches!(prev_core, Some(c) if c != target);
         pkt.migrated = migrated;
-        match self.service.enqueue(target, pkt, now) {
-            PushOutcome::Dropped => {
+        let outcome = self.service.enqueue(target, pkt, now);
+        if let EnqueueOutcome::HeadDropped { evicted, .. } = outcome {
+            // Drop-head: the eviction is accounted before the arrival's
+            // own dispatch events, preserving causal order on the bus.
+            self.fstats.head_drops += 1;
+            self.record.publish(
+                now,
+                &SimEvent::Dropped {
+                    id: evicted.id,
+                    slot: evicted.slot,
+                    service: evicted.service,
+                    core: target,
+                },
+            );
+            self.dispatch.on_drop(&evicted, target);
+            self.record
+                .note_drop_gap(evicted.slot, evicted.flow_seq, now);
+        }
+        match outcome {
+            EnqueueOutcome::Dropped => {
                 self.record.publish(
                     now,
                     &SimEvent::Dropped {
@@ -404,7 +487,12 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
                 self.dispatch.on_drop(&pkt, target);
                 self.record.note_drop_gap(pkt.slot, pkt.flow_seq, now);
             }
-            PushOutcome::Enqueued(len) => {
+            EnqueueOutcome::Enqueued(len)
+            | EnqueueOutcome::HeadDropped { len, .. }
+            | EnqueueOutcome::Staged(len) => {
+                if let EnqueueOutcome::Staged(_) = outcome {
+                    self.fstats.backpressured += 1;
+                }
                 if P::ACTIVE {
                     self.record.publish(
                         now,
@@ -443,7 +531,14 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         self.schedule_next_arrival(src, now);
     }
 
-    fn on_finish(&mut self, core: usize, now: SimTime) {
+    fn on_finish(&mut self, core: usize, generation: u32, now: SimTime) {
+        // A crash between arming and firing bumps the core's finish
+        // generation: the packet this event was armed for has already
+        // been accounted as a fault drop, so the stale event is simply
+        // discarded.
+        if self.faults_enabled && generation != self.service.generation(core) {
+            return;
+        }
         // A finish event always carries the packet placed by
         // start_processing; a missing one means the event queue and core
         // state disagree — flag it in debug, skip it in release.
@@ -464,6 +559,81 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             );
         }
         self.record.departure(pkt, now);
+        self.start_processing(core, now);
+        self.sync_info(core);
+    }
+
+    /// Apply the fault-plan entry at `idx`.
+    fn on_fault(&mut self, idx: usize, now: SimTime) {
+        let Some(&(_, action)) = self.cfg.faults.get(idx) else {
+            debug_assert!(false, "fault event for unknown plan entry {idx}");
+            return;
+        };
+        self.fstats.injected += 1;
+        match action {
+            FaultAction::Crash { core } => {
+                if !self.service.is_up(core) {
+                    return; // already down: nothing to kill
+                }
+                let lost = self.service.crash(core, now);
+                self.fstats.crashes += 1;
+                for pkt in lost {
+                    // Crash losses are real drops for conservation and
+                    // reorder-gap purposes, but not congestion feedback
+                    // (`on_drop`): the queue was not full, the core died.
+                    self.fstats.fault_drops += 1;
+                    self.record.publish(
+                        now,
+                        &SimEvent::Dropped {
+                            id: pkt.id,
+                            slot: pkt.slot,
+                            service: pkt.service,
+                            core,
+                        },
+                    );
+                    self.record.note_drop_gap(pkt.slot, pkt.flow_seq, now);
+                }
+                self.record.publish(now, &SimEvent::CoreCrashed { core });
+                match self.dispatch.on_core_down(core) {
+                    RepairOutcome::Repaired => self.fstats.repairs += 1,
+                    RepairOutcome::Unrepaired => self.fstats.unrepaired += 1,
+                }
+                self.sync_info(core);
+            }
+            FaultAction::Heal { core } => {
+                if !self.service.heal(core, now) {
+                    return; // already up: nothing to revive
+                }
+                self.fstats.heals += 1;
+                self.record.publish(now, &SimEvent::CoreHealed { core });
+                match self.dispatch.on_core_up(core) {
+                    RepairOutcome::Repaired => self.fstats.repairs += 1,
+                    RepairOutcome::Unrepaired => self.fstats.unrepaired += 1,
+                }
+                self.start_processing(core, now);
+                self.sync_info(core);
+            }
+            FaultAction::Throttle { core, factor } => {
+                self.service.set_speed(core, factor);
+            }
+            FaultAction::Stall { core, duration } => {
+                if self.service.is_up(core) {
+                    self.service.stall(core);
+                    self.events.push(now + duration, Ev::StallEnd(core));
+                }
+            }
+            FaultAction::Flood { source, factor } => {
+                self.ingest.set_flood(source, factor);
+            }
+            FaultAction::FloodEnd { source } => {
+                self.ingest.set_flood(source, 1.0);
+            }
+        }
+    }
+
+    /// A transient stall ended: resume service on `core`.
+    fn on_stall_end(&mut self, core: usize, now: SimTime) {
+        self.service.resume(core);
         self.start_processing(core, now);
         self.sync_info(core);
     }
@@ -516,6 +686,7 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
                         && info.busy == f.busy
                         && info.idle_since == f.idle_since
                         && info.last_congested == f.last_congested
+                        && info.up == f.up
                 }),
                 "scheduler view out of sync with core {i} at t={now:?}"
             );
@@ -547,6 +718,15 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             self.events
                 .push(self.cfg.rate_update_interval, Ev::RateUpdate);
         }
+        // Prime the fault plan: one event per entry, in plan order, so
+        // same-instant entries fire in insertion order (the queue breaks
+        // time ties by insertion sequence). Entries beyond the horizon
+        // still fire — a heal may legitimately land during the drain.
+        for i in 0..self.cfg.faults.len() {
+            if let Some(&(at, _)) = self.cfg.faults.get(i) {
+                self.events.push(at, Ev::Fault(i));
+            }
+        }
 
         let mut last_t = SimTime::ZERO;
         while let Some((t, ev)) = self.events.pop() {
@@ -556,8 +736,10 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             self.record.note_loop_event();
             match ev {
                 Ev::Arrival(src) => self.on_arrival(src, t),
-                Ev::Finish(core) => self.on_finish(core, t),
+                Ev::Finish(core, generation) => self.on_finish(core, generation, t),
                 Ev::RateUpdate => self.on_rate_update(t),
+                Ev::Fault(idx) => self.on_fault(idx, t),
+                Ev::StallEnd(core) => self.on_stall_end(core, t),
             }
             #[cfg(feature = "invariants")]
             self.check_invariants(t, last_t);
@@ -569,7 +751,10 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         self.record.drain_restoration(self.cfg.duration);
         let reallocs = self.dispatch.core_reallocations();
         let busy = self.service.busy_ns();
-        let (report, probes) = self.record.finalize(reallocs, busy);
+        let faults = self
+            .faults_enabled
+            .then(|| std::mem::take(&mut self.fstats));
+        let (report, probes) = self.record.finalize(reallocs, busy, faults);
         (report, self.dispatch.into_scheduler(), probes)
     }
 
@@ -901,6 +1086,214 @@ mod tests {
             report.offered,
             "every offered packet is dispatched or dropped"
         );
+    }
+
+    #[test]
+    fn crash_conserves_packets_and_counts_losses() {
+        // Two cores at 0.75 load, one dies mid-run: its in-flight and
+        // queued packets become fault drops, the survivor overloads, and
+        // the drain still accounts for every offered packet.
+        let mut cfg = quick_cfg(2, 20);
+        cfg.faults = FaultPlan::new().crash(SimTime::from_millis(5), 0);
+        let r = Engine::new(cfg, &one_source(3.0), JoinShortestQueue::new()).run();
+        assert_eq!(r.offered, r.accounted(), "conservation across a crash");
+        let f = r.faults.as_ref().expect("fault machinery was active");
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.injected, 1);
+        assert!(f.fault_drops > 0, "the dead core held packets");
+        assert!(r.dropped >= f.fault_drops);
+    }
+
+    #[test]
+    fn heal_restores_capacity() {
+        let crash_at = SimTime::from_millis(4);
+        let heal_at = SimTime::from_millis(8);
+        let mut down = quick_cfg(2, 30);
+        down.faults = FaultPlan::new().crash(crash_at, 0);
+        let mut healed = quick_cfg(2, 30);
+        healed.faults = FaultPlan::new().crash(crash_at, 0).heal(heal_at, 0);
+        let a = Engine::new(down, &one_source(3.0), JoinShortestQueue::new()).run();
+        let b = Engine::new(healed, &one_source(3.0), JoinShortestQueue::new()).run();
+        let fb = b.faults.as_ref().expect("stats present");
+        assert_eq!(fb.heals, 1);
+        assert_eq!(a.offered, a.accounted());
+        assert_eq!(b.offered, b.accounted());
+        assert!(
+            b.processed > a.processed,
+            "a healed core must recover throughput ({} vs {})",
+            b.processed,
+            a.processed
+        );
+        assert!(b.dropped < a.dropped);
+    }
+
+    #[test]
+    fn unrepaired_policy_degrades_via_redirects() {
+        // PinByHash has no repair hook: after the crash it keeps hashing
+        // onto the dead core and the engine redirects those arrivals.
+        let mut cfg = quick_cfg(4, 20);
+        cfg.faults = FaultPlan::new().crash(SimTime::from_millis(5), 1);
+        let r = Engine::new(cfg, &one_source(2.0), PinByHash).run();
+        let f = r.faults.as_ref().expect("stats present");
+        assert_eq!(f.unrepaired, 1, "PinByHash honestly cannot repair");
+        assert_eq!(f.repairs, 0);
+        assert!(f.redirects > 0, "hashed-to-dead arrivals get redirected");
+        assert_eq!(r.offered, r.accounted());
+    }
+
+    #[test]
+    fn last_core_crash_drops_all_subsequent_arrivals() {
+        let mut cfg = quick_cfg(1, 10);
+        cfg.faults = FaultPlan::new().crash(SimTime::from_millis(2), 0);
+        let r = Engine::new(cfg, &one_source(1.0), JoinShortestQueue::new()).run();
+        let f = r.faults.as_ref().expect("stats present");
+        assert!(f.fault_drops > 0);
+        assert_eq!(f.redirects, 0, "nowhere to redirect to");
+        assert_eq!(r.offered, r.accounted());
+        // Roughly 2 of 10 ms of service happened; the rest was dropped.
+        assert!(r.dropped > r.processed);
+    }
+
+    #[test]
+    fn throttle_degrades_and_restores_throughput() {
+        // 1.5 Mpps into one 2 Mpps core: clean at full speed; a 4x
+        // throttle cuts capacity to 0.5 Mpps and forces drops.
+        let base = Engine::new(quick_cfg(1, 20), &one_source(1.5), JoinShortestQueue::new()).run();
+        assert_eq!(base.dropped, 0);
+        let mut cfg = quick_cfg(1, 20);
+        cfg.faults = FaultPlan::new()
+            .throttle(SimTime::from_millis(2), 0, 4.0)
+            .throttle(SimTime::from_millis(12), 0, 1.0);
+        let r = Engine::new(cfg, &one_source(1.5), JoinShortestQueue::new()).run();
+        assert!(r.dropped > 0, "a throttled core must fall behind");
+        assert_eq!(r.offered, r.accounted());
+        assert_eq!(r.faults.as_ref().map(|f| f.injected), Some(2));
+    }
+
+    #[test]
+    fn transient_stall_backs_up_the_queue() {
+        let mut cfg = quick_cfg(1, 10);
+        cfg.faults = FaultPlan::new().stall(SimTime::from_millis(2), 0, SimTime::from_millis(5));
+        let r = Engine::new(cfg, &one_source(1.0), JoinShortestQueue::new()).run();
+        assert!(r.dropped > 0, "5 ms of arrivals into a 32-slot queue");
+        assert_eq!(r.offered, r.accounted());
+        let base = Engine::new(quick_cfg(1, 10), &one_source(1.0), JoinShortestQueue::new()).run();
+        assert_eq!(base.dropped, 0, "same load without the stall is clean");
+    }
+
+    #[test]
+    fn flood_raises_offered_load() {
+        let base = Engine::new(quick_cfg(2, 10), &one_source(1.0), JoinShortestQueue::new()).run();
+        let mut cfg = quick_cfg(2, 10);
+        cfg.faults =
+            FaultPlan::new().flood(SimTime::from_millis(2), SimTime::from_millis(8), 0, 3.0);
+        let r = Engine::new(cfg, &one_source(1.0), JoinShortestQueue::new()).run();
+        assert!(
+            r.offered as f64 > base.offered as f64 * 1.5,
+            "3x flood over 6 of 10 ms should raise offered load well above \
+             baseline ({} vs {})",
+            r.offered,
+            base.offered
+        );
+        assert_eq!(r.offered, r.accounted());
+    }
+
+    #[test]
+    fn drop_head_evicts_oldest_instead_of_arrival() {
+        let mut cfg = quick_cfg(1, 20);
+        cfg.drop_policy = DropPolicy::DropHead;
+        let r = Engine::new(cfg, &one_source(4.0), JoinShortestQueue::new()).run();
+        let f = r.faults.as_ref().expect("non-default policy records stats");
+        assert!(f.head_drops > 0);
+        assert_eq!(
+            f.head_drops, r.dropped,
+            "under drop-head every drop is an eviction"
+        );
+        assert_eq!(r.offered, r.accounted());
+    }
+
+    #[test]
+    fn backpressure_stages_overflow_and_still_conserves() {
+        let mut bp_cfg = quick_cfg(1, 20);
+        bp_cfg.drop_policy = DropPolicy::Backpressure;
+        let tail = Engine::new(quick_cfg(1, 20), &one_source(4.0), JoinShortestQueue::new()).run();
+        let r = Engine::new(bp_cfg, &one_source(4.0), JoinShortestQueue::new()).run();
+        let f = r.faults.as_ref().expect("stats present");
+        assert!(f.backpressured > 0, "overflow packets must stage");
+        assert!(r.dropped > 0, "staging is bounded too");
+        assert!(
+            r.dropped < tail.dropped,
+            "staging absorbs part of the burst ({} vs {})",
+            r.dropped,
+            tail.dropped
+        );
+        assert_eq!(r.offered, r.accounted());
+    }
+
+    #[test]
+    fn fault_free_report_omits_fault_stats() {
+        let r = Engine::new(quick_cfg(2, 10), &one_source(1.0), JoinShortestQueue::new()).run();
+        assert!(r.faults.is_none(), "no plan, default policy: dormant");
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(
+            !json.contains("\"faults\""),
+            "fault-free reports keep the pre-fault wire format"
+        );
+    }
+
+    #[test]
+    fn fault_runs_replay_deterministically() {
+        let run = || {
+            let mut cfg = quick_cfg(4, 20);
+            cfg.faults = FaultPlan::new()
+                .crash(SimTime::from_millis(3), 2)
+                .heal(SimTime::from_millis(9), 2)
+                .throttle(SimTime::from_millis(5), 0, 2.0)
+                .stall(SimTime::from_millis(7), 1, SimTime::from_millis(1));
+            let r = Engine::new(cfg, &one_source(4.0), JoinShortestQueue::new()).run();
+            serde_json::to_string(&r).expect("serializes")
+        };
+        assert_eq!(run(), run(), "same plan + seed → byte-identical report");
+    }
+
+    #[test]
+    fn fault_probe_sees_crash_heal_and_recovery() {
+        let mut cfg = quick_cfg(2, 20);
+        cfg.faults = FaultPlan::new()
+            .crash(SimTime::from_millis(4), 0)
+            .heal(SimTime::from_millis(8), 0);
+        let probes: ProbeStack = vec![
+            Box::new(crate::fault::FaultProbe::new()),
+            Box::new(MetricsProbe::new()),
+        ];
+        let (report, _sched, probes) =
+            Engine::with_probe_stack(cfg, &one_source(3.0), JoinShortestQueue::new(), probes)
+                .run_full();
+        let fp = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<crate::fault::FaultProbe>())
+            .expect("fault probe comes back");
+        assert_eq!(fp.recoveries().len(), 1);
+        let rec = fp.recoveries()[0];
+        assert_eq!(rec.core, 0);
+        assert_eq!(rec.downtime(), Some(SimTime::from_millis(4)));
+        let recovery = rec.recovery_time().expect("core served again after heal");
+        assert!(recovery >= SimTime::from_millis(4));
+        let metrics = probes
+            .get(1)
+            .and_then(|p| p.as_any().downcast_ref::<MetricsProbe>())
+            .expect("metrics probe comes back");
+        let by_name = |n: &str| {
+            metrics
+                .counters()
+                .iter()
+                .find(|(name, _)| *name == n)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(by_name("core_crashes"), 1);
+        assert_eq!(by_name("core_heals"), 1);
+        assert_eq!(report.faults.as_ref().map(|f| f.crashes), Some(1));
     }
 
     #[test]

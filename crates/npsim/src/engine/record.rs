@@ -130,10 +130,12 @@ impl<P: ProbeHost> RecordStage<P> {
         mut self,
         core_reallocations: u64,
         core_busy_ns: Vec<u64>,
+        faults: Option<crate::fault::FaultStats>,
     ) -> (SimReport, P) {
         self.report.report.out_of_order = self.order.out_of_order();
         self.report.report.core_reallocations = core_reallocations;
         self.report.report.core_busy_ns = core_busy_ns;
+        self.report.report.faults = faults;
         if P::ACTIVE {
             let end = self.report.report.end_time;
             self.probes.finish(end);

@@ -1,10 +1,19 @@
 //! Service stage: per-core bounded queues and packet execution.
 //!
 //! Owns the core array (queue, packet in service, cache state, busy
-//! time) and the Eq. 3 delay model. Enqueue outcomes and service starts
-//! are returned to the orchestrator, which publishes the corresponding
-//! bus events and schedules the finish timer.
+//! time, fault health) and the Eq. 3 delay model. Enqueue outcomes and
+//! service starts are returned to the orchestrator, which publishes the
+//! corresponding bus events and schedules the finish timer.
+//!
+//! Fault support: each core carries an `up` flag, a service-duration
+//! multiplier (throttle), a stall latch, and a finish generation. A
+//! crash drains the core's backlog (returned to the orchestrator for
+//! drop accounting), refunds the unearned remainder of its in-service
+//! busy credit, and bumps the generation so the stale finish timer is
+//! discarded. Under [`DropPolicy::Backpressure`] each core also owns a
+//! staging buffer that refills the main queue as service completes.
 
+use crate::fault::DropPolicy;
 use crate::packet::PacketDesc;
 use crate::sched::QueueInfo;
 use detsim::{BoundedQueue, PushOutcome, SimTime};
@@ -13,11 +22,27 @@ use nptraffic::{DelayModel, ServiceKind};
 #[derive(Debug)]
 struct Core {
     queue: BoundedQueue<PacketDesc>,
+    /// Backpressure staging buffer (unused — always empty — under the
+    /// other drop policies).
+    staging: BoundedQueue<PacketDesc>,
     current: Option<PacketDesc>,
+    /// When the in-service packet completes; meaningful only while
+    /// `current.is_some()` (used to refund busy credit on a crash).
+    finish_at: SimTime,
     last_service: Option<ServiceKind>,
     idle_since: Option<SimTime>,
     last_congested: SimTime,
     busy_ns: u64,
+    /// Alive? `false` between a fault-plan crash and the matching heal.
+    up: bool,
+    /// Transient stall: the core finishes its current packet but starts
+    /// no new service until the stall-end event clears this.
+    stalled: bool,
+    /// Service-duration multiplier (throttle); 1.0 at full speed.
+    speed: f64,
+    /// Incremented on every crash; finish events carry the generation
+    /// they were armed under, so a crash invalidates them.
+    generation: u32,
 }
 
 /// A packet entering service: what the orchestrator needs to publish
@@ -30,11 +55,28 @@ pub(super) struct Started {
     pub duration: SimTime,
 }
 
+/// What happened to an arriving packet at its target queue.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum EnqueueOutcome {
+    /// Admitted to the main queue; payload = occupancy after the push.
+    Enqueued(usize),
+    /// The arrival was dropped (full queue under drop-tail, or full
+    /// queue *and* full staging under backpressure).
+    Dropped,
+    /// Drop-head: the oldest queued packet was evicted and the arrival
+    /// admitted; payload = the evicted packet and the occupancy after.
+    HeadDropped { evicted: PacketDesc, len: usize },
+    /// Backpressure: the arrival was staged behind a full queue;
+    /// payload = total backlog (queue + staging) after.
+    Staged(usize),
+}
+
 #[derive(Debug)]
 pub(super) struct ServiceStage {
     cores: Vec<Core>,
     delay: DelayModel,
     congestion_watermark: usize,
+    policy: DropPolicy,
 }
 
 impl ServiceStage {
@@ -43,21 +85,29 @@ impl ServiceStage {
         queue_capacity: usize,
         delay: DelayModel,
         congestion_watermark: usize,
+        policy: DropPolicy,
     ) -> Self {
         let cores = (0..n_cores)
             .map(|_| Core {
                 queue: BoundedQueue::new(queue_capacity),
+                staging: BoundedQueue::new(queue_capacity),
                 current: None,
+                finish_at: SimTime::ZERO,
                 last_service: None,
                 idle_since: Some(SimTime::ZERO),
                 last_congested: SimTime::ZERO,
                 busy_ns: 0,
+                up: true,
+                stalled: false,
+                speed: 1.0,
+                generation: 0,
             })
             .collect();
         ServiceStage {
             cores,
             delay,
             congestion_watermark,
+            policy,
         }
     }
 
@@ -65,28 +115,71 @@ impl ServiceStage {
         self.cores.len()
     }
 
-    /// Try to enqueue `pkt` on `target`, maintaining the congestion
-    /// timestamps exactly as the monolithic engine did (a drop or a
-    /// queue at/above the watermark stamps `last_congested`).
-    pub(super) fn enqueue(&mut self, target: usize, pkt: PacketDesc, now: SimTime) -> PushOutcome {
+    /// Try to enqueue `pkt` on `target` under the configured drop
+    /// policy, maintaining the congestion timestamps exactly as the
+    /// monolithic engine did (a drop or a queue at/above the watermark
+    /// stamps `last_congested`).
+    pub(super) fn enqueue(
+        &mut self,
+        target: usize,
+        pkt: PacketDesc,
+        now: SimTime,
+    ) -> EnqueueOutcome {
+        let policy = self.policy;
         // `target` < n_cores is asserted at dispatch, so the lookup is
         // total.
-        let outcome = self
-            .cores
-            .get_mut(target)
-            .map(|c| c.queue.push(pkt))
-            .unwrap_or(PushOutcome::Dropped);
-        match outcome {
-            PushOutcome::Dropped => {
-                if let Some(c) = self.cores.get_mut(target) {
-                    c.last_congested = now;
+        let Some(c) = self.cores.get_mut(target) else {
+            return EnqueueOutcome::Dropped;
+        };
+        if !c.up {
+            // The orchestrator redirects arrivals away from dead cores;
+            // reaching one here means no live core was left.
+            c.last_congested = now;
+            return EnqueueOutcome::Dropped;
+        }
+        let outcome = match policy {
+            DropPolicy::DropTail => match c.queue.push(pkt) {
+                PushOutcome::Enqueued(len) => EnqueueOutcome::Enqueued(len),
+                PushOutcome::Dropped => EnqueueOutcome::Dropped,
+            },
+            DropPolicy::DropHead => match c.queue.push(pkt) {
+                PushOutcome::Enqueued(len) => EnqueueOutcome::Enqueued(len),
+                PushOutcome::Dropped => match c.queue.pop() {
+                    Some(evicted) => match c.queue.push(pkt) {
+                        PushOutcome::Enqueued(len) => EnqueueOutcome::HeadDropped { evicted, len },
+                        // Unreachable (we just made room), but stay
+                        // panic-free: account the arrival as dropped.
+                        PushOutcome::Dropped => EnqueueOutcome::Dropped,
+                    },
+                    None => EnqueueOutcome::Dropped,
+                },
+            },
+            DropPolicy::Backpressure => {
+                // FIFO across queue + staging: once anything is staged,
+                // arrivals must join staging or they would overtake it.
+                if c.staging.is_empty() {
+                    match c.queue.push(pkt) {
+                        PushOutcome::Enqueued(len) => EnqueueOutcome::Enqueued(len),
+                        PushOutcome::Dropped => match c.staging.push(pkt) {
+                            PushOutcome::Enqueued(n) => EnqueueOutcome::Staged(c.queue.len() + n),
+                            PushOutcome::Dropped => EnqueueOutcome::Dropped,
+                        },
+                    }
+                } else {
+                    match c.staging.push(pkt) {
+                        PushOutcome::Enqueued(n) => EnqueueOutcome::Staged(c.queue.len() + n),
+                        PushOutcome::Dropped => EnqueueOutcome::Dropped,
+                    }
                 }
             }
-            PushOutcome::Enqueued(len) => {
+        };
+        match outcome {
+            EnqueueOutcome::Dropped
+            | EnqueueOutcome::HeadDropped { .. }
+            | EnqueueOutcome::Staged(_) => c.last_congested = now,
+            EnqueueOutcome::Enqueued(len) => {
                 if len >= self.congestion_watermark {
-                    if let Some(c) = self.cores.get_mut(target) {
-                        c.last_congested = now;
-                    }
+                    c.last_congested = now;
                 }
             }
         }
@@ -96,7 +189,8 @@ impl ServiceStage {
     /// Pull the next queued packet into service on `core`, if the core
     /// is free and work is waiting. Returns the service parameters so
     /// the orchestrator can arm the finish timer; `None` if the core is
-    /// busy or its queue is empty (the latter marks the idle start).
+    /// busy, down, stalled, or its queue is empty (the latter marks the
+    /// idle start).
     pub(super) fn start_processing(&mut self, core: usize, now: SimTime) -> Option<Started> {
         // Core IDs originate from our own event queue / scheduler-checked
         // dispatch; an out-of-range ID is a bug upstream, not a reason to
@@ -105,7 +199,7 @@ impl ServiceStage {
             debug_assert!(false, "start_processing on unknown core {core}");
             return None;
         };
-        if slot.current.is_some() {
+        if slot.current.is_some() || !slot.up || slot.stalled {
             return None;
         }
         let Some(pkt) = slot.queue.pop() else {
@@ -114,11 +208,16 @@ impl ServiceStage {
             }
             return None;
         };
+        // Backpressure: the pop made room — promote the oldest staged
+        // packet so the queue refills in FIFO order.
+        if let Some(staged) = slot.staging.pop() {
+            let _ = slot.queue.push(staged);
+        }
         let cold = slot.last_service != Some(pkt.service);
         let d_us = self
             .delay
             .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
-        let d = SimTime::from_micros_f64(d_us);
+        let d = SimTime::from_micros_f64(d_us * slot.speed);
         slot.busy_ns += d.as_nanos();
         slot.last_service = Some(pkt.service);
         let started = Started {
@@ -128,6 +227,7 @@ impl ServiceStage {
             duration: d,
         };
         slot.current = Some(pkt);
+        slot.finish_at = now + d;
         slot.idle_since = None;
         Some(started)
     }
@@ -137,15 +237,126 @@ impl ServiceStage {
         self.cores.get_mut(core).and_then(|c| c.current.take())
     }
 
-    /// A fresh [`QueueInfo`] snapshot of `core`'s state.
+    /// The finish generation of `core` (finish events armed under an
+    /// older generation are stale — the core crashed in between).
+    #[inline]
+    pub(super) fn generation(&self, core: usize) -> u32 {
+        self.cores.get(core).map_or(0, |c| c.generation)
+    }
+
+    /// Whether `core` is alive.
+    #[inline]
+    pub(super) fn is_up(&self, core: usize) -> bool {
+        self.cores.get(core).is_some_and(|c| c.up)
+    }
+
+    /// The live core with the smallest backlog (queue + staging, ties
+    /// to the lowest index) — the orchestrator's redirect target when a
+    /// scheduler picks a dead core. `None` when every core is down.
+    pub(super) fn shortest_up_queue(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_len = usize::MAX;
+        for (c, slot) in self.cores.iter().enumerate() {
+            let len = slot.queue.len() + slot.staging.len();
+            if slot.up && len < best_len {
+                best = Some(c);
+                best_len = len;
+            }
+        }
+        best
+    }
+
+    /// Kill `core`: mark it down, bump its finish generation (stale
+    /// finish timers are discarded), refund the unearned remainder of
+    /// its in-service busy credit, and return every packet it was
+    /// holding — in-service first, then queue, then staging, in FIFO
+    /// order — for the orchestrator to account as drops. Idempotent: a
+    /// second crash of a down core returns nothing.
+    pub(super) fn crash(&mut self, core: usize, now: SimTime) -> Vec<PacketDesc> {
+        let Some(slot) = self.cores.get_mut(core) else {
+            return Vec::new();
+        };
+        if !slot.up {
+            return Vec::new();
+        }
+        slot.up = false;
+        slot.stalled = false;
+        slot.speed = 1.0;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.idle_since = None;
+        slot.last_service = None;
+        let mut lost = Vec::new();
+        if let Some(pkt) = slot.current.take() {
+            // The full duration was credited at start; refund what the
+            // core will no longer perform.
+            let remaining = (slot.finish_at - now).as_nanos();
+            slot.busy_ns = slot.busy_ns.saturating_sub(remaining);
+            lost.push(pkt);
+        }
+        while let Some(pkt) = slot.queue.pop() {
+            lost.push(pkt);
+        }
+        while let Some(pkt) = slot.staging.pop() {
+            lost.push(pkt);
+        }
+        lost
+    }
+
+    /// Revive `core` after a crash: it rejoins idle, at full speed,
+    /// with a cold instruction cache. Returns `false` (no-op) if the
+    /// core was already up.
+    pub(super) fn heal(&mut self, core: usize, now: SimTime) -> bool {
+        let Some(slot) = self.cores.get_mut(core) else {
+            return false;
+        };
+        if slot.up {
+            return false;
+        }
+        slot.up = true;
+        slot.idle_since = Some(now);
+        slot.speed = 1.0;
+        slot.stalled = false;
+        true
+    }
+
+    /// Set `core`'s service-duration multiplier (throttle; 1.0 restores
+    /// full speed). Ignored on a dead core (a heal resets speed).
+    pub(super) fn set_speed(&mut self, core: usize, factor: f64) {
+        if let Some(slot) = self.cores.get_mut(core) {
+            if slot.up && factor > 0.0 {
+                slot.speed = factor;
+            }
+        }
+    }
+
+    /// Latch a transient stall on `core`: its current packet completes,
+    /// but no new service starts until [`ServiceStage::resume`].
+    pub(super) fn stall(&mut self, core: usize) {
+        if let Some(slot) = self.cores.get_mut(core) {
+            if slot.up {
+                slot.stalled = true;
+            }
+        }
+    }
+
+    /// Clear a transient stall on `core`.
+    pub(super) fn resume(&mut self, core: usize) {
+        if let Some(slot) = self.cores.get_mut(core) {
+            slot.stalled = false;
+        }
+    }
+
+    /// A fresh [`QueueInfo`] snapshot of `core`'s state. `len` counts
+    /// the full backlog (queue + backpressure staging).
     #[inline]
     pub(super) fn snapshot(&self, core: usize) -> Option<QueueInfo> {
         self.cores.get(core).map(|c| QueueInfo {
-            len: c.queue.len(),
+            len: c.queue.len() + c.staging.len(),
             capacity: c.queue.capacity(),
             busy: c.current.is_some(),
             idle_since: c.idle_since,
             last_congested: c.last_congested,
+            up: c.up,
         })
     }
 
@@ -154,10 +365,14 @@ impl ServiceStage {
         self.cores.iter().map(|c| c.busy_ns).collect()
     }
 
-    /// Packets waiting across all queues (invariant checking).
+    /// Packets waiting across all queues and staging buffers (invariant
+    /// checking).
     #[cfg(feature = "invariants")]
     pub(super) fn queued_total(&self) -> u64 {
-        self.cores.iter().map(|c| c.queue.len() as u64).sum()
+        self.cores
+            .iter()
+            .map(|c| (c.queue.len() + c.staging.len()) as u64)
+            .sum()
     }
 
     /// Packets currently in service (invariant checking).

@@ -136,6 +136,17 @@ pub enum SimEvent {
         /// The woken core.
         core: usize,
     },
+    /// A fault-plan crash killed a core: its in-service and queued
+    /// packets were dropped, and the scheduler was asked to repair.
+    CoreCrashed {
+        /// The crashed core.
+        core: usize,
+    },
+    /// A fault-plan heal brought a crashed core back.
+    CoreHealed {
+        /// The healed core.
+        core: usize,
+    },
     /// A periodic rate-update tick fired (sources re-sampled their rate
     /// laws). Marks epoch boundaries for time-bucketed probes.
     EpochTick,

@@ -1,0 +1,470 @@
+//! Deterministic fault injection and graceful-degradation accounting.
+//!
+//! A [`FaultPlan`] is a stably time-sorted script of [`FaultAction`]s
+//! (core crash/heal, throttle, transient stall, traffic flood) delivered
+//! through the engine's deterministic event queue: the engine primes one
+//! event per plan entry at start-up, so two runs with the same plan and
+//! seed replay identically — faults are part of the simulation, not an
+//! external perturbation.
+//!
+//! Degradation policy for full ingress queues is a [`DropPolicy`] knob;
+//! the engine's fault-path counters land in [`FaultStats`] (embedded in
+//! the report only when the fault machinery was active, so fault-free
+//! reports serialize byte-identically to earlier versions). The
+//! [`FaultProbe`] rides the probe bus and reconstructs the crash/heal
+//! timeline plus per-crash recovery times.
+
+use crate::event::SimEvent;
+use crate::probe::Probe;
+use detsim::{SimTime, TimedPlan};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt::Write as _;
+
+/// One scripted fault (or repair) action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// The core dies: its in-service packet and queued packets are lost
+    /// (accounted as drops), and the scheduler is asked to repair.
+    Crash {
+        /// Core index.
+        core: usize,
+    },
+    /// The core rejoins: the scheduler may re-grow onto it.
+    Heal {
+        /// Core index.
+        core: usize,
+    },
+    /// The core slows down: service durations multiply by `factor`
+    /// (`1.0` restores full speed; values < 1.0 model overclock).
+    Throttle {
+        /// Core index.
+        core: usize,
+        /// Service-duration multiplier (must be > 0).
+        factor: f64,
+    },
+    /// The core stops *starting* new service for `duration` (an
+    /// in-flight packet still completes); queued packets wait.
+    Stall {
+        /// Core index.
+        core: usize,
+        /// Stall length.
+        duration: SimTime,
+    },
+    /// The source floods: its inter-arrival gaps divide by `factor`
+    /// (drawn gaps are scaled *after* sampling, so per-source RNG
+    /// streams are unchanged and non-flooded sources replay
+    /// identically).
+    Flood {
+        /// Source index (into the engine's source list).
+        source: usize,
+        /// Rate multiplier (must be > 0; gaps divide by this).
+        factor: f64,
+    },
+    /// The flood ends: the source's rate factor resets to 1.0.
+    FloodEnd {
+        /// Source index.
+        source: usize,
+    },
+}
+
+/// A deterministic, stably time-sorted fault script.
+///
+/// Built on [`detsim::TimedPlan`]: entries at the same instant fire in
+/// insertion order (the event queue breaks time ties by insertion
+/// sequence, and the plan is primed in order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    plan: TimedPlan<FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; the engine's fault machinery stays
+    /// dormant and the run is byte-identical to a fault-free build).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from arbitrary-order `(time, action)` pairs; entries are
+    /// stably sorted by time.
+    pub fn from_actions(actions: Vec<(SimTime, FaultAction)>) -> Self {
+        FaultPlan {
+            plan: TimedPlan::from_entries(actions),
+        }
+    }
+
+    /// Schedule `action` at `at` (chainable).
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.plan.push(at, action);
+        self
+    }
+
+    /// Schedule a core crash at `at` (chainable shorthand).
+    pub fn crash(self, at: SimTime, core: usize) -> Self {
+        self.at(at, FaultAction::Crash { core })
+    }
+
+    /// Schedule a core heal at `at` (chainable shorthand).
+    pub fn heal(self, at: SimTime, core: usize) -> Self {
+        self.at(at, FaultAction::Heal { core })
+    }
+
+    /// Schedule a throttle at `at` (chainable shorthand).
+    pub fn throttle(self, at: SimTime, core: usize, factor: f64) -> Self {
+        self.at(at, FaultAction::Throttle { core, factor })
+    }
+
+    /// Schedule a transient stall at `at` (chainable shorthand).
+    pub fn stall(self, at: SimTime, core: usize, duration: SimTime) -> Self {
+        self.at(at, FaultAction::Stall { core, duration })
+    }
+
+    /// Schedule a flood over `[at, until)` (chainable shorthand).
+    pub fn flood(self, at: SimTime, until: SimTime, source: usize, factor: f64) -> Self {
+        self.at(at, FaultAction::Flood { source, factor })
+            .at(until, FaultAction::FloodEnd { source })
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// The entry at `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&(SimTime, FaultAction)> {
+        self.plan.get(idx)
+    }
+
+    /// The sorted `(time, action)` entries.
+    pub fn entries(&self) -> &[(SimTime, FaultAction)] {
+        self.plan.entries()
+    }
+
+    /// Validate the plan against an engine shape: core and source
+    /// indices in range, positive throttle/flood factors. Returns the
+    /// first offending entry's description.
+    pub fn validate(&self, n_cores: usize, n_sources: usize) -> Result<(), String> {
+        for &(at, action) in self.plan.entries() {
+            let bad_core = |c: usize| c >= n_cores;
+            match action {
+                FaultAction::Crash { core }
+                | FaultAction::Heal { core }
+                | FaultAction::Stall { core, .. }
+                    if bad_core(core) =>
+                {
+                    return Err(format!(
+                        "fault at {at:?}: core {core} out of range (n_cores = {n_cores})"
+                    ));
+                }
+                FaultAction::Throttle { core, factor } => {
+                    if bad_core(core) {
+                        return Err(format!(
+                            "fault at {at:?}: core {core} out of range (n_cores = {n_cores})"
+                        ));
+                    }
+                    if factor <= 0.0 {
+                        return Err(format!("fault at {at:?}: throttle factor {factor} <= 0"));
+                    }
+                }
+                FaultAction::Flood { source, factor } => {
+                    if source >= n_sources {
+                        return Err(format!(
+                            "fault at {at:?}: source {source} out of range (n_sources = {n_sources})"
+                        ));
+                    }
+                    if factor <= 0.0 {
+                        return Err(format!("fault at {at:?}: flood factor {factor} <= 0"));
+                    }
+                }
+                FaultAction::FloodEnd { source } if source >= n_sources => {
+                    return Err(format!(
+                        "fault at {at:?}: source {source} out of range (n_sources = {n_sources})"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the engine does when a packet targets a full ingress queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DropPolicy {
+    /// Drop the arriving packet (the paper's model; the default, and
+    /// byte-identical to the pre-fault engine).
+    #[default]
+    DropTail,
+    /// Evict the oldest queued packet and admit the arrival — favors
+    /// fresh packets at the cost of an extra reorder gap per eviction.
+    DropHead,
+    /// Hold the arrival in a per-core staging buffer (same capacity as
+    /// the main queue) that refills the queue as service completes;
+    /// only when staging is also full is the arrival dropped.
+    Backpressure,
+}
+
+/// Fault-path counters, embedded in the report as
+/// [`SimReport::faults`](crate::SimReport) when fault machinery was
+/// active (a plan was configured or a non-default drop policy chosen).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Plan entries that fired.
+    pub injected: u64,
+    /// Core crashes applied.
+    pub crashes: u64,
+    /// Core heals applied.
+    pub heals: u64,
+    /// Packets lost to crashes (in-service + queued at crash time) or
+    /// to arrivals with no live core left.
+    pub fault_drops: u64,
+    /// Arrivals redirected away from a dead core chosen by the
+    /// scheduler (the engine's degradation path for unrepaired
+    /// policies).
+    pub redirects: u64,
+    /// Crash/heal transitions the scheduler repaired (map-table
+    /// shrink/re-grow).
+    pub repairs: u64,
+    /// Crash/heal transitions the scheduler honestly reported it could
+    /// not repair (the engine keeps degrading via redirects).
+    pub unrepaired: u64,
+    /// Oldest-packet evictions under [`DropPolicy::DropHead`].
+    pub head_drops: u64,
+    /// Arrivals staged under [`DropPolicy::Backpressure`].
+    pub backpressured: u64,
+}
+
+/// Probe-bus reconstruction of the fault timeline: crash/heal marks and
+/// per-crash recovery spans (crash → heal → first post-heal service
+/// start on that core).
+#[derive(Debug, Default)]
+pub struct FaultProbe {
+    timeline: Vec<(SimTime, FaultMark)>,
+    recoveries: Vec<Recovery>,
+    /// Per-core index into `recoveries` of the still-open span.
+    open: Vec<Option<usize>>,
+}
+
+/// One mark on the fault timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMark {
+    /// A core crashed.
+    Crash(usize),
+    /// A core healed.
+    Heal(usize),
+}
+
+/// One crash→heal→restart span for a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// The crashed core.
+    pub core: usize,
+    /// When it crashed.
+    pub crashed_at: SimTime,
+    /// When it healed (None: still down at end of run).
+    pub healed_at: Option<SimTime>,
+    /// First service start after the heal (None: never served again).
+    pub restarted_at: Option<SimTime>,
+}
+
+impl Recovery {
+    /// Crash → heal, if the core healed.
+    pub fn downtime(&self) -> Option<SimTime> {
+        self.healed_at.map(|h| h - self.crashed_at)
+    }
+
+    /// Crash → first post-heal service start, if it happened — the
+    /// experiment's "recovery time".
+    pub fn recovery_time(&self) -> Option<SimTime> {
+        self.restarted_at.map(|r| r - self.crashed_at)
+    }
+}
+
+impl FaultProbe {
+    /// An empty probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash/heal marks in publication order.
+    pub fn timeline(&self) -> &[(SimTime, FaultMark)] {
+        &self.timeline
+    }
+
+    /// Crash→heal→restart spans in crash order.
+    pub fn recoveries(&self) -> &[Recovery] {
+        &self.recoveries
+    }
+
+    /// Mean recovery time (crash → first post-heal service start) in
+    /// nanoseconds over completed recoveries, if any completed.
+    pub fn mean_recovery_ns(&self) -> Option<f64> {
+        let done: Vec<u64> = self
+            .recoveries
+            .iter()
+            .filter_map(|r| r.recovery_time().map(|t| t.as_nanos()))
+            .collect();
+        if done.is_empty() {
+            None
+        } else {
+            Some(done.iter().sum::<u64>() as f64 / done.len() as f64)
+        }
+    }
+
+    /// Render as CSV: `core,crashed_ns,healed_ns,restarted_ns` (empty
+    /// cells for spans that never healed/restarted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("core,crashed_ns,healed_ns,restarted_ns\n");
+        for r in &self.recoveries {
+            let healed = r.healed_at.map(|t| t.as_nanos().to_string());
+            let restarted = r.restarted_at.map(|t| t.as_nanos().to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                r.core,
+                r.crashed_at.as_nanos(),
+                healed.unwrap_or_default(),
+                restarted.unwrap_or_default()
+            );
+        }
+        out
+    }
+
+    fn ensure_core(&mut self, core: usize) {
+        if core >= self.open.len() {
+            self.open.resize(core + 1, None);
+        }
+    }
+}
+
+impl Probe for FaultProbe {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn on_event(&mut self, now: SimTime, ev: &SimEvent) {
+        match *ev {
+            SimEvent::CoreCrashed { core } => {
+                self.ensure_core(core);
+                self.timeline.push((now, FaultMark::Crash(core)));
+                self.recoveries.push(Recovery {
+                    core,
+                    crashed_at: now,
+                    healed_at: None,
+                    restarted_at: None,
+                });
+                if let Some(slot) = self.open.get_mut(core) {
+                    *slot = Some(self.recoveries.len() - 1);
+                }
+            }
+            SimEvent::CoreHealed { core } => {
+                self.ensure_core(core);
+                self.timeline.push((now, FaultMark::Heal(core)));
+                let idx = self.open.get(core).copied().flatten();
+                if let Some(r) = idx.and_then(|i| self.recoveries.get_mut(i)) {
+                    r.healed_at = Some(now);
+                }
+            }
+            SimEvent::ServiceStart { core, .. } => {
+                let idx = self.open.get(core).copied().flatten();
+                if let Some(i) = idx {
+                    if let Some(r) = self.recoveries.get_mut(i) {
+                        if r.healed_at.is_some() && r.restarted_at.is_none() {
+                            r.restarted_at = Some(now);
+                            if let Some(slot) = self.open.get_mut(core) {
+                                *slot = None;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nptraffic::ServiceKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn plan_sorts_stably_and_validates() {
+        let plan = FaultPlan::new()
+            .heal(t(50), 2)
+            .crash(t(10), 2)
+            .throttle(t(10), 1, 2.0);
+        let kinds: Vec<_> = plan.entries().iter().map(|&(at, a)| (at, a)).collect();
+        assert_eq!(kinds[0], (t(10), FaultAction::Crash { core: 2 }));
+        assert_eq!(
+            kinds[1],
+            (
+                t(10),
+                FaultAction::Throttle {
+                    core: 1,
+                    factor: 2.0
+                }
+            )
+        );
+        assert_eq!(kinds[2], (t(50), FaultAction::Heal { core: 2 }));
+        assert!(plan.validate(4, 1).is_ok());
+        assert!(
+            plan.validate(2, 1).is_err(),
+            "core 2 out of range for 2 cores"
+        );
+        let bad = FaultPlan::new().throttle(t(1), 0, 0.0);
+        assert!(bad.validate(4, 1).is_err(), "zero factor rejected");
+        let flood = FaultPlan::new().flood(t(1), t(2), 3, 4.0);
+        assert!(flood.validate(1, 1).is_err(), "source 3 out of range");
+        assert!(flood.validate(1, 4).is_ok());
+    }
+
+    #[test]
+    fn fault_probe_tracks_recovery_spans() {
+        let mut p = FaultProbe::new();
+        let start = |core| SimEvent::ServiceStart {
+            core,
+            service: ServiceKind::IpForward,
+            cold: false,
+            migrated: false,
+            duration: t(1),
+        };
+        p.on_event(t(5), &start(3)); // pre-crash start: ignored
+        p.on_event(t(10), &SimEvent::CoreCrashed { core: 3 });
+        p.on_event(t(20), &SimEvent::CoreHealed { core: 3 });
+        p.on_event(t(22), &start(1)); // other core: ignored
+        p.on_event(t(25), &start(3)); // closes the span
+        p.on_event(t(30), &start(3)); // after close: ignored
+        assert_eq!(p.timeline().len(), 2);
+        assert_eq!(p.recoveries().len(), 1);
+        let r = p.recoveries()[0];
+        assert_eq!(r.downtime(), Some(t(10)));
+        assert_eq!(r.recovery_time(), Some(t(15)));
+        assert_eq!(p.mean_recovery_ns(), Some(15_000.0));
+        assert!(p.to_csv().contains("3,10000,20000,25000"));
+    }
+
+    #[test]
+    fn fault_probe_handles_unhealed_crash() {
+        let mut p = FaultProbe::new();
+        p.on_event(t(10), &SimEvent::CoreCrashed { core: 0 });
+        let r = p.recoveries()[0];
+        assert_eq!(r.downtime(), None);
+        assert_eq!(r.recovery_time(), None);
+        assert_eq!(p.mean_recovery_ns(), None);
+        assert!(p.to_csv().contains("0,10000,,"));
+    }
+}

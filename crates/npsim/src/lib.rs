@@ -36,6 +36,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod order;
 pub mod packet;
 pub mod probe;
@@ -46,6 +47,7 @@ pub mod source;
 
 pub use engine::{Engine, EngineConfig, EventBackend};
 pub use event::SimEvent;
+pub use fault::{DropPolicy, FaultAction, FaultMark, FaultPlan, FaultProbe, FaultStats, Recovery};
 pub use order::OrderTracker;
 pub use packet::PacketDesc;
 pub use probe::{
@@ -53,5 +55,7 @@ pub use probe::{
 };
 pub use report::{ServiceBreakdown, SimReport};
 pub use restore::{RestorationBuffer, RestorationStats};
-pub use sched::{JoinShortestQueue, QueueInfo, RoundRobin, SchedEvent, Scheduler, SystemView};
+pub use sched::{
+    JoinShortestQueue, QueueInfo, RepairOutcome, RoundRobin, SchedEvent, Scheduler, SystemView,
+};
 pub use source::{RateSpec, SourceConfig, TrafficSource};

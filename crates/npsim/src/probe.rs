@@ -171,6 +171,8 @@ impl ReportProbe {
             | SimEvent::ReorderDetected { .. }
             | SimEvent::CoreParked { .. }
             | SimEvent::CoreUnparked { .. }
+            | SimEvent::CoreCrashed { .. }
+            | SimEvent::CoreHealed { .. }
             | SimEvent::EpochTick => {}
         }
     }
@@ -199,6 +201,8 @@ pub struct MetricsProbe {
     core_parks: Counter,
     core_wakes: Counter,
     epoch_ticks: Counter,
+    core_crashes: Counter,
+    core_heals: Counter,
     latency_ns: Histogram,
     service_ns: Histogram,
     queue_len: Histogram,
@@ -212,8 +216,9 @@ impl MetricsProbe {
     }
 
     /// All counters as `(name, value)` pairs in a fixed, deterministic
-    /// order (the declaration order above).
-    pub fn counters(&self) -> [(&'static str, u64); 12] {
+    /// order (the declaration order above; fault counters are appended
+    /// last so pre-fault positional consumers keep their indices).
+    pub fn counters(&self) -> [(&'static str, u64); 14] {
         [
             ("arrivals", self.arrivals.get()),
             ("slow_path", self.slow_path.get()),
@@ -227,6 +232,8 @@ impl MetricsProbe {
             ("core_parks", self.core_parks.get()),
             ("core_wakes", self.core_wakes.get()),
             ("epoch_ticks", self.epoch_ticks.get()),
+            ("core_crashes", self.core_crashes.get()),
+            ("core_heals", self.core_heals.get()),
         ]
     }
 
@@ -295,6 +302,8 @@ impl Probe for MetricsProbe {
             }
             SimEvent::CoreParked { .. } => self.core_parks.incr(),
             SimEvent::CoreUnparked { .. } => self.core_wakes.incr(),
+            SimEvent::CoreCrashed { .. } => self.core_crashes.incr(),
+            SimEvent::CoreHealed { .. } => self.core_heals.incr(),
             SimEvent::EpochTick => self.epoch_ticks.incr(),
         }
     }
@@ -455,6 +464,8 @@ impl EventLogProbe {
                 }
                 SimEvent::CoreParked { core } => writeln!(out, "{ns},park,{core},,"),
                 SimEvent::CoreUnparked { core } => writeln!(out, "{ns},unpark,{core},,"),
+                SimEvent::CoreCrashed { core } => writeln!(out, "{ns},crash,{core},,"),
+                SimEvent::CoreHealed { core } => writeln!(out, "{ns},heal,{core},,"),
                 _ => Ok(()),
             };
         }
@@ -473,7 +484,9 @@ impl Probe for EventLogProbe {
             | SimEvent::ReorderDetected { .. }
             | SimEvent::Dropped { .. }
             | SimEvent::CoreParked { .. }
-            | SimEvent::CoreUnparked { .. } => self.entries.push((now, *ev)),
+            | SimEvent::CoreUnparked { .. }
+            | SimEvent::CoreCrashed { .. }
+            | SimEvent::CoreHealed { .. } => self.entries.push((now, *ev)),
             _ => {}
         }
     }

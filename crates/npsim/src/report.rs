@@ -1,7 +1,8 @@
 //! Simulation reports — the numbers behind every figure.
 
+use crate::fault::FaultStats;
 use detsim::{Histogram, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Per-service counters.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -17,7 +18,14 @@ pub struct ServiceBreakdown {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) for one reason: the
+/// `faults` field must be *omitted* — not emitted as `null` — when no
+/// fault plan ran, so reports from fault-free runs stay byte-identical
+/// to the pre-fault golden fixtures. The derive has no
+/// `skip_serializing_if`; keep the manual impl's field list in sync
+/// with the struct, in declaration order.
+#[derive(Debug, Clone, Deserialize)]
 pub struct SimReport {
     /// Scheduler name.
     pub scheduler: String,
@@ -64,6 +72,48 @@ pub struct SimReport {
     /// completions, rate updates) — identical across event-queue
     /// backends; the denominator-free half of the events/sec metric.
     pub events: u64,
+    /// Fault-injection and degradation accounting; `None` when the run
+    /// had no fault plan and the default drop policy (and the key is
+    /// then omitted from serialized reports entirely).
+    pub faults: Option<FaultStats>,
+}
+
+impl Serialize for SimReport {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("scheduler".to_string(), self.scheduler.to_value()),
+            ("duration".to_string(), self.duration.to_value()),
+            ("end_time".to_string(), self.end_time.to_value()),
+            ("scale".to_string(), self.scale.to_value()),
+            ("offered".to_string(), self.offered.to_value()),
+            ("dropped".to_string(), self.dropped.to_value()),
+            ("processed".to_string(), self.processed.to_value()),
+            ("out_of_order".to_string(), self.out_of_order.to_value()),
+            (
+                "migrated_packets".to_string(),
+                self.migrated_packets.to_value(),
+            ),
+            (
+                "migration_events".to_string(),
+                self.migration_events.to_value(),
+            ),
+            ("cold_starts".to_string(), self.cold_starts.to_value()),
+            ("per_service".to_string(), self.per_service.to_value()),
+            ("latency".to_string(), self.latency.to_value()),
+            (
+                "core_reallocations".to_string(),
+                self.core_reallocations.to_value(),
+            ),
+            ("restoration".to_string(), self.restoration.to_value()),
+            ("core_busy_ns".to_string(), self.core_busy_ns.to_value()),
+            ("slow_path".to_string(), self.slow_path.to_value()),
+            ("events".to_string(), self.events.to_value()),
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults".to_string(), f.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl SimReport {
@@ -88,6 +138,7 @@ impl SimReport {
             core_busy_ns: Vec::new(),
             slow_path: 0,
             events: 0,
+            faults: None,
         }
     }
 

@@ -44,6 +44,11 @@ pub struct RestorationBuffer {
     /// Next sequence number each flow is allowed to release, keyed by
     /// the flow's dense arena slot.
     next_expected: DetHashMap<FlowSlot, u64>,
+    /// Ingress-dropped sequence numbers ahead of the window: the window
+    /// skips them when in-order progress reaches them. A timeout release
+    /// prunes entries the jump passed, so a late drop notification can
+    /// never advance the window a second time.
+    pending_gaps: DetHashMap<FlowSlot, std::collections::BTreeSet<u64>>,
     /// Held packets: flow slot → seq → (packet, buffered_at).
     held: DetHashMap<FlowSlot, BTreeMap<u64, (PacketDesc, SimTime)>>,
     occupancy: usize,
@@ -56,6 +61,7 @@ impl RestorationBuffer {
         RestorationBuffer {
             timeout,
             next_expected: det_map(),
+            pending_gaps: det_map(),
             held: det_map(),
             occupancy: 0,
             stats: RestorationStats::default(),
@@ -80,17 +86,15 @@ impl RestorationBuffer {
     /// The frame manager dropped `(flow, seq)` at ingress: that sequence
     /// number will never arrive, so releases must not wait for it.
     pub fn note_gap(&mut self, slot: FlowSlot, seq: u64, now: SimTime) -> Vec<PacketDesc> {
-        let expected = self.next_expected.entry(slot).or_insert(0);
-        if seq == *expected {
-            *expected += 1;
-            return self.drain_ready(slot, now);
+        let expected = *self.next_expected.get(&slot).unwrap_or(&0);
+        if seq < expected {
+            // The window already passed this position (a timeout release
+            // jumped over it): advancing again would swallow a live
+            // successor, so a late notification is a no-op.
+            return Vec::new();
         }
-        // A gap beyond the window: nothing releasable yet; the hole will
-        // be skipped when the window reaches it (we remember nothing —
-        // the in-order drain treats a missing seq < any held seq as
-        // releasable only via timeout, so close it eagerly when it is the
-        // next expected).
-        Vec::new()
+        self.pending_gaps.entry(slot).or_default().insert(seq);
+        self.drain_ready(slot, now)
     }
 
     /// A packet finished processing at `now`. Returns every packet that
@@ -124,27 +128,41 @@ impl RestorationBuffer {
         Vec::new()
     }
 
-    /// Release consecutive held successors of `flow`'s window.
+    /// Advance `flow`'s window through held packets and notified drop
+    /// gaps alike: a held packet at the window edge is released, a
+    /// pending gap at the edge is skipped, in whatever order they
+    /// interleave.
     fn drain_ready(&mut self, slot: FlowSlot, now: SimTime) -> Vec<PacketDesc> {
         let mut out = Vec::new();
-        let Some(q) = self.held.get_mut(&slot) else {
-            return out;
-        };
-        let expected = self.next_expected.entry(slot).or_insert(0);
-        while let Some((&seq, _)) = q.iter().next() {
-            if seq != *expected {
-                break;
+        loop {
+            let expected = self.next_expected.entry(slot).or_insert(0);
+            if let Some(gaps) = self.pending_gaps.get_mut(&slot) {
+                if gaps.remove(&*expected) {
+                    *expected += 1;
+                    continue;
+                }
             }
-            let (pkt, since) = q.remove(&seq).expect("peeked");
-            self.occupancy -= 1;
-            self.stats
-                .buffer_wait
-                .record((now.saturating_sub(since)).as_nanos());
-            *expected += 1;
-            out.push(pkt);
+            let Some(q) = self.held.get_mut(&slot) else {
+                break;
+            };
+            match q.iter().next() {
+                Some((&seq, _)) if seq == *expected => {
+                    let (pkt, since) = q.remove(&seq).expect("peeked");
+                    self.occupancy -= 1;
+                    self.stats
+                        .buffer_wait
+                        .record((now.saturating_sub(since)).as_nanos());
+                    *expected += 1;
+                    out.push(pkt);
+                }
+                _ => break,
+            }
         }
-        if q.is_empty() {
+        if self.held.get(&slot).is_some_and(|q| q.is_empty()) {
             self.held.remove(&slot);
+        }
+        if self.pending_gaps.get(&slot).is_some_and(|g| g.is_empty()) {
+            self.pending_gaps.remove(&slot);
         }
         out
     }
@@ -166,10 +184,16 @@ impl RestorationBuffer {
             if !expired {
                 continue;
             }
-            // Jump the window to the oldest held packet and drain.
+            // Jump the window to the oldest held packet and drain. The
+            // jump consumed every position behind it, so prune pending
+            // gaps the window passed: a late drop notification for one
+            // of them must not advance the window again.
             let q = self.held.get_mut(&slot).expect("present");
             let (&seq, _) = q.iter().next().expect("non-empty");
             self.next_expected.insert(slot, seq);
+            if let Some(gaps) = self.pending_gaps.get_mut(&slot) {
+                *gaps = gaps.split_off(&seq);
+            }
             self.stats.timeout_releases += 1;
             out.extend(self.drain_ready(slot, now));
         }
@@ -191,6 +215,7 @@ impl RestorationBuffer {
                 out.extend(self.drain_ready(slot, now));
             }
         }
+        self.pending_gaps.clear();
         out
     }
 }
@@ -276,6 +301,62 @@ mod tests {
         assert_eq!(b.on_departure(pkt(1, 4), t(11)).len(), 1);
         // …and a very late seq 2 is emitted immediately rather than held.
         assert_eq!(b.on_departure(pkt(1, 2), t(12)).len(), 1);
+    }
+
+    #[test]
+    fn drop_before_timeout_does_not_double_advance() {
+        // Seq 1 dropped at ingress (notified ahead of the window), seq 2
+        // held, seq 0 still in flight. The timeout jumps the window to 2
+        // and releases it; the already-notified gap at 1 was consumed by
+        // the jump, so the window must land exactly on 3 — not 4.
+        let mut b = RestorationBuffer::new(t(10));
+        assert!(b.note_gap(FlowSlot::new(1), 1, t(0)).is_empty());
+        assert!(b.on_departure(pkt(1, 2), t(0)).is_empty());
+        let out = b.flush_timeouts(t(10));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].flow_seq, 2);
+        assert_eq!(b.stats().timeout_releases, 1);
+        // Seq 3 is now the exact window edge: it must pass through AND
+        // advance the window (a double-advanced window at 4 would also
+        // emit it, but as a late pass-through leaving 4 expected).
+        assert!(b.on_departure(pkt(1, 4), t(11)).is_empty(), "4 is early");
+        let out = b.on_departure(pkt(1, 3), t(12));
+        let seqs: Vec<u64> = out.iter().map(|p| p.flow_seq).collect();
+        assert_eq!(seqs, vec![3, 4], "window was at 3, not past it");
+    }
+
+    #[test]
+    fn drop_notification_after_timeout_release_is_ignored() {
+        // Seq 1 held; the timeout jumps the window past missing seq 0.
+        let mut b = RestorationBuffer::new(t(10));
+        assert!(b.on_departure(pkt(1, 1), t(0)).is_empty());
+        let out = b.flush_timeouts(t(10));
+        assert_eq!(out.len(), 1);
+        // Now the late drop notification for seq 0 arrives. The window
+        // already passed it: no second advance.
+        assert!(b.note_gap(FlowSlot::new(1), 0, t(11)).is_empty());
+        // Seq 3 must still wait for seq 2 (double-advance would have
+        // moved the window to 3 and released it immediately).
+        assert!(b.on_departure(pkt(1, 3), t(12)).is_empty());
+        assert_eq!(b.occupancy(), 1);
+        let out = b.on_departure(pkt(1, 2), t(13));
+        let seqs: Vec<u64> = out.iter().map(|p| p.flow_seq).collect();
+        assert_eq!(seqs, vec![2, 3]);
+    }
+
+    #[test]
+    fn gap_ahead_of_window_is_remembered_and_skipped_in_order() {
+        // Seq 2 dropped while the window is still at 0: when in-order
+        // progress reaches 2 the hole closes without any timeout.
+        let mut b = RestorationBuffer::new(t(1_000));
+        assert!(b.note_gap(FlowSlot::new(1), 2, t(0)).is_empty());
+        assert!(b.on_departure(pkt(1, 3), t(0)).is_empty());
+        assert_eq!(b.on_departure(pkt(1, 0), t(1)).len(), 1);
+        let out = b.on_departure(pkt(1, 1), t(2));
+        let seqs: Vec<u64> = out.iter().map(|p| p.flow_seq).collect();
+        assert_eq!(seqs, vec![1, 3], "the notified hole at 2 is skipped");
+        assert_eq!(b.stats().timeout_releases, 0, "no safety net needed");
+        assert_eq!(b.occupancy(), 0);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct QueueInfo {
     /// not congested for `idle_th` has spare capacity — the surplus-core
     /// eligibility signal (§III-D; see DESIGN.md for the interpretation).
     pub last_congested: SimTime,
+    /// Whether the core is alive. `false` after a fault-plan crash and
+    /// until the matching heal; view helpers skip dead cores, so
+    /// load-driven policies degrade around failures automatically.
+    pub up: bool,
 }
 
 /// Snapshot of system state at a scheduling decision.
@@ -44,12 +48,14 @@ impl SystemView<'_> {
         self.queues.len()
     }
 
-    /// The core with the shortest queue among `cores` (ties to the lowest
-    /// index). `None` if `cores` is empty.
+    /// The core with the shortest queue among the *live* cores of
+    /// `cores` (ties to the lowest index). `None` if `cores` is empty or
+    /// every listed core is down.
     pub fn min_queue_core(&self, cores: &[usize]) -> Option<usize> {
         cores
             .iter()
             .copied()
+            .filter(|&c| self.queues[c].up)
             .min_by_key(|&c| (self.queues[c].len, c))
     }
 
@@ -58,26 +64,24 @@ impl SystemView<'_> {
         cores.iter().map(|&c| self.queues[c].len).max().unwrap_or(0)
     }
 
-    /// The core with the shortest queue among **all** cores (ties to the
-    /// lowest index). Unlike [`SystemView::min_queue_core`], this needs no
-    /// core-index slice, so per-packet callers allocate nothing.
+    /// The core with the shortest queue among **all live** cores (ties
+    /// to the lowest index). Unlike [`SystemView::min_queue_core`], this
+    /// needs no core-index slice, so per-packet callers allocate
+    /// nothing. `None` when every core is down.
     pub fn min_queue_core_all(&self) -> Option<usize> {
         // Manual strict-less scan (first minimum wins, i.e. ties go to
         // the lowest index, same as `min_by_key` over `(len, c)`): this
         // runs once per packet, and the simple loop compiles to a tight
         // compare-and-select over the queue slice.
-        if self.queues.is_empty() {
-            return None;
-        }
-        let mut best = 0usize;
+        let mut best = None;
         let mut best_len = usize::MAX;
         for (c, q) in self.queues.iter().enumerate() {
-            if q.len < best_len {
-                best = c;
+            if q.up && q.len < best_len {
+                best = Some(c);
                 best_len = q.len;
             }
         }
-        Some(best)
+        best
     }
 }
 
@@ -97,6 +101,25 @@ pub enum SchedEvent {
         /// The woken core.
         core: usize,
     },
+}
+
+/// A policy's answer to a core-failure (or heal) notification: did it
+/// restructure its own dispatch state so traffic stops targeting the
+/// dead core (resp. flows back onto the healed one)?
+///
+/// `Unrepaired` is an *honest* answer, not an error: stateless policies
+/// (round-robin) and policies whose view already skips dead cores (JSQ)
+/// have nothing to restructure, and the engine keeps degrading for them
+/// by redirecting arrivals away from dead cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The policy restructured its dispatch state (e.g. shrank the
+    /// owning service's map table so only the failed core's flows
+    /// migrate).
+    Repaired,
+    /// The policy cannot (or need not) repair; the engine's redirect
+    /// path carries the degradation.
+    Unrepaired,
 }
 
 /// A packet-scheduling policy.
@@ -129,6 +152,21 @@ pub trait Scheduler {
     /// Called by the engine after each scheduling decision while the
     /// feed is enabled. Default: no events.
     fn drain_events(&mut self, _sink: &mut dyn FnMut(SchedEvent)) {}
+
+    /// The engine crashed `core` (fault injection). The policy should
+    /// repair its dispatch state so no new packet targets the dead core
+    /// — ideally migrating only the flows resident on it — and report
+    /// whether it did. Default: honestly unrepaired.
+    fn on_core_down(&mut self, _core: usize) -> RepairOutcome {
+        RepairOutcome::Unrepaired
+    }
+
+    /// The engine healed `core`; the policy may re-grow onto it
+    /// (ideally restoring exactly the flows that left at crash time).
+    /// Default: honestly unrepaired.
+    fn on_core_up(&mut self, _core: usize) -> RepairOutcome {
+        RepairOutcome::Unrepaired
+    }
 }
 
 impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
@@ -149,6 +187,12 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
     }
     fn drain_events(&mut self, sink: &mut dyn FnMut(SchedEvent)) {
         (**self).drain_events(sink)
+    }
+    fn on_core_down(&mut self, core: usize) -> RepairOutcome {
+        (**self).on_core_down(core)
+    }
+    fn on_core_up(&mut self, core: usize) -> RepairOutcome {
+        (**self).on_core_up(core)
     }
 }
 
@@ -229,6 +273,7 @@ mod tests {
                 busy: len > 0,
                 idle_since: None,
                 last_congested: SimTime::ZERO,
+                up: true,
             })
             .collect()
     }
@@ -268,5 +313,30 @@ mod tests {
         assert_eq!(v.min_queue_core(&[]), None);
         assert_eq!(v.max_queue_len(&[0, 1, 2, 3]), 4);
         assert_eq!(v.min_queue_core_all(), Some(3));
+    }
+
+    #[test]
+    fn view_helpers_skip_dead_cores() {
+        let mut qs = view(&[3, 1, 4, 0]);
+        qs[3].up = false; // the global minimum is down
+        qs[1].up = false; // and so is the runner-up slice pick
+        let v = SystemView {
+            now: SimTime::ZERO,
+            queues: &qs,
+        };
+        assert_eq!(v.min_queue_core_all(), Some(0));
+        assert_eq!(v.min_queue_core(&[1, 2]), Some(2));
+        assert_eq!(v.min_queue_core(&[1, 3]), None, "all listed cores down");
+        let mut jsq = JoinShortestQueue::new();
+        assert_eq!(jsq.schedule(&pkt(), &v), 0, "JSQ degrades around faults");
+    }
+
+    #[test]
+    fn default_repair_hooks_are_honestly_unrepaired() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.on_core_down(1), RepairOutcome::Unrepaired);
+        assert_eq!(rr.on_core_up(1), RepairOutcome::Unrepaired);
+        let mut boxed: Box<dyn Scheduler> = Box::new(JoinShortestQueue::new());
+        assert_eq!(boxed.on_core_down(0), RepairOutcome::Unrepaired);
     }
 }

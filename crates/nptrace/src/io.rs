@@ -12,14 +12,98 @@ use std::path::Path;
 /// Magic bytes of the binary format.
 const MAGIC: &[u8; 8] = b"NPTRACE1";
 
+/// Typed decode failure: corrupt or truncated trace inputs are reported
+/// precisely (which field, what was found) instead of as opaque I/O
+/// strings — and never as panics, so a bad file on disk cannot take an
+/// experiment down.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure (open, read) outside a known field.
+    Io(io::Error),
+    /// The stream ended in the middle of the named field.
+    Truncated {
+        /// Which field the stream ended inside.
+        field: &'static str,
+    },
+    /// The stream does not start with the `NPTRACE1` magic.
+    BadMagic {
+        /// The eight bytes found instead.
+        found: [u8; 8],
+    },
+    /// A length field exceeds the format's sanity bound.
+    UnreasonableLength {
+        /// The offending field.
+        field: &'static str,
+        /// The decoded value.
+        len: u64,
+    },
+    /// The embedded trace name is not valid UTF-8.
+    NameNotUtf8,
+    /// JSON parse failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Truncated { field } => {
+                write!(f, "trace truncated inside {field}")
+            }
+            TraceError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:?} (expected {MAGIC:?})")
+            }
+            TraceError::UnreasonableLength { field, len } => {
+                write!(f, "unreasonable {field} length {len}")
+            }
+            TraceError::NameNotUtf8 => write!(f, "trace name is not UTF-8"),
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
 /// Serialize a trace as JSON.
 pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
     serde_json::to_string(trace)
 }
 
 /// Deserialize a trace from JSON.
-pub fn from_json(s: &str) -> serde_json::Result<Trace> {
-    serde_json::from_str(s)
+pub fn from_json(s: &str) -> Result<Trace, TraceError> {
+    serde_json::from_str(s).map_err(TraceError::Json)
+}
+
+/// `read_exact` that reports an early EOF as a truncation *inside a
+/// named field* rather than a bare I/O error.
+fn read_field<R: Read>(r: &mut R, buf: &mut [u8], field: &'static str) -> Result<(), TraceError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { field }
+        } else {
+            TraceError::Io(e)
+        }
+    })
 }
 
 /// Write the compact binary format.
@@ -39,38 +123,34 @@ pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
 }
 
 /// Read the compact binary format.
-pub fn read_binary<R: Read>(r: &mut R) -> io::Result<Trace> {
+pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_field(r, &mut magic, "magic")?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad trace magic",
-        ));
+        return Err(TraceError::BadMagic { found: magic });
     }
-    let name_len = read_u32(r)? as usize;
+    let name_len = read_u32(r, "name length")? as usize;
     if name_len > 1 << 20 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unreasonable name length",
-        ));
+        return Err(TraceError::UnreasonableLength {
+            field: "name",
+            len: name_len as u64,
+        });
     }
     let mut name = vec![0u8; name_len];
-    r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "name not UTF-8"))?;
+    read_field(r, &mut name, "name")?;
+    let name = String::from_utf8(name).map_err(|_| TraceError::NameNotUtf8)?;
     let mut fs = [0u8; 8];
-    r.read_exact(&mut fs)?;
+    read_field(r, &mut fs, "flow space")?;
     let flow_space = u64::from_le_bytes(fs);
-    let n_flows = read_u32(r)?;
+    let n_flows = read_u32(r, "flow count")?;
     let mut cnt = [0u8; 8];
-    r.read_exact(&mut cnt)?;
+    read_field(r, &mut cnt, "packet count")?;
     let n_packets = u64::from_le_bytes(cnt) as usize;
     let mut packets = Vec::with_capacity(n_packets.min(1 << 24));
     for _ in 0..n_packets {
-        let flow = read_u32(r)?;
+        let flow = read_u32(r, "packet record")?;
         let mut sz = [0u8; 2];
-        r.read_exact(&mut sz)?;
+        read_field(r, &mut sz, "packet record")?;
         packets.push(PacketRecord {
             flow,
             size: u16::from_le_bytes(sz),
@@ -132,9 +212,9 @@ pub fn write_pcap<W: Write>(trace: &Trace, pps: u32, w: &mut W) -> io::Result<()
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+fn read_u32<R: Read>(r: &mut R, field: &'static str) -> Result<u32, TraceError> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
+    read_field(r, &mut b, field)?;
     Ok(u32::from_le_bytes(b))
 }
 
@@ -145,7 +225,7 @@ pub fn save<P: AsRef<Path>>(trace: &Trace, path: P) -> io::Result<()> {
 }
 
 /// Load a binary-format trace from `path`.
-pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
     read_binary(&mut f)
 }
@@ -184,7 +264,11 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let err = read_binary(&mut &b"XXXXXXXXrest"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(err, TraceError::BadMagic { found } if &found == b"XXXXXXXX"),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("bad trace magic"));
     }
 
     #[test]
@@ -193,7 +277,72 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&mut buf.as_slice()).is_err());
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated {
+                    field: "packet record"
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_files_yield_typed_errors_not_panics() {
+        let t = sample();
+        let mut clean = Vec::new();
+        write_binary(&t, &mut clean).unwrap();
+
+        // Truncation at every prefix length must yield an error — never a
+        // panic, never a silently short trace.
+        for cut in 0..clean.len().min(64) {
+            let err = read_binary(&mut &clean[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::Truncated { .. } | TraceError::BadMagic { .. }
+                ),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+
+        // An absurd name length is rejected before any allocation.
+        let mut corrupt = clean.clone();
+        corrupt[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_binary(&mut corrupt.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::UnreasonableLength { field: "name", .. }),
+            "got {err:?}"
+        );
+
+        // A non-UTF-8 name is a typed decode failure.
+        let mut corrupt = clean.clone();
+        let name_len = u32::from_le_bytes(corrupt[8..12].try_into().unwrap()) as usize;
+        assert!(name_len > 0, "sample trace has a name");
+        corrupt[12] = 0xFF;
+        corrupt[12 + name_len - 1] = 0xFE;
+        let err = read_binary(&mut corrupt.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceError::NameNotUtf8), "got {err:?}");
+
+        // The same guarantees hold through the file path (`load`).
+        let dir = std::env::temp_dir().join("nptrace_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.npt");
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_parse_failure_is_typed() {
+        let err = from_json("{not json").unwrap_err();
+        assert!(matches!(err, TraceError::Json(_)));
+        assert!(err.to_string().contains("JSON"));
+        use std::error::Error as _;
+        assert!(err.source().is_some(), "source chains to serde_json");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod zipf;
 
 pub use analysis::TraceStats;
 pub use gen::{TraceConfig, TraceGenerator};
+pub use io::TraceError;
 pub use packet::{PacketRecord, Trace};
 pub use presets::TracePreset;
 pub use sizes::{SizeModel, SizeProfile};

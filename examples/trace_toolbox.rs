@@ -9,7 +9,7 @@
 
 use laps_repro::nptrace::{io, TracePreset};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = TracePreset::Caida(1).generate(100_000);
     let stats = trace.analyze();
 
