@@ -9,24 +9,17 @@
 //! cargo run --release -p laps-bench -- --emit-baseline
 //! ```
 //!
-//! writes `BENCH_PR2.json` at the invocation directory (the repo root
-//! when run via cargo) with the schema
-//! `bench name → {packets_per_sec, events_per_sec, wall_ms}`.
+//! writes `BENCH_PR5.json` at the invocation directory (the repo root
+//! when run via cargo) in the [`npfarm::benchdiff`] schema
+//! `bench name → {packets_per_sec, events_per_sec, wall_ms}` — the same
+//! schema the `benchdiff` binary gates CI with.
 //!
 //! Flags: `--emit-baseline` (write the JSON; otherwise print only),
 //! `--short` (CI-sized run), `--out <path>` (override the output path).
 
 use laps::prelude::*;
-use std::fmt::Write as _;
+use npfarm::benchdiff::{render, BenchFile, BenchMetrics};
 use std::time::Instant;
-
-/// One measured bench row.
-struct BenchRow {
-    name: &'static str,
-    packets_per_sec: f64,
-    events_per_sec: f64,
-    wall_ms: f64,
-}
 
 /// The hot-path engine configuration: paper-scale timing (scale 1) so the
 /// event loop is packet-dominated, single service on the `caida1` preset.
@@ -59,7 +52,7 @@ fn measure<S: Scheduler>(
     name: &'static str,
     duration_ms: u64,
     mk_scheduler: impl Fn() -> S,
-) -> BenchRow {
+) -> (String, BenchMetrics) {
     // Warm-up pass (touch the allocator and caches), then the timed run.
     // Both go through SimBuilder::run_with — static dispatch, and with no
     // probes attached the engine's zero-probe fast path — but only the
@@ -74,12 +67,14 @@ fn measure<S: Scheduler>(
     let report = engine.run();
     let wall = start.elapsed();
     let secs = wall.as_secs_f64().max(1e-9);
-    BenchRow {
-        name,
-        packets_per_sec: (report.offered + report.slow_path) as f64 / secs,
-        events_per_sec: events_of(&report) / secs,
-        wall_ms: secs * 1_000.0,
-    }
+    (
+        name.to_string(),
+        BenchMetrics {
+            packets_per_sec: (report.offered + report.slow_path) as f64 / secs,
+            events_per_sec: events_of(&report) / secs,
+            wall_ms: secs * 1_000.0,
+        },
+    )
 }
 
 fn main() {
@@ -91,10 +86,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let duration_ms = if short { 10 } else { 100 };
 
-    let rows = [
+    let rows: BenchFile = vec![
         measure("hotpath", duration_ms, Fcfs::new),
         measure("hotpath-laps", duration_ms, || {
             Laps::new(LapsConfig {
@@ -104,20 +99,13 @@ fn main() {
         }),
     ];
 
-    let mut json = String::from("{\n");
-    for (i, r) in rows.iter().enumerate() {
+    for (name, m) in &rows {
         println!(
             "{:>14}: {:>12.0} packets/s  {:>12.0} events/s  {:>8.1} ms",
-            r.name, r.packets_per_sec, r.events_per_sec, r.wall_ms
+            name, m.packets_per_sec, m.events_per_sec, m.wall_ms
         );
-        let _ = write!(
-            json,
-            "  \"{}\": {{\"packets_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"wall_ms\": {:.2}}}",
-            r.name, r.packets_per_sec, r.events_per_sec, r.wall_ms
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("}\n");
+    let json = render(&rows);
 
     if emit {
         match std::fs::write(&out_path, &json) {

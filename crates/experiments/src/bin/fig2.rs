@@ -4,23 +4,60 @@
 //! series for two CAIDA-like and two Auckland-like presets at log-spaced
 //! ranks and writes the full series as CSV. On log-log axes the series is
 //! near-linear — the heavy-tail property every other experiment builds on.
+//!
+//! One sweep cell per trace preset (the per-preset analysis is the unit
+//! of caching: `--resume` skips regenerating multi-million-packet traces
+//! whose preset and packet count are unchanged).
 
-use laps_experiments::{print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{farm, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep};
 use nptrace::TracePreset;
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let n_packets = fidelity.trace_packets();
-    let presets = [
-        TracePreset::Caida(1),
-        TracePreset::Caida(2),
-        TracePreset::Auckland(1),
-        TracePreset::Auckland(2),
-    ];
+struct Fig2 {
+    presets: Vec<TracePreset>,
+    n_packets: usize,
+}
 
-    let series: Vec<(String, Vec<u64>)> = presets
+impl Sweep for Fig2 {
+    type Cell = TracePreset;
+    type Out = Vec<u64>;
+
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn cells(&self) -> Vec<TracePreset> {
+        self.presets.clone()
+    }
+
+    fn cell_fields(&self, preset: &TracePreset) -> KeyFields {
+        KeyFields::new()
+            .push("trace", preset.name())
+            .push("packets", self.n_packets)
+    }
+
+    fn run_cell(&self, preset: &TracePreset) -> Vec<u64> {
+        preset.generate(self.n_packets).analyze().rank_size()
+    }
+}
+
+fn main() {
+    let spec = Fig2 {
+        presets: vec![
+            TracePreset::Caida(1),
+            TracePreset::Caida(2),
+            TracePreset::Auckland(1),
+            TracePreset::Auckland(2),
+        ],
+        n_packets: Fidelity::from_args().trace_packets(),
+    };
+    let Some(rank_sizes) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
+    let series: Vec<(String, Vec<u64>)> = spec
+        .presets
         .iter()
-        .map(|p| (p.name(), p.generate(n_packets).analyze().rank_size()))
+        .map(|p| p.name())
+        .zip(rank_sizes)
         .collect();
 
     // Console: log-spaced ranks.

@@ -7,30 +7,60 @@
 //!
 //! for scenarios T1–T8 (Table IV parameter sets × Table V trace groups).
 //!
+//! The sweep (scenario × scheduler, 24 cells) runs through
+//! [`laps_experiments::farm`]: `--resume` loads unchanged cells from
+//! the content-addressed cache, `--shard k/n` runs a CI shard (the
+//! aggregate tables are then suppressed; per-cell rows land in
+//! `results/npfarm/fig7.jsonl`).
+//!
 //! Pass `--events` to also dump each cell's migration/reorder event log
 //! (an [`EventLogProbe`] on the engine's observability bus) to
 //! `results/events_<scenario>_<scheduler>.csv`. Off by default: the
 //! probe-free runs take the engine's zero-probe fast path, and the
-//! reports are byte-identical either way.
+//! reports are byte-identical either way. (`--events` is part of the
+//! cell key, so event-logging runs never alias cached plain runs.)
 
 use laps::prelude::*;
-use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, pct, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep,
+};
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let events = std::env::args().any(|a| a == "--events");
-    let seed = 2013;
+const SEED: u64 = 2013;
 
-    let jobs: Vec<(Scenario, &'static str)> = Scenario::all()
-        .into_iter()
-        .flat_map(|sc| [(sc, "fcfs"), (sc, "afs"), (sc, "laps")])
-        .collect();
+struct Fig7 {
+    fidelity: Fidelity,
+    events: bool,
+}
 
-    let reports: Vec<SimReport> = parallel_map(jobs.clone(), |(scenario, which)| {
+impl Sweep for Fig7 {
+    type Cell = (Scenario, &'static str);
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        Scenario::all()
+            .into_iter()
+            .flat_map(|sc| [(sc, "fcfs"), (sc, "afs"), (sc, "laps")])
+            .collect()
+    }
+
+    fn cell_fields(&self, &(scenario, which): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", scenario.name())
+            .push("scheduler", which)
+            .push("seed", SEED)
+            .push("profile", self.fidelity.name())
+            .push("events", self.events)
+    }
+
+    fn run_cell(&self, &(scenario, which): &Self::Cell) -> SimReport {
         let builder = SimBuilder::new()
-            .config(fidelity.engine_config(seed))
+            .config(self.fidelity.engine_config(SEED))
             .scenario(scenario);
-        if !events {
+        if !self.events {
             return builder.run_named(which).expect("builtin scheduler");
         }
         let (report, probes) = builder
@@ -46,7 +76,21 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
         report
-    });
+    }
+
+    fn throughput(&self, r: &SimReport) -> Option<f64> {
+        Some(r.throughput_mpps() * 1e6)
+    }
+}
+
+fn main() {
+    let spec = Fig7 {
+        fidelity: Fidelity::from_args(),
+        events: std::env::args().any(|a| a == "--events"),
+    };
+    let Some(reports) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();

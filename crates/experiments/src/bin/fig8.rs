@@ -8,8 +8,15 @@
 //!
 //! Ground truth is exact offline per-flow counting, exactly as in the
 //! paper ("top 16 flows identified by off-line analysis").
+//!
+//! Each panel is its own [`Sweep`] (the traces are generated once and
+//! shared); a cell's cache key is (trace preset, panel parameter,
+//! packet count), so `--resume` reuses panels across runs and `--shard`
+//! splits the 60 cells for CI.
 
-use laps_experiments::{parallel_map, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, print_table, results_dir, write_csv, Farm, Fidelity, KeyFields, Sweep,
+};
 use npafd::ExactTopK;
 use npafd::{Afd, AfdConfig};
 use nptrace::analysis::false_positive_ratio;
@@ -48,6 +55,74 @@ fn interval_accuracy(trace: &Trace, cfg: AfdConfig, interval: usize) -> f64 {
     accs.iter().sum::<f64>() / accs.len() as f64
 }
 
+/// One detector-metric panel: trace × panel parameter, result `f64`.
+struct Panel<'a> {
+    name: &'static str,
+    /// Parameter name in the cell key ("annex" / "interval" / "prob").
+    param: &'static str,
+    presets: &'a [TracePreset],
+    traces: &'a [Trace],
+    params: &'a [f64],
+    n_packets: usize,
+    eval: fn(&Trace, f64) -> f64,
+}
+
+impl Sweep for Panel<'_> {
+    type Cell = (usize, usize); // (trace index, parameter index)
+    type Out = f64;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        (0..self.traces.len())
+            .flat_map(|t| (0..self.params.len()).map(move |p| (t, p)))
+            .collect()
+    }
+
+    fn cell_fields(&self, &(t, p): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("trace", self.presets[t].name())
+            .push(self.param, self.params[p])
+            .push("packets", self.n_packets)
+    }
+
+    fn run_cell(&self, &(t, p): &Self::Cell) -> f64 {
+        (self.eval)(&self.traces[t], self.params[p])
+    }
+}
+
+/// Render one panel as a trace-per-row table + long-form CSV.
+#[allow(clippy::too_many_arguments)]
+fn emit_panel(
+    title: &str,
+    csv_name: &str,
+    csv_header: &[&str],
+    presets: &[TracePreset],
+    params: &[f64],
+    col_label: &dyn Fn(f64) -> String,
+    param_str: &dyn Fn(f64) -> String,
+    values: &[f64],
+) {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (ti, preset) in presets.iter().enumerate() {
+        let mut row = vec![preset.name()];
+        for (pi, &param) in params.iter().enumerate() {
+            let v = values[ti * params.len() + pi];
+            row.push(format!("{v:.3}"));
+            csv.push(vec![preset.name(), param_str(param), format!("{v:.4}")]);
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["trace".to_string()];
+    header.extend(params.iter().map(|&p| col_label(p)));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(title, &header_refs, &rows);
+    write_csv(results_dir().join(csv_name), csv_header, &csv);
+}
+
 fn main() {
     let fidelity = Fidelity::from_args();
     let n_packets = fidelity.trace_packets();
@@ -58,128 +133,93 @@ fn main() {
         TracePreset::Auckland(2),
     ];
     let traces: Vec<Trace> = presets.iter().map(|p| p.generate(n_packets)).collect();
+    let farm: Farm = farm();
 
     // ---- (a) annex size sweep ------------------------------------------
-    let annex_sizes = [64usize, 128, 256, 512, 1024, 2048];
-    let jobs: Vec<(usize, usize)> = (0..traces.len())
-        .flat_map(|t| annex_sizes.iter().map(move |&a| (t, a)))
-        .collect();
-    let fprs = parallel_map(jobs.clone(), |(t, annex)| {
-        final_fpr(
-            &traces[t],
-            AfdConfig {
-                annex_entries: annex,
-                ..AfdConfig::default()
-            },
-        )
-    });
-    let mut rows = Vec::new();
-    let mut csv = Vec::new();
-    for (j, &(t, annex)) in jobs.iter().enumerate() {
-        csv.push(vec![
-            presets[t].name(),
-            annex.to_string(),
-            format!("{:.4}", fprs[j]),
-        ]);
+    let annex_sizes = [64.0f64, 128.0, 256.0, 512.0, 1024.0, 2048.0];
+    let panel_a = Panel {
+        name: "fig8a",
+        param: "annex",
+        presets: &presets,
+        traces: &traces,
+        params: &annex_sizes,
+        n_packets,
+        eval: |trace, annex| {
+            final_fpr(
+                trace,
+                AfdConfig {
+                    annex_entries: annex as usize,
+                    ..AfdConfig::default()
+                },
+            )
+        },
+    };
+    if let Some(fprs) = farm.sweep(&panel_a).into_complete() {
+        emit_panel(
+            "Fig. 8(a): AFC false-positive ratio vs annex size",
+            "fig8a_annex_sweep.csv",
+            &["trace", "annex", "fpr"],
+            &presets,
+            &annex_sizes,
+            &|a| format!("annex={a}"),
+            &|a| format!("{}", a as usize),
+            &fprs,
+        );
     }
-    for (ti, p) in presets.iter().enumerate() {
-        let mut row = vec![p.name()];
-        for (j, &(t, _)) in jobs.iter().enumerate() {
-            if t == ti {
-                row.push(format!("{:.3}", fprs[j]));
-            }
-        }
-        rows.push(row);
-    }
-    let mut header = vec!["trace".to_string()];
-    header.extend(annex_sizes.iter().map(|a| format!("annex={a}")));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Fig. 8(a): AFC false-positive ratio vs annex size",
-        &header_refs,
-        &rows,
-    );
-    write_csv(
-        results_dir().join("fig8a_annex_sweep.csv"),
-        &["trace", "annex", "fpr"],
-        &csv,
-    );
 
     // ---- (b) measurement-interval sweep --------------------------------
-    let intervals = [1_000usize, 10_000, 50_000, 100_000];
-    let jobs_b: Vec<(usize, usize)> = (0..traces.len())
-        .flat_map(|t| intervals.iter().map(move |&w| (t, w)))
-        .collect();
-    let accs = parallel_map(jobs_b.clone(), |(t, w)| {
-        interval_accuracy(&traces[t], AfdConfig::default(), w)
-    });
-    let mut rows_b = Vec::new();
-    let mut csv_b = Vec::new();
-    for (ti, p) in presets.iter().enumerate() {
-        let mut row = vec![p.name()];
-        for (j, &(t, w)) in jobs_b.iter().enumerate() {
-            if t == ti {
-                row.push(format!("{:.3}", accs[j]));
-                csv_b.push(vec![p.name(), w.to_string(), format!("{:.4}", accs[j])]);
-            }
-        }
-        rows_b.push(row);
+    let intervals = [1_000.0f64, 10_000.0, 50_000.0, 100_000.0];
+    let panel_b = Panel {
+        name: "fig8b",
+        param: "interval",
+        presets: &presets,
+        traces: &traces,
+        params: &intervals,
+        n_packets,
+        eval: |trace, interval| interval_accuracy(trace, AfdConfig::default(), interval as usize),
+    };
+    if let Some(accs) = farm.sweep(&panel_b).into_complete() {
+        emit_panel(
+            "Fig. 8(b): mean AFC accuracy at fixed inspection intervals (annex=512)",
+            "fig8b_window_accuracy.csv",
+            &["trace", "interval", "accuracy"],
+            &presets,
+            &intervals,
+            &|w| format!("every {}", w as usize),
+            &|w| format!("{}", w as usize),
+            &accs,
+        );
     }
-    let mut header_b = vec!["trace".to_string()];
-    header_b.extend(intervals.iter().map(|w| format!("every {w}")));
-    let header_b_refs: Vec<&str> = header_b.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Fig. 8(b): mean AFC accuracy at fixed inspection intervals (annex=512)",
-        &header_b_refs,
-        &rows_b,
-    );
-    write_csv(
-        results_dir().join("fig8b_window_accuracy.csv"),
-        &["trace", "interval", "accuracy"],
-        &csv_b,
-    );
 
     // ---- (c) sampling sweep ---------------------------------------------
     let probs = [1.0f64, 0.1, 0.01, 0.001, 0.0001];
-    let jobs_c: Vec<(usize, usize)> = (0..traces.len())
-        .flat_map(|t| (0..probs.len()).map(move |p| (t, p)))
-        .collect();
-    let fprs_c = parallel_map(jobs_c.clone(), |(t, pi)| {
-        final_fpr(
-            &traces[t],
-            AfdConfig {
-                sample_prob: probs[pi],
-                ..AfdConfig::default()
-            },
-        )
-    });
-    let mut rows_c = Vec::new();
-    let mut csv_c = Vec::new();
-    for (ti, p) in presets.iter().enumerate() {
-        let mut row = vec![p.name()];
-        for (j, &(t, pi)) in jobs_c.iter().enumerate() {
-            if t == ti {
-                row.push(format!("{:.3}", fprs_c[j]));
-                csv_c.push(vec![
-                    p.name(),
-                    format!("{}", probs[pi]),
-                    format!("{:.4}", fprs_c[j]),
-                ]);
-            }
-        }
-        rows_c.push(row);
+    let panel_c = Panel {
+        name: "fig8c",
+        param: "prob",
+        presets: &presets,
+        traces: &traces,
+        params: &probs,
+        n_packets,
+        eval: |trace, p| {
+            final_fpr(
+                trace,
+                AfdConfig {
+                    sample_prob: p,
+                    ..AfdConfig::default()
+                },
+            )
+        },
+    };
+    if let Some(fprs) = farm.sweep(&panel_c).into_complete() {
+        emit_panel(
+            "Fig. 8(c): FPR vs sampling probability (annex=512)",
+            "fig8c_sampling.csv",
+            &["trace", "sample_prob", "fpr"],
+            &presets,
+            &probs,
+            &|p| format!("p={p}"),
+            &|p| format!("{p}"),
+            &fprs,
+        );
     }
-    let mut header_c = vec!["trace".to_string()];
-    header_c.extend(probs.iter().map(|p| format!("p={p}")));
-    let header_c_refs: Vec<&str> = header_c.iter().map(|s| s.as_str()).collect();
-    print_table(
-        "Fig. 8(c): FPR vs sampling probability (annex=512)",
-        &header_c_refs,
-        &rows_c,
-    );
-    write_csv(
-        results_dir().join("fig8c_sampling.csv"),
-        &["trace", "sample_prob", "fpr"],
-        &csv_c,
-    );
 }

@@ -10,16 +10,21 @@
 //! * `afs` — the baseline everything is normalized to.
 //!
 //! Panels: (a) relative packets dropped, (b) relative out-of-order
-//! packets, (c) relative flow migrations.
+//! packets, (c) relative flow migrations. The trace × arm sweep (28
+//! cells) runs through [`laps_experiments::farm`].
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{parallel_map, print_table, rel, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, print_table, rel, results_dir, write_csv, Fidelity, KeyFields, Sweep,
+};
 
 /// Ideal capacity of 16 cores running 0.5 µs IP forwarding = 32 Mpps;
 /// offer slightly more ("slightly more than 100% of what this
 /// configuration can achieve under ideal conditions").
 const OFFERED_MPPS: f64 = 33.6;
+
+const SEED: u64 = 97;
 
 fn engine(fidelity: Fidelity, seed: u64) -> EngineConfig {
     let mut cfg = fidelity.engine_config(seed);
@@ -74,23 +79,60 @@ fn build_and_run(cfg: EngineConfig, trace: TracePreset, arm: &str) -> SimReport 
     }
 }
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let traces = [
-        TracePreset::Caida(1),
-        TracePreset::Caida(2),
-        TracePreset::Auckland(1),
-        TracePreset::Auckland(2),
-    ];
-    let arms = arms();
+struct Fig9 {
+    fidelity: Fidelity,
+    traces: Vec<TracePreset>,
+    arms: Vec<&'static str>,
+}
 
-    let jobs: Vec<(TracePreset, &str)> = traces
-        .iter()
-        .flat_map(|&t| arms.iter().map(move |&a| (t, a)))
-        .collect();
-    let reports = parallel_map(jobs.clone(), |(trace, arm)| {
-        build_and_run(engine(fidelity, 97), trace, arm)
-    });
+impl Sweep for Fig9 {
+    type Cell = (TracePreset, &'static str);
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.traces
+            .iter()
+            .flat_map(|&t| self.arms.iter().map(move |&a| (t, a)))
+            .collect()
+    }
+
+    fn cell_fields(&self, &(trace, arm): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("trace", trace.name())
+            .push("arm", arm)
+            .push("seed", SEED)
+            .push("profile", self.fidelity.name())
+    }
+
+    fn run_cell(&self, &(trace, arm): &Self::Cell) -> SimReport {
+        build_and_run(engine(self.fidelity, SEED), trace, arm)
+    }
+
+    fn throughput(&self, r: &SimReport) -> Option<f64> {
+        Some(r.throughput_mpps() * 1e6)
+    }
+}
+
+fn main() {
+    let spec = Fig9 {
+        fidelity: Fidelity::from_args(),
+        traces: vec![
+            TracePreset::Caida(1),
+            TracePreset::Caida(2),
+            TracePreset::Auckland(1),
+            TracePreset::Auckland(2),
+        ],
+        arms: arms(),
+    };
+    let Some(reports) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
+    let traces = &spec.traces;
+    let arms = &spec.arms;
 
     let idx = |t: usize, a: usize| t * arms.len() + a;
     let mut rows = Vec::new();

@@ -14,9 +14,14 @@
 //! lapsim --scenario T5 --scheduler laps
 //! lapsim --scheduler afs --rate 33.6 --trace caida1 --json
 //! ```
+//!
+//! The run is a one-cell npfarm sweep keyed by the fully resolved
+//! configuration, so `lapsim --resume` with unchanged flags replays the
+//! cached report instead of re-simulating.
 
 use detsim::SimTime;
 use laps::prelude::*;
+use laps_experiments::{farm, KeyFields, Sweep};
 
 struct Args(Vec<String>);
 
@@ -40,6 +45,59 @@ impl Args {
 
 fn service_by_name(name: &str) -> Option<ServiceKind> {
     ServiceKind::ALL.into_iter().find(|s| s.name() == name)
+}
+
+/// The one resolved run: engine config + traffic + scheduler name.
+struct LapsimRun {
+    cfg: EngineConfig,
+    sources: Vec<SourceConfig>,
+    scheduler: String,
+    /// Human-readable traffic description for the cell key.
+    traffic: String,
+}
+
+impl Sweep for LapsimRun {
+    type Cell = ();
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "lapsim"
+    }
+
+    fn cells(&self) -> Vec<()> {
+        vec![()]
+    }
+
+    fn cell_fields(&self, _: &()) -> KeyFields {
+        let mut fields = KeyFields::new()
+            .push("scheduler", &self.scheduler)
+            .push("traffic", &self.traffic)
+            .push("cores", self.cfg.n_cores)
+            .push("queue", self.cfg.queue_capacity)
+            .push("duration_ns", self.cfg.duration.as_nanos())
+            .push("scale", self.cfg.scale)
+            .push("period_compression", self.cfg.period_compression)
+            .push("seed", self.cfg.seed);
+        if let Some(t) = self.cfg.restoration {
+            fields = fields.push("restore_timeout_ns", t.as_nanos());
+        }
+        fields
+    }
+
+    fn run_cell(&self, _: &()) -> SimReport {
+        SimBuilder::new()
+            .config(self.cfg.clone())
+            .sources(self.sources.clone())
+            .run_named(&self.scheduler)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}; run with --help");
+                std::process::exit(2);
+            })
+    }
+
+    fn throughput(&self, r: &SimReport) -> Option<f64> {
+        Some(r.throughput_mpps() * 1e6)
+    }
 }
 
 fn main() {
@@ -74,7 +132,7 @@ fn main() {
     }
 
     // Traffic: a Table VI scenario, or a single constant-rate service.
-    let sources: Vec<SourceConfig> = if let Some(t) = args.get("--scenario") {
+    let (sources, traffic): (Vec<SourceConfig>, String) = if let Some(t) = args.get("--scenario") {
         let scenario = t
             .trim_start_matches(['T', 't'])
             .parse()
@@ -85,7 +143,7 @@ fn main() {
                 std::process::exit(2);
             });
         let traces = scenario.group.traces();
-        ServiceKind::ALL
+        let sources = ServiceKind::ALL
             .iter()
             .zip(traces.iter())
             .map(|(&service, &trace)| SourceConfig {
@@ -93,7 +151,8 @@ fn main() {
                 trace,
                 rate: RateSpec::HoltWinters(scenario.params.rate_model(service)),
             })
-            .collect()
+            .collect();
+        (sources, format!("scenario:{}", scenario.name()))
     } else {
         let trace =
             TracePreset::parse(args.get("--trace").unwrap_or("caida1")).unwrap_or_else(|| {
@@ -105,34 +164,41 @@ fn main() {
                 eprintln!("unknown service; expected ip-fwd|vpn-out|malware-scan|vpn-in-scan");
                 std::process::exit(2);
             });
-        vec![SourceConfig {
-            service,
-            trace,
-            rate: RateSpec::Constant(args.parse_or("--rate", 8.0)),
-        }]
+        let rate: f64 = args.parse_or("--rate", 8.0);
+        let traffic = format!("const:{}:{}:{rate}", trace.name(), service.name());
+        (
+            vec![SourceConfig {
+                service,
+                trace,
+                rate: RateSpec::Constant(rate),
+            }],
+            traffic,
+        )
     };
 
     // Resolve the policy through the registry (`--park` selects the
     // parking variant of LAPS).
     let scheduler = args.get("--scheduler").unwrap_or("laps").to_string();
     let name = if scheduler == "laps" && args.flag("--park") {
-        "laps-park"
+        "laps-park".to_string()
     } else {
-        scheduler.as_str()
+        scheduler
     };
-    let report: SimReport = SimBuilder::new()
-        .config(cfg)
-        .sources(sources)
-        .run_named(name)
-        .unwrap_or_else(|e| {
-            eprintln!("{e}; run with --help");
-            std::process::exit(2);
-        });
+    let spec = LapsimRun {
+        cfg,
+        sources,
+        scheduler: name,
+        traffic,
+    };
+    let Some(reports) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
+    let report = &reports[0];
 
     if args.flag("--json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&report).expect("serialize report")
+            serde_json::to_string_pretty(report).expect("serialize report")
         );
         return;
     }

@@ -18,11 +18,17 @@
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, pct, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep,
+};
+use serde::{Deserialize, Serialize};
 
 const P_ACTIVE: f64 = 1.0;
 const P_IDLE: f64 = 0.3;
 const P_PARKED: f64 = 0.05;
+
+const SEED: u64 = 31;
+const ARMS: [&str; 3] = ["fcfs", "laps", "laps+park"];
 
 /// Energy proxy in core-duration units (16.0 = all cores active for the
 /// whole run).
@@ -36,21 +42,57 @@ fn energy(report: &SimReport, parked_ns: u64) -> f64 {
     (busy * P_ACTIVE + idle * P_IDLE + parked * P_PARKED) / dur
 }
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let scenarios = [1u8, 2, 3, 4];
+/// One arm's result: the simulation report plus the parking counters
+/// read off the scheduler (zero for the non-parking arms).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PowerResult {
+    report: SimReport,
+    parked_ns: u64,
+    parks: u64,
+    wakes: u64,
+}
 
-    let jobs: Vec<(u8, &'static str)> = scenarios
-        .iter()
-        .flat_map(|&id| [(id, "fcfs"), (id, "laps"), (id, "laps+park")])
-        .collect();
-    let results: Vec<(SimReport, u64, u64, u64)> = parallel_map(jobs.clone(), |(id, arm)| {
+struct Power {
+    fidelity: Fidelity,
+    scenarios: Vec<u8>,
+}
+
+impl Sweep for Power {
+    type Cell = (u8, &'static str);
+    type Out = PowerResult;
+
+    fn name(&self) -> &'static str {
+        "power"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.scenarios
+            .iter()
+            .flat_map(|&id| ARMS.iter().map(move |&arm| (id, arm)))
+            .collect()
+    }
+
+    fn cell_fields(&self, &(id, arm): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{id}"))
+            .push("arm", arm)
+            .push("seed", SEED)
+            .push("profile", self.fidelity.name())
+    }
+
+    fn run_cell(&self, &(id, arm): &Self::Cell) -> PowerResult {
         let scenario = Scenario::by_id(id).expect("scenario");
-        let cfg = fidelity.engine_config(31);
+        let cfg = self.fidelity.engine_config(SEED);
         let builder = SimBuilder::new().config(cfg).scenario(scenario);
+        let plain = |report: SimReport| PowerResult {
+            report,
+            parked_ns: 0,
+            parks: 0,
+            wakes: 0,
+        };
         match arm {
-            "fcfs" => (builder.run_named("fcfs").expect("builtin"), 0, 0, 0),
-            "laps" => (builder.run_named("laps").expect("builtin"), 0, 0, 0),
+            "fcfs" => plain(builder.run_named("fcfs").expect("builtin")),
+            "laps" => plain(builder.run_named("laps").expect("builtin")),
             _ => {
                 let cfg = builder.engine_config();
                 let duration = cfg.duration;
@@ -62,12 +104,31 @@ fn main() {
                 run_with_parking(builder, Laps::new(lc), duration)
             }
         }
-    });
+    }
+
+    fn throughput(&self, out: &PowerResult) -> Option<f64> {
+        Some(out.report.throughput_mpps() * 1e6)
+    }
+}
+
+fn main() {
+    let spec = Power {
+        fidelity: Fidelity::from_args(),
+        scenarios: vec![1, 2, 3, 4],
+    };
+    let Some(results) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for (j, &(id, arm)) in jobs.iter().enumerate() {
-        let (r, parked_ns, parks, wakes) = &results[j];
+    for (j, (id, arm)) in spec.cells().into_iter().enumerate() {
+        let PowerResult {
+            report: r,
+            parked_ns,
+            parks,
+            wakes,
+        } = &results[j];
         let e = energy(r, *parked_ns);
         rows.push(vec![
             format!("T{id}"),
@@ -119,13 +180,14 @@ fn main() {
 }
 
 /// Run the simulation, then read the power counters off the scheduler.
-fn run_with_parking(
-    builder: SimBuilder,
-    laps: Laps,
-    duration: SimTime,
-) -> (SimReport, u64, u64, u64) {
+fn run_with_parking(builder: SimBuilder, laps: Laps, duration: SimTime) -> PowerResult {
     let (report, laps) = builder.run_with_returning(laps);
-    let parked = laps.parked_time_ns(duration);
+    let parked_ns = laps.parked_time_ns(duration);
     let (parks, wakes) = laps.park_events();
-    (report, parked, parks, wakes)
+    PowerResult {
+        report,
+        parked_ns,
+        parks,
+        wakes,
+    }
 }

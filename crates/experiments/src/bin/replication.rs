@@ -4,10 +4,16 @@
 //! standard deviation of the three panel metrics, demonstrating that the
 //! orderings in EXPERIMENTS.md are not artifacts of a single seed.
 //! (`--seeds N` to override the default of 8.)
+//!
+//! Every (scenario, scheduler, seed) triple is one sweep cell, so adding
+//! seeds with `--resume` only runs the new ones — the earlier cells load
+//! from the cache.
 
 use detsim::WelfordMean;
 use laps::prelude::*;
-use laps_experiments::{parallel_map, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{farm, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep};
+
+const SCHEDULERS: [&str; 3] = ["fcfs", "afs", "laps"];
 
 fn n_seeds() -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -18,33 +24,69 @@ fn n_seeds() -> u64 {
         .unwrap_or(8)
 }
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let seeds: Vec<u64> = (0..n_seeds()).map(|i| 1_000 + i).collect();
-    let scenarios = [1u8, 5];
-    let schedulers = ["fcfs", "afs", "laps"];
+struct Replication {
+    fidelity: Fidelity,
+    scenarios: Vec<u8>,
+    seeds: Vec<u64>,
+}
 
-    let mut jobs: Vec<(u8, &str, u64)> = Vec::new();
-    for &sc in &scenarios {
-        for &s in &schedulers {
-            for &seed in &seeds {
-                jobs.push((sc, s, seed));
+impl Sweep for Replication {
+    type Cell = (u8, &'static str, u64);
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "replication"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        let mut jobs = Vec::new();
+        for &sc in &self.scenarios {
+            for &s in &SCHEDULERS {
+                for &seed in &self.seeds {
+                    jobs.push((sc, s, seed));
+                }
             }
         }
+        jobs
     }
-    let reports = parallel_map(jobs.clone(), |(id, arm, seed)| {
+
+    fn cell_fields(&self, &(id, arm, seed): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{id}"))
+            .push("scheduler", arm)
+            .push("seed", seed)
+            .push("profile", self.fidelity.name())
+    }
+
+    fn run_cell(&self, &(id, arm, seed): &Self::Cell) -> SimReport {
         let scenario = Scenario::by_id(id).expect("scenario");
         SimBuilder::new()
-            .config(fidelity.engine_config(seed))
+            .config(self.fidelity.engine_config(seed))
             .scenario(scenario)
             .run_named(arm)
             .expect("builtin scheduler")
-    });
+    }
+
+    fn throughput(&self, r: &SimReport) -> Option<f64> {
+        Some(r.throughput_mpps() * 1e6)
+    }
+}
+
+fn main() {
+    let spec = Replication {
+        fidelity: Fidelity::from_args(),
+        scenarios: vec![1, 5],
+        seeds: (0..n_seeds()).map(|i| 1_000 + i).collect(),
+    };
+    let jobs = spec.cells();
+    let Some(reports) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for &id in &scenarios {
-        for &arm in &schedulers {
+    for &id in &spec.scenarios {
+        for &arm in &SCHEDULERS {
             let mut drop = WelfordMean::new();
             let mut ooo = WelfordMean::new();
             let mut cold = WelfordMean::new();
@@ -78,7 +120,10 @@ fn main() {
         }
     }
     print_table(
-        &format!("Replication over {} seeds (mean ± std dev)", seeds.len()),
+        &format!(
+            "Replication over {} seeds (mean ± std dev)",
+            spec.seeds.len()
+        ),
         &["scen", "scheduler", "drops", "ooo", "cold", "n"],
         &rows,
     );
@@ -99,7 +144,7 @@ fn main() {
 
     // The orderings must hold seed-by-seed, not just in the mean.
     let mut violations = 0;
-    for &id in &scenarios {
+    for &id in &spec.scenarios {
         for (j, &(sid, arm, seed)) in jobs.iter().enumerate() {
             if sid != id || arm != "laps" {
                 continue;

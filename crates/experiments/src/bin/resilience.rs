@@ -15,15 +15,22 @@
 //! time** — repair must never touch an unaffected flow.
 //!
 //! `--smoke` runs a single short scenario (CI-sized); `--full` runs the
-//! longer low-scale configuration.
+//! longer low-scale configuration. The repair-bound assertion runs
+//! inside `run_cell`, so it is enforced on fresh runs (cached cells
+//! already passed it when they were produced).
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, pct, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep,
+};
+use serde::{Deserialize, Serialize};
 use std::any::Any;
 
+const SEED: u64 = 4242;
+
 /// One crash→heal span as seen by the [`ResidencyProbe`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Episode {
     core: usize,
     /// Flows whose most recent packet was dispatched to the core when it
@@ -97,7 +104,7 @@ impl Probe for ResidencyProbe {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ArmResult {
     ooo: f64,
     drops: f64,
@@ -107,47 +114,59 @@ struct ArmResult {
     recovery_us: Option<f64>,
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let fidelity = Fidelity::from_args();
-    // Caida-trace scenarios: T1/T5 (G1) and T2/T6 (G2) are the all- or
-    // mostly-caida groups of Table VI.
-    let scenarios: Vec<u8> = if smoke { vec![1] } else { vec![1, 2, 5, 6] };
-    let policies: &[&str] = if smoke {
-        &["laps", "static"]
-    } else {
-        &["laps", "static", "fcfs"]
-    };
+struct Resilience {
+    fidelity: Fidelity,
+    smoke: bool,
+    scenarios: Vec<u8>,
+    policies: Vec<&'static str>,
+    base_cfg: EngineConfig,
+    crash_core: usize,
+    crash_at: SimTime,
+    heal_at: SimTime,
+}
 
-    let base_cfg = {
-        let mut cfg = fidelity.engine_config(4242);
-        if smoke {
-            cfg.duration = SimTime::from_millis(100);
-        }
-        cfg
-    };
-    let crash_core = base_cfg.n_cores / 2;
-    let crash_at = SimTime::from_nanos(base_cfg.duration.as_nanos() * 2 / 5);
-    let heal_at = SimTime::from_nanos(base_cfg.duration.as_nanos() * 7 / 10);
+impl Sweep for Resilience {
+    type Cell = (u8, &'static str, &'static str);
+    type Out = ArmResult;
 
-    let jobs: Vec<(u8, &'static str, &'static str)> = scenarios
-        .iter()
-        .flat_map(|&id| {
-            policies
-                .iter()
-                .flat_map(move |&p| [(id, p, "steady"), (id, p, "crash")])
-        })
-        .collect();
+    fn name(&self) -> &'static str {
+        "resilience"
+    }
 
-    let results: Vec<ArmResult> = parallel_map(jobs.clone(), |(id, policy, arm)| {
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.scenarios
+            .iter()
+            .flat_map(|&id| {
+                self.policies
+                    .iter()
+                    .flat_map(move |&p| [(id, p, "steady"), (id, p, "crash")])
+            })
+            .collect()
+    }
+
+    fn cell_fields(&self, &(id, policy, arm): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{id}"))
+            .push("policy", policy)
+            .push("arm", arm)
+            .push("seed", SEED)
+            .push("profile", self.fidelity.name())
+            .push("smoke", self.smoke)
+    }
+
+    fn run_cell(&self, &(id, policy, arm): &Self::Cell) -> ArmResult {
         let scenario = Scenario::by_id(id).expect("scenario");
         let mut b = SimBuilder::new()
-            .config(base_cfg.clone())
+            .config(self.base_cfg.clone())
             .scenario(scenario)
             .probe(FaultProbe::new())
             .probe(ResidencyProbe::default());
         if arm == "crash" {
-            b = b.faults(crash_with_heal(crash_core, crash_at, heal_at));
+            b = b.faults(crash_with_heal(
+                self.crash_core,
+                self.crash_at,
+                self.heal_at,
+            ));
         }
         let (report, probes) = b.run_named_full(policy).expect("builtin policy");
         assert_eq!(
@@ -181,7 +200,39 @@ fn main() {
             episodes: residency.episodes.clone(),
             recovery_us: fault_probe.mean_recovery_ns().map(|ns| ns / 1_000.0),
         }
-    });
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let fidelity = Fidelity::from_args();
+    // Caida-trace scenarios: T1/T5 (G1) and T2/T6 (G2) are the all- or
+    // mostly-caida groups of Table VI.
+    let base_cfg = {
+        let mut cfg = fidelity.engine_config(SEED);
+        if smoke {
+            cfg.duration = SimTime::from_millis(100);
+        }
+        cfg
+    };
+    let spec = Resilience {
+        fidelity,
+        smoke,
+        scenarios: if smoke { vec![1] } else { vec![1, 2, 5, 6] },
+        policies: if smoke {
+            vec!["laps", "static"]
+        } else {
+            vec!["laps", "static", "fcfs"]
+        },
+        crash_core: base_cfg.n_cores / 2,
+        crash_at: SimTime::from_nanos(base_cfg.duration.as_nanos() * 2 / 5),
+        heal_at: SimTime::from_nanos(base_cfg.duration.as_nanos() * 7 / 10),
+        base_cfg,
+    };
+    let jobs = spec.cells();
+    let Some(results) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();

@@ -14,20 +14,45 @@
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{parallel_map, pct, print_table, results_dir, write_csv, Fidelity};
+use laps_experiments::{
+    farm, pct, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep,
+};
 
-fn main() {
-    let fidelity = Fidelity::from_args();
-    let scenarios = [1u8, 3, 5, 7];
+const SEED: u64 = 77;
+const ARMS: [&str; 3] = ["fcfs", "fcfs+restore", "laps"];
 
-    let jobs: Vec<(u8, &'static str)> = scenarios
-        .iter()
-        .flat_map(|&id| [(id, "fcfs"), (id, "fcfs+restore"), (id, "laps")])
-        .collect();
-    let reports: Vec<SimReport> = parallel_map(jobs.clone(), |(id, arm)| {
+struct Restoration {
+    fidelity: Fidelity,
+    scenarios: Vec<u8>,
+}
+
+impl Sweep for Restoration {
+    type Cell = (u8, &'static str);
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "restoration"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        self.scenarios
+            .iter()
+            .flat_map(|&id| ARMS.iter().map(move |&arm| (id, arm)))
+            .collect()
+    }
+
+    fn cell_fields(&self, &(id, arm): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{id}"))
+            .push("arm", arm)
+            .push("seed", SEED)
+            .push("profile", self.fidelity.name())
+    }
+
+    fn run_cell(&self, &(id, arm): &Self::Cell) -> SimReport {
         let scenario = Scenario::by_id(id).expect("scenario");
         let builder = SimBuilder::new()
-            .config(fidelity.engine_config(77))
+            .config(self.fidelity.engine_config(SEED))
             .scenario(scenario);
         match arm {
             "fcfs" => builder.run_named("fcfs").expect("builtin"),
@@ -41,11 +66,25 @@ fn main() {
                 .expect("builtin"),
             _ => builder.run_named("laps").expect("builtin"),
         }
-    });
+    }
+
+    fn throughput(&self, r: &SimReport) -> Option<f64> {
+        Some(r.throughput_mpps() * 1e6)
+    }
+}
+
+fn main() {
+    let spec = Restoration {
+        fidelity: Fidelity::from_args(),
+        scenarios: vec![1, 3, 5, 7],
+    };
+    let Some(reports) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
-    for (j, &(id, arm)) in jobs.iter().enumerate() {
+    for (j, (id, arm)) in spec.cells().into_iter().enumerate() {
         let r = &reports[j];
         let (peak, mean_wait_us) = r
             .restoration

@@ -3,14 +3,34 @@
 //! the entire evaluation.
 //!
 //! The binaries are independent deterministic simulations, so they run
-//! concurrently via [`laps_experiments::parallel_map`]; each child's
+//! concurrently via [`npfarm::Farm::map`] (an uncached order-preserving
+//! fan-out — each child manages its own sweep cache); each child's
 //! stdout/stderr is buffered and replayed in the canonical order, so the
-//! console output is byte-for-byte what the old sequential runner
-//! printed. Failures don't abort the batch: every binary runs, then a
-//! summary lists the ones that failed and the process exits non-zero.
+//! console output is byte-for-byte what a sequential runner would print.
+//! Failures don't abort the batch: every binary runs, then a summary
+//! lists the ones that failed and the process exits non-zero.
+//!
+//! * `--list` prints the binary names (one per line) and exits — CI uses
+//!   it to build its shard matrix.
+//! * `--only <bin>[,<bin>...]` (repeatable) restricts the batch.
+//! * npfarm flags (`--shard k/n`, `--resume`, `--jobs N`, `--no-cache`)
+//!   are forwarded to every child, which applies them to its own sweep;
+//!   everything else is forwarded verbatim too (e.g. `--full`).
 
-use laps_experiments::parallel_map;
+use laps_experiments::farm;
 use std::process::Command;
+
+const BINS: [&str; 9] = [
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "timing",
+    "ablation",
+    "restoration",
+    "power",
+    "replication",
+];
 
 /// The outcome of one figure binary.
 struct RunOutcome {
@@ -21,25 +41,48 @@ struct RunOutcome {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for bin in BINS {
+            println!("{bin}");
+        }
+        return;
+    }
+
+    // `--only a,b` / `--only a --only b`: restrict the batch.
+    let mut only: Vec<String> = Vec::new();
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--only" {
+            match it.next() {
+                Some(v) => only.extend(v.split(',').map(|s| s.trim().to_string())),
+                None => {
+                    eprintln!("run_all: --only needs a binary name (see --list)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            forwarded.push(a.clone());
+        }
+    }
+    if let Some(unknown) = only.iter().find(|o| !BINS.contains(&o.as_str())) {
+        eprintln!("run_all: unknown binary {unknown:?}; `run_all --list` prints valid names");
+        std::process::exit(2);
+    }
+    let bins: Vec<&'static str> = BINS
+        .into_iter()
+        .filter(|b| only.is_empty() || only.iter().any(|o| o == b))
+        .collect();
+
     let exe_dir = std::env::current_exe()
         .expect("current exe")
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    let bins = vec![
-        "fig2",
-        "fig7",
-        "fig8",
-        "fig9",
-        "timing",
-        "ablation",
-        "restoration",
-        "power",
-        "replication",
-    ];
 
-    let outcomes = parallel_map(bins, |bin| {
-        let result = Command::new(exe_dir.join(bin)).args(&args).output();
+    let outcomes = farm().map(bins, |bin| {
+        let result = Command::new(exe_dir.join(bin)).args(&forwarded).output();
         match result {
             Ok(output) => RunOutcome {
                 bin,

@@ -6,13 +6,26 @@
 //! the sustainable packet rate. (Criterion-precision numbers live in
 //! `cargo bench -p laps-bench --bench critical_path`; this binary gives a
 //! quick wall-clock estimate and the paper-style conclusion line.)
+//!
+//! This is a *measurement* sweep: it reports `cacheable() == false`
+//! (wall-clock numbers are a property of the host, not the cell key) and
+//! `serial() == true` (parallel cells would contend for the CPU being
+//! timed), so npfarm always re-runs every cell, one at a time.
 
 use detsim::SimTime;
 use laps::prelude::*;
-use laps_experiments::{laps_config, print_table, results_dir, write_csv};
+use laps_experiments::{farm, laps_config, print_table, results_dir, write_csv, KeyFields, Sweep};
 use nphash::{Crc16Ccitt, FlowId, FlowSlot, MapTable};
 use npsim::{PacketDesc, QueueInfo, Scheduler, SystemView};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// One policy's measured decision rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PolicyRate {
+    policy: String,
+    mdecisions_per_sec: f64,
+}
 
 fn mk_packets(n: usize) -> Vec<PacketDesc> {
     (0..n)
@@ -42,11 +55,7 @@ fn mk_view(n_cores: usize) -> Vec<QueueInfo> {
         .collect()
 }
 
-fn measure<S: Scheduler>(
-    mut sched: S,
-    packets: &[PacketDesc],
-    queues: &[QueueInfo],
-) -> (String, f64) {
+fn measure<S: Scheduler>(mut sched: S, packets: &[PacketDesc], queues: &[QueueInfo]) -> PolicyRate {
     let view = SystemView {
         now: SimTime::ZERO,
         queues,
@@ -62,46 +71,101 @@ fn measure<S: Scheduler>(
     }
     let elapsed = start.elapsed().as_secs_f64();
     std::hint::black_box(sink);
-    let mpps = packets.len() as f64 / elapsed / 1e6;
-    (sched.name().to_string(), mpps)
+    PolicyRate {
+        policy: sched.name().to_string(),
+        mdecisions_per_sec: packets.len() as f64 / elapsed / 1e6,
+    }
+}
+
+struct Timing {
+    packets: Vec<PacketDesc>,
+    queues: Vec<QueueInfo>,
+}
+
+const POLICIES: [&str; 5] = ["critical-path", "static", "afs", "topk-afd", "laps"];
+
+impl Sweep for Timing {
+    type Cell = &'static str;
+    type Out = PolicyRate;
+
+    fn name(&self) -> &'static str {
+        "timing"
+    }
+
+    fn cells(&self) -> Vec<&'static str> {
+        POLICIES.to_vec()
+    }
+
+    fn cell_fields(&self, policy: &&'static str) -> KeyFields {
+        KeyFields::new()
+            .push("policy", policy)
+            .push("packets", self.packets.len())
+    }
+
+    fn run_cell(&self, policy: &&'static str) -> PolicyRate {
+        match *policy {
+            "critical-path" => {
+                // The raw critical path: CRC16 + map-table index.
+                let crc = Crc16Ccitt::new();
+                let table: MapTable<usize> = MapTable::new((0..16).collect());
+                let start = Instant::now();
+                let mut sink = 0usize;
+                for p in &self.packets {
+                    sink =
+                        sink.wrapping_add(table.lookup_hash(crc.hash(&p.flow.to_bytes()) as u64));
+                }
+                std::hint::black_box(sink);
+                PolicyRate {
+                    policy: "hash+maptable (critical path)".to_string(),
+                    mdecisions_per_sec: self.packets.len() as f64
+                        / start.elapsed().as_secs_f64()
+                        / 1e6,
+                }
+            }
+            "static" => measure(StaticHash::new(16), &self.packets, &self.queues),
+            "afs" => measure(Afs::new(16, 24, SimTime::ZERO), &self.packets, &self.queues),
+            "topk-afd" => measure(
+                TopKMigration::new(16, 24, DetectorKind::Afd(AfdConfig::default())),
+                &self.packets,
+                &self.queues,
+            ),
+            _ => measure(
+                Laps::new(laps_config(&EngineConfig::default())),
+                &self.packets,
+                &self.queues,
+            ),
+        }
+    }
+
+    fn cacheable(&self) -> bool {
+        false // wall-clock measurement: host-dependent, never cache
+    }
+
+    fn serial(&self) -> bool {
+        true // cells contend for the CPU they are timing
+    }
+
+    fn throughput(&self, out: &PolicyRate) -> Option<f64> {
+        Some(out.mdecisions_per_sec * 1e6)
+    }
 }
 
 fn main() {
-    let n = 2_000_000;
-    let packets = mk_packets(n);
-    let queues = mk_view(16);
-
-    // The raw critical path: CRC16 + map-table index.
-    let crc = Crc16Ccitt::new();
-    let table: MapTable<usize> = MapTable::new((0..16).collect());
-    let start = Instant::now();
-    let mut sink = 0usize;
-    for p in &packets {
-        sink = sink.wrapping_add(table.lookup_hash(crc.hash(&p.flow.to_bytes()) as u64));
-    }
-    std::hint::black_box(sink);
-    let raw_mpps = n as f64 / start.elapsed().as_secs_f64() / 1e6;
-
-    let cfg = EngineConfig::default();
-    let results = [
-        ("hash+maptable (critical path)".to_string(), raw_mpps),
-        measure(StaticHash::new(16), &packets, &queues),
-        measure(Afs::new(16, 24, SimTime::ZERO), &packets, &queues),
-        measure(
-            TopKMigration::new(16, 24, DetectorKind::Afd(AfdConfig::default())),
-            &packets,
-            &queues,
-        ),
-        measure(Laps::new(laps_config(&cfg)), &packets, &queues),
-    ];
+    let spec = Timing {
+        packets: mk_packets(2_000_000),
+        queues: mk_view(16),
+    };
+    let Some(results) = farm().sweep(&spec).into_complete() else {
+        return;
+    };
 
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(name, mpps)| {
+        .map(|r| {
             vec![
-                name.clone(),
-                format!("{:.1}", mpps),
-                format!("{:.1} ns", 1_000.0 / mpps),
+                r.policy.clone(),
+                format!("{:.1}", r.mdecisions_per_sec),
+                format!("{:.1} ns", 1_000.0 / r.mdecisions_per_sec),
             ]
         })
         .collect();
@@ -115,10 +179,18 @@ fn main() {
         &["policy", "mdecisions_per_s", "latency_ns"],
         &results
             .iter()
-            .map(|(n, m)| vec![n.clone(), format!("{m:.2}"), format!("{:.2}", 1_000.0 / m)])
+            .map(|r| {
+                let m = r.mdecisions_per_sec;
+                vec![
+                    r.policy.clone(),
+                    format!("{m:.2}"),
+                    format!("{:.2}", 1_000.0 / m),
+                ]
+            })
             .collect::<Vec<_>>(),
     );
 
+    let raw_mpps = results[0].mdecisions_per_sec;
     println!(
         "\nPaper: FPGA CRC16 > 200 MHz ⇒ ≥ 200 Mpps sustained; our software\n\
          critical path at {raw_mpps:.0} M/s on one core supports the same conclusion\n\

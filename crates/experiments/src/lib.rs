@@ -6,21 +6,26 @@
 //! * write a CSV next to them under `results/`,
 //! * accept `--full` for a longer, lower-scale run (closer to the paper's
 //!   60 s) and `--quick` (default) for a laptop-friendly run,
-//! * fan parameter sweeps out across OS threads (`std::thread::scope` —
-//!   each simulation is single-threaded and deterministic, so
-//!   parallelism never changes results, only wall-clock).
+//! * declare its parameter sweep as an [`npfarm::Sweep`] and run it
+//!   through [`farm`] — a bounded work-stealing pool with
+//!   content-addressed result caching (`--resume`), CI sharding
+//!   (`--shard k/n`), and per-cell JSONL under `results/npfarm/`.
+//!   Each cell is an independent deterministic simulation, so
+//!   parallelism and caching never change results, only wall-clock.
 
 use detsim::SimTime;
 use laps::prelude::*;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 pub use laps;
 pub use npafd;
+pub use npfarm;
 pub use npsim;
 pub use nptrace;
 pub use nptraffic;
+
+pub use npfarm::{Farm, KeyFields, Sweep, SweepOutcome};
 
 /// Run length / fidelity of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +77,27 @@ impl Fidelity {
             Fidelity::Full => 2_000_000,
         }
     }
+
+    /// Canonical profile name for sweep cell keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Quick => "quick",
+            Fidelity::Full => "full",
+        }
+    }
+}
+
+/// The configured sweep orchestrator for an experiment binary: parses
+/// the shared npfarm flags (`--jobs`, `--shard k/n`, `--resume`,
+/// `--no-cache`, `--cache-dir`) from argv, caches under
+/// `results/npfarm-cache/` (overridable via flag or `NPFARM_CACHE_DIR`),
+/// and writes per-cell JSONL to `results/npfarm/`.
+pub fn farm() -> Farm {
+    let mut farm = Farm::from_args();
+    if std::env::var("NPFARM_CACHE_DIR").is_err() && !std::env::args().any(|a| a == "--cache-dir") {
+        farm.cache_dir = results_dir().join("npfarm-cache");
+    }
+    farm.with_jsonl_dir(results_dir().join("npfarm"))
 }
 
 /// The LAPS configuration used by the figure binaries, time-scaled to the
@@ -134,47 +160,6 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Map `jobs` across OS threads, preserving input order in the output.
-///
-/// Each job runs an independent deterministic simulation, so this is pure
-/// wall-clock parallelism (the rayon-style pattern, hand-rolled on
-/// `std::thread::scope` so we stay within the workspace's dependency set).
-pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = jobs.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
-                match job {
-                    Some((i, t)) => {
-                        let r = f(t);
-                        let mut slots = results.lock().expect("results lock");
-                        slots[i] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every job completed"))
-        .collect()
-}
-
 /// Format a fraction as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", 100.0 * x)
@@ -196,12 +181,6 @@ pub fn rel(x: f64, base: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map((0..64).collect(), |x: i32| x * x);
-        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
-    }
 
     #[test]
     fn rel_handles_zero_base() {

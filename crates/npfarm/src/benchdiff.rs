@@ -1,0 +1,331 @@
+//! Bench-baseline schema and the regression gate.
+//!
+//! The tracked baseline file (`BENCH_PR5.json` at the repo root) maps
+//! bench name → metrics:
+//!
+//! ```json
+//! {"hotpath": {"packets_per_sec": 6699420, "events_per_sec": ..., "wall_ms": ...}}
+//! ```
+//!
+//! [`compare`] diffs a freshly measured file against the committed
+//! baseline with per-metric relative tolerances and classifies each
+//! delta. Throughput metrics (`packets_per_sec`, `events_per_sec`,
+//! higher-is-better) are *gated*: falling below `baseline × (1 − tol)`
+//! fails the report. `wall_ms` is reported but never gated — the gate
+//! must work when the fresh run uses a shorter duration (CI `--short`)
+//! than the baseline did, which changes absolute wall time but not
+//! sustained throughput.
+//!
+//! Tolerances are deliberately generous in CI (see `.github/workflows/
+//! ci.yml` and DESIGN.md "Sweep orchestration & perf gating"): shared
+//! runners are noisy and differ from the baseline machine, so the gate
+//! is tuned to catch *structural* regressions (an accidental O(n²), a
+//! lost inline, debug assertions in release) rather than percent-level
+//! drift. The committed baseline still records exact numbers, so the
+//! percent-level trajectory is visible PR over PR even though only
+//! large drops fail.
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Metrics of one bench row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchMetrics {
+    /// Sustained packets per second (gated, higher is better).
+    pub packets_per_sec: f64,
+    /// Events dispatched per second (gated, higher is better).
+    pub events_per_sec: f64,
+    /// Wall-clock of the measured run in ms (reported, never gated).
+    pub wall_ms: f64,
+}
+
+/// A parsed baseline / measurement file: `(bench name, metrics)` in
+/// file order.
+pub type BenchFile = Vec<(String, BenchMetrics)>;
+
+/// Parse the bench JSON schema. Unknown extra keys are ignored;
+/// missing metric keys are an error naming the bench.
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let Value::Object(rows) = value else {
+        return Err("bench file: expected a top-level object".to_string());
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for (name, metrics) in rows {
+        let metric = |key: &str| -> Result<f64, String> {
+            match metrics.get(key) {
+                Some(Value::F64(f)) => Ok(*f),
+                Some(Value::U64(n)) => Ok(*n as f64),
+                Some(Value::I64(n)) => Ok(*n as f64),
+                _ => Err(format!("bench {name:?}: missing numeric {key:?}")),
+            }
+        };
+        out.push((
+            name.clone(),
+            BenchMetrics {
+                packets_per_sec: metric("packets_per_sec")?,
+                events_per_sec: metric("events_per_sec")?,
+                wall_ms: metric("wall_ms")?,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+/// Render a [`BenchFile`] in the canonical schema (stable key order).
+pub fn render(rows: &BenchFile) -> String {
+    let mut json = String::from("{\n");
+    for (i, (name, m)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  \"{}\": {{\"packets_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"wall_ms\": {:.2}}}",
+            name, m.packets_per_sec, m.events_per_sec, m.wall_ms
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+    json
+}
+
+/// One metric's comparison.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Bench row name.
+    pub bench: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub current: f64,
+    /// `current / baseline` (`inf` when baseline is 0).
+    pub ratio: f64,
+    /// Relative tolerance applied.
+    pub tolerance: f64,
+    /// Whether this metric participates in pass/fail.
+    pub gated: bool,
+    /// Gated and below `baseline × (1 − tolerance)`.
+    pub regressed: bool,
+}
+
+/// The full comparison report.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-metric rows, baseline file order.
+    pub deltas: Vec<Delta>,
+    /// Benches present in the baseline but absent from the fresh file
+    /// (always a failure: a silently vanished bench hides regressions).
+    pub missing: Vec<String>,
+    /// Benches only in the fresh file (informational).
+    pub extra: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no gated metric regressed and no bench vanished.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Console/markdown delta table (markdown pipe syntax renders fine
+    /// in both).
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| bench | metric | baseline | current | ratio | tol | status |\n");
+        out.push_str("|---|---|---:|---:|---:|---:|---|\n");
+        for d in &self.deltas {
+            let status = if d.regressed {
+                "**REGRESSED**"
+            } else if !d.gated {
+                "info"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.0} | {:.0} | {:.2}× | −{:.0}% | {} |",
+                d.bench,
+                d.metric,
+                d.baseline,
+                d.current,
+                d.ratio,
+                d.tolerance * 100.0,
+                status
+            );
+        }
+        for b in &self.missing {
+            let _ = writeln!(out, "| {b} | — | — | — | — | — | **MISSING** |");
+        }
+        for b in &self.extra {
+            let _ = writeln!(out, "| {b} | — | — | — | — | — | new |");
+        }
+        out
+    }
+}
+
+/// Per-metric relative tolerances; `default_rel` applies to any gated
+/// metric without an explicit entry.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Fallback relative tolerance (0.75 = fail below 25% of baseline).
+    pub default_rel: f64,
+    /// `(metric, rel)` overrides.
+    pub per_metric: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        // Generous by design: catches structural collapses across
+        // machine-speed differences, not percent-level noise.
+        Tolerances {
+            default_rel: 0.75,
+            per_metric: Vec::new(),
+        }
+    }
+}
+
+impl Tolerances {
+    fn for_metric(&self, metric: &str) -> f64 {
+        self.per_metric
+            .iter()
+            .find(|(m, _)| m == metric)
+            .map(|(_, t)| *t)
+            .unwrap_or(self.default_rel)
+    }
+}
+
+const GATED_METRICS: &[&str] = &["packets_per_sec", "events_per_sec"];
+
+/// Compare `current` against `baseline`.
+pub fn compare(baseline: &BenchFile, current: &BenchFile, tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (name, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let rows: [(&'static str, f64, f64); 3] = [
+            ("packets_per_sec", base.packets_per_sec, cur.packets_per_sec),
+            ("events_per_sec", base.events_per_sec, cur.events_per_sec),
+            ("wall_ms", base.wall_ms, cur.wall_ms),
+        ];
+        for (metric, b, c) in rows {
+            let gated = GATED_METRICS.contains(&metric);
+            let tolerance = tol.for_metric(metric);
+            let ratio = if b == 0.0 { f64::INFINITY } else { c / b };
+            let regressed = gated && c < b * (1.0 - tolerance);
+            report.deltas.push(Delta {
+                bench: name.clone(),
+                metric,
+                baseline: b,
+                current: c,
+                ratio,
+                tolerance,
+                gated,
+                regressed,
+            });
+        }
+    }
+    for (name, _) in current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            report.extra.push(name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rows: &[(&str, f64, f64, f64)]) -> BenchFile {
+        rows.iter()
+            .map(|&(n, p, e, w)| {
+                (
+                    n.to_string(),
+                    BenchMetrics {
+                        packets_per_sec: p,
+                        events_per_sec: e,
+                        wall_ms: w,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let f = file(&[("hotpath", 6_699_420.0, 7_000_000.0, 100.25)]);
+        let parsed = parse(&render(&f)).expect("parse rendered");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parse_rejects_missing_metric() {
+        assert!(parse("{\"x\": {\"packets_per_sec\": 1}}").is_err());
+        assert!(parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let cur = file(&[("hotpath", 400.0, 900.0, 99.0)]); // 0.40× / 0.45×
+        let report = compare(&base, &cur, &Tolerances::default()); // floor 0.25×
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn below_tolerance_fails() {
+        let base = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let cur = file(&[("hotpath", 200.0, 1900.0, 10.0)]); // 0.20× < 0.25×
+        let report = compare(&base, &cur, &Tolerances::default());
+        assert!(!report.passed());
+        let bad: Vec<&Delta> = report.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "packets_per_sec");
+    }
+
+    #[test]
+    fn wall_ms_never_gates() {
+        let base = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let cur = file(&[("hotpath", 1000.0, 2000.0, 10_000.0)]);
+        assert!(compare(&base, &cur, &Tolerances::default()).passed());
+    }
+
+    #[test]
+    fn missing_bench_fails_and_extra_is_informational() {
+        let base = file(&[("hotpath", 1.0, 1.0, 1.0), ("gone", 1.0, 1.0, 1.0)]);
+        let cur = file(&[("hotpath", 1.0, 1.0, 1.0), ("new", 1.0, 1.0, 1.0)]);
+        let report = compare(&base, &cur, &Tolerances::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.extra, vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn per_metric_override_applies() {
+        let base = file(&[("hotpath", 1000.0, 1000.0, 1.0)]);
+        let cur = file(&[("hotpath", 700.0, 700.0, 1.0)]);
+        let tol = Tolerances {
+            default_rel: 0.75,
+            per_metric: vec![("packets_per_sec".to_string(), 0.1)],
+        };
+        let report = compare(&base, &cur, &tol);
+        assert!(!report.passed());
+        let bad: Vec<&str> = report
+            .deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.metric)
+            .collect();
+        assert_eq!(bad, vec!["packets_per_sec"]);
+    }
+
+    #[test]
+    fn markdown_contains_verdicts() {
+        let base = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let cur = file(&[("hotpath", 100.0, 1900.0, 10.0)]);
+        let md = compare(&base, &cur, &Tolerances::default()).markdown();
+        assert!(md.contains("REGRESSED"));
+        assert!(md.contains("| hotpath | packets_per_sec |"));
+    }
+}

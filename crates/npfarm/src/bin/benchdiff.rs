@@ -1,0 +1,100 @@
+//! `benchdiff` — gate a fresh bench run against the committed baseline.
+//!
+//! ```text
+//! benchdiff --baseline BENCH_PR5.json --current /tmp/bench.json
+//!           [--tolerance REL]              default 0.75 (fail < 25% of baseline)
+//!           [--tolerance-for METRIC=REL]   per-metric override (repeatable)
+//!           [--markdown PATH]              also write the delta table to a file
+//! ```
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression (or a bench row
+//! vanished), 2 = usage / IO / parse error. Throughput metrics are
+//! gated; `wall_ms` is informational (see `npfarm::benchdiff` for the
+//! rationale and DESIGN.md for the documented CI tolerances).
+
+use npfarm::benchdiff::{compare, parse, Tolerances};
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("benchdiff: {msg}");
+    eprintln!(
+        "usage: benchdiff --baseline <path> --current <path> \
+         [--tolerance REL] [--tolerance-for METRIC=REL] [--markdown PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn read_bench_file(path: &str) -> npfarm::benchdiff::BenchFile {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail_usage(&format!("read {path}: {e}")));
+    parse(&text).unwrap_or_else(|e| fail_usage(&format!("parse {path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |key: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+
+    let baseline_path = value_of("--baseline").unwrap_or_else(|| fail_usage("missing --baseline"));
+    let current_path = value_of("--current").unwrap_or_else(|| fail_usage("missing --current"));
+
+    let mut tol = Tolerances::default();
+    if let Some(t) = value_of("--tolerance") {
+        match t.parse::<f64>() {
+            Ok(rel) if (0.0..1.0).contains(&rel) => tol.default_rel = rel,
+            _ => fail_usage(&format!(
+                "bad --tolerance {t:?} (expected 0.0 <= rel < 1.0)"
+            )),
+        }
+    }
+    for (i, a) in args.iter().enumerate() {
+        if a == "--tolerance-for" {
+            let spec = args
+                .get(i + 1)
+                .unwrap_or_else(|| fail_usage("missing METRIC=REL after --tolerance-for"));
+            let Some((metric, rel)) = spec.split_once('=') else {
+                fail_usage(&format!(
+                    "bad --tolerance-for {spec:?} (expected METRIC=REL)"
+                ));
+            };
+            match rel.parse::<f64>() {
+                Ok(rel) if (0.0..1.0).contains(&rel) => {
+                    tol.per_metric.push((metric.to_string(), rel));
+                }
+                _ => fail_usage(&format!("bad tolerance in {spec:?}")),
+            }
+        }
+    }
+
+    let baseline = read_bench_file(baseline_path);
+    let current = read_bench_file(current_path);
+    let report = compare(&baseline, &current, &tol);
+
+    let table = report.markdown();
+    print!("{table}");
+    if let Some(path) = value_of("--markdown") {
+        if let Err(e) = std::fs::write(path, &table) {
+            eprintln!("benchdiff: write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if report.passed() {
+        println!(
+            "\nbenchdiff: PASS — {} metric(s) within tolerance of {}",
+            report.deltas.len(),
+            baseline_path
+        );
+    } else {
+        let regressed = report.deltas.iter().filter(|d| d.regressed).count();
+        println!(
+            "\nbenchdiff: FAIL — {regressed} regressed metric(s), {} missing bench(es) vs {}",
+            report.missing.len(),
+            baseline_path
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Content-addressed on-disk result cache.
+//!
+//! One file per cell: `<dir>/<sweep>/<hash32>.json`, where the name is
+//! the 128-bit hash of the cell's canonical key ([`CellKey::hash_hex`])
+//! and the payload is a self-describing record:
+//!
+//! ```json
+//! {"schema": 1, "version": "0.1.0", "sweep": "fig7",
+//!  "fields": {"scenario": "T1", ...}, "result": {...}}
+//! ```
+//!
+//! Reads verify the stored key fields exactly — a hash collision (or a
+//! stale/corrupt file) degrades to a cache miss, never to a wrong
+//! result. Writes go through a temp file + rename so a killed run
+//! leaves no torn records for `--resume` to trip over.
+
+use crate::key::CellKey;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// Path of the cache entry for `key` under `dir`.
+pub fn entry_path(dir: &Path, key: &CellKey) -> PathBuf {
+    dir.join(&key.sweep)
+        .join(format!("{}.json", key.hash_hex()))
+}
+
+/// Try to load the cached result for `key`. Any failure — missing
+/// file, parse error, schema/version/field mismatch — is a miss.
+pub fn load<R: Deserialize>(dir: &Path, key: &CellKey) -> Option<R> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    let value = serde_json::parse_value(&text).ok()?;
+    // Exact-identity guard: the record must describe precisely this key.
+    let schema = u32::from_value(value.get("schema")?).ok()?;
+    let version = String::from_value(value.get("version")?).ok()?;
+    let sweep = String::from_value(value.get("sweep")?).ok()?;
+    if schema != key.schema || version != key.version || sweep != key.sweep {
+        return None;
+    }
+    match value.get("fields")? {
+        Value::Object(pairs) => {
+            if pairs.len() != key.fields.len()
+                || pairs
+                    .iter()
+                    .zip(key.fields.iter())
+                    .any(|((pk, pv), (kk, kv))| pk != kk || pv != &Value::Str(kv.clone()))
+            {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    R::from_value(value.get("result")?).ok()
+}
+
+/// Store `result` for `key`. IO errors are reported to stderr and
+/// swallowed: a failed cache write must never fail the sweep itself.
+pub fn store<R: Serialize>(dir: &Path, key: &CellKey, result: &R) {
+    let path = entry_path(dir, key);
+    if let Err(e) = try_store(&path, key, result) {
+        eprintln!("npfarm: cache write {} failed: {e}", path.display());
+    }
+}
+
+fn try_store<R: Serialize>(path: &Path, key: &CellKey, result: &R) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let record = Value::Object(vec![
+        ("schema".to_string(), Value::U64(key.schema as u64)),
+        ("version".to_string(), Value::Str(key.version.clone())),
+        ("sweep".to_string(), Value::Str(key.sweep.clone())),
+        (
+            "fields".to_string(),
+            Value::Object(
+                key.fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        ("result".to_string(), result.to_value()),
+    ]);
+    let text = serde_json::to_string(&record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    // Unique-enough temp name: pid distinguishes concurrent processes,
+    // the key hash distinguishes cells within one process.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("npfarm-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    fn key(fields: &[(&str, &str)]) -> CellKey {
+        CellKey::new(
+            "unit",
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("roundtrip");
+        let k = key(&[("seed", "7")]);
+        store(&dir, &k, &vec![1u64, 2, 3]);
+        assert_eq!(load::<Vec<u64>>(&dir, &k), Some(vec![1, 2, 3]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_fields_is_a_miss() {
+        let dir = tmpdir("mismatch");
+        let k = key(&[("seed", "7")]);
+        store(&dir, &k, &42u64);
+        // Forge a key with the same hash path but different fields by
+        // rewriting the stored record's fields on disk.
+        let path = entry_path(&dir, &k);
+        let forged = std::fs::read_to_string(&path)
+            .expect("read record")
+            .replace("\"7\"", "\"8\"");
+        std::fs::write(&path, forged).expect("rewrite record");
+        assert_eq!(load::<u64>(&dir, &k), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let k = key(&[("seed", "7")]);
+        store(&dir, &k, &42u64);
+        std::fs::write(entry_path(&dir, &k), "{not json").expect("corrupt");
+        assert_eq!(load::<u64>(&dir, &k), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,198 @@
+//! Content-addressed cell identity.
+//!
+//! A sweep cell is identified by the *complete* set of inputs that
+//! determine its result: the sweep name, the canonical `key = value`
+//! field list the [`crate::Sweep`] implementation declares (scenario,
+//! scheduler, seed, profile, trace preset, …), the cache schema
+//! version, and the crate version. Because every cell is a
+//! deterministic function of exactly these fields (the workspace
+//! determinism contract — see DESIGN.md), two cells with equal keys
+//! provably have byte-identical results, which is what makes skipping
+//! a cached cell safe.
+
+/// Bump when the cache record layout or key canonicalization changes;
+/// old cache entries then miss instead of being misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The crate version baked into every key, so a rebuilt workspace
+/// (which may have changed simulation semantics) starts from a cold
+/// cache once the version is bumped.
+pub const CRATE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Canonical identity of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    /// Sweep name (e.g. `fig7`).
+    pub sweep: String,
+    /// Ordered `(field, value)` pairs; order is part of the identity.
+    pub fields: Vec<(String, String)>,
+    /// Cache schema version ([`SCHEMA_VERSION`] unless overridden in
+    /// tests).
+    pub schema: u32,
+    /// Crate version ([`CRATE_VERSION`] unless overridden in tests).
+    pub version: String,
+}
+
+impl CellKey {
+    /// Key for `sweep` with the given canonical fields.
+    pub fn new(sweep: &str, fields: Vec<(String, String)>) -> CellKey {
+        CellKey {
+            sweep: sweep.to_string(),
+            fields,
+            schema: SCHEMA_VERSION,
+            version: CRATE_VERSION.to_string(),
+        }
+    }
+
+    /// The canonical encoding the hash is computed over. `;` separates
+    /// pairs and `=` separates key from value; both are escaped inside
+    /// names/values so distinct field lists cannot collide textually.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        out.push_str("schema=");
+        out.push_str(&self.schema.to_string());
+        out.push_str(";version=");
+        push_escaped(&mut out, &self.version);
+        out.push_str(";sweep=");
+        push_escaped(&mut out, &self.sweep);
+        for (k, v) in &self.fields {
+            out.push(';');
+            push_escaped(&mut out, k);
+            out.push('=');
+            push_escaped(&mut out, v);
+        }
+        out
+    }
+
+    /// 128-bit content hash of the canonical encoding, as 32 hex chars.
+    /// This names the on-disk cache entry.
+    pub fn hash_hex(&self) -> String {
+        let canon = self.canonical();
+        let a = fnv1a64(canon.as_bytes(), FNV_OFFSET_A);
+        let b = fnv1a64(canon.as_bytes(), FNV_OFFSET_B);
+        format!("{a:016x}{b:016x}")
+    }
+
+    /// Human-readable cell label (`k=v, k=v`) for tables and JSONL.
+    pub fn label(&self) -> String {
+        self.fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ';' => out.push_str("\\;"),
+            '=' => out.push_str("\\="),
+            c => out.push(c),
+        }
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Standard FNV-1a offset basis.
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second stream: a different odd basis so the two 64-bit halves are
+/// independent functions of the input.
+const FNV_OFFSET_B: u64 = 0xaf63_bd4c_8601_b7df;
+
+/// FNV-1a over `bytes` from the given offset basis. Deterministic,
+/// dependency-free, and plenty for cache addressing (collisions are
+/// additionally guarded by an exact key comparison on read).
+fn fnv1a64(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Convenience builder so call sites read as a literal field list.
+#[derive(Debug, Default, Clone)]
+pub struct KeyFields(Vec<(String, String)>);
+
+impl KeyFields {
+    /// Empty field list.
+    pub fn new() -> KeyFields {
+        KeyFields(Vec::new())
+    }
+
+    /// Append a field; values go through `Display`.
+    pub fn push(mut self, key: &str, value: impl std::fmt::Display) -> KeyFields {
+        self.0.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The ordered pairs.
+    pub fn into_vec(self) -> Vec<(String, String)> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(fields: &[(&str, &str)]) -> CellKey {
+        CellKey::new(
+            "demo",
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_fields_identical_hash() {
+        let a = key(&[("scenario", "T1"), ("seed", "7")]);
+        let b = key(&[("scenario", "T1"), ("seed", "7")]);
+        assert_eq!(a.hash_hex(), b.hash_hex());
+    }
+
+    #[test]
+    fn any_field_change_changes_hash() {
+        let base = key(&[("scenario", "T1"), ("scheduler", "laps"), ("seed", "7")]);
+        let variants = [
+            key(&[("scenario", "T2"), ("scheduler", "laps"), ("seed", "7")]),
+            key(&[("scenario", "T1"), ("scheduler", "fcfs"), ("seed", "7")]),
+            key(&[("scenario", "T1"), ("scheduler", "laps"), ("seed", "8")]),
+        ];
+        for v in &variants {
+            assert_ne!(base.hash_hex(), v.hash_hex(), "{:?}", v.fields);
+        }
+    }
+
+    #[test]
+    fn schema_and_version_are_part_of_the_key() {
+        let a = key(&[("x", "1")]);
+        let mut b = a.clone();
+        b.schema += 1;
+        assert_ne!(a.hash_hex(), b.hash_hex());
+        let mut c = a.clone();
+        c.version = "999.0.0".to_string();
+        assert_ne!(a.hash_hex(), c.hash_hex());
+    }
+
+    #[test]
+    fn escaping_prevents_textual_collisions() {
+        // `a=1;b=2` as one value vs. two separate fields.
+        let one = key(&[("a", "1;b=2")]);
+        let two = key(&[("a", "1"), ("b", "2")]);
+        assert_ne!(one.canonical(), two.canonical());
+        assert_ne!(one.hash_hex(), two.hash_hex());
+    }
+
+    #[test]
+    fn sweep_name_is_part_of_the_key() {
+        let a = CellKey::new("fig7", vec![("seed".into(), "1".into())]);
+        let b = CellKey::new("fig9", vec![("seed".into(), "1".into())]);
+        assert_ne!(a.hash_hex(), b.hash_hex());
+    }
+}

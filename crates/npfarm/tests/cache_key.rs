@@ -1,0 +1,220 @@
+//! Cache-key invalidation coverage at the Farm level: changing *any*
+//! input that can affect a cell's result — any cell-config field, the
+//! trace preset, the schema version, the crate version — must produce
+//! a cache miss; an identical spec must hit.
+
+use npfarm::{cache, CellKey, CellStatus, Farm, KeyFields, Sweep};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// A miniature "simulation" whose result depends on every config field.
+#[derive(Debug, Clone, PartialEq)]
+struct CellCfg {
+    scenario: u8,
+    scheduler: &'static str,
+    seed: u64,
+    profile: &'static str,
+    trace_preset: &'static str,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct CellOut {
+    fingerprint: String,
+}
+
+struct MiniSweep {
+    cells: Vec<CellCfg>,
+}
+
+impl Sweep for MiniSweep {
+    type Cell = CellCfg;
+    type Out = CellOut;
+
+    fn name(&self) -> &'static str {
+        "mini"
+    }
+
+    fn cells(&self) -> Vec<CellCfg> {
+        self.cells.clone()
+    }
+
+    fn cell_fields(&self, c: &CellCfg) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{}", c.scenario))
+            .push("scheduler", c.scheduler)
+            .push("seed", c.seed)
+            .push("profile", c.profile)
+            .push("trace", c.trace_preset)
+    }
+
+    fn run_cell(&self, c: &CellCfg) -> CellOut {
+        CellOut {
+            fingerprint: format!(
+                "T{}/{}/{}/{}/{}",
+                c.scenario, c.scheduler, c.seed, c.profile, c.trace_preset
+            ),
+        }
+    }
+}
+
+fn base_cell() -> CellCfg {
+    CellCfg {
+        scenario: 1,
+        scheduler: "laps",
+        seed: 7,
+        profile: "quick",
+        trace_preset: "caida1",
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("npfarm-key-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn farm(dir: PathBuf, resume: bool) -> Farm {
+    let mut f = Farm::new(dir);
+    f.quiet = true;
+    f.resume = resume;
+    f
+}
+
+#[test]
+fn identical_spec_hits() {
+    let dir = tmpdir("hit");
+    let spec = MiniSweep {
+        cells: vec![base_cell()],
+    };
+    let cold = farm(dir.clone(), true).sweep(&spec);
+    assert_eq!(cold.count(CellStatus::Ran), 1);
+    let warm = farm(dir.clone(), true).sweep(&spec);
+    assert_eq!(warm.count(CellStatus::Cached), 1, "identical spec must hit");
+    assert_eq!(cold.canonical_bytes(), warm.canonical_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changing_any_config_field_misses() {
+    let dir = tmpdir("field-miss");
+    let seed_spec = MiniSweep {
+        cells: vec![base_cell()],
+    };
+    farm(dir.clone(), false).sweep(&seed_spec); // populate cache
+
+    let variants: Vec<(&str, CellCfg)> = vec![
+        (
+            "scenario",
+            CellCfg {
+                scenario: 2,
+                ..base_cell()
+            },
+        ),
+        (
+            "scheduler",
+            CellCfg {
+                scheduler: "fcfs",
+                ..base_cell()
+            },
+        ),
+        (
+            "seed",
+            CellCfg {
+                seed: 8,
+                ..base_cell()
+            },
+        ),
+        (
+            "profile",
+            CellCfg {
+                profile: "full",
+                ..base_cell()
+            },
+        ),
+        (
+            "trace preset",
+            CellCfg {
+                trace_preset: "auck1",
+                ..base_cell()
+            },
+        ),
+    ];
+    for (what, cell) in variants {
+        let spec = MiniSweep { cells: vec![cell] };
+        let outcome = farm(dir.clone(), true).sweep(&spec);
+        assert_eq!(
+            outcome.count(CellStatus::Ran),
+            1,
+            "changing {what} must invalidate the cache"
+        );
+    }
+
+    // The unchanged cell still hits afterwards.
+    let again = farm(dir.clone(), true).sweep(&seed_spec);
+    assert_eq!(again.count(CellStatus::Cached), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schema_or_version_bump_misses() {
+    let dir = tmpdir("schema-miss");
+    let fields = KeyFields::new().push("seed", 7u64).into_vec();
+    let key = CellKey::new("mini", fields.clone());
+    cache::store(
+        &dir,
+        &key,
+        &CellOut {
+            fingerprint: "x".into(),
+        },
+    );
+    assert!(cache::load::<CellOut>(&dir, &key).is_some());
+
+    let mut bumped_schema = key.clone();
+    bumped_schema.schema += 1;
+    assert!(
+        cache::load::<CellOut>(&dir, &bumped_schema).is_none(),
+        "schema bump must miss"
+    );
+
+    let mut bumped_version = key.clone();
+    bumped_version.version = "99.0.0".to_string();
+    assert!(
+        cache::load::<CellOut>(&dir, &bumped_version).is_none(),
+        "crate-version bump must miss"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncacheable_sweeps_never_hit() {
+    struct Uncached;
+    impl Sweep for Uncached {
+        type Cell = u64;
+        type Out = u64;
+        fn name(&self) -> &'static str {
+            "uncached"
+        }
+        fn cells(&self) -> Vec<u64> {
+            vec![1, 2]
+        }
+        fn cell_fields(&self, c: &u64) -> KeyFields {
+            KeyFields::new().push("cell", c)
+        }
+        fn run_cell(&self, c: &u64) -> u64 {
+            *c * 10
+        }
+        fn cacheable(&self) -> bool {
+            false
+        }
+    }
+
+    let dir = tmpdir("uncached");
+    farm(dir.clone(), true).sweep(&Uncached);
+    let second = farm(dir.clone(), true).sweep(&Uncached);
+    assert_eq!(
+        second.count(CellStatus::Ran),
+        2,
+        "measurement sweeps must re-run even with --resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

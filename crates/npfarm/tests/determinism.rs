@@ -1,0 +1,207 @@
+//! The npfarm determinism obligations, on a synthetic sweep:
+//!
+//! * parallel execution is byte-identical to serial execution of the
+//!   same spec (cold cache),
+//! * a warm-cache (`--resume`) run is byte-identical to both,
+//! * sharded runs over a shared cache union to exactly the full sweep.
+//!
+//! The cells here are pure integer mixing (SplitMix64 finalizer-style)
+//! so the test exercises orchestration, not the simulator; the
+//! workspace-level `farm_equivalence` test repeats the property on real
+//! simulation cells.
+
+use npfarm::{CellStatus, Farm, KeyFields, Sweep};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+struct MixOut {
+    value: u64,
+    detail: String,
+    fraction: f64,
+}
+
+struct MixSweep {
+    seeds: Vec<u64>,
+    rounds: u32,
+}
+
+fn mix(mut x: u64, rounds: u32) -> u64 {
+    for _ in 0..rounds {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x = z ^ (z >> 31);
+    }
+    x
+}
+
+impl Sweep for MixSweep {
+    type Cell = u64;
+    type Out = MixOut;
+
+    fn name(&self) -> &'static str {
+        "mix"
+    }
+
+    fn cells(&self) -> Vec<u64> {
+        self.seeds.clone()
+    }
+
+    fn cell_fields(&self, cell: &u64) -> KeyFields {
+        KeyFields::new()
+            .push("seed", cell)
+            .push("rounds", self.rounds)
+    }
+
+    fn run_cell(&self, cell: &u64) -> MixOut {
+        let value = mix(*cell, self.rounds);
+        MixOut {
+            value,
+            detail: format!("seed {cell} -> {value:#x}"),
+            fraction: (value % 1_000_000) as f64 / 7.0,
+        }
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("npfarm-det-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_farm(cache: PathBuf) -> Farm {
+    let mut farm = Farm::new(cache);
+    farm.quiet = true;
+    farm
+}
+
+fn spec() -> MixSweep {
+    MixSweep {
+        seeds: (0..64).map(|i| 1_000 + 37 * i).collect(),
+        rounds: 3,
+    }
+}
+
+#[test]
+fn parallel_equals_serial_cold_and_warm() {
+    let spec = spec();
+
+    // Cold, serial (one worker): the reference execution.
+    let serial_dir = tmpdir("serial");
+    let serial = quiet_farm(serial_dir.clone()).with_jobs(1).sweep(&spec);
+    assert_eq!(serial.count(CellStatus::Ran), 64);
+
+    // Cold, parallel (8 workers), separate cache.
+    let par_dir = tmpdir("parallel");
+    let mut par_farm = quiet_farm(par_dir.clone()).with_jobs(8);
+    let parallel = par_farm.sweep(&spec);
+    assert_eq!(parallel.count(CellStatus::Ran), 64);
+    assert_eq!(
+        serial.canonical_bytes(),
+        parallel.canonical_bytes(),
+        "parallel cold run must be byte-identical to serial cold run"
+    );
+
+    // Warm: same farm with --resume loads every cell from cache.
+    par_farm.resume = true;
+    let warm = par_farm.sweep(&spec);
+    assert_eq!(warm.count(CellStatus::Cached), 64);
+    assert_eq!(warm.count(CellStatus::Ran), 0);
+    assert_eq!(
+        serial.canonical_bytes(),
+        warm.canonical_bytes(),
+        "warm-cache run must be byte-identical to the cold runs"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&par_dir);
+}
+
+#[test]
+fn shards_union_to_the_full_sweep() {
+    let spec = spec();
+
+    let full_dir = tmpdir("full");
+    let full = quiet_farm(full_dir.clone()).with_jobs(4).sweep(&spec);
+
+    // Three shard processes sharing one cache directory, then a
+    // resume pass that stitches the union back together.
+    let shard_dir = tmpdir("shards");
+    for k in 1..=3 {
+        let mut farm = quiet_farm(shard_dir.clone()).with_jobs(4);
+        farm.shard = Some((k, 3));
+        let partial = farm.sweep(&spec);
+        assert!(partial.count(CellStatus::Skipped) > 0);
+        assert!(
+            partial.into_complete().is_none(),
+            "shard run must report partial"
+        );
+    }
+    let mut stitch = quiet_farm(shard_dir.clone());
+    stitch.resume = true;
+    let stitched = stitch.sweep(&spec);
+    assert_eq!(stitched.count(CellStatus::Cached), 64);
+    assert_eq!(
+        stitched.canonical_bytes(),
+        full.canonical_bytes(),
+        "union of shards must equal the unsharded sweep"
+    );
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+}
+
+#[test]
+fn resume_within_a_shard_skips_completed_cells() {
+    let spec = spec();
+    let dir = tmpdir("resume-shard");
+
+    let mut farm = quiet_farm(dir.clone()).with_jobs(4);
+    farm.shard = Some((2, 3));
+    let first = farm.sweep(&spec);
+    let ran_first = first.count(CellStatus::Ran);
+    assert!(ran_first > 0);
+
+    // Interrupted-and-restarted shard: with --resume the completed
+    // cells load instead of re-running.
+    farm.resume = true;
+    let second = farm.sweep(&spec);
+    assert_eq!(second.count(CellStatus::Ran), 0);
+    assert_eq!(second.count(CellStatus::Cached), ran_first);
+    assert_eq!(first.canonical_bytes(), second.canonical_bytes());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jsonl_is_written_in_cell_order() {
+    let spec = spec();
+    let cache = tmpdir("jsonl-cache");
+    let jsonl = tmpdir("jsonl-out");
+    let farm = quiet_farm(cache.clone())
+        .with_jobs(8)
+        .with_jsonl_dir(jsonl.clone());
+    let outcome = farm.sweep(&spec);
+
+    let text = std::fs::read_to_string(jsonl.join("mix.jsonl")).expect("jsonl written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), outcome.cells.len());
+    for (line, cell) in lines.iter().zip(outcome.cells.iter()) {
+        let v = serde_json::parse_value(line).expect("jsonl line parses");
+        assert_eq!(
+            v.get("cell").and_then(|c| match c {
+                serde::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            }),
+            Some(cell.key.label()),
+            "jsonl order must match canonical cell order"
+        );
+        assert!(v.get("wall_ms").is_some());
+        assert!(v.get("status").is_some());
+    }
+
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&jsonl);
+}

@@ -1,0 +1,153 @@
+//! The npfarm byte-identity property on *real* simulation cells.
+//!
+//! The npfarm crate proves its orchestration invariants on a synthetic
+//! sweep (`crates/npfarm/tests/determinism.rs`); this workspace test
+//! closes the loop with the actual simulator: a scenario × scheduler
+//! sweep of short multi-service runs must produce byte-identical
+//! aggregated output whether the cells execute
+//!
+//! * serially (one worker),
+//! * in parallel on the work-stealing pool (eight workers),
+//! * or from a warm content-addressed cache (`--resume` semantics),
+//!
+//! and a sharded run over a shared cache must stitch back to the full
+//! sweep. This is exactly the contract that lets CI split the
+//! full-profile sweeps across matrix jobs without changing a single
+//! result byte: each cell is one deterministic simulation, keyed by
+//! everything that can affect its report.
+
+use laps_repro::prelude::*;
+use npfarm::{CellStatus, Farm, KeyFields, Sweep};
+use std::path::PathBuf;
+
+const SEED: u64 = 2024;
+const SCHEDULERS: [&str; 3] = ["fcfs", "afs", "laps"];
+
+/// A CI-sized slice of the Fig. 7 protocol: two Table VI scenarios ×
+/// three schedulers, 50 ms horizon.
+struct MiniFig7;
+
+impl Sweep for MiniFig7 {
+    type Cell = (u8, &'static str);
+    type Out = SimReport;
+
+    fn name(&self) -> &'static str {
+        "mini-fig7"
+    }
+
+    fn cells(&self) -> Vec<Self::Cell> {
+        [1u8, 5]
+            .into_iter()
+            .flat_map(|id| SCHEDULERS.iter().map(move |&s| (id, s)))
+            .collect()
+    }
+
+    fn cell_fields(&self, &(id, scheduler): &Self::Cell) -> KeyFields {
+        KeyFields::new()
+            .push("scenario", format!("T{id}"))
+            .push("scheduler", scheduler)
+            .push("seed", SEED)
+            .push("profile", "test")
+    }
+
+    fn run_cell(&self, &(id, scheduler): &Self::Cell) -> SimReport {
+        let scenario = Scenario::by_id(id).expect("scenario");
+        SimBuilder::new()
+            .cores(8)
+            .duration(SimTime::from_millis(50))
+            .scale(200.0)
+            .seed(SEED)
+            .configure(|cfg| {
+                cfg.period_compression = 50.0;
+                cfg.rate_update_interval = SimTime::from_millis(10);
+            })
+            .scenario(scenario)
+            .run_named(scheduler)
+            .expect("builtin scheduler")
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("farm-equiv-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quiet_farm(cache: PathBuf) -> Farm {
+    let mut farm = Farm::new(cache);
+    farm.quiet = true;
+    farm
+}
+
+#[test]
+fn parallel_cached_and_serial_runs_are_byte_identical() {
+    let spec = MiniFig7;
+    let n = spec.cells().len();
+
+    // Serial cold run: the reference bytes.
+    let serial_dir = tmpdir("serial");
+    let serial = quiet_farm(serial_dir.clone()).with_jobs(1).sweep(&spec);
+    assert_eq!(serial.count(CellStatus::Ran), n);
+    let reference = serial.canonical_bytes();
+    assert!(
+        reference.contains("\"offered\""),
+        "canonical bytes must embed the real SimReport payload"
+    );
+
+    // Parallel cold run, fresh cache directory.
+    let par_dir = tmpdir("parallel");
+    let mut par_farm = quiet_farm(par_dir.clone()).with_jobs(8);
+    let parallel = par_farm.sweep(&spec);
+    assert_eq!(parallel.count(CellStatus::Ran), n);
+    assert_eq!(
+        reference,
+        parallel.canonical_bytes(),
+        "parallel execution must not change a single result byte"
+    );
+
+    // Warm run: every cell loads from the cache written above; the
+    // serde round-trip (SimReport → JSON → SimReport) must be exact.
+    par_farm.resume = true;
+    let warm = par_farm.sweep(&spec);
+    assert_eq!(warm.count(CellStatus::Cached), n);
+    assert_eq!(
+        reference,
+        warm.canonical_bytes(),
+        "cache round-trip must reproduce the cold-run bytes exactly"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&par_dir);
+}
+
+#[test]
+fn shards_stitch_to_the_full_sweep() {
+    let spec = MiniFig7;
+    let n = spec.cells().len();
+
+    let full_dir = tmpdir("full");
+    let full = quiet_farm(full_dir.clone()).with_jobs(4).sweep(&spec);
+
+    // Two shard "jobs" share a cache directory (the CI matrix writes to
+    // a shared artifact store the same way), then a resume pass stitches
+    // the union back together.
+    let shard_dir = tmpdir("shards");
+    for k in 1..=2 {
+        let mut farm = quiet_farm(shard_dir.clone()).with_jobs(4);
+        farm.shard = Some((k, 2));
+        let partial = farm.sweep(&spec);
+        assert!(partial.count(CellStatus::Skipped) > 0);
+        assert!(
+            partial.into_complete().is_none(),
+            "a shard run must refuse to pose as a complete sweep"
+        );
+    }
+    let mut stitch = quiet_farm(shard_dir.clone());
+    stitch.resume = true;
+    let stitched = stitch.sweep(&spec);
+    assert_eq!(stitched.count(CellStatus::Cached), n);
+    assert_eq!(stitched.canonical_bytes(), full.canonical_bytes());
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+}
