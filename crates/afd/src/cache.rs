@@ -192,11 +192,13 @@ impl<K: Copy + Eq + Ord + Hash> FlowCache<K> {
 
     /// Resident flows, unordered.
     pub fn flows(&self) -> Vec<K> {
+        // npcheck: allow(blocking-hot-path) — reporting accessor, not on the per-packet path
         self.entries.keys().copied().collect()
     }
 
     /// Resident flows ordered by descending counter (descending rank).
     pub fn flows_by_count(&self) -> Vec<(K, u64)> {
+        // npcheck: allow(blocking-hot-path) — reporting accessor, not on the per-packet path
         let mut v: Vec<(K, u64)> = self.entries.iter().map(|(&f, e)| (f, e.count)).collect();
         v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
@@ -205,6 +207,7 @@ impl<K: Copy + Eq + Ord + Hash> FlowCache<K> {
     /// Halve every counter (counter aging, used by long-running
     /// deployments to let stale elephants decay; ablation knob).
     pub fn age_counters(&mut self) {
+        // npcheck: allow(blocking-hot-path) — counter aging runs per epoch, not per packet
         let snapshot: Vec<(K, Entry)> = self.entries.iter().map(|(&f, &e)| (f, e)).collect();
         self.order.clear();
         for (f, mut e) in snapshot {

@@ -12,13 +12,16 @@
 //! writes `BENCH_PR5.json` at the invocation directory (the repo root
 //! when run via cargo) in the [`npfarm::benchdiff`] schema
 //! `bench name → {packets_per_sec, events_per_sec, wall_ms}` — the same
-//! schema the `benchdiff` binary gates CI with.
+//! schema the `benchdiff` binary gates CI with. The emitted file also
+//! carries a `"host"` fingerprint block (cpu model, core count, rustc
+//! version) so the gate can report — not fail — when a later diff runs
+//! on different hardware.
 //!
 //! Flags: `--emit-baseline` (write the JSON; otherwise print only),
 //! `--short` (CI-sized run), `--out <path>` (override the output path).
 
 use laps::prelude::*;
-use npfarm::benchdiff::{render, BenchFile, BenchMetrics};
+use npfarm::benchdiff::{render_doc, BenchDoc, BenchFile, BenchMetrics, HostFingerprint};
 use std::time::Instant;
 
 /// The hot-path engine configuration: paper-scale timing (scale 1) so the
@@ -105,7 +108,12 @@ fn main() {
             name, m.packets_per_sec, m.events_per_sec, m.wall_ms
         );
     }
-    let json = render(&rows);
+    let host = HostFingerprint::detect();
+    println!("{:>14}: {}", "host", host.describe());
+    let json = render_doc(&BenchDoc {
+        host: Some(host),
+        rows,
+    });
 
     if emit {
         match std::fs::write(&out_path, &json) {

@@ -202,6 +202,7 @@ impl Laps {
             .enumerate()
             .filter(|(_, cs)| cs.parked_since.is_some())
             .map(|(c, _)| c)
+            // npcheck: allow(blocking-hot-path) — reporting accessor, not on the per-packet path
             .collect()
     }
 
@@ -308,6 +309,7 @@ impl Laps {
                     && self.is_surplus(view, c)
             })
             .map(|(c, _)| c)
+            // npcheck: allow(blocking-hot-path) — candidate scan runs on rebalance epochs, not per packet
             .collect();
         v.sort_by_key(|&c| (view.queues.get(c).map(|q| q.last_congested), c));
         v

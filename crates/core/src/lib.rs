@@ -51,6 +51,7 @@ pub mod faults;
 pub mod laps;
 pub mod migration;
 pub mod registry;
+pub mod spsc;
 pub mod static_hash;
 pub mod topk;
 
@@ -62,6 +63,7 @@ pub use faults::{crash_with_heal, random_plan, single_crash};
 pub use laps::Laps;
 pub use migration::MigrationTable;
 pub use registry::{laps_config_for, BoxedScheduler, SchedulerCtor, SchedulerRegistry};
+pub use spsc::{Consumer as SpscConsumer, Desc, Producer as SpscProducer};
 pub use static_hash::StaticHash;
 pub use topk::{DetectorKind, TopKMigration};
 

@@ -1,0 +1,81 @@
+//! Real-thread stress test for the `laps::spsc` ring.
+//!
+//! Complements the `--cfg loom` model tests with an actual concurrent
+//! execution on OS threads — this is the binary CI builds under
+//! ThreadSanitizer (`-Zsanitizer=thread`), so the ring's
+//! Acquire/Release pairs are exercised by a data-race detector as well
+//! as by the (sequentially consistent) loom shim model.
+
+use laps::spsc::{ring, Desc};
+
+/// Push `total` packets with a mark every `mark_every`, pop them on
+/// another thread, and check the FIFO + mark-partition contract.
+fn stress(capacity: usize, total: u64, mark_every: u64) {
+    let (mut p, mut c) = ring(capacity);
+    let producer = std::thread::spawn(move || {
+        let mut group = 0u64;
+        for i in 0..total {
+            let mut d = Desc::Packet(i);
+            loop {
+                match p.try_push(d) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        d = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            if i % mark_every == mark_every - 1 {
+                group += 1;
+                let mut m = Desc::Mark(group);
+                loop {
+                    match p.try_push(m) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            m = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let mut next_packet = 0u64;
+    let mut next_mark = 1u64;
+    let expected = total + total / mark_every;
+    let mut seen = 0u64;
+    while seen < expected {
+        match c.try_pop() {
+            Some(Desc::Packet(i)) => {
+                assert_eq!(i, next_packet, "FIFO packet order");
+                next_packet += 1;
+                seen += 1;
+            }
+            Some(Desc::Mark(g)) => {
+                assert_eq!(g, next_mark, "marks arrive in issue order");
+                assert_eq!(
+                    next_packet,
+                    g * mark_every,
+                    "mark {g} must follow exactly its epoch's packets"
+                );
+                next_mark += 1;
+                seen += 1;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    producer.join().expect("producer thread");
+    assert_eq!(c.try_pop(), None, "nothing past the pushed stream");
+    assert_eq!(next_packet, total);
+}
+
+#[test]
+fn tiny_ring_high_contention() {
+    stress(2, 10_000, 7);
+}
+
+#[test]
+fn typical_ring() {
+    stress(64, 100_000, 1_000);
+}

@@ -100,6 +100,7 @@ impl<E> TimerWheel<E> {
                 u32::MAX
             },
             levels: (0..LEVELS)
+                // npcheck: allow(unbounded-queue) — wheel slots are bounded by the in-flight timer count, which the engine caps via its event budget
                 .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
                 .collect(),
             overflow: EventQueue::new(),

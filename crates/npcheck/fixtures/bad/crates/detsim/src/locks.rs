@@ -1,0 +1,24 @@
+//! Bad fixture: the two-lock inversion the `lock-order` crate pass
+//! must catch — `table` then `stats` in one function, `stats` then
+//! `table` in another.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    table: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+}
+
+impl Registry {
+    pub fn record(&self) {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        *stats += table.len() as u64;
+    }
+
+    pub fn rebuild(&self) {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        table.resize(*stats as usize, 0);
+    }
+}

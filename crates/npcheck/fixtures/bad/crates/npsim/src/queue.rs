@@ -1,0 +1,34 @@
+//! Bad fixture: unbounded queue constructions the `unbounded-queue`
+//! rule must catch.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub struct Ingest {
+    backlog: VecDeque<u64>,
+    staged: Vec<u64>,
+}
+
+pub fn build() -> Ingest {
+    Ingest {
+        // No capacity bound: overload becomes unbounded memory growth.
+        backlog: VecDeque::new(),
+        staged: Vec::new(),
+    }
+}
+
+pub fn wire() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    // Unbounded channel: no backpressure to the producer.
+    mpsc::channel()
+}
+
+impl Ingest {
+    pub fn pop_oldest(&mut self) -> u64 {
+        // Vec-as-queue: O(n) shift per pop, still unbounded.
+        self.staged.remove(0)
+    }
+
+    pub fn push_front(&mut self, v: u64) {
+        self.staged.insert(0, v);
+    }
+}

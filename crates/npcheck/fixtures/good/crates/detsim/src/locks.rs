@@ -1,0 +1,24 @@
+//! Good fixture: both paths acquire `table` before `stats` — one
+//! crate-wide nesting order, no inversion.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    table: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+}
+
+impl Registry {
+    pub fn record(&self) {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        *stats += table.len() as u64;
+    }
+
+    pub fn rebuild(&self) {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = table;
+        table.resize(*stats as usize, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Good fixture: the same queue shapes with declared bounds.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub const BACKLOG_CAP: usize = 4096;
+
+pub struct Ingest {
+    backlog: VecDeque<u64>,
+}
+
+pub fn build() -> Ingest {
+    Ingest {
+        // Capacity declared up front; the push site enforces the cap.
+        backlog: VecDeque::with_capacity(BACKLOG_CAP),
+    }
+}
+
+pub fn wire() -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    // Bounded channel: a full queue pushes back on the producer.
+    mpsc::sync_channel(BACKLOG_CAP)
+}
+
+impl Ingest {
+    pub fn offer(&mut self, v: u64) -> bool {
+        if self.backlog.len() >= BACKLOG_CAP {
+            return false;
+        }
+        self.backlog.push_back(v);
+        true
+    }
+
+    pub fn pop_oldest(&mut self) -> Option<u64> {
+        self.backlog.pop_front()
+    }
+}
+
+pub fn audit_trail() -> VecDeque<String> {
+    // npcheck: allow(unbounded-queue) — audit log drained every epoch by the reporter; growth bounded by epoch length
+    VecDeque::new()
+}

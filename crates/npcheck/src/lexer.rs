@@ -41,7 +41,12 @@ pub struct LexedFile {
     pub tokens: Vec<(usize, Tok)>,
     /// `(line, rule_id)` allow markers from comments.
     pub allows: Vec<(usize, String)>,
-    /// Line of the first `#[cfg(test)]` attribute, if any.
+    /// Lines carrying a non-empty `npcheck: ordering(<why>)`
+    /// justification comment (the `shared-state-audit` rule requires
+    /// one next to every explicit atomic memory ordering).
+    pub orderings: Vec<usize>,
+    /// Line of the first `#[cfg(test)]` / `#[cfg(all(test, …))]`
+    /// attribute, if any.
     pub cfg_test_line: Option<usize>,
 }
 
@@ -75,6 +80,7 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 let text: String = b[start..i].iter().collect();
                 collect_allows(&text, line, &mut out.allows);
+                collect_orderings(&text, line, &mut out.orderings);
             }
             '/' if i + 1 < n && b[i + 1] == '*' => {
                 // Block comment (nested), allow markers honored.
@@ -98,6 +104,7 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 let text: String = b[start..i.min(n)].iter().collect();
                 collect_allows(&text, start_line, &mut out.allows);
+                collect_orderings(&text, start_line, &mut out.orderings);
             }
             '"' => {
                 // String literal.
@@ -214,15 +221,19 @@ pub fn lex(src: &str) -> LexedFile {
         }
     }
 
-    // Locate the first `#[cfg(test)]`: tokens `#` `[` `cfg` `(` `test` `)` `]`.
-    for w in out.tokens.windows(6) {
-        if w[0].1.is_punct("#")
+    // Locate the first `#[cfg(test)]` or `#[cfg(all(test, …))]`:
+    // tokens `#` `[` `cfg` `(` [`all` `(`] `test`.
+    for w in out.tokens.windows(7) {
+        let head = w[0].1.is_punct("#")
             && w[1].1.is_punct("[")
             && w[2].1.is_ident("cfg")
-            && w[3].1.is_punct("(")
-            && w[4].1.is_ident("test")
-            && w[5].1.is_punct(")")
-        {
+            && w[3].1.is_punct("(");
+        if !head {
+            continue;
+        }
+        let plain = w[4].1.is_ident("test") && w[5].1.is_punct(")");
+        let all_form = w[4].1.is_ident("all") && w[5].1.is_punct("(") && w[6].1.is_ident("test");
+        if plain || all_form {
             out.cfg_test_line = Some(w[0].0);
             break;
         }
@@ -249,6 +260,23 @@ fn is_raw_string_start(b: &[char], i: usize) -> bool {
         j += 1;
     }
     (saw_r || byte_str) && j < b.len() && b[j] == '"'
+}
+
+/// Collect `npcheck: ordering(<why>)` justification markers; an empty
+/// `why` does not count — the point is the written-down argument.
+fn collect_orderings(comment: &str, line: usize, orderings: &mut Vec<usize>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("npcheck: ordering(") {
+        let after = &rest[pos + "npcheck: ordering(".len()..];
+        if after.trim_start().starts_with(')') {
+            rest = after;
+            continue;
+        }
+        if !after.is_empty() {
+            orderings.push(line);
+        }
+        rest = after;
+    }
 }
 
 fn collect_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {

@@ -1,20 +1,26 @@
-//! `npcheck` — determinism & hot-path safety linter for the LAPS
-//! workspace.
+//! `npcheck` — determinism, hot-path safety, and concurrency-readiness
+//! linter for the LAPS workspace.
 //!
 //! The paper's evaluation (Figs. 7–9) rests on a deterministic
 //! discrete-event simulation: two runs with the same seed must produce
 //! byte-identical reports, and A/B scheduler comparisons are only valid
-//! because both sides see the exact same arrival process. `npcheck`
-//! statically enforces the workspace rules that protect that property
-//! (see DESIGN.md, "Determinism contract"):
+//! because both sides see the exact same arrival process. On top of
+//! that, the roadmap's thread-per-core `npexec` backend means core and
+//! npfarm types will be shared across OS threads — so the linter also
+//! audits the workspace's *concurrency contract* (see DESIGN.md,
+//! "Concurrency contract & static analysis"):
 //!
-//! | rule | severity | what it catches |
-//! |------|----------|-----------------|
-//! | `nondet-collections` | deny | `HashMap`/`HashSet`/`RandomState` with the default random-seeded hasher in simulation crates |
-//! | `wall-clock` | deny | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `from_entropy` outside the sanctioned timing crates |
-//! | `hot-path-panic` | deny | `.unwrap()`, `.expect(…)`, and slice/array indexing in designated hot-path modules |
-//! | `probe-hot-path` | warn | allocation (`Vec::new`, `.to_string()`, `collect`, `format!`, …) or `HashMap`/`HashSet` inside a probe's `on_event` — the observability bus runs per published event |
-//! | `float-accum` | warn | naive `+=`/`-=` accumulation of computed `f64` terms in `detsim::stats` instead of the compensated helpers |
+//! | rule | severity | pass | what it catches |
+//! |------|----------|------|-----------------|
+//! | `nondet-collections` | deny | file | `HashMap`/`HashSet`/`RandomState` with the default random-seeded hasher in simulation crates |
+//! | `wall-clock` | deny | file | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `from_entropy` outside the sanctioned timing crates |
+//! | `hot-path-panic` | deny | file | `.unwrap()`, `.expect(…)`, and slice/array indexing in designated hot-path modules |
+//! | `probe-hot-path` | warn | file | allocation or `HashMap`/`HashSet` inside a probe's `on_event` — the observability bus runs per published event |
+//! | `float-accum` | warn | file | naive `+=`/`-=` accumulation of computed `f64` terms in `detsim::stats` instead of the compensated helpers |
+//! | `shared-state-audit` | deny | file | `static mut`, `unsafe impl Send/Sync`, `Rc`/`RefCell`/`Cell`, and explicit atomic `Ordering`s without a `// npcheck: ordering(<why>)` justification, in thread-shared crates |
+//! | `unbounded-queue` | warn | file | `VecDeque::new`, `mpsc::channel`, and Vec-as-queue idioms with no declared capacity bound |
+//! | `blocking-hot-path` | deny | file | lock acquisition, `sleep`, blocking I/O, or allocation in hot-path modules (constructors exempt) |
+//! | `lock-order` | deny | crate | two named locks acquired in both nesting orders within one crate |
 //!
 //! Any finding can be suppressed with a justification comment on the
 //! same line or the line directly above:
@@ -23,10 +29,18 @@
 //! // npcheck: allow(hot-path-panic) — index bounded by n_cores above
 //! ```
 //!
+//! Output formats: human text (default), the stable JSON report
+//! ([`json_report`]), and SARIF 2.1.0 ([`sarif_report`]) for CI code
+//! scanning. [`rules_manifest_json`] emits the machine-readable rule
+//! table that the fixture self-tests cross-check against the fixture
+//! trees on disk.
+//!
 //! The linter is a hand-rolled token scanner, not a full parser: it
 //! understands comments, strings (including raw strings), char
 //! literals, and lifetimes, which is enough to match the rule patterns
-//! without false positives from text inside literals or docs.
+//! without false positives from text inside literals or docs. File
+//! rules see one file at a time; crate passes (`lock-order`) see every
+//! lexed file of a crate at once.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -35,7 +49,7 @@ pub mod lexer;
 pub mod rules;
 
 pub use lexer::{lex, LexedFile, Tok};
-pub use rules::{Severity, RULES};
+pub use rules::{all_rules, Pass, RuleMeta, Severity, CRATE_RULES, RULES};
 
 /// One lint hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,24 +82,78 @@ impl Finding {
 
 /// Scan one source file (given its workspace-relative path, which
 /// drives rule scoping) and return all findings, sorted by line.
+/// Crate passes see the file as a singleton crate, so intra-file
+/// inversions are still caught.
 pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
-    let lexed = lex(text);
+    scan_files(&[(rel_path.to_string(), text.to_string())])
+}
+
+/// Scan a set of `(rel_path, text)` files together: file rules run on
+/// each file, then crate passes run on every `crates/<name>/` group.
+/// Findings covered by an allow comment (same or preceding line, in
+/// the file the finding points at) are dropped; the rest come back
+/// sorted by `(file, line, rule)` so reports are byte-stable.
+pub fn scan_files(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<(&str, LexedFile)> = files
+        .iter()
+        .map(|(path, text)| (path.as_str(), lex(text)))
+        .collect();
+
     let mut findings = Vec::new();
-    for rule in rules::RULES {
-        if (rule.applies)(rel_path) {
-            (rule.check)(rel_path, &lexed, &mut findings);
+    for (path, lf) in &lexed {
+        for rule in rules::RULES {
+            if (rule.applies)(path) {
+                (rule.check)(path, lf, &mut findings);
+            }
         }
     }
+
+    // Crate passes: group files by crate and hand each rule the whole
+    // group (minus files outside the rule's scope).
+    let mut groups: BTreeMap<String, Vec<(&str, &LexedFile)>> = BTreeMap::new();
+    for (path, lf) in &lexed {
+        groups.entry(crate_key(path)).or_default().push((path, lf));
+    }
+    for crule in rules::CRATE_RULES {
+        for group in groups.values() {
+            let members: Vec<(&str, &LexedFile)> = group
+                .iter()
+                .filter(|(path, _)| (crule.applies)(path))
+                .copied()
+                .collect();
+            if !members.is_empty() {
+                (crule.check)(&members, &mut findings);
+            }
+        }
+    }
+
     // Drop findings covered by an allow comment on the same or the
-    // preceding line.
+    // preceding line of the file they point at.
+    let allows: BTreeMap<&str, &[(usize, String)]> = lexed
+        .iter()
+        .map(|(path, lf)| (*path, lf.allows.as_slice()))
+        .collect();
     findings.retain(|f| {
-        !lexed
-            .allows
-            .iter()
-            .any(|(line, rule_id)| rule_id == f.rule && (*line == f.line || *line + 1 == f.line))
+        allows.get(f.file.as_str()).is_none_or(|file_allows| {
+            !file_allows.iter().any(|(line, rule_id)| {
+                rule_id == f.rule && (*line == f.line || *line + 1 == f.line)
+            })
+        })
     });
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
+}
+
+/// Grouping key for crate passes: `crates/<name>` for workspace crate
+/// files, the first path component otherwise (root-level `tests/`,
+/// `examples/`, … each form their own group).
+fn crate_key(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(pos) = rest.find('/') {
+            return format!("crates/{}", &rest[..pos]);
+        }
+    }
+    path.split('/').next().unwrap_or(path).to_string()
 }
 
 /// Recursively scan every `.rs` file under `root`, skipping build
@@ -97,13 +165,12 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let text = std::fs::read_to_string(root.join(rel))?;
-        findings.extend(scan_source(rel, &text));
+        sources.push((rel.clone(), text));
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok((findings, files.len()))
+    Ok((scan_files(&sources), files.len()))
 }
 
 const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modules"];
@@ -186,6 +253,93 @@ pub fn json_report(findings: &[Finding], files_scanned: usize) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
+    out
+}
+
+/// Machine-readable rule manifest for `npcheck --rules`: every rule
+/// from both tables with id, severity, pass, summary, and rationale.
+/// Deterministic field and row order (file passes first, table order).
+pub fn rules_manifest_json() -> String {
+    let mut out = String::from("{\n  \"rules\": [");
+    let metas = rules::all_rules();
+    let mut first = true;
+    for m in &metas {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"severity\": \"{}\", \"pass\": \"{}\", \"summary\": \"{}\", \"why\": \"{}\"}}",
+            m.id,
+            m.severity.as_str(),
+            m.pass.as_str(),
+            escape_json(m.summary),
+            escape_json(m.why)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// SARIF 2.1.0 report: one run, every rule from both tables in the
+/// driver's rule metadata (deny → `error`, warn → `warning`), one
+/// result per finding with a physical location. Deterministic output —
+/// findings keep their `(file, line, rule)` sort and rule metadata
+/// follows table order — so CI artifacts are byte-stable.
+pub fn sarif_report(findings: &[Finding]) -> String {
+    fn level(s: Severity) -> &'static str {
+        match s {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"npcheck\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/laps/npcheck\",\n");
+    out.push_str("          \"rules\": [");
+    let metas = rules::all_rules();
+    let mut first = true;
+    for m in &metas {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"fullDescription\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            m.id,
+            escape_json(m.summary),
+            escape_json(m.why),
+            level(m.severity)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    let index_of = |id: &str| metas.iter().position(|m| m.id == id).unwrap_or(0);
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            f.rule,
+            index_of(f.rule),
+            level(f.severity),
+            escape_json(&f.message),
+            escape_json(&f.file),
+            f.line
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
     out
 }
 

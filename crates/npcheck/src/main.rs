@@ -1,11 +1,13 @@
 //! CLI driver for the npcheck linter.
 //!
 //! ```text
-//! cargo run -p npcheck --              # lint the workspace, human output
-//! cargo run -p npcheck -- --json       # machine-readable report
-//! cargo run -p npcheck -- --deny-warnings   # warn-level findings also fail
-//! cargo run -p npcheck -- --list-rules      # print the rule table
-//! cargo run -p npcheck -- --root some/dir   # lint a different tree (fixtures)
+//! cargo run -p npcheck --                    # lint the workspace, human output
+//! cargo run -p npcheck -- --format json      # machine-readable report (`--json` is an alias)
+//! cargo run -p npcheck -- --format sarif     # SARIF 2.1.0 for CI code scanning
+//! cargo run -p npcheck -- --deny-warnings    # warn-level findings also fail
+//! cargo run -p npcheck -- --rules            # machine-readable rule manifest (JSON)
+//! cargo run -p npcheck -- --list-rules       # human-readable rule table
+//! cargo run -p npcheck -- --root some/dir    # lint a different tree (fixtures)
 //! ```
 //!
 //! Exit status: 0 when no deny-level findings (and, under
@@ -15,28 +17,49 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use npcheck::{json_report, scan_workspace, Severity, RULES};
+use npcheck::{
+    all_rules, json_report, rules_manifest_json, sarif_report, scan_workspace, Severity,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
-    json: bool,
+    format: Format,
     deny_warnings: bool,
     list_rules: bool,
+    rules_manifest: bool,
     root: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        format: Format::Text,
         deny_warnings: false,
         list_rules: false,
+        rules_manifest: false,
         root: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                let kind = args.next().ok_or("--format needs one of text|json|sarif")?;
+                opts.format = match kind.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}` (text|json|sarif)")),
+                };
+            }
             "--deny-warnings" => opts.deny_warnings = true,
             "--list-rules" => opts.list_rules = true,
+            "--rules" => opts.rules_manifest = true,
             "--root" => {
                 let path = args.next().ok_or("--root needs a path argument")?;
                 opts.root = Some(PathBuf::from(path));
@@ -51,10 +74,13 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: npcheck [--json] [--deny-warnings] [--list-rules] [--root <dir>]\n\
+    "usage: npcheck [--format text|json|sarif] [--json] [--deny-warnings]\n\
+     \x20              [--rules] [--list-rules] [--root <dir>]\n\
      \n\
-     Lints the workspace for determinism and hot-path safety violations.\n\
-     See DESIGN.md (\"Determinism contract\") for the rules and the\n\
+     Lints the workspace for determinism, hot-path safety, and\n\
+     concurrency-readiness violations. `--rules` prints the machine-\n\
+     readable rule manifest and exits. See DESIGN.md (\"Concurrency\n\
+     contract & static analysis\") for the rules and the\n\
      `// npcheck: allow(<rule>)` escape hatch."
 }
 
@@ -90,9 +116,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.rules_manifest {
+        print!("{}", rules_manifest_json());
+        return ExitCode::SUCCESS;
+    }
+
     if opts.list_rules {
-        for rule in RULES {
-            println!("{} [{}]", rule.id, rule.severity.as_str());
+        for rule in all_rules() {
+            println!(
+                "{} [{}, {} pass]",
+                rule.id,
+                rule.severity.as_str(),
+                rule.pass.as_str()
+            );
             println!("  {}", rule.summary);
             println!("  why: {}\n", rule.why);
         }
@@ -114,13 +150,15 @@ fn main() -> ExitCode {
         .count();
     let warn = findings.len() - deny;
 
-    if opts.json {
-        print!("{}", json_report(&findings, files_scanned));
-    } else {
-        for f in &findings {
-            println!("{}", f.render());
+    match opts.format {
+        Format::Json => print!("{}", json_report(&findings, files_scanned)),
+        Format::Sarif => print!("{}", sarif_report(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            println!("npcheck: {files_scanned} files scanned, {deny} deny, {warn} warn");
         }
-        println!("npcheck: {files_scanned} files scanned, {deny} deny, {warn} warn");
     }
 
     let failed = deny > 0 || (opts.deny_warnings && warn > 0);

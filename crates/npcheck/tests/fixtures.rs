@@ -15,20 +15,21 @@ fn fixture(name: &str) -> PathBuf {
         .join(name)
 }
 
+/// Every rule in both tables must have a positive hit in `bad/` — the
+/// list below is *derived from the rule tables*, so adding a rule
+/// without a bad fixture fails this test.
 #[test]
 fn bad_fixture_trips_every_rule() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("bad")).expect("scan bad fixture tree");
-    assert_eq!(files, 5, "expected the five bad fixture files");
+    assert_eq!(files, 9, "expected the nine bad fixture files");
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
-    for expected in [
-        "nondet-collections",
-        "wall-clock",
-        "hot-path-panic",
-        "probe-hot-path",
-        "float-accum",
-    ] {
-        assert!(rules.contains(expected), "no finding for rule {expected}");
+    for meta in npcheck::all_rules() {
+        assert!(
+            rules.contains(meta.id),
+            "no bad-tree finding for rule {}",
+            meta.id
+        );
     }
     // Spot-check severities: float-accum warns, the rest deny.
     assert!(findings
@@ -37,6 +38,27 @@ fn bad_fixture_trips_every_rule() {
     assert!(findings
         .iter()
         .any(|f| f.rule == "hot-path-panic" && f.severity == npcheck::Severity::Deny));
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "shared-state-audit" && f.severity == npcheck::Severity::Deny));
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "lock-order" && f.severity == npcheck::Severity::Deny));
+    // The lock-order message names both sites of the inversion.
+    let inversion = findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .expect("lock-order finding");
+    assert!(
+        inversion.message.contains("table") && inversion.message.contains("stats"),
+        "inversion message must name both locks: {}",
+        inversion.message
+    );
+    assert!(
+        inversion.message.contains("locks.rs:"),
+        "inversion message must point at the opposite-order site: {}",
+        inversion.message
+    );
 }
 
 #[test]
@@ -45,16 +67,18 @@ fn bad_fixture_findings_are_sorted_and_stable() {
     let (b, _) = npcheck::scan_workspace(&fixture("bad")).expect("scan again");
     let render = |fs: &[npcheck::Finding]| fs.iter().map(|f| f.render()).collect::<Vec<_>>();
     assert_eq!(render(&a), render(&b), "reports must be byte-stable");
-    let mut sorted = render(&a);
-    sorted.sort();
-    assert_eq!(render(&a), sorted, "findings must come out sorted");
+    assert!(
+        a.windows(2)
+            .all(|w| (&w[0].file, w[0].line, w[0].rule) <= (&w[1].file, w[1].line, w[1].rule)),
+        "findings must come out sorted by (file, line, rule)"
+    );
 }
 
 #[test]
 fn good_fixture_is_clean() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("good")).expect("scan good fixture tree");
-    assert_eq!(files, 4, "expected the four good fixture files");
+    assert_eq!(files, 8, "expected the eight good fixture files");
     assert!(
         findings.is_empty(),
         "good fixtures must be clean, got:\n{}",
@@ -111,5 +135,125 @@ fn cli_json_report_parses_and_counts() {
             "finding missing numeric line: {f:?}"
         );
     }
-    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(5)));
+    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(9)));
+}
+
+/// Meta-test for the rule manifest: `npcheck --rules` must list every
+/// rule in both tables, and every listed rule must have its fixture
+/// pair on disk — a positive hit in `bad/` and an in-scope clean (or
+/// allow-suppressed) counterpart in `good/`.
+#[test]
+fn rules_manifest_matches_tables_and_fixture_pairs() {
+    let bin = env!("CARGO_BIN_EXE_npcheck");
+    let out = Command::new(bin)
+        .arg("--rules")
+        .output()
+        .expect("run npcheck --rules");
+    assert_eq!(out.status.code(), Some(0), "--rules must exit 0");
+    let text = String::from_utf8(out.stdout).expect("utf8 manifest");
+    let v = serde_json::parse_value(&text).expect("valid JSON manifest");
+    let rows = match v.get("rules") {
+        Some(serde::Value::Array(items)) => items,
+        other => panic!("rules must be an array, got {other:?}"),
+    };
+
+    // Manifest rows are exactly the rule tables, in order.
+    let metas = npcheck::all_rules();
+    assert_eq!(rows.len(), metas.len(), "manifest row count");
+    for (row, meta) in rows.iter().zip(&metas) {
+        assert_eq!(
+            row.get("id"),
+            Some(&serde::Value::Str(meta.id.to_string())),
+            "manifest order must follow the tables"
+        );
+        assert_eq!(
+            row.get("severity"),
+            Some(&serde::Value::Str(meta.severity.as_str().to_string()))
+        );
+        assert_eq!(
+            row.get("pass"),
+            Some(&serde::Value::Str(meta.pass.as_str().to_string()))
+        );
+        for key in ["summary", "why"] {
+            assert!(
+                matches!(row.get(key), Some(serde::Value::Str(s)) if !s.is_empty()),
+                "rule {} missing {key}",
+                meta.id
+            );
+        }
+    }
+
+    // Fixture pair on disk for every manifested rule: the bad tree
+    // trips it, and the good tree exercises its scope without tripping.
+    let (bad, _) = npcheck::scan_workspace(&fixture("bad")).expect("scan bad");
+    let (good, _) = npcheck::scan_workspace(&fixture("good")).expect("scan good");
+    assert!(good.is_empty(), "good tree must stay clean");
+    for meta in &metas {
+        assert!(
+            bad.iter().any(|f| f.rule == meta.id),
+            "rule {} has no positive fixture in bad/",
+            meta.id
+        );
+    }
+}
+
+/// SARIF output: valid JSON, schema'd as 2.1.0, rule metadata for both
+/// tables, one result per finding with a physical location.
+#[test]
+fn cli_sarif_report_parses() {
+    let bin = env!("CARGO_BIN_EXE_npcheck");
+    let out = Command::new(bin)
+        .args(["--format", "sarif", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .expect("run npcheck --format sarif");
+    let text = String::from_utf8(out.stdout).expect("utf8 sarif");
+    let v = serde_json::parse_value(&text).expect("valid SARIF JSON");
+    assert_eq!(
+        v.get("version"),
+        Some(&serde::Value::Str("2.1.0".to_string()))
+    );
+    let runs = match v.get("runs") {
+        Some(serde::Value::Array(items)) => items,
+        other => panic!("runs must be an array, got {other:?}"),
+    };
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name"),
+        Some(&serde::Value::Str("npcheck".to_string()))
+    );
+    let rules = match driver.get("rules") {
+        Some(serde::Value::Array(items)) => items,
+        other => panic!("driver.rules must be an array, got {other:?}"),
+    };
+    assert_eq!(rules.len(), npcheck::all_rules().len());
+    let results = match run.get("results") {
+        Some(serde::Value::Array(items)) => items,
+        other => panic!("results must be an array, got {other:?}"),
+    };
+    let (findings, _) = npcheck::scan_workspace(&fixture("bad")).expect("scan bad");
+    assert_eq!(results.len(), findings.len(), "one result per finding");
+    for r in results {
+        assert!(
+            matches!(r.get("ruleId"), Some(serde::Value::Str(_))),
+            "result missing ruleId: {r:?}"
+        );
+        let loc = match r.get("locations") {
+            Some(serde::Value::Array(items)) if items.len() == 1 => &items[0],
+            other => panic!("result needs exactly one location, got {other:?}"),
+        };
+        let region = loc
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .expect("physicalLocation.region");
+        assert!(
+            matches!(region.get("startLine"), Some(serde::Value::U64(n)) if *n >= 1),
+            "region needs a 1-based startLine"
+        );
+    }
 }

@@ -7,6 +7,13 @@
 //! {"hotpath": {"packets_per_sec": 6699420, "events_per_sec": ..., "wall_ms": ...}}
 //! ```
 //!
+//! plus an optional reserved `"host"` block ([`HostFingerprint`]:
+//! cpu model, core count, rustc version) written by
+//! `laps-bench --emit-baseline`. The fingerprint is informational: a
+//! mismatch between baseline and fresh run is *reported* in the diff
+//! table so a throughput delta can be read in context, but it never
+//! fails the gate.
+//!
 //! [`compare`] diffs a freshly measured file against the committed
 //! baseline with per-metric relative tolerances and classifies each
 //! delta. Throughput metrics (`packets_per_sec`, `events_per_sec`,
@@ -43,15 +50,114 @@ pub struct BenchMetrics {
 /// file order.
 pub type BenchFile = Vec<(String, BenchMetrics)>;
 
-/// Parse the bench JSON schema. Unknown extra keys are ignored;
-/// missing metric keys are an error naming the bench.
-pub fn parse(text: &str) -> Result<BenchFile, String> {
+/// The machine a baseline was measured on. Recorded by
+/// `laps-bench --emit-baseline` under the reserved top-level `"host"`
+/// key so the gate can tell "the code got slower" apart from "a
+/// different machine ran the bench". Purely informational: a mismatch
+/// is *reported*, never failed on — CI runners legitimately differ
+/// from the baseline machine and the tolerances already account for
+/// that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// CPU model string (`model name` from `/proc/cpuinfo`).
+    pub cpu_model: String,
+    /// Logical core count visible to the process.
+    pub cores: u64,
+    /// `rustc --version` of the toolchain that built the bench binary.
+    pub rustc: String,
+}
+
+impl HostFingerprint {
+    /// Best-effort detection on the current machine. Each field falls
+    /// back to `"unknown"` / `0` rather than erroring — a baseline with
+    /// a partial fingerprint beats no fingerprint.
+    pub fn detect() -> HostFingerprint {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split_once(':'))
+                    .map(|(_, v)| v.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0);
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        HostFingerprint {
+            cpu_model,
+            cores,
+            rustc,
+        }
+    }
+
+    /// One-line human rendering, used in mismatch notes.
+    pub fn describe(&self) -> String {
+        format!("{} / {} cores / {}", self.cpu_model, self.cores, self.rustc)
+    }
+}
+
+/// A full bench document: the measured rows plus the optional host
+/// fingerprint block. Old baselines (pre-fingerprint) parse with
+/// `host: None`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchDoc {
+    /// Machine that produced the rows, when recorded.
+    pub host: Option<HostFingerprint>,
+    /// Bench rows in file order.
+    pub rows: BenchFile,
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parse the bench JSON schema including the optional `"host"` block.
+/// Unknown extra keys inside a row are ignored; missing metric keys
+/// are an error naming the bench; a present-but-malformed host block
+/// is an error (absence is fine — old baselines predate it).
+pub fn parse_doc(text: &str) -> Result<BenchDoc, String> {
     let value = serde_json::parse_value(text).map_err(|e| e.to_string())?;
     let Value::Object(rows) = value else {
         return Err("bench file: expected a top-level object".to_string());
     };
-    let mut out = Vec::with_capacity(rows.len());
+    let mut doc = BenchDoc::default();
     for (name, metrics) in rows {
+        if name == "host" {
+            let s = |key: &str| -> Result<String, String> {
+                match metrics.get(key) {
+                    Some(Value::Str(v)) => Ok(v.clone()),
+                    _ => Err(format!("host block: missing string {key:?}")),
+                }
+            };
+            let cores = match metrics.get("cores") {
+                Some(Value::U64(n)) => *n,
+                Some(Value::I64(n)) if *n >= 0 => *n as u64,
+                _ => return Err("host block: missing numeric \"cores\"".to_string()),
+            };
+            doc.host = Some(HostFingerprint {
+                cpu_model: s("cpu_model")?,
+                cores,
+                rustc: s("rustc")?,
+            });
+            continue;
+        }
         let metric = |key: &str| -> Result<f64, String> {
             match metrics.get(key) {
                 Some(Value::F64(f)) => Ok(*f),
@@ -60,7 +166,7 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
                 _ => Err(format!("bench {name:?}: missing numeric {key:?}")),
             }
         };
-        out.push((
+        doc.rows.push((
             name.clone(),
             BenchMetrics {
                 packets_per_sec: metric("packets_per_sec")?,
@@ -69,22 +175,51 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
             },
         ));
     }
-    Ok(out)
+    Ok(doc)
 }
 
-/// Render a [`BenchFile`] in the canonical schema (stable key order).
-pub fn render(rows: &BenchFile) -> String {
+/// Parse only the bench rows (the pre-fingerprint entry point; the
+/// `"host"` block, if present, is skipped).
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    parse_doc(text).map(|doc| doc.rows)
+}
+
+/// Render a [`BenchDoc`] in the canonical schema: the `"host"` block
+/// first when present, then the rows in stable order.
+pub fn render_doc(doc: &BenchDoc) -> String {
     let mut json = String::from("{\n");
-    for (i, (name, m)) in rows.iter().enumerate() {
+    if let Some(h) = &doc.host {
+        let _ = write!(
+            json,
+            "  \"host\": {{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}}",
+            escape_json(&h.cpu_model),
+            h.cores,
+            escape_json(&h.rustc)
+        );
+        json.push_str(if doc.rows.is_empty() { "\n" } else { ",\n" });
+    }
+    for (i, (name, m)) in doc.rows.iter().enumerate() {
         let _ = write!(
             json,
             "  \"{}\": {{\"packets_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"wall_ms\": {:.2}}}",
-            name, m.packets_per_sec, m.events_per_sec, m.wall_ms
+            escape_json(name),
+            m.packets_per_sec,
+            m.events_per_sec,
+            m.wall_ms
         );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < doc.rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("}\n");
     json
+}
+
+/// Render a [`BenchFile`] in the canonical schema (stable key order,
+/// no host block).
+pub fn render(rows: &BenchFile) -> String {
+    render_doc(&BenchDoc {
+        host: None,
+        rows: rows.clone(),
+    })
 }
 
 /// One metric's comparison.
@@ -118,18 +253,29 @@ pub struct DiffReport {
     pub missing: Vec<String>,
     /// Benches only in the fresh file (informational).
     pub extra: Vec<String>,
+    /// Host-fingerprint commentary: set when the baseline and fresh
+    /// files were measured on observably different machines (or one
+    /// side lacks a fingerprint). Reported, never gated — see
+    /// [`DiffReport::passed`].
+    pub host_note: Option<String>,
 }
 
 impl DiffReport {
-    /// True when no gated metric regressed and no bench vanished.
+    /// True when no gated metric regressed and no bench vanished. The
+    /// host fingerprint deliberately does not participate: a CI runner
+    /// is expected to differ from the baseline machine.
     pub fn passed(&self) -> bool {
         self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
     }
 
     /// Console/markdown delta table (markdown pipe syntax renders fine
-    /// in both).
+    /// in both). A host mismatch, when present, leads as a quote block
+    /// so readers weigh the throughput deltas accordingly.
     pub fn markdown(&self) -> String {
         let mut out = String::new();
+        if let Some(note) = &self.host_note {
+            let _ = writeln!(out, "> {note}\n");
+        }
         out.push_str("| bench | metric | baseline | current | ratio | tol | status |\n");
         out.push_str("|---|---|---:|---:|---:|---:|---|\n");
         for d in &self.deltas {
@@ -233,6 +379,32 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile, tol: &Tolerances) -> D
     report
 }
 
+/// Compare two full documents: the row comparison of [`compare`] plus
+/// the informational host-fingerprint note. The note never affects
+/// [`DiffReport::passed`].
+pub fn compare_docs(baseline: &BenchDoc, current: &BenchDoc, tol: &Tolerances) -> DiffReport {
+    let mut report = compare(&baseline.rows, &current.rows, tol);
+    report.host_note = match (&baseline.host, &current.host) {
+        (Some(b), Some(c)) if b != c => Some(format!(
+            "host mismatch (informational): baseline measured on [{}], current on [{}] — \
+             throughput deltas may reflect the machine, not the code",
+            b.describe(),
+            c.describe()
+        )),
+        (Some(_), Some(_)) => None,
+        (Some(b), None) => Some(format!(
+            "current run records no host fingerprint (baseline: [{}])",
+            b.describe()
+        )),
+        (None, Some(c)) => Some(format!(
+            "baseline predates host fingerprints (current measured on [{}])",
+            c.describe()
+        )),
+        (None, None) => None,
+    };
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +490,98 @@ mod tests {
             .map(|d| d.metric)
             .collect();
         assert_eq!(bad, vec!["packets_per_sec"]);
+    }
+
+    fn host(model: &str, cores: u64, rustc: &str) -> HostFingerprint {
+        HostFingerprint {
+            cpu_model: model.to_string(),
+            cores,
+            rustc: rustc.to_string(),
+        }
+    }
+
+    #[test]
+    fn doc_round_trips_with_host_block() {
+        let doc = BenchDoc {
+            host: Some(host("Example CPU \"X\" @ 3GHz", 16, "rustc 1.80.0")),
+            rows: file(&[("hotpath", 6_699_420.0, 7_000_000.0, 100.25)]),
+        };
+        let parsed = parse_doc(&render_doc(&doc)).expect("parse rendered doc");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_doc_tolerates_absent_host() {
+        let rows = file(&[("hotpath", 1.0, 2.0, 3.0)]);
+        let doc = parse_doc(&render(&rows)).expect("parse pre-fingerprint file");
+        assert_eq!(doc.host, None);
+        assert_eq!(doc.rows, rows);
+        // And the rows-only entry point skips a host block rather than
+        // choking on its non-metric keys.
+        let with_host = BenchDoc {
+            host: Some(host("cpu", 8, "rustc")),
+            rows: rows.clone(),
+        };
+        assert_eq!(parse(&render_doc(&with_host)).expect("parse"), rows);
+    }
+
+    #[test]
+    fn parse_doc_rejects_malformed_host() {
+        assert!(parse_doc("{\"host\": {\"cpu_model\": \"x\"}}").is_err());
+        assert!(parse_doc(
+            "{\"host\": {\"cpu_model\": \"x\", \"cores\": \"not a number\", \"rustc\": \"r\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn host_mismatch_is_reported_not_gated() {
+        let rows = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let base = BenchDoc {
+            host: Some(host("cpu-a", 16, "rustc 1.80.0")),
+            rows: rows.clone(),
+        };
+        let cur = BenchDoc {
+            host: Some(host("cpu-b", 4, "rustc 1.80.0")),
+            rows,
+        };
+        let report = compare_docs(&base, &cur, &Tolerances::default());
+        assert!(report.passed(), "mismatch must not gate");
+        let note = report.host_note.as_deref().expect("mismatch note");
+        assert!(note.contains("cpu-a") && note.contains("cpu-b"), "{note}");
+        assert!(report.markdown().starts_with("> host mismatch"));
+    }
+
+    #[test]
+    fn matching_or_absent_fingerprints_stay_quiet_or_noted() {
+        let rows = file(&[("hotpath", 1000.0, 2000.0, 10.0)]);
+        let with = |h: Option<HostFingerprint>| BenchDoc {
+            host: h,
+            rows: rows.clone(),
+        };
+        let same = host("cpu", 16, "rustc");
+        let tol = Tolerances::default();
+        assert_eq!(
+            compare_docs(&with(Some(same.clone())), &with(Some(same.clone())), &tol).host_note,
+            None
+        );
+        assert_eq!(compare_docs(&with(None), &with(None), &tol).host_note, None);
+        // One-sided fingerprints get an informational note, still passing.
+        let one_sided = compare_docs(&with(None), &with(Some(same)), &tol);
+        assert!(one_sided.passed());
+        assert!(one_sided
+            .host_note
+            .as_deref()
+            .is_some_and(|n| n.contains("predates")));
+    }
+
+    #[test]
+    fn detect_fills_every_field() {
+        let h = HostFingerprint::detect();
+        assert!(!h.cpu_model.is_empty());
+        assert!(!h.rustc.is_empty());
+        // `describe` is what mismatch notes embed — keep it one line.
+        assert!(!h.describe().contains('\n'));
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! Exit codes: 0 = within tolerance, 1 = regression (or a bench row
 //! vanished), 2 = usage / IO / parse error. Throughput metrics are
 //! gated; `wall_ms` is informational (see `npfarm::benchdiff` for the
-//! rationale and DESIGN.md for the documented CI tolerances).
+//! rationale and DESIGN.md for the documented CI tolerances). A host
+//! fingerprint mismatch between the two files is reported in the
+//! table but never fails the gate.
 
-use npfarm::benchdiff::{compare, parse, Tolerances};
+use npfarm::benchdiff::{compare_docs, parse_doc, BenchDoc, Tolerances};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("benchdiff: {msg}");
@@ -23,10 +25,10 @@ fn fail_usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn read_bench_file(path: &str) -> npfarm::benchdiff::BenchFile {
+fn read_bench_file(path: &str) -> BenchDoc {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail_usage(&format!("read {path}: {e}")));
-    parse(&text).unwrap_or_else(|e| fail_usage(&format!("parse {path}: {e}")))
+    parse_doc(&text).unwrap_or_else(|e| fail_usage(&format!("parse {path}: {e}")))
 }
 
 fn main() {
@@ -71,7 +73,7 @@ fn main() {
 
     let baseline = read_bench_file(baseline_path);
     let current = read_bench_file(current_path);
-    let report = compare(&baseline, &current, &tol);
+    let report = compare_docs(&baseline, &current, &tol);
 
     let table = report.markdown();
     print!("{table}");

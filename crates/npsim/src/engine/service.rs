@@ -362,6 +362,7 @@ impl ServiceStage {
 
     /// Per-core busy nanoseconds, for the final report.
     pub(super) fn busy_ns(&self) -> Vec<u64> {
+        // npcheck: allow(blocking-hot-path) — end-of-run report, not on the per-packet path
         self.cores.iter().map(|c| c.busy_ns).collect()
     }
 

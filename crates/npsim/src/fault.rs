@@ -157,31 +157,37 @@ impl FaultPlan {
                 | FaultAction::Stall { core, .. }
                     if bad_core(core) =>
                 {
+                    // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                     return Err(format!(
                         "fault at {at:?}: core {core} out of range (n_cores = {n_cores})"
                     ));
                 }
                 FaultAction::Throttle { core, factor } => {
                     if bad_core(core) {
+                        // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                         return Err(format!(
                             "fault at {at:?}: core {core} out of range (n_cores = {n_cores})"
                         ));
                     }
                     if factor <= 0.0 {
+                        // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                         return Err(format!("fault at {at:?}: throttle factor {factor} <= 0"));
                     }
                 }
                 FaultAction::Flood { source, factor } => {
                     if source >= n_sources {
+                        // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                         return Err(format!(
                             "fault at {at:?}: source {source} out of range (n_sources = {n_sources})"
                         ));
                     }
                     if factor <= 0.0 {
+                        // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                         return Err(format!("fault at {at:?}: flood factor {factor} <= 0"));
                     }
                 }
                 FaultAction::FloodEnd { source } if source >= n_sources => {
+                    // npcheck: allow(blocking-hot-path) — setup-time plan validation, runs once before the simulation
                     return Err(format!(
                         "fault at {at:?}: source {source} out of range (n_sources = {n_sources})"
                     ));
@@ -308,6 +314,7 @@ impl FaultProbe {
             .recoveries
             .iter()
             .filter_map(|r| r.recovery_time().map(|t| t.as_nanos()))
+            // npcheck: allow(blocking-hot-path) — end-of-run recovery statistics, not on the per-packet path
             .collect();
         if done.is_empty() {
             None
@@ -319,9 +326,12 @@ impl FaultProbe {
     /// Render as CSV: `core,crashed_ns,healed_ns,restarted_ns` (empty
     /// cells for spans that never healed/restarted).
     pub fn to_csv(&self) -> String {
+        // npcheck: allow(blocking-hot-path) — end-of-run CSV rendering, not on the per-packet path
         let mut out = String::from("core,crashed_ns,healed_ns,restarted_ns\n");
         for r in &self.recoveries {
+            // npcheck: allow(blocking-hot-path) — end-of-run CSV rendering, not on the per-packet path
             let healed = r.healed_at.map(|t| t.as_nanos().to_string());
+            // npcheck: allow(blocking-hot-path) — end-of-run CSV rendering, not on the per-packet path
             let restarted = r.restarted_at.map(|t| t.as_nanos().to_string());
             let _ = writeln!(
                 out,

@@ -1,0 +1,150 @@
+//! `loom::sync` — shim atomics whose every access is a schedule point.
+//!
+//! Each type wraps the corresponding `std::sync::atomic` type and calls
+//! into the explorer before the underlying operation, so the scheduler
+//! may interleave threads between any two atomic accesses. `Ordering`
+//! is accepted for API compatibility but the model itself is
+//! sequentially consistent (see the crate docs for what that does and
+//! does not prove). Outside a [`crate::model`] run the schedule point
+//! is a no-op and the types behave exactly like their std originals.
+
+pub use std::sync::Arc;
+
+/// Shim atomics: std semantics plus explorer schedule points.
+pub mod atomic {
+    use crate::sched::yield_point;
+    use std::sync::atomic as std_atomic;
+
+    pub use std_atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// Schedule-point wrapper around the std atomic.
+            #[derive(Debug, Default)]
+            pub struct $name(std_atomic::$std);
+
+            impl $name {
+                /// Create with an initial value.
+                pub fn new(v: $int) -> Self {
+                    Self(std_atomic::$std::new(v))
+                }
+
+                /// Atomic load (schedule point).
+                pub fn load(&self, order: Ordering) -> $int {
+                    yield_point();
+                    self.0.load(order)
+                }
+
+                /// Atomic store (schedule point).
+                pub fn store(&self, v: $int, order: Ordering) {
+                    yield_point();
+                    self.0.store(v, order);
+                }
+
+                /// Atomic swap (schedule point).
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.0.swap(v, order)
+                }
+
+                /// Atomic add, returning the previous value (schedule point).
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Atomic sub, returning the previous value (schedule point).
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Atomic compare-exchange (schedule point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-exchange; the shim never fails spuriously.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Non-atomic access for exclusive contexts (loom API).
+                pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut $int) -> R) -> R {
+                    f(self.0.get_mut())
+                }
+
+                /// Unwrap to the inner value.
+                pub fn into_inner(self) -> $int {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicUsize, AtomicUsize, usize);
+    shim_atomic!(AtomicU64, AtomicU64, u64);
+    shim_atomic!(AtomicU32, AtomicU32, u32);
+
+    /// Schedule-point wrapper around `std::sync::atomic::AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std_atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Create with an initial value.
+        pub fn new(v: bool) -> Self {
+            Self(std_atomic::AtomicBool::new(v))
+        }
+
+        /// Atomic load (schedule point).
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.0.load(order)
+        }
+
+        /// Atomic store (schedule point).
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.0.store(v, order);
+        }
+
+        /// Atomic swap (schedule point).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.swap(v, order)
+        }
+    }
+
+    /// Memory fence: a pure schedule point in the shim's SC model.
+    pub fn fence(_order: Ordering) {
+        yield_point();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn atomics_work_outside_a_model() {
+        let a = AtomicU64::new(1);
+        a.store(7, Ordering::Release);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 7);
+        assert_eq!(a.into_inner(), 8);
+    }
+}
