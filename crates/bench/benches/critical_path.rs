@@ -31,6 +31,18 @@ fn bench_hashes(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    g.bench_function("crc16_batch", |b| {
+        let keys: Vec<[u8; 13]> = fs.iter().map(|f| f.to_bytes()).collect();
+        let mut out = vec![0u16; keys.len()];
+        b.iter(|| {
+            nphash::crc16_ccitt_batch(&keys, &mut out);
+            let mut acc = 0u16;
+            for &h in &out {
+                acc ^= h;
+            }
+            black_box(acc)
+        })
+    });
     g.bench_function("crc16_bitwise", |b| {
         b.iter(|| {
             let mut acc = 0u16;
@@ -62,6 +74,17 @@ fn bench_map_table(c: &mut Criterion) {
             let mut acc = 0usize;
             for f in &fs {
                 acc = acc.wrapping_add(table.lookup(*f));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hash_plus_maptable_batch", |b| {
+        let mut out = vec![0usize; fs.len()];
+        b.iter(|| {
+            table.lookup_batch(&fs, &mut out);
+            let mut acc = 0usize;
+            for &c in &out {
+                acc = acc.wrapping_add(c);
             }
             black_box(acc)
         })

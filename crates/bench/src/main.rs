@@ -9,7 +9,7 @@
 //! cargo run --release -p laps-bench -- --emit-baseline
 //! ```
 //!
-//! writes `BENCH_PR5.json` at the invocation directory (the repo root
+//! writes `BENCH_PR7.json` at the invocation directory (the repo root
 //! when run via cargo) in the [`npfarm::benchdiff`] schema
 //! `bench name → {packets_per_sec, events_per_sec, wall_ms}` — the same
 //! schema the `benchdiff` binary gates CI with. The emitted file also
@@ -17,8 +17,20 @@
 //! version) so the gate can report — not fail — when a later diff runs
 //! on different hardware.
 //!
+//! Rows:
+//!
+//! * `hotpath` — FCFS under the **scalar** reference loop (the series
+//!   tracked since BENCH_PR2; keeping it scalar keeps the trajectory
+//!   like-for-like).
+//! * `hotpath-batch` — the identical workload under the default batched
+//!   loop; `hotpath-batch / hotpath` is the batching speedup.
+//! * `hotpath-laps` — the LAPS policy under the batched loop.
+//!
 //! Flags: `--emit-baseline` (write the JSON; otherwise print only),
-//! `--short` (CI-sized run), `--out <path>` (override the output path).
+//! `--short` (CI-sized run), `--out <path>` (override the output path),
+//! `--cycles <path>` (write the batched run's per-stage cycle CSV),
+//! `--check-batch-speedup <ratio>` (exit 1 unless
+//! `hotpath-batch ≥ ratio × hotpath` — the same-host, same-run gate).
 
 use laps::prelude::*;
 use npfarm::benchdiff::{render_doc, BenchDoc, BenchFile, BenchMetrics, HostFingerprint};
@@ -26,12 +38,13 @@ use std::time::Instant;
 
 /// The hot-path engine configuration: paper-scale timing (scale 1) so the
 /// event loop is packet-dominated, single service on the `caida1` preset.
-fn hotpath_cfg(duration_ms: u64) -> EngineConfig {
+fn hotpath_cfg(duration_ms: u64, execution: ExecutionMode) -> EngineConfig {
     EngineConfig {
         n_cores: 16,
         duration: SimTime::from_millis(duration_ms),
         scale: 1.0,
         seed: 7,
+        execution,
         ..EngineConfig::default()
     }
 }
@@ -46,7 +59,7 @@ fn hotpath_sources() -> Vec<SourceConfig> {
 
 /// Events dispatched by a run — counted exactly by the engine's run loop
 /// (arrivals, service completions, rate updates) and identical across
-/// event-queue backends.
+/// event-queue backends and execution modes.
 fn events_of(report: &SimReport) -> f64 {
     report.events as f64
 }
@@ -54,52 +67,124 @@ fn events_of(report: &SimReport) -> f64 {
 fn measure<S: Scheduler>(
     name: &'static str,
     duration_ms: u64,
+    repeat: usize,
+    execution: ExecutionMode,
     mk_scheduler: impl Fn() -> S,
 ) -> (String, BenchMetrics) {
-    // Warm-up pass (touch the allocator and caches), then the timed run.
+    // Warm-up pass (touch the allocator and caches), then the timed runs.
     // Both go through SimBuilder::run_with — static dispatch, and with no
     // probes attached the engine's zero-probe fast path — but only the
-    // warm-up is timed end to end; the measured run excludes engine
-    // construction exactly as the tracked baseline always did.
+    // warm-up is timed end to end; the measured runs exclude engine
+    // construction exactly as the tracked baseline always did. With
+    // `repeat > 1` the row keeps the best run: on a noisy shared host the
+    // minimum wall time is the least-contended estimate, which is what a
+    // same-run ratio gate needs to avoid flaking.
     let _ = SimBuilder::new()
-        .config(hotpath_cfg(2))
+        .config(hotpath_cfg(2, execution))
         .sources(hotpath_sources())
         .run_with(mk_scheduler());
-    let engine = Engine::new(hotpath_cfg(duration_ms), &hotpath_sources(), mk_scheduler());
-    let start = Instant::now();
-    let report = engine.run();
-    let wall = start.elapsed();
-    let secs = wall.as_secs_f64().max(1e-9);
-    (
-        name.to_string(),
-        BenchMetrics {
+    let mut best: Option<BenchMetrics> = None;
+    for _ in 0..repeat.max(1) {
+        let engine = Engine::new(
+            hotpath_cfg(duration_ms, execution),
+            &hotpath_sources(),
+            mk_scheduler(),
+        );
+        let start = Instant::now();
+        let report = engine.run();
+        let wall = start.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let m = BenchMetrics {
             packets_per_sec: (report.offered + report.slow_path) as f64 / secs,
             events_per_sec: events_of(&report) / secs,
             wall_ms: secs * 1_000.0,
-        },
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.packets_per_sec > b.packets_per_sec)
+        {
+            best = Some(m);
+        }
+    }
+    (
+        name.to_string(),
+        best.unwrap_or(BenchMetrics {
+            packets_per_sec: 0.0,
+            events_per_sec: 0.0,
+            wall_ms: 0.0,
+        }),
     )
+}
+
+/// Rerun the batched hotpath workload with cycle accounting and render
+/// the per-stage CSV (separate from the timed rows so the accounting's
+/// clock reads never contaminate the tracked numbers).
+fn cycle_csv(duration_ms: u64) -> String {
+    let engine = Engine::new(
+        hotpath_cfg(duration_ms, ExecutionMode::default()),
+        &hotpath_sources(),
+        Fcfs::new(),
+    );
+    let (_report, cycles) = engine.run_with_cycles();
+    cycles.to_csv()
+}
+
+fn pps_of(rows: &BenchFile, name: &str) -> Option<f64> {
+    rows.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, m)| m.packets_per_sec)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let short = args.iter().any(|a| a == "--short");
     let emit = args.iter().any(|a| a == "--emit-baseline");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let cycles_path = flag_value("--cycles");
+    let speedup_floor: Option<f64> = flag_value("--check-batch-speedup").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--check-batch-speedup wants a number, got {v:?}");
+            std::process::exit(2);
+        })
+    });
     let duration_ms = if short { 10 } else { 100 };
+    let repeat: usize = flag_value("--repeat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     let rows: BenchFile = vec![
-        measure("hotpath", duration_ms, Fcfs::new),
-        measure("hotpath-laps", duration_ms, || {
-            Laps::new(LapsConfig {
-                n_cores: 16,
-                ..LapsConfig::default()
-            })
-        }),
+        measure(
+            "hotpath",
+            duration_ms,
+            repeat,
+            ExecutionMode::Scalar,
+            Fcfs::new,
+        ),
+        measure(
+            "hotpath-batch",
+            duration_ms,
+            repeat,
+            ExecutionMode::default(),
+            Fcfs::new,
+        ),
+        measure(
+            "hotpath-laps",
+            duration_ms,
+            repeat,
+            ExecutionMode::default(),
+            || {
+                Laps::new(LapsConfig {
+                    n_cores: 16,
+                    ..LapsConfig::default()
+                })
+            },
+        ),
     ];
 
     for (name, m) in &rows {
@@ -110,6 +195,17 @@ fn main() {
     }
     let host = HostFingerprint::detect();
     println!("{:>14}: {}", "host", host.describe());
+    let speedup = match (pps_of(&rows, "hotpath"), pps_of(&rows, "hotpath-batch")) {
+        (Some(scalar), Some(batch)) if scalar > 0.0 => {
+            let s = batch / scalar;
+            println!(
+                "{:>14}: {s:.2}x (batch / scalar, same run, same host)",
+                "speedup"
+            );
+            Some(s)
+        }
+        _ => None,
+    };
     let json = render_doc(&BenchDoc {
         host: Some(host),
         rows,
@@ -120,6 +216,31 @@ fn main() {
             Ok(()) => eprintln!("wrote {out_path}"),
             Err(e) => {
                 eprintln!("failed to write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = cycles_path {
+        let csv = cycle_csv(duration_ms);
+        match std::fs::write(&path, &csv) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(floor) = speedup_floor {
+        match speedup {
+            Some(s) if s >= floor => {
+                eprintln!("batch speedup {s:.2}x >= required {floor:.2}x");
+            }
+            Some(s) => {
+                eprintln!("batch speedup {s:.2}x BELOW required {floor:.2}x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("speedup gate requested but rows were missing");
                 std::process::exit(1);
             }
         }

@@ -80,9 +80,9 @@ pub mod prelude {
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
     pub use npsim::{
-        DropPolicy, Engine, EngineConfig, EventLogProbe, FaultAction, FaultPlan, FaultProbe,
-        FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec, RepairOutcome, Scheduler, SimEvent,
-        SimReport, SourceConfig, UtilizationProbe,
+        CycleReport, DropPolicy, Engine, EngineConfig, EventLogProbe, ExecutionMode, FaultAction,
+        FaultPlan, FaultProbe, FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec,
+        RepairOutcome, Scheduler, SimEvent, SimReport, SourceConfig, Stage, UtilizationProbe,
     };
     pub use nptrace::TracePreset;
     pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};

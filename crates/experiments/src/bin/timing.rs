@@ -82,7 +82,14 @@ struct Timing {
     queues: Vec<QueueInfo>,
 }
 
-const POLICIES: [&str; 5] = ["critical-path", "static", "afs", "topk-afd", "laps"];
+const POLICIES: [&str; 6] = [
+    "critical-path",
+    "critical-path-batch",
+    "static",
+    "afs",
+    "topk-afd",
+    "laps",
+];
 
 impl Sweep for Timing {
     type Cell = &'static str;
@@ -117,6 +124,25 @@ impl Sweep for Timing {
                 std::hint::black_box(sink);
                 PolicyRate {
                     policy: "hash+maptable (critical path)".to_string(),
+                    mdecisions_per_sec: self.packets.len() as f64
+                        / start.elapsed().as_secs_f64()
+                        / 1e6,
+                }
+            }
+            "critical-path-batch" => {
+                // The same critical path taken a burst at a time: the
+                // four-lane lockstep CRC16 hides the hash table's
+                // load-to-use latency across packets of a burst.
+                let table: MapTable<usize> = MapTable::new((0..16).collect());
+                let flows: Vec<_> = self.packets.iter().map(|p| p.flow).collect();
+                let mut cores = vec![0usize; flows.len()];
+                let start = Instant::now();
+                for (chunk, outs) in flows.chunks(32).zip(cores.chunks_mut(32)) {
+                    table.lookup_batch(chunk, outs);
+                }
+                std::hint::black_box(&cores);
+                PolicyRate {
+                    policy: "hash+maptable, burst-of-32 (batch CRC16)".to_string(),
                     mdecisions_per_sec: self.packets.len() as f64
                         / start.elapsed().as_secs_f64()
                         / 1e6,

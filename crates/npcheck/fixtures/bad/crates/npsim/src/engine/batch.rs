@@ -1,0 +1,12 @@
+// Violation: the burst loop hashes and maps one packet at a time even
+// though nphash ships crc16_ccitt_batch / MapTable::lookup_batch.
+
+impl BatchDispatch {
+    fn classify_burst(&mut self) {
+        for key in &self.keys {
+            let hash = crc16_ccitt(key);
+            let core = self.table.lookup(hash);
+            self.cores.push(core);
+        }
+    }
+}

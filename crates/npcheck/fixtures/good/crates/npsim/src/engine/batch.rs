@@ -1,0 +1,12 @@
+// Clean: the whole burst is hashed in one lockstep call and mapped in
+// one batch lookup; per-item work in the loop is plain bookkeeping.
+
+impl BatchDispatch {
+    fn classify_burst(&mut self) {
+        crc16_ccitt_batch(&self.keys, &mut self.hashes);
+        self.table.lookup_batch(&self.flows, &mut self.cores);
+        for core in &self.cores {
+            self.histogram.bump(*core);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | `shared-state-audit` | deny | file | `static mut`, `unsafe impl Send/Sync`, `Rc`/`RefCell`/`Cell`, and explicit atomic `Ordering`s without a `// npcheck: ordering(<why>)` justification, in thread-shared crates |
 //! | `unbounded-queue` | warn | file | `VecDeque::new`, `mpsc::channel`, and Vec-as-queue idioms with no declared capacity bound |
 //! | `blocking-hot-path` | deny | file | lock acquisition, `sleep`, blocking I/O, or allocation in hot-path modules (constructors exempt) |
+//! | `unbatched-hot-loop` | warn | file | per-item `crc16_ccitt` / map-table `lookup` inside a `for` loop in hot-path modules when a burst counterpart exists |
 //! | `lock-order` | deny | crate | two named locks acquired in both nesting orders within one crate |
 //!
 //! Any finding can be suppressed with a justification comment on the

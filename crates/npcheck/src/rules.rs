@@ -64,12 +64,15 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
 /// Modules on the per-packet critical path: a panic here is a dropped
 /// simulation, and `unwrap`-dense code hides the queue/map invariants
 /// the paper's migration logic depends on. Matched by prefix so the
-/// `engine/` stage directory (ingest/dispatch/service/record) is
-/// covered as one unit.
+/// `engine/` stage directory (ingest/dispatch/service/record, plus the
+/// batched run loop `batch.rs` and the cycle probe `cycles.rs`) is
+/// covered as one unit. `source.rs` joined the hot path when burst
+/// refills moved the per-arrival gap/record draws into it.
 const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/npsim/src/engine",
     "crates/npsim/src/order.rs",
     "crates/npsim/src/fault.rs",
+    "crates/npsim/src/source.rs",
     "crates/core/src/laps.rs",
     "crates/core/src/faults.rs",
     "crates/core/src/spsc.rs",
@@ -224,6 +227,19 @@ pub const RULES: &[RuleSpec] = &[
               construction, validation) with an allow comment.",
         applies: is_hot_path,
         check: check_blocking_hot_path,
+    },
+    RuleSpec {
+        id: "unbatched-hot-loop",
+        severity: Severity::Warn,
+        summary: "per-item crc16_ccitt / map-table lookup inside a for loop in hot-path modules",
+        why: "The hashing substrate ships burst counterparts — crc16_ccitt_batch runs \
+              four CRC lanes in lockstep and MapTable::lookup_batch maps a whole \
+              burst — that hide table load-to-use latency across the packets of a \
+              burst. A per-item scalar call in a hot loop forfeits that ILP: collect \
+              the burst's keys and make one batch call, or justify the scalar form \
+              (e.g. a genuinely serial dependency) with an allow comment.",
+        applies: is_hot_path,
+        check: check_unbatched_hot_loop,
     },
 ];
 
@@ -968,6 +984,93 @@ fn check_blocking_hot_path(file: &str, lexed: &LexedFile, findings: &mut Vec<Fin
     }
 }
 
+/// Scalar calls that have a burst-sized counterpart in `nphash`; a
+/// per-item call inside a hot loop should usually be the batch form.
+const BATCHABLE_SCALAR_CALLS: &[(&str, &str)] = &[
+    ("crc16_ccitt", "crc16_ccitt_batch"),
+    ("lookup", "lookup_batch"),
+];
+
+fn check_unbatched_hot_loop(file: &str, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    let spec = rule("unbatched-hot-loop");
+    let toks = &lexed.tokens;
+    let limit = lexed.cfg_test_line.unwrap_or(usize::MAX);
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].0 >= limit {
+            break;
+        }
+        if !toks[i].1.is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // A loop header is `for <pat> in <expr> {`; `impl Trait for T {`
+        // and `for<'a>` bounds have no `in` before the brace and are
+        // skipped. The header scan stops at `;` (trait-bound forms).
+        let mut j = i + 1;
+        let mut saw_in = false;
+        let body = loop {
+            match toks.get(j) {
+                None => return,
+                Some((_, t)) if t.is_punct("{") => break Some(j),
+                Some((_, t)) if t.is_punct(";") => break None,
+                Some((_, t)) => {
+                    saw_in |= t.is_ident("in");
+                    j += 1;
+                }
+            }
+        };
+        let Some(body) = body else {
+            i = j + 1;
+            continue;
+        };
+        if !saw_in {
+            i = body + 1;
+            continue;
+        }
+        // Brace-track the body; flag scalar calls that have batch
+        // counterparts. Nested loops are found by restarting just
+        // inside the body.
+        let mut depth = 0usize;
+        let mut k = body;
+        while let Some((line, t)) = toks.get(k) {
+            match t {
+                Tok::Punct(p) if p == "{" => depth += 1,
+                Tok::Punct(p) if p == "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(n) => {
+                    if let Some((_, batch)) = BATCHABLE_SCALAR_CALLS
+                        .iter()
+                        .find(|(scalar, _)| n == scalar)
+                    {
+                        // Free/path call (`crc16_ccitt(…)`) or method
+                        // call (`table.lookup(…)`) — both need the `(`.
+                        let called = toks.get(k + 1).is_some_and(|(_, t)| t.is_punct("("));
+                        let method_ok = n != "lookup"
+                            || (k >= 1 && toks.get(k - 1).is_some_and(|(_, t)| t.is_punct(".")));
+                        if called && method_ok {
+                            push(
+                                findings,
+                                spec,
+                                file,
+                                *line,
+                                format!("`{n}` called once per iteration in a hot loop; `{batch}` processes a burst at a time and hides table latency across packets"),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = body + 1;
+    }
+}
+
 /// Walk back from the `.` before a `lock` call and name the receiver:
 /// the nearest identifier, skipping balanced `(...)`/`[...]` groups
 /// (so `self.deques[w].lock()` names `deques` and `self.shard(i)
@@ -1321,6 +1424,35 @@ mod tests {
         let src =
             "fn steal(&self) { let g = self.deques[a].lock(); let h = self.deques[b].lock(); }\n";
         assert!(scan_source("crates/npfarm/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbatched_hot_loop_flags_scalar_calls_in_for_loops() {
+        let src = "fn classify(&mut self) {\nfor k in &self.keys {\nlet h = crc16_ccitt(k);\nlet c = self.table.lookup(h);\nself.out.push(c);\n}\n}\n";
+        let f = scan_source("crates/npsim/src/engine/batch.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "unbatched-hot-loop"));
+        assert!(f[0].message.contains("crc16_ccitt_batch"));
+        assert!(f[1].message.contains("lookup_batch"));
+        // Same code off the hot path: clean.
+        assert!(scan_source("crates/npsim/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbatched_hot_loop_ignores_batch_calls_and_impl_for() {
+        // The batch forms and `impl Trait for T` bodies must not match.
+        let src = "impl Stage for Dispatch {\nfn go(&mut self) { crc16_ccitt_batch(&self.keys, &mut self.hashes); self.table.lookup_batch(&self.flows, &mut self.cores); }\n}\n";
+        assert!(scan_source("crates/npsim/src/engine/batch.rs", src).is_empty());
+        // A lone per-packet call outside any loop is the scalar path's
+        // legitimate shape.
+        let single = "fn one(&mut self, k: &[u8; 13]) -> u16 { crc16_ccitt(k) }\n";
+        assert!(scan_source("crates/npsim/src/engine/batch.rs", single).is_empty());
+    }
+
+    #[test]
+    fn source_rs_is_hot_path_scoped() {
+        let src = "fn draw(&mut self) { let g = self.gaps.first().unwrap(); }\n";
+        assert_eq!(scan_source("crates/npsim/src/source.rs", src).len(), 1);
     }
 
     #[test]

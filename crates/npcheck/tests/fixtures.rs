@@ -22,7 +22,7 @@ fn fixture(name: &str) -> PathBuf {
 fn bad_fixture_trips_every_rule() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("bad")).expect("scan bad fixture tree");
-    assert_eq!(files, 9, "expected the nine bad fixture files");
+    assert_eq!(files, 10, "expected the ten bad fixture files");
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
     for meta in npcheck::all_rules() {
         assert!(
@@ -41,6 +41,9 @@ fn bad_fixture_trips_every_rule() {
     assert!(findings
         .iter()
         .any(|f| f.rule == "shared-state-audit" && f.severity == npcheck::Severity::Deny));
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "unbatched-hot-loop" && f.severity == npcheck::Severity::Warn));
     assert!(findings
         .iter()
         .any(|f| f.rule == "lock-order" && f.severity == npcheck::Severity::Deny));
@@ -78,7 +81,7 @@ fn bad_fixture_findings_are_sorted_and_stable() {
 fn good_fixture_is_clean() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("good")).expect("scan good fixture tree");
-    assert_eq!(files, 8, "expected the eight good fixture files");
+    assert_eq!(files, 9, "expected the nine good fixture files");
     assert!(
         findings.is_empty(),
         "good fixtures must be clean, got:\n{}",
@@ -135,7 +138,7 @@ fn cli_json_report_parses_and_counts() {
             "finding missing numeric line: {f:?}"
         );
     }
-    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(9)));
+    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(10)));
 }
 
 /// Meta-test for the rule manifest: `npcheck --rules` must list every

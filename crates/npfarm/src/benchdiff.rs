@@ -1,6 +1,6 @@
 //! Bench-baseline schema and the regression gate.
 //!
-//! The tracked baseline file (`BENCH_PR5.json` at the repo root) maps
+//! The tracked baseline file (`BENCH_PR7.json` at the repo root) maps
 //! bench name → metrics:
 //!
 //! ```json
@@ -9,10 +9,13 @@
 //!
 //! plus an optional reserved `"host"` block ([`HostFingerprint`]:
 //! cpu model, core count, rustc version) written by
-//! `laps-bench --emit-baseline`. The fingerprint is informational: a
-//! mismatch between baseline and fresh run is *reported* in the diff
-//! table so a throughput delta can be read in context, but it never
-//! fails the gate.
+//! `laps-bench --emit-baseline`. When the baseline and the fresh run
+//! carry *different* fingerprints, the two runs provably came from
+//! different machines, so per-metric regressions are downgraded to
+//! warnings — the diff exits clean with a prominent note instead of
+//! vetoing a PR for running on slower hardware. Matching, absent, or
+//! one-sided fingerprints leave the gate fully armed, and a vanished
+//! bench row fails in every case.
 //!
 //! [`compare`] diffs a freshly measured file against the committed
 //! baseline with per-metric relative tolerances and classifies each
@@ -53,10 +56,11 @@ pub type BenchFile = Vec<(String, BenchMetrics)>;
 /// The machine a baseline was measured on. Recorded by
 /// `laps-bench --emit-baseline` under the reserved top-level `"host"`
 /// key so the gate can tell "the code got slower" apart from "a
-/// different machine ran the bench". Purely informational: a mismatch
-/// is *reported*, never failed on — CI runners legitimately differ
-/// from the baseline machine and the tolerances already account for
-/// that.
+/// different machine ran the bench". A mismatch between baseline and
+/// fresh run downgrades per-metric regressions to warnings (see
+/// [`compare_docs`]) — CI runners legitimately differ from the
+/// baseline machine, and a number measured elsewhere cannot convict
+/// the code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostFingerprint {
     /// CPU model string (`model name` from `/proc/cpuinfo`).
@@ -258,14 +262,34 @@ pub struct DiffReport {
     /// side lacks a fingerprint). Reported, never gated — see
     /// [`DiffReport::passed`].
     pub host_note: Option<String>,
+    /// Both files carry a fingerprint and they differ: the two runs
+    /// were measured on observably different machines, so a throughput
+    /// delta cannot be attributed to the code. Per-metric regressions
+    /// are downgraded to warnings (see [`DiffReport::passed`]).
+    /// One-sided or absent fingerprints do *not* set this — without
+    /// positive evidence of a different machine, the gate stays armed.
+    pub host_mismatch: bool,
 }
 
 impl DiffReport {
-    /// True when no gated metric regressed and no bench vanished. The
-    /// host fingerprint deliberately does not participate: a CI runner
-    /// is expected to differ from the baseline machine.
+    /// True when no gated metric regressed and no bench vanished.
+    /// Under a proven [`host_mismatch`](Self::host_mismatch), gated
+    /// regressions demote to warnings and no longer fail: a slower
+    /// machine would otherwise veto every PR touching the baseline. A
+    /// *vanished bench row* still fails regardless — which benches
+    /// exist is a property of the code, not the host.
     pub fn passed(&self) -> bool {
-        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+        self.missing.is_empty() && (self.host_mismatch || self.deltas.iter().all(|d| !d.regressed))
+    }
+
+    /// Gated metrics below tolerance that [`passed`](Self::passed)
+    /// forgave because of the host mismatch. Empty when the hosts
+    /// match (those regressions fail instead of warning).
+    pub fn downgraded(&self) -> Vec<&Delta> {
+        if !self.host_mismatch {
+            return Vec::new();
+        }
+        self.deltas.iter().filter(|d| d.regressed).collect()
     }
 
     /// Console/markdown delta table (markdown pipe syntax renders fine
@@ -279,7 +303,9 @@ impl DiffReport {
         out.push_str("| bench | metric | baseline | current | ratio | tol | status |\n");
         out.push_str("|---|---|---:|---:|---:|---:|---|\n");
         for d in &self.deltas {
-            let status = if d.regressed {
+            let status = if d.regressed && self.host_mismatch {
+                "**WARN** (host mismatch)"
+            } else if d.regressed {
                 "**REGRESSED**"
             } else if !d.gated {
                 "info"
@@ -380,14 +406,21 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile, tol: &Tolerances) -> D
 }
 
 /// Compare two full documents: the row comparison of [`compare`] plus
-/// the informational host-fingerprint note. The note never affects
-/// [`DiffReport::passed`].
+/// host-fingerprint handling. When both fingerprints are present and
+/// differ, per-metric regressions are downgraded to warnings
+/// ([`DiffReport::host_mismatch`]); absent or one-sided fingerprints
+/// only produce an informational note and leave the gate armed.
 pub fn compare_docs(baseline: &BenchDoc, current: &BenchDoc, tol: &Tolerances) -> DiffReport {
     let mut report = compare(&baseline.rows, &current.rows, tol);
+    report.host_mismatch = matches!(
+        (&baseline.host, &current.host),
+        (Some(b), Some(c)) if b != c
+    );
     report.host_note = match (&baseline.host, &current.host) {
         (Some(b), Some(c)) if b != c => Some(format!(
-            "host mismatch (informational): baseline measured on [{}], current on [{}] — \
-             throughput deltas may reflect the machine, not the code",
+            "host mismatch: baseline measured on [{}], current on [{}] — throughput deltas \
+             reflect the machine as much as the code, so below-tolerance metrics are \
+             downgraded to warnings and do not fail the gate",
             b.describe(),
             c.describe()
         )),
@@ -547,9 +580,73 @@ mod tests {
         };
         let report = compare_docs(&base, &cur, &Tolerances::default());
         assert!(report.passed(), "mismatch must not gate");
+        assert!(report.host_mismatch);
         let note = report.host_note.as_deref().expect("mismatch note");
         assert!(note.contains("cpu-a") && note.contains("cpu-b"), "{note}");
         assert!(report.markdown().starts_with("> host mismatch"));
+    }
+
+    #[test]
+    fn host_mismatch_downgrades_regressions_to_warnings() {
+        // 0.10× is far below the 0.25× floor: fails on the same host…
+        let base = BenchDoc {
+            host: Some(host("cpu-a", 16, "rustc 1.80.0")),
+            rows: file(&[("hotpath", 1000.0, 2000.0, 10.0)]),
+        };
+        let cur_rows = file(&[("hotpath", 100.0, 1900.0, 10.0)]);
+        let same_host = BenchDoc {
+            host: base.host.clone(),
+            rows: cur_rows.clone(),
+        };
+        let tol = Tolerances::default();
+        assert!(!compare_docs(&base, &same_host, &tol).passed());
+
+        // …but only warns when the fingerprints prove a different box.
+        let other_host = BenchDoc {
+            host: Some(host("cpu-b", 4, "rustc 1.80.0")),
+            rows: cur_rows,
+        };
+        let report = compare_docs(&base, &other_host, &tol);
+        assert!(report.passed(), "{report:?}");
+        let downgraded = report.downgraded();
+        assert_eq!(downgraded.len(), 1);
+        assert_eq!(downgraded[0].metric, "packets_per_sec");
+        assert!(report.markdown().contains("**WARN** (host mismatch)"));
+        assert!(!report.markdown().contains("**REGRESSED**"));
+    }
+
+    #[test]
+    fn one_sided_fingerprint_does_not_downgrade() {
+        // Without positive evidence of a different machine the gate
+        // stays armed: an old baseline with no host block still fails
+        // a genuine regression.
+        let base = BenchDoc {
+            host: None,
+            rows: file(&[("hotpath", 1000.0, 2000.0, 10.0)]),
+        };
+        let cur = BenchDoc {
+            host: Some(host("cpu-b", 4, "rustc 1.80.0")),
+            rows: file(&[("hotpath", 100.0, 1900.0, 10.0)]),
+        };
+        let report = compare_docs(&base, &cur, &Tolerances::default());
+        assert!(!report.host_mismatch);
+        assert!(!report.passed());
+        assert!(report.downgraded().is_empty());
+    }
+
+    #[test]
+    fn missing_bench_still_fails_under_host_mismatch() {
+        let base = BenchDoc {
+            host: Some(host("cpu-a", 16, "rustc 1.80.0")),
+            rows: file(&[("hotpath", 1.0, 1.0, 1.0), ("gone", 1.0, 1.0, 1.0)]),
+        };
+        let cur = BenchDoc {
+            host: Some(host("cpu-b", 4, "rustc 1.80.0")),
+            rows: file(&[("hotpath", 1.0, 1.0, 1.0)]),
+        };
+        let report = compare_docs(&base, &cur, &Tolerances::default());
+        assert!(report.host_mismatch);
+        assert!(!report.passed(), "a vanished bench is a code property");
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod interner;
 pub mod maptable;
 pub mod toeplitz;
 
-pub use crc::{crc16_arc, crc16_ccitt, crc32c, Crc16Ccitt};
+pub use crc::{crc16_arc, crc16_ccitt, crc16_ccitt_batch, crc32c, Crc16Ccitt};
 pub use det::{DetHashMap, DetHashSet};
 pub use flow::FlowId;
 pub use incremental::IncrementalHash;

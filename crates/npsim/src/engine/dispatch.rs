@@ -107,6 +107,19 @@ impl<S: Scheduler> DispatchStage<S> {
         self.flows.set_last_core(slot, core);
     }
 
+    /// Start cache fills for the flow's table entries (batched mode:
+    /// issued when the next arrival is known but not yet processed, so
+    /// the fill has ~one inter-arrival gap of lead time).
+    #[inline]
+    pub(super) fn prefetch_flow(&self, slot: FlowSlot) {
+        if let Some(s) = self.flows.seq.get(slot.index()) {
+            crate::mem::prefetch_read(s);
+        }
+        if let Some(c) = self.flows.last_core.get(slot.index()) {
+            crate::mem::prefetch_read(c);
+        }
+    }
+
     /// Ask the policy for a target core. The view is maintained
     /// incrementally (see [`DispatchStage::set_info`]); it is briefly
     /// moved out so the scheduler can borrow it alongside the policy.

@@ -39,10 +39,14 @@
 //! engine — the zero-probe fast path — and runs produce byte-identical
 //! [`SimReport`]s either way (pinned by the golden-report fixture test).
 
+mod batch;
+mod cycles;
 mod dispatch;
 mod ingest;
 mod record;
 mod service;
+
+pub use cycles::{CycleAccounting, CycleReport, CycleSink, Stage, StageCycles, STAGES};
 
 use crate::event::SimEvent;
 use crate::fault::{DropPolicy, FaultAction, FaultPlan, FaultStats};
@@ -79,6 +83,37 @@ pub enum EventBackend {
     /// config knob away, with a byte-identical-report equivalence test,
     /// so event-heavy scenarios can flip it with zero semantic risk.
     Wheel,
+}
+
+/// How the run loop moves packets through the pipeline.
+///
+/// Both modes implement the same `(time, seq)` total order and produce
+/// **byte-identical reports** for the same configuration and seed
+/// (pinned by the workspace `batch_equivalence` property test): the
+/// batched loop pre-draws per-source arrival bursts from their private
+/// RNG streams and replaces the event heap with a bounded merge scan,
+/// but performs every shared-state mutation at the same simulated
+/// instant, in the same order, as the scalar loop. See
+/// DESIGN.md "Batched execution".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One event at a time through the central event queue — the
+    /// reference implementation, and the automatic fallback whenever
+    /// fault machinery or the timer-wheel backend is configured.
+    Scalar,
+    /// Burst-oriented execution (the default): arrivals pre-drawn up to
+    /// `burst` per source, heap replaced by a merge over per-source
+    /// heads and per-core finish slots.
+    Batched {
+        /// Per-source lookahead depth, clamped to `1..=32`.
+        burst: u8,
+    },
+}
+
+impl Default for ExecutionMode {
+    fn default() -> Self {
+        ExecutionMode::Batched { burst: 32 }
+    }
 }
 
 /// Engine configuration.
@@ -126,6 +161,18 @@ pub struct EngineConfig {
     /// What to do with an arrival at a full per-core queue (default:
     /// drop-tail, the paper's model).
     pub drop_policy: DropPolicy,
+    /// Run-loop execution strategy (default: batched bursts of 32).
+    /// Semantics are identical either way; this knob only trades
+    /// wall-clock speed and exists so benchmarks and equivalence tests
+    /// can pin the scalar reference loop.
+    pub execution: ExecutionMode,
+    /// Pre-draw this many inter-arrival gaps and trace records per
+    /// Constant-rate source at construction time (0 = off, the default).
+    /// Reports are byte-identical either way; benchmarks use it to
+    /// measure the engine rather than the synthetic traffic model.
+    /// Ignored for Holt-Winters sources (their rate noise interleaves
+    /// with gap draws on the same stream).
+    pub prestage: usize,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +192,8 @@ impl Default for EngineConfig {
             event_backend: EventBackend::default(),
             faults: FaultPlan::new(),
             drop_policy: DropPolicy::default(),
+            execution: ExecutionMode::default(),
+            prestage: 0,
         }
     }
 }
@@ -290,13 +339,14 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         let seq = SeedSequence::new(cfg.seed);
         let mut delay = cfg.delay;
         delay.scale = cfg.scale;
-        let ingest = IngestStage::new(
+        let mut ingest = IngestStage::new(
             &seq,
             sources,
             cfg.period_compression,
             cfg.scale,
             cfg.control_plane_fraction,
         );
+        ingest.prestage_all(cfg.prestage);
         let service = ServiceStage::new(
             cfg.n_cores,
             cfg.queue_capacity,
@@ -708,6 +758,36 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
     /// Run to completion and hand back the report, the scheduler, and
     /// the probe host (with everything the probes accumulated).
     pub fn run_full(mut self) -> (SimReport, S, P) {
+        let last_t = if self.batch_eligible() {
+            self.run_batched(&mut ())
+        } else {
+            self.run_scalar()
+        };
+        self.finish(last_t)
+    }
+
+    /// Run to completion with per-stage cycle accounting (see
+    /// [`CycleReport`]). Accounting spans exist only in the batched
+    /// loop: a configuration that falls back to scalar execution (fault
+    /// plans, the timer-wheel backend, `ExecutionMode::Scalar`) returns
+    /// an empty report. The accounting reads the host clock but feeds
+    /// nothing back into the simulation, so the [`SimReport`] is
+    /// byte-identical with accounting on or off.
+    pub fn run_with_cycles(mut self) -> (SimReport, CycleReport) {
+        if self.batch_eligible() {
+            let mut acc = CycleAccounting::new();
+            let last_t = self.run_batched(&mut acc);
+            (self.finish(last_t).0, acc.finish())
+        } else {
+            let last_t = self.run_scalar();
+            (self.finish(last_t).0, CycleReport::empty())
+        }
+    }
+
+    /// The scalar run loop: one heap pop per event. The reference
+    /// implementation, and the only loop supporting fault plans and the
+    /// timer-wheel backend. Returns the time of the last event.
+    fn run_scalar(&mut self) -> SimTime {
         // Prime arrivals and the rate-update ticker.
         for (i, gap) in self.ingest.prime_gaps() {
             if gap <= self.cfg.duration {
@@ -744,6 +824,11 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             #[cfg(feature = "invariants")]
             self.check_invariants(t, last_t);
         }
+        last_t
+    }
+
+    /// The epilogue shared by both loops: drain, account, finalize.
+    fn finish(mut self, last_t: SimTime) -> (SimReport, S, P) {
         self.record.set_end_time(last_t.max(self.cfg.duration));
 
         // Anything still waiting in the restoration buffer departs at the

@@ -97,6 +97,14 @@ impl<P: ProbeHost> RecordStage<P> {
         }
     }
 
+    /// Start the order tracker's cache fill for `slot` (batched mode:
+    /// issued at `ServiceStart`, ~one service time before the
+    /// departure that reads the entry).
+    #[inline]
+    pub(super) fn prefetch_departure(&self, slot: FlowSlot) {
+        self.order.prefetch(slot);
+    }
+
     /// A packet was dropped: the frame manager knows this sequence
     /// number will never depart; tell the restoration buffer not to
     /// wait for it.

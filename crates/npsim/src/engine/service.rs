@@ -17,6 +17,7 @@ use crate::fault::DropPolicy;
 use crate::packet::PacketDesc;
 use crate::sched::QueueInfo;
 use detsim::{BoundedQueue, PushOutcome, SimTime};
+use nphash::FlowSlot;
 use nptraffic::{DelayModel, ServiceKind};
 
 #[derive(Debug)]
@@ -50,6 +51,9 @@ struct Core {
 #[derive(Debug, Clone, Copy)]
 pub(super) struct Started {
     pub service: ServiceKind,
+    /// Flow of the packet entering service (batched mode prefetches the
+    /// order tracker's line for it ahead of the departure).
+    pub slot: FlowSlot,
     pub cold: bool,
     pub migrated: bool,
     pub duration: SimTime,
@@ -222,6 +226,7 @@ impl ServiceStage {
         slot.last_service = Some(pkt.service);
         let started = Started {
             service: pkt.service,
+            slot: pkt.slot,
             cold,
             migrated: pkt.migrated,
             duration: d,

@@ -37,6 +37,7 @@
 pub mod engine;
 pub mod event;
 pub mod fault;
+mod mem;
 pub mod order;
 pub mod packet;
 pub mod probe;
@@ -45,7 +46,9 @@ pub mod restore;
 pub mod sched;
 pub mod source;
 
-pub use engine::{Engine, EngineConfig, EventBackend};
+pub use engine::{
+    CycleReport, Engine, EngineConfig, EventBackend, ExecutionMode, Stage, StageCycles,
+};
 pub use event::SimEvent;
 pub use fault::{DropPolicy, FaultAction, FaultMark, FaultPlan, FaultProbe, FaultStats, Recovery};
 pub use order::OrderTracker;

@@ -71,6 +71,15 @@ impl OrderTracker {
         }
     }
 
+    /// Start the cache fill for `slot`'s entry ahead of its departure
+    /// (a read-only touch; entries not yet grown are simply skipped).
+    #[inline]
+    pub fn prefetch(&self, slot: FlowSlot) {
+        if let Some(entry) = self.max_departed_plus_one.get(slot.index()) {
+            crate::mem::prefetch_read(entry);
+        }
+    }
+
     /// Total departures recorded.
     pub fn departed(&self) -> u64 {
         self.departed
