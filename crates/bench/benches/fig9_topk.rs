@@ -25,7 +25,11 @@ fn sources() -> Vec<SourceConfig> {
 }
 
 /// One simulated run via the builder (static dispatch, no probes).
-fn run_arm<S: Scheduler>(cfg: EngineConfig, sources: &[SourceConfig], scheduler: S) -> SimReport {
+fn run_arm<S: Scheduler + 'static>(
+    cfg: EngineConfig,
+    sources: &[SourceConfig],
+    scheduler: S,
+) -> SimReport {
     SimBuilder::new()
         .config(cfg)
         .sources(sources.iter().cloned())

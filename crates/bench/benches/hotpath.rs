@@ -28,7 +28,11 @@ fn hotpath_sources() -> Vec<SourceConfig> {
 
 /// One simulated run via the builder: static dispatch, zero-probe fast
 /// path (no probes attached) — the configuration the baseline tracks.
-fn run_sim<S: Scheduler>(duration_ms: u64, sources: &[SourceConfig], scheduler: S) -> SimReport {
+fn run_sim<S: Scheduler + 'static>(
+    duration_ms: u64,
+    sources: &[SourceConfig],
+    scheduler: S,
+) -> SimReport {
     SimBuilder::new()
         .config(hotpath_cfg(duration_ms))
         .sources(sources.iter().cloned())

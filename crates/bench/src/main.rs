@@ -9,7 +9,7 @@
 //! cargo run --release -p laps-bench -- --emit-baseline
 //! ```
 //!
-//! writes `BENCH_PR7.json` at the invocation directory (the repo root
+//! writes `BENCH_PR8.json` at the invocation directory (the repo root
 //! when run via cargo) in the [`npfarm::benchdiff`] schema
 //! `bench name → {packets_per_sec, events_per_sec, wall_ms}` — the same
 //! schema the `benchdiff` binary gates CI with. The emitted file also
@@ -25,6 +25,12 @@
 //! * `hotpath-batch` — the identical workload under the default batched
 //!   loop; `hotpath-batch / hotpath` is the batching speedup.
 //! * `hotpath-laps` — the LAPS policy under the batched loop.
+//! * `hotpath-exec` — the same workload through the npexec
+//!   thread-per-core backend: 4 real pinned-capable worker threads fed
+//!   over SPSC rings, true wall-clock Mpps. Informational until a
+//!   second baseline exists — simulated-time rows and real-thread rows
+//!   are different quantities and are never ratio-gated against each
+//!   other.
 //!
 //! Flags: `--emit-baseline` (write the JSON; otherwise print only),
 //! `--short` (CI-sized run), `--out <path>` (override the output path),
@@ -33,7 +39,9 @@
 //! `hotpath-batch ≥ ratio × hotpath` — the same-host, same-run gate).
 
 use laps::prelude::*;
+use npexec::{NpexecConfig, ThreadedBackend};
 use npfarm::benchdiff::{render_doc, BenchDoc, BenchFile, BenchMetrics, HostFingerprint};
+use npsim::ExecBackend;
 use std::time::Instant;
 
 /// The hot-path engine configuration: paper-scale timing (scale 1) so the
@@ -64,7 +72,7 @@ fn events_of(report: &SimReport) -> f64 {
     report.events as f64
 }
 
-fn measure<S: Scheduler>(
+fn measure<S: Scheduler + 'static>(
     name: &'static str,
     duration_ms: u64,
     repeat: usize,
@@ -116,6 +124,56 @@ fn measure<S: Scheduler>(
     )
 }
 
+/// The same hot-path workload through the npexec thread-per-core
+/// backend: the dispatcher fans the arrival plan out to 4 real worker
+/// threads over SPSC rings and the row reports **true wall-clock**
+/// throughput (the backend's own packets/wall measurement, taken around
+/// the thread scope only). Best of `repeat` runs, like the other rows.
+fn measure_exec(duration_ms: u64, repeat: usize) -> (String, BenchMetrics) {
+    let cfg = hotpath_cfg(duration_ms, ExecutionMode::default());
+    let sources = hotpath_sources();
+    let exec_cfg = || NpexecConfig {
+        workers: 4,
+        ..NpexecConfig::default()
+    };
+    // Warm-up (allocator, plan construction, thread spawn paths).
+    let mut warm = ThreadedBackend::new(exec_cfg());
+    let _ = warm.run(
+        &hotpath_cfg(2, ExecutionMode::default()),
+        &sources,
+        Box::new(Fcfs::new()),
+        Vec::new(),
+    );
+    let mut best: Option<BenchMetrics> = None;
+    for _ in 0..repeat.max(1) {
+        let mut backend = ThreadedBackend::new(exec_cfg());
+        let (report, _probes) = backend.run(&cfg, &sources, Box::new(Fcfs::new()), Vec::new());
+        let Some(stats) = backend.last_stats() else {
+            continue;
+        };
+        let secs = stats.wall_secs.max(1e-9);
+        let m = BenchMetrics {
+            packets_per_sec: stats.mpps * 1e6,
+            events_per_sec: events_of(&report) / secs,
+            wall_ms: secs * 1_000.0,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.packets_per_sec > b.packets_per_sec)
+        {
+            best = Some(m);
+        }
+    }
+    (
+        "hotpath-exec".to_string(),
+        best.unwrap_or(BenchMetrics {
+            packets_per_sec: 0.0,
+            events_per_sec: 0.0,
+            wall_ms: 0.0,
+        }),
+    )
+}
+
 /// Rerun the batched hotpath workload with cycle accounting and render
 /// the per-stage CSV (separate from the timed rows so the accounting's
 /// clock reads never contaminate the tracked numbers).
@@ -145,7 +203,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let cycles_path = flag_value("--cycles");
     let speedup_floor: Option<f64> = flag_value("--check-batch-speedup").map(|v| {
         v.parse().unwrap_or_else(|_| {
@@ -159,6 +217,7 @@ fn main() {
         .unwrap_or(1);
 
     let rows: BenchFile = vec![
+        measure_exec(duration_ms, repeat),
         measure(
             "hotpath",
             duration_ms,

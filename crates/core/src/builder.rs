@@ -31,7 +31,8 @@
 use crate::registry::{BoxedScheduler, SchedulerRegistry};
 use detsim::SimTime;
 use npsim::{
-    Engine, EngineConfig, Probe, ProbeStack, RateSpec, Scheduler, SimReport, SourceConfig,
+    Engine, EngineConfig, ExecBackend, Probe, ProbeStack, RateSpec, Scheduler, SimReport,
+    SourceConfig,
 };
 use nptrace::TracePreset;
 use nptraffic::{Scenario, ServiceKind};
@@ -82,6 +83,10 @@ pub struct SimBuilder {
     sources: Vec<SourceConfig>,
     probes: ProbeStack,
     registry: SchedulerRegistry,
+    /// Execution backend for the dynamic-dispatch run paths. `None`
+    /// (the default) runs the detsim engine directly — the exact
+    /// pre-backend code path, byte-identical reports.
+    backend: Option<Box<dyn ExecBackend>>,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -91,6 +96,10 @@ impl std::fmt::Debug for SimBuilder {
             .field("sources", &self.sources)
             .field("probes", &self.probes.len())
             .field("registry", &self.registry)
+            .field(
+                "backend",
+                &self.backend.as_ref().map(|b| b.name()).unwrap_or("engine"),
+            )
             .finish()
     }
 }
@@ -207,6 +216,20 @@ impl SimBuilder {
         self
     }
 
+    /// Route the dynamic-dispatch run paths ([`SimBuilder::run_named`],
+    /// [`SimBuilder::run_named_full`], [`SimBuilder::run_with`]) through
+    /// an [`ExecBackend`] — e.g. `npexec::ThreadedBackend` for real
+    /// thread-per-core execution. Unset (the default), runs construct
+    /// the detsim engine directly and stay byte-identical to every
+    /// pre-backend release. The static-dispatch paths that hand the
+    /// scheduler back ([`SimBuilder::run_with_returning`],
+    /// [`SimBuilder::run_with_full`]) always use the engine: a backend
+    /// consumes its scheduler and cannot return it.
+    pub fn backend(mut self, backend: impl ExecBackend + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
     /// The engine configuration as currently built (read access for
     /// callers that derive policy parameters from it).
     pub fn engine_config(&self) -> &EngineConfig {
@@ -227,8 +250,12 @@ impl SimBuilder {
     /// With no probes attached this takes the engine's zero-probe fast
     /// path; with probes it publishes the full event stream (the report
     /// is byte-identical either way).
-    pub fn run_named(self, name: &str) -> Result<SimReport, UnknownScheduler> {
+    pub fn run_named(mut self, name: &str) -> Result<SimReport, UnknownScheduler> {
         let scheduler = self.resolve(name)?;
+        if let Some(mut backend) = self.backend.take() {
+            let (report, _probes) = backend.run(&self.cfg, &self.sources, scheduler, self.probes);
+            return Ok(report);
+        }
         if self.probes.is_empty() {
             Ok(Engine::new(self.cfg, &self.sources, scheduler).run())
         } else {
@@ -241,16 +268,29 @@ impl SimBuilder {
 
     /// Like [`SimBuilder::run_named`], but also hands back the probes
     /// with everything they accumulated.
-    pub fn run_named_full(self, name: &str) -> Result<(SimReport, ProbeStack), UnknownScheduler> {
+    pub fn run_named_full(
+        mut self,
+        name: &str,
+    ) -> Result<(SimReport, ProbeStack), UnknownScheduler> {
         let scheduler = self.resolve(name)?;
+        if let Some(mut backend) = self.backend.take() {
+            return Ok(backend.run(&self.cfg, &self.sources, scheduler, self.probes));
+        }
         let (report, _sched, probes) =
             Engine::with_probe_stack(self.cfg, &self.sources, scheduler, self.probes).run_full();
         Ok((report, probes))
     }
 
     /// Run under a concrete scheduler (static dispatch — the hot-path
-    /// configuration benchmarks use) and return the report.
-    pub fn run_with<S: Scheduler>(self, scheduler: S) -> SimReport {
+    /// configuration benchmarks use) and return the report. With a
+    /// [`SimBuilder::backend`] set the scheduler is boxed into it
+    /// instead (dynamic dispatch — the backend owns its run loop).
+    pub fn run_with<S: Scheduler + 'static>(mut self, scheduler: S) -> SimReport {
+        if let Some(mut backend) = self.backend.take() {
+            let (report, _probes) =
+                backend.run(&self.cfg, &self.sources, Box::new(scheduler), self.probes);
+            return report;
+        }
         if self.probes.is_empty() {
             Engine::new(self.cfg, &self.sources, scheduler).run()
         } else {
@@ -303,6 +343,20 @@ mod tests {
             serde_json::to_string(&by_name).expect("serialize"),
             serde_json::to_string(&typed).expect("serialize"),
             "registry wiring must match hand wiring"
+        );
+    }
+
+    #[test]
+    fn detsim_backend_is_byte_invisible() {
+        let direct = base().run_named("laps").expect("builtin");
+        let routed = base()
+            .backend(npsim::DetsimBackend)
+            .run_named("laps")
+            .expect("builtin");
+        assert_eq!(
+            serde_json::to_string(&direct).expect("serialize"),
+            serde_json::to_string(&routed).expect("serialize"),
+            "routing through DetsimBackend must not change the report"
         );
     }
 

@@ -48,6 +48,7 @@ pub mod afs;
 pub mod builder;
 pub mod config;
 pub mod faults;
+pub mod handshake;
 pub mod laps;
 pub mod migration;
 pub mod registry;
@@ -60,6 +61,7 @@ pub use afs::Afs;
 pub use builder::{scenario_sources, SimBuilder, UnknownScheduler};
 pub use config::{LapsConfig, ParkConfig};
 pub use faults::{crash_with_heal, random_plan, single_crash};
+pub use handshake::{GroupBoard, HandshakeStats};
 pub use laps::Laps;
 pub use migration::MigrationTable;
 pub use registry::{laps_config_for, BoxedScheduler, SchedulerCtor, SchedulerRegistry};

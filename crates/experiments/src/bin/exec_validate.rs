@@ -1,0 +1,310 @@
+//! Cross-backend validation: the npexec thread-per-core runtime must
+//! agree with the deterministic engine on every plan-level quantity and
+//! must never reorder a flow, on at least one CAIDA-like and one
+//! Auckland-like preset.
+//!
+//! Both backends replay the *same* [`npsim::ArrivalPlan`] (the ingest
+//! scalar loop, bit-exact), so the offered stream — packet count,
+//! slow-path diversions, per-service mix — must match exactly; the
+//! execution side (queueing, migration policy) is where they are
+//! allowed to differ, within bounds:
+//!
+//! * conservation is exact on both backends: `offered == processed +
+//!   dropped`;
+//! * npexec services with **zero** out-of-order packets — the mark →
+//!   redirect → first-packet-ack handshake is the property under test;
+//! * npexec's probe bus is count-faithful: arrivals / departures /
+//!   drops / migrations / reorders equal the report fields (the
+//!   engine-only `dispatched` and per-event `slow_path` counters stay
+//!   zero under npexec and are not compared);
+//! * processed counts of the two backends agree within 2% of offered;
+//! * npexec's migration count stays in a sane band and includes the
+//!   scripted migrations, proving completed handshakes.
+//!
+//! `--smoke` shrinks the horizon for CI; the default run is longer.
+//! Exits non-zero listing every violated bound.
+
+use laps_experiments::{print_table, results_dir, write_csv};
+use npexec::{ForcedMigration, NpexecConfig, ThreadedBackend};
+use npsim::{MetricsProbe, ProbeStack, SimReport};
+
+use laps_experiments::laps::prelude::*;
+
+/// One backend's numbers for one preset.
+struct RunRow {
+    backend: &'static str,
+    preset: &'static str,
+    report: SimReport,
+    counters: Vec<(&'static str, u64)>,
+}
+
+fn counter(probes: &ProbeStack, name: &str) -> u64 {
+    probes
+        .first()
+        .and_then(|p| p.as_any().downcast_ref::<MetricsProbe>())
+        .map(|m| {
+            m.counters()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+fn builder(preset: TracePreset, service: ServiceKind, rate: f64, ms: u64) -> SimBuilder {
+    SimBuilder::new()
+        .cores(4)
+        .duration_ms(ms)
+        .scale(1.0)
+        .seed(42)
+        .constant_source(service, preset, rate)
+}
+
+/// Run one preset through both backends. The rate is per-pair: it must
+/// sit below the deterministic engine's saturation point for the
+/// chosen service (the engine models queueing and drops under
+/// overload; npexec backpressures instead — comparing processed counts
+/// is only meaningful when neither backend is shedding load).
+fn run_pair(
+    preset: TracePreset,
+    preset_name: &'static str,
+    service: ServiceKind,
+    rate: f64,
+    ms: u64,
+) -> (RunRow, RunRow) {
+    let (det_report, det_probes) = builder(preset, service, rate, ms)
+        .probe(MetricsProbe::new())
+        .run_named_full("laps")
+        .expect("builtin scheduler");
+
+    let exec_cfg = NpexecConfig {
+        workers: 4,
+        rebalance_every: 2048,
+        imbalance_ratio: 1.2,
+        // Two scripted migrations guarantee the handshake is exercised
+        // even if the rebalancer finds the load already even.
+        forced_migrations: vec![
+            ForcedMigration {
+                after_packets: 100,
+                group: 1,
+                to_worker: 0,
+            },
+            ForcedMigration {
+                after_packets: 300,
+                group: 2,
+                to_worker: 3,
+            },
+        ],
+        ..NpexecConfig::default()
+    };
+    let (exec_report, exec_probes) = builder(preset, service, rate, ms)
+        .probe(MetricsProbe::new())
+        .backend(ThreadedBackend::new(exec_cfg))
+        .run_named_full("laps")
+        .expect("builtin scheduler");
+
+    let names = ["arrivals", "departures", "drops", "migrations", "reorders"];
+    let collect = |probes: &ProbeStack| {
+        names
+            .iter()
+            .map(|n| (*n, counter(probes, n)))
+            .collect::<Vec<_>>()
+    };
+    (
+        RunRow {
+            backend: "detsim",
+            preset: preset_name,
+            counters: collect(&det_probes),
+            report: det_report,
+        },
+        RunRow {
+            backend: "npexec",
+            preset: preset_name,
+            counters: collect(&exec_probes),
+            report: exec_report,
+        },
+    )
+}
+
+/// Every bound the pair must satisfy; returns human-readable
+/// violations.
+fn check_pair(det: &RunRow, exec: &RunRow, violations: &mut Vec<String>) {
+    let p = det.preset;
+    let mut fail = |cond: bool, msg: String| {
+        if !cond {
+            violations.push(format!("[{p}] {msg}"));
+        }
+    };
+
+    // The offered stream is the same plan, bit for bit.
+    fail(
+        exec.report.offered == det.report.offered,
+        format!(
+            "offered streams diverge: npexec {} vs detsim {}",
+            exec.report.offered, det.report.offered
+        ),
+    );
+    fail(
+        exec.report.slow_path == det.report.slow_path,
+        format!(
+            "slow-path diversions diverge: npexec {} vs detsim {}",
+            exec.report.slow_path, det.report.slow_path
+        ),
+    );
+    for (e, d) in exec
+        .report
+        .per_service
+        .iter()
+        .zip(det.report.per_service.iter())
+    {
+        fail(
+            e.offered == d.offered,
+            format!(
+                "per-service offered diverges: npexec {} vs detsim {}",
+                e.offered, d.offered
+            ),
+        );
+    }
+
+    // Conservation, exact, on both backends.
+    for r in [det, exec] {
+        fail(
+            r.report.offered == r.report.processed + r.report.dropped,
+            format!(
+                "{}: conservation broken: offered {} != processed {} + dropped {}",
+                r.backend, r.report.offered, r.report.processed, r.report.dropped
+            ),
+        );
+    }
+
+    // The property under test: migration never reorders under npexec.
+    fail(
+        exec.report.out_of_order == 0,
+        format!(
+            "npexec reordered {} packets across migrations",
+            exec.report.out_of_order
+        ),
+    );
+
+    // npexec's probe bus is count-faithful to its report.
+    let want = [
+        ("arrivals", exec.report.offered),
+        ("departures", exec.report.processed),
+        ("drops", exec.report.dropped),
+        ("migrations", exec.report.migration_events),
+        ("reorders", exec.report.out_of_order),
+    ];
+    for (name, expect) in want {
+        let got = exec
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        fail(
+            got == expect,
+            format!("npexec probe `{name}` = {got}, report says {expect}"),
+        );
+    }
+
+    // Execution-side bounds: throughput within 2% of detsim, migration
+    // count sane and including the scripted handshakes.
+    let tol = det.report.offered / 50;
+    let diff = exec.report.processed.abs_diff(det.report.processed);
+    fail(
+        diff <= tol,
+        format!(
+            "processed counts diverge beyond 2%: npexec {} vs detsim {} (tol {tol})",
+            exec.report.processed, det.report.processed
+        ),
+    );
+    fail(
+        exec.report.migration_events >= 2,
+        format!(
+            "scripted migrations did not complete: {} events",
+            exec.report.migration_events
+        ),
+    );
+    fail(
+        exec.report.migration_events <= 64 + exec.report.offered / 50,
+        format!(
+            "migration storm: {} events over {} packets",
+            exec.report.migration_events, exec.report.offered
+        ),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ms = if smoke { 4 } else { 25 };
+
+    let pairs = [
+        run_pair(
+            TracePreset::Caida(1),
+            "caida1",
+            ServiceKind::IpForward,
+            0.5,
+            ms,
+        ),
+        run_pair(
+            TracePreset::Auckland(2),
+            "auck2",
+            ServiceKind::VpnOut,
+            0.1,
+            ms,
+        ),
+    ];
+
+    let header = [
+        "preset",
+        "backend",
+        "offered",
+        "processed",
+        "dropped",
+        "ooo",
+        "migr",
+        "slow",
+        "cold",
+    ];
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .flat_map(|(d, e)| [d, e])
+        .map(|r| {
+            vec![
+                r.preset.to_string(),
+                r.backend.to_string(),
+                r.report.offered.to_string(),
+                r.report.processed.to_string(),
+                r.report.dropped.to_string(),
+                r.report.out_of_order.to_string(),
+                r.report.migration_events.to_string(),
+                r.report.slow_path.to_string(),
+                r.report.cold_starts.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "exec_validate: detsim vs npexec (thread-per-core)",
+        &header,
+        &rows,
+    );
+    write_csv(results_dir().join("exec_validate.csv"), &header, &rows);
+
+    let mut violations = Vec::new();
+    for (det, exec) in &pairs {
+        check_pair(det, exec, &mut violations);
+    }
+    if violations.is_empty() {
+        println!(
+            "\nexec_validate: all bounds hold on {} presets",
+            pairs.len()
+        );
+    } else {
+        eprintln!("\nexec_validate: {} bound(s) violated:", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -67,7 +67,10 @@ const SIM_CRATE_PREFIXES: &[&str] = &[
 /// `engine/` stage directory (ingest/dispatch/service/record, plus the
 /// batched run loop `batch.rs` and the cycle probe `cycles.rs`) is
 /// covered as one unit. `source.rs` joined the hot path when burst
-/// refills moved the per-arrival gap/record draws into it.
+/// refills moved the per-arrival gap/record draws into it. The npexec
+/// worker and dispatcher loops run per packet on real threads — a
+/// panic there poisons a join and an allocation there is multiplied by
+/// every worker — so they carry the same discipline.
 const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/npsim/src/engine",
     "crates/npsim/src/order.rs",
@@ -77,6 +80,8 @@ const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/faults.rs",
     "crates/core/src/spsc.rs",
     "crates/afd/src/cache.rs",
+    "crates/npexec/src/worker.rs",
+    "crates/npexec/src/dispatcher.rs",
 ];
 
 /// The only places allowed to read wall clocks or OS entropy: the
@@ -85,24 +90,35 @@ const HOT_PATH_PREFIXES: &[&str] = &[
 /// is *not* exempted as a crate — its two telemetry call sites (cell
 /// timing recorded in the per-cell JSONL, excluded from every result
 /// payload and cache key) carry per-line allow comments instead, so
-/// any new wall-clock read there has to justify itself.
+/// any new wall-clock read there has to justify itself. The npexec
+/// backend's lib.rs is exempt because wall-clock throughput is the
+/// quantity it exists to produce (its report counters still come from
+/// the deterministic arrival plan) — but only lib.rs: the worker and
+/// dispatcher loops must not read clocks, so they stay scoped.
 const WALL_CLOCK_EXEMPT: &[&str] = &[
     "crates/bench/",
     "crates/shims/criterion/",
     "crates/experiments/src/bin/timing.rs",
+    "crates/npexec/src/lib.rs",
 ];
 
-/// Crates whose types are shared across OS threads today (the npfarm
-/// worker pool) or are the substrate for the planned thread-per-core
-/// `npexec` backend (core's flow tables and the spsc ring). Interior
-/// mutability and hand-vouched `Send`/`Sync` get audited here.
-const THREAD_SHARED_PREFIXES: &[&str] = &["crates/core/", "crates/npfarm/"];
+/// Crates whose types are shared across OS threads: the npfarm worker
+/// pool, core's handshake board and spsc ring, and the npexec
+/// thread-per-core backend built on them. Interior mutability,
+/// hand-vouched `Send`/`Sync`, and relaxed atomic orderings get
+/// audited here.
+const THREAD_SHARED_PREFIXES: &[&str] = &["crates/core/", "crates/npfarm/", "crates/npexec/"];
 
 /// Crates where a queue with no capacity bound can grow without limit
 /// under overload — the exact failure mode the paper's load balancer
 /// exists to prevent, and (for the event wheel) the simulator's own
 /// memory ceiling.
-const QUEUE_SCOPE_PREFIXES: &[&str] = &["crates/npsim/", "crates/core/", "crates/detsim/"];
+const QUEUE_SCOPE_PREFIXES: &[&str] = &[
+    "crates/npsim/",
+    "crates/core/",
+    "crates/detsim/",
+    "crates/npexec/",
+];
 
 fn in_sim_crate(path: &str) -> bool {
     SIM_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))

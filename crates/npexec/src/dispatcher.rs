@@ -1,0 +1,309 @@
+//! The dispatcher loop: route the arrival plan into per-worker rings
+//! and drive flow-group migrations through the handshake.
+//!
+//! The dispatcher is the frame manager of the thread-per-core runtime.
+//! It owns the service's `MapTable` (bucket == flow group) and walks
+//! the planned packet stream in arrival order:
+//!
+//! 1. look up the packet's group and its owning worker,
+//! 2. push the plan index into that worker's ring (tagging the payload
+//!    with [`MIGRATED_BIT`] when the flow changed cores),
+//! 3. periodically compare per-worker load over a window and migrate
+//!    the busiest group of the most loaded worker to the least loaded
+//!    one — the paper's map-table remap, as a 3-step handshake:
+//!    **mark** the old ring, **redirect** the bucket, and let the old
+//!    owner's **first-packet-ack** (the mark pop) release the new
+//!    owner's holdback.
+//!
+//! A migration aborts (cleanly, before any redirect) if the handshake
+//! for that group is still in flight or the old ring is too full to
+//! take the mark.
+//!
+//! This file is under npcheck's hot-path scope: no panicking indexing,
+//! no allocation-amplifying calls inside the per-packet loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use laps::spsc::{Desc, Producer};
+use laps::GroupBoard;
+use nphash::MapTable;
+use npsim::ScheduledPacket;
+
+use crate::worker::MIGRATED_BIT;
+use crate::{ForcedMigration, FullPolicy};
+
+/// "Flow has not been dispatched yet" sentinel for the last-core ledger.
+const NO_CORE: u32 = u32::MAX;
+
+/// Everything the dispatcher owns or borrows for one run.
+pub(crate) struct DispatchCtx<'a> {
+    /// Planned packets in arrival order.
+    pub packets: &'a [ScheduledPacket],
+    /// Flow-group of each planned packet (parallel to `packets`).
+    pub group_of: &'a [u64],
+    /// The service's map table: bucket == group, value == worker.
+    pub table: MapTable<usize>,
+    /// Produce side of each worker's ring.
+    pub producers: Vec<Producer>,
+    /// The migration handshake scoreboard.
+    pub board: GroupBoard,
+    /// Per-group migration target (written before `begin`).
+    pub migrating_to: &'a [AtomicUsize],
+    /// Number of distinct flows in the plan.
+    pub flow_count: usize,
+    /// Packets between imbalance checks (0 disables rebalancing).
+    pub rebalance_every: u64,
+    /// Migrate when the busiest worker's window load exceeds this
+    /// multiple of the least busy worker's.
+    pub imbalance_ratio: f64,
+    /// What to do at a full ring.
+    pub full_policy: FullPolicy,
+    /// Scripted migrations, sorted by `after_packets`.
+    pub forced: Vec<ForcedMigration>,
+}
+
+/// The dispatcher's ledger for one run.
+#[derive(Debug, Default)]
+pub(crate) struct DispatchOutcome {
+    /// Descriptors pushed into rings.
+    pub pushed: u64,
+    /// `(plan index, owner at drop)` of packets dropped at a full ring.
+    pub dropped: Vec<(u64, u32)>,
+    /// Packets whose flow changed cores at dispatch (the detsim
+    /// `migrated_packets` definition).
+    pub migrated_packets: u64,
+    /// Completed handshake begins: `(group, from, to)`.
+    pub migrations: Vec<(u64, usize, usize)>,
+    /// Handshakes abandoned (in-flight collision or full old ring).
+    pub aborted: u64,
+    /// The map table's redirect epoch after the run.
+    pub final_epoch: u64,
+}
+
+/// Begin a group migration if the handshake permits; records the
+/// outcome either way. Order matters: the mark must land in the old
+/// ring *before* the redirect, or a packet routed to the new owner
+/// could slip ahead of the mark's release.
+fn try_migrate(
+    table: &mut MapTable<usize>,
+    producers: &mut [Producer],
+    board: &GroupBoard,
+    migrating_to: &[AtomicUsize],
+    out: &mut DispatchOutcome,
+    group: u64,
+    to: usize,
+) {
+    let Some(&from) = table.cores().get(group as usize) else {
+        return;
+    };
+    if from == to || to >= producers.len() {
+        return;
+    }
+    if board.in_flight(group as usize) {
+        // One handshake per group at a time; callers retry on a later
+        // rebalance window.
+        out.aborted += 1;
+        return;
+    }
+    let Some(pr) = producers.get_mut(from) else {
+        return;
+    };
+    if pr.try_push_mark(group).is_err() {
+        // Old ring full: abort before any state changed.
+        out.aborted += 1;
+        return;
+    }
+    if let Some(t) = migrating_to.get(group as usize) {
+        // The target id must be published before `begin`'s Release bump:
+        // a worker that sees the handshake in flight must see who it is for.
+        // npcheck: ordering(Release pairs with the worker's Acquire load of the target after it observes in_flight)
+        t.store(to, Ordering::Release);
+    }
+    board.begin(group as usize);
+    table.redirect_bucket(group as u32, to);
+    out.migrations.push((group, from, to));
+}
+
+/// Walk the plan to completion; returns the dispatch ledger.
+pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
+    let DispatchCtx {
+        packets,
+        group_of,
+        mut table,
+        mut producers,
+        board,
+        migrating_to,
+        flow_count,
+        rebalance_every,
+        imbalance_ratio,
+        full_policy,
+        forced,
+    } = ctx;
+    let mut out = DispatchOutcome::default();
+    let workers = producers.len();
+    let mut last_core: Vec<u32> = Vec::new();
+    last_core.resize(flow_count, NO_CORE);
+    // Load windows for the imbalance check, reset every window.
+    let mut win_worker = build_window(workers);
+    let mut win_group = build_window(table.len());
+    let mut next_forced = 0usize;
+
+    for (i, p) in packets.iter().enumerate() {
+        while let Some(f) = forced.get(next_forced) {
+            if f.after_packets > i as u64 {
+                break;
+            }
+            next_forced += 1;
+            try_migrate(
+                &mut table,
+                &mut producers,
+                &board,
+                migrating_to,
+                &mut out,
+                f.group,
+                f.to_worker,
+            );
+        }
+        if rebalance_every > 0 && i > 0 && (i as u64).is_multiple_of(rebalance_every) {
+            rebalance(
+                &mut table,
+                &mut producers,
+                &board,
+                migrating_to,
+                &mut out,
+                &mut win_worker,
+                &mut win_group,
+                imbalance_ratio,
+            );
+        }
+        let g = group_of.get(i).copied().unwrap_or(0);
+        let owner = table.cores().get(g as usize).copied().unwrap_or(0);
+        let migrated = match last_core.get_mut(p.slot.index()) {
+            Some(lc) => {
+                let moved = *lc != NO_CORE && *lc as usize != owner;
+                *lc = owner as u32;
+                moved
+            }
+            None => false,
+        };
+        if migrated {
+            out.migrated_packets += 1;
+        }
+        let raw = if migrated {
+            i as u64 | MIGRATED_BIT
+        } else {
+            i as u64
+        };
+        if push_full_policy(&mut producers, owner, Desc::Packet(raw), full_policy) {
+            out.pushed += 1;
+            if let Some(w) = win_worker.get_mut(owner) {
+                *w += 1;
+            }
+            if let Some(w) = win_group.get_mut(g as usize) {
+                *w += 1;
+            }
+        } else {
+            out.dropped.push((i as u64, owner as u32));
+        }
+    }
+    out.final_epoch = table.epoch();
+    out
+}
+
+/// Zero-filled load window; allocated once per dispatch run, outside
+/// the per-packet loop.
+fn build_window(len: usize) -> Vec<u64> {
+    vec![0; len]
+}
+
+/// Push `desc` to `owner`'s ring under the configured full policy.
+/// Returns whether the descriptor was enqueued.
+fn push_full_policy(
+    producers: &mut [Producer],
+    owner: usize,
+    desc: Desc,
+    full_policy: FullPolicy,
+) -> bool {
+    let Some(pr) = producers.get_mut(owner) else {
+        return false;
+    };
+    let mut desc = desc;
+    let mut tries = 0u32;
+    let mut spins = 0u32;
+    loop {
+        match pr.try_push(desc) {
+            Ok(()) => return true,
+            Err(back) => {
+                desc = back;
+                match full_policy {
+                    FullPolicy::Backpressure => {
+                        spins += 1;
+                        if spins >= 256 {
+                            std::thread::yield_now();
+                            spins = 0;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    FullPolicy::DropAfter(n) => {
+                        tries += 1;
+                        if tries > n {
+                            return false;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One imbalance check: if the busiest worker's window load exceeds
+/// `ratio ×` the least busy worker's, migrate the busiest group it
+/// owns to the least busy worker. Windows reset afterwards.
+#[allow(clippy::too_many_arguments)]
+fn rebalance(
+    table: &mut MapTable<usize>,
+    producers: &mut [Producer],
+    board: &GroupBoard,
+    migrating_to: &[AtomicUsize],
+    out: &mut DispatchOutcome,
+    win_worker: &mut [u64],
+    win_group: &mut [u64],
+    ratio: f64,
+) {
+    let mut max_w = 0usize;
+    let mut max_l = 0u64;
+    let mut min_w = 0usize;
+    let mut min_l = u64::MAX;
+    for (w, &l) in win_worker.iter().enumerate() {
+        if l > max_l {
+            max_l = l;
+            max_w = w;
+        }
+        if l < min_l {
+            min_l = l;
+            min_w = w;
+        }
+    }
+    if max_w != min_w && (max_l as f64) > ratio * ((min_l + 1) as f64) {
+        let mut best: Option<(u64, u64)> = None; // (group, window load)
+        for (g, &n) in win_group.iter().enumerate() {
+            if n > 0
+                && table.cores().get(g).copied() == Some(max_w)
+                && best.is_none_or(|(_, bn)| n > bn)
+            {
+                best = Some((g as u64, n));
+            }
+        }
+        if let Some((g, _)) = best {
+            try_migrate(table, producers, board, migrating_to, out, g, min_w);
+        }
+    }
+    for w in win_worker.iter_mut() {
+        *w = 0;
+    }
+    for w in win_group.iter_mut() {
+        *w = 0;
+    }
+}

@@ -1,0 +1,596 @@
+//! # npexec — the thread-per-core execution backend
+//!
+//! Real OS threads executing the same model the detsim engine
+//! simulates: one worker per simulated core fed over a `laps::spsc`
+//! ring by a dispatcher that owns the service's `MapTable`, with flow
+//! migration driven through the **mark → redirect → first-packet-ack**
+//! handshake (`laps::GroupBoard`) so a migration can never reorder a
+//! flow's in-flight packets.
+//!
+//! The offered traffic is the engine's own: [`ArrivalPlan`] replays the
+//! ingest stage of a fault-free detsim run bit-exactly, so both
+//! backends process the identical packet stream. What differs is
+//! execution — detsim interleaves on a virtual clock (byte-reproducible
+//! reports), npexec interleaves on real cores (wall-clock throughput,
+//! reports *statistically* equivalent; the `exec_validate` experiment
+//! pins the bounds).
+//!
+//! ```text
+//!                      ┌────────── worker 0 (pinned) ──────────┐
+//!   ArrivalPlan ──► dispatcher ──spsc──► pop → hold? → service │
+//!                      │   │                                   │
+//!                      │   └─spsc──► worker 1 … worker N-1     │
+//!                      │
+//!                      ├─ MapTable  (bucket == flow group)
+//!                      └─ GroupBoard (begun/released per group)
+//! ```
+//!
+//! Use it through `SimBuilder::backend(ThreadedBackend::default())` or
+//! any other [`ExecBackend`] call site.
+
+#![warn(missing_docs)]
+
+mod affinity;
+mod dispatcher;
+mod worker;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use laps::{GroupBoard, HandshakeStats};
+use nphash::{FlowSlot, MapTable};
+use npsim::{
+    ArrivalPlan, EngineConfig, ExecBackend, ProbeHost, ProbeStack, Scheduler, SimEvent, SimReport,
+    SourceConfig,
+};
+
+use dispatcher::{DispatchCtx, DispatchOutcome};
+use worker::{WorkerCtx, WorkerOutcome};
+
+/// What the dispatcher does when a worker's ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullPolicy {
+    /// Spin (with periodic yields) until the worker makes room — no
+    /// drops, exact conservation `offered == processed`.
+    Backpressure,
+    /// Retry this many times, then drop the packet (counted in the
+    /// report like a detsim queue-full drop).
+    DropAfter(u32),
+}
+
+/// A scripted migration for tests: after the dispatcher has routed
+/// `after_packets` packets, migrate `group` to `to_worker`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedMigration {
+    /// Plan position at which to fire (0 = before the first packet).
+    pub after_packets: u64,
+    /// Flow group (map-table bucket) to move.
+    pub group: u64,
+    /// Destination worker.
+    pub to_worker: usize,
+}
+
+/// Configuration of the thread-per-core runtime.
+#[derive(Debug, Clone)]
+pub struct NpexecConfig {
+    /// Worker threads (== simulated cores executing in parallel).
+    pub workers: usize,
+    /// Flow groups (map-table buckets). 0 = auto: `8 × workers`, small
+    /// enough to rebalance cheaply, large enough that one group is a
+    /// fraction of a worker's load.
+    pub groups: usize,
+    /// Per-worker ring capacity in descriptors (rounded up to a power
+    /// of two by the ring).
+    pub ring_capacity: usize,
+    /// Packets between dispatcher imbalance checks (0 = never
+    /// rebalance; forced migrations still fire).
+    pub rebalance_every: u64,
+    /// Rebalance when the busiest worker's window load exceeds this
+    /// multiple of the least busy worker's.
+    pub imbalance_ratio: f64,
+    /// Pin worker `i` to CPU `i` (best-effort; see [`ExecStats::pinned_workers`]).
+    pub pin_threads: bool,
+    /// Full-ring behavior.
+    pub full_policy: FullPolicy,
+    /// Scripted migrations (property tests drive the handshake with
+    /// these; empty in normal runs).
+    pub forced_migrations: Vec<ForcedMigration>,
+}
+
+impl Default for NpexecConfig {
+    fn default() -> Self {
+        NpexecConfig {
+            workers: 4,
+            groups: 0,
+            ring_capacity: 1024,
+            rebalance_every: 4096,
+            imbalance_ratio: 2.0,
+            pin_threads: false,
+            full_policy: FullPolicy::Backpressure,
+            forced_migrations: Vec::new(),
+        }
+    }
+}
+
+/// Wall-clock observations of the last [`ThreadedBackend::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Wall-clock duration of the run (dispatch start → last join).
+    pub wall_secs: f64,
+    /// Delivered packets per wall-clock second, in millions.
+    pub mpps: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Flow groups used.
+    pub groups: usize,
+    /// Handshake ledger (begun / completed / aborted).
+    pub handshakes: HandshakeStats,
+    /// Deepest any worker's holdback buffer got.
+    pub max_hold_depth: usize,
+    /// Workers whose CPU pin was honored by the kernel.
+    pub pinned_workers: usize,
+    /// Map-table redirect epoch after the run (== completed redirects).
+    pub table_epoch: u64,
+}
+
+/// The thread-per-core [`ExecBackend`].
+///
+/// Dispatch policy is the paper's own mechanism — hash to a flow group,
+/// group to a worker via the map table, remap groups to rebalance — so
+/// the boxed [`Scheduler`] handed in by the builder only names the
+/// report; its per-packet `schedule` is never called.
+#[derive(Debug, Default)]
+pub struct ThreadedBackend {
+    cfg: NpexecConfig,
+    last: Option<ExecStats>,
+}
+
+impl ThreadedBackend {
+    /// Backend with the given configuration.
+    pub fn new(cfg: NpexecConfig) -> Self {
+        ThreadedBackend { cfg, last: None }
+    }
+
+    /// Convenience: default configuration with `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        ThreadedBackend::new(NpexecConfig {
+            workers,
+            ..NpexecConfig::default()
+        })
+    }
+
+    /// Wall-clock stats of the most recent run, if any.
+    pub fn last_stats(&self) -> Option<&ExecStats> {
+        self.last.as_ref()
+    }
+}
+
+impl ExecBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "npexec"
+    }
+
+    /// Run the configuration on real threads.
+    ///
+    /// # Panics
+    /// Panics if `cfg.faults` is non-empty: fault floods perturb the
+    /// arrival stream, so a faulted configuration has no backend-neutral
+    /// [`ArrivalPlan`] to execute.
+    fn run(
+        &mut self,
+        cfg: &EngineConfig,
+        sources: &[SourceConfig],
+        scheduler: Box<dyn Scheduler>,
+        mut probes: ProbeStack,
+    ) -> (SimReport, ProbeStack) {
+        assert!(
+            cfg.faults.is_empty(),
+            "npexec executes fault-free configurations only (fault floods \
+             perturb the arrival plan); run faulted configs on detsim"
+        );
+        let plan = ArrivalPlan::from_config(cfg, sources);
+        let workers = self.cfg.workers.max(1);
+        let groups = if self.cfg.groups == 0 {
+            workers * 8
+        } else {
+            self.cfg.groups.max(workers)
+        };
+
+        // Shared state: map table (dispatcher-owned), handshake board,
+        // per-group migration targets, per-flow order witnesses.
+        let mut owners = Vec::with_capacity(groups);
+        for g in 0..groups {
+            owners.push(g % workers);
+        }
+        let table = MapTable::new(owners);
+        let board = GroupBoard::new(groups);
+        let mut group_of = Vec::with_capacity(plan.packets.len());
+        for p in &plan.packets {
+            group_of.push(u64::from(table.bucket_of(p.flow)));
+        }
+        let mut migrating_to = Vec::with_capacity(groups);
+        for _ in 0..groups {
+            migrating_to.push(AtomicUsize::new(usize::MAX));
+        }
+        let mut seq_watch = Vec::with_capacity(plan.flow_count);
+        for _ in 0..plan.flow_count {
+            seq_watch.push(AtomicU64::new(0));
+        }
+        let done = AtomicBool::new(false);
+        let mut delay = cfg.delay;
+        delay.scale = cfg.scale;
+
+        let mut producers = Vec::with_capacity(workers);
+        let mut consumers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (p, c) = laps::spsc::ring(self.cfg.ring_capacity);
+            producers.push(p);
+            consumers.push(c);
+        }
+        let mut forced = self.cfg.forced_migrations.clone();
+        forced.sort_by_key(|f| f.after_packets);
+
+        let start = Instant::now();
+        let (dispatch, outs): (DispatchOutcome, Vec<WorkerOutcome>) = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for (id, consumer) in consumers.into_iter().enumerate() {
+                let ctx = WorkerCtx {
+                    id,
+                    consumer,
+                    packets: &plan.packets,
+                    group_of: &group_of,
+                    board: board.clone(),
+                    migrating_to: &migrating_to,
+                    seq_watch: &seq_watch,
+                    done: &done,
+                    delay,
+                    pin_to: self.cfg.pin_threads.then_some(id),
+                };
+                handles.push(s.spawn(move || worker::run(ctx)));
+            }
+            let dispatch = dispatcher::run(DispatchCtx {
+                packets: &plan.packets,
+                group_of: &group_of,
+                table,
+                producers,
+                board: board.clone(),
+                migrating_to: &migrating_to,
+                flow_count: plan.flow_count,
+                rebalance_every: self.cfg.rebalance_every,
+                imbalance_ratio: self.cfg.imbalance_ratio,
+                full_policy: self.cfg.full_policy,
+                forced,
+            });
+            // npcheck: ordering(Release publishes every ring push sequenced before it; workers pair with an Acquire load before exiting)
+            done.store(true, Ordering::Release);
+            let outs = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect();
+            (dispatch, outs)
+        });
+        let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+        let delivered: u64 = outs.iter().map(|o| o.serviced).sum();
+        let stats = ExecStats {
+            wall_secs,
+            mpps: delivered as f64 / wall_secs / 1e6,
+            workers,
+            groups,
+            handshakes: HandshakeStats {
+                begun: board.total_begun(),
+                completed: board.total_released(),
+                aborted: dispatch.aborted,
+            },
+            max_hold_depth: outs.iter().map(|o| o.max_hold_depth).max().unwrap_or(0),
+            pinned_workers: outs.iter().filter(|o| o.pinned).count(),
+            table_epoch: dispatch.final_epoch,
+        };
+        let report = assemble_report(cfg, scheduler.name(), &plan, &dispatch, &outs, delivered);
+        if !probes.is_empty() {
+            replay_probes(&mut probes, cfg, &plan, &dispatch, &outs);
+        }
+        self.last = Some(stats);
+        (report, probes)
+    }
+}
+
+/// Fold the dispatcher ledger and worker outcomes into the engine's
+/// report shape. Counters carry detsim semantics where both exist
+/// (`migrated_packets` is per packet moved at dispatch); npexec-only
+/// notions map as documented per field. `events` counts the synthetic
+/// probe-bus stream (one arrival + one terminal event per packet).
+fn assemble_report(
+    cfg: &EngineConfig,
+    sched_name: &str,
+    plan: &ArrivalPlan,
+    dispatch: &DispatchOutcome,
+    outs: &[WorkerOutcome],
+    delivered: u64,
+) -> SimReport {
+    let mut report = SimReport::new(format!("npexec:{sched_name}"), cfg.duration, cfg.scale);
+    report.offered = plan.offered();
+    report.slow_path = plan.slow_path;
+    report.dropped = dispatch.dropped.len() as u64;
+    report.processed = delivered;
+    report.migrated_packets = dispatch.migrated_packets;
+    report.migration_events = dispatch.migrations.len() as u64;
+    report.cold_starts = outs.iter().map(|o| o.cold_starts).sum();
+    report.core_busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+    for p in &plan.packets {
+        report.service_mut(p.service).offered += 1;
+    }
+    for &(idx, _) in &dispatch.dropped {
+        if let Some(p) = plan.packets.get(idx as usize) {
+            report.service_mut(p.service).dropped += 1;
+        }
+    }
+    for o in outs {
+        report.out_of_order += o.ooo_packets.len() as u64;
+        for (k, &n) in o.per_service.iter().enumerate() {
+            if let Some(kind) = nptraffic::ServiceKind::ALL.get(k) {
+                report.service_mut(*kind).processed += n;
+            }
+        }
+        for &idx in &o.ooo_packets {
+            if let Some(p) = plan.packets.get(idx as usize) {
+                report.service_mut(p.service).out_of_order += 1;
+            }
+        }
+    }
+    report.events = report.offered + report.processed + report.dropped;
+    report
+}
+
+/// Replay a count-faithful synthetic event stream into the probes.
+///
+/// npexec has no deterministic virtual interleaving to publish live, so
+/// probes see a post-run reconstruction: one `PacketArrived` per
+/// planned packet at its arrival instant, a `Dropped` or `Departure`
+/// terminal per packet, a `ReorderDetected` per out-of-order delivery,
+/// and one `Migration` per completed handshake. Counts match the
+/// report exactly; interleaving and latencies are coarse (latency 0,
+/// migrations timestamped at the horizon).
+fn replay_probes(
+    probes: &mut ProbeStack,
+    cfg: &EngineConfig,
+    plan: &ArrivalPlan,
+    dispatch: &DispatchOutcome,
+    outs: &[WorkerOutcome],
+) {
+    let n = plan.packets.len();
+    let mut dropped_at = vec![u32::MAX; n];
+    for &(idx, core) in &dispatch.dropped {
+        if let Some(d) = dropped_at.get_mut(idx as usize) {
+            *d = core;
+        }
+    }
+    let mut ooo = vec![false; n];
+    for o in outs {
+        for &idx in &o.ooo_packets {
+            if let Some(f) = ooo.get_mut(idx as usize) {
+                *f = true;
+            }
+        }
+    }
+    for (i, p) in plan.packets.iter().enumerate() {
+        probes.deliver(
+            p.at,
+            &SimEvent::PacketArrived {
+                id: p.id,
+                slot: p.slot,
+                service: p.service,
+                size: p.size,
+            },
+        );
+        match dropped_at.get(i) {
+            Some(&core) if core != u32::MAX => probes.deliver(
+                p.at,
+                &SimEvent::Dropped {
+                    id: p.id,
+                    slot: p.slot,
+                    service: p.service,
+                    core: core as usize,
+                },
+            ),
+            _ => {
+                let out_of_order = ooo.get(i).copied().unwrap_or(false);
+                probes.deliver(
+                    p.at,
+                    &SimEvent::Departure {
+                        id: p.id,
+                        slot: p.slot,
+                        service: p.service,
+                        latency_ns: 0,
+                        out_of_order,
+                    },
+                );
+                if out_of_order {
+                    probes.deliver(
+                        p.at,
+                        &SimEvent::ReorderDetected {
+                            slot: p.slot,
+                            flow_seq: p.flow_seq,
+                            extent: 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    for &(group, from, to) in &dispatch.migrations {
+        probes.deliver(
+            cfg.duration,
+            &SimEvent::Migration {
+                // Group-granular move: tag with the group id in the slot
+                // field (a handshake moves the whole bucket, not one flow).
+                slot: FlowSlot::new(group as u32),
+                from,
+                to,
+            },
+        );
+    }
+    probes.finish(cfg.duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detsim::SimTime;
+    use npsim::{JoinShortestQueue, MetricsProbe, RateSpec};
+    use nptrace::TracePreset;
+    use nptraffic::ServiceKind;
+
+    fn cfg(ms: u64) -> EngineConfig {
+        EngineConfig {
+            n_cores: 4,
+            duration: SimTime::from_millis(ms),
+            scale: 1.0,
+            seed: 77,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn sources() -> Vec<SourceConfig> {
+        vec![
+            SourceConfig {
+                service: ServiceKind::IpForward,
+                trace: TracePreset::Caida(1),
+                rate: RateSpec::Constant(4.0),
+            },
+            SourceConfig {
+                service: ServiceKind::VpnOut,
+                trace: TracePreset::Auckland(2),
+                rate: RateSpec::Constant(2.0),
+            },
+        ]
+    }
+
+    fn run_with(backend: &mut ThreadedBackend, ms: u64) -> SimReport {
+        let (report, _probes) = backend.run(
+            &cfg(ms),
+            &sources(),
+            Box::new(JoinShortestQueue::new()),
+            ProbeStack::new(),
+        );
+        report
+    }
+
+    #[test]
+    fn conserves_and_keeps_order_under_backpressure() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let report = run_with(&mut backend, 10);
+        assert!(report.offered > 10_000, "non-trivial run");
+        assert_eq!(report.dropped, 0, "backpressure never drops");
+        assert_eq!(
+            report.offered,
+            report.processed + report.dropped,
+            "exact conservation"
+        );
+        assert_eq!(report.out_of_order, 0, "handshake preserves flow order");
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(stats.workers, 4);
+        assert!(stats.wall_secs > 0.0);
+        assert_eq!(stats.handshakes.begun, stats.handshakes.completed);
+    }
+
+    #[test]
+    fn rebalancing_migrates_without_reordering() {
+        let mut backend = ThreadedBackend::new(NpexecConfig {
+            workers: 4,
+            rebalance_every: 512,
+            imbalance_ratio: 1.1,
+            ..NpexecConfig::default()
+        });
+        let report = run_with(&mut backend, 10);
+        assert_eq!(report.out_of_order, 0);
+        assert_eq!(report.offered, report.processed);
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(
+            report.migration_events, stats.table_epoch,
+            "one redirect per completed handshake begin"
+        );
+    }
+
+    #[test]
+    fn forced_migrations_complete_the_handshake() {
+        let mut backend = ThreadedBackend::new(NpexecConfig {
+            workers: 2,
+            groups: 4,
+            rebalance_every: 0,
+            forced_migrations: vec![
+                ForcedMigration {
+                    after_packets: 100,
+                    group: 0,
+                    to_worker: 1,
+                },
+                ForcedMigration {
+                    after_packets: 5_000,
+                    group: 0,
+                    to_worker: 0,
+                },
+            ],
+            ..NpexecConfig::default()
+        });
+        let report = run_with(&mut backend, 10);
+        let stats = backend.last_stats().expect("stats recorded");
+        assert!(stats.handshakes.begun >= 1, "at least one handshake ran");
+        assert_eq!(stats.handshakes.begun, stats.handshakes.completed);
+        assert_eq!(report.out_of_order, 0);
+        assert_eq!(report.offered, report.processed);
+        assert!(report.migrated_packets > 0, "the group's flows moved");
+    }
+
+    #[test]
+    fn drop_after_policy_accounts_drops() {
+        let mut backend = ThreadedBackend::new(NpexecConfig {
+            workers: 2,
+            ring_capacity: 8,
+            full_policy: FullPolicy::DropAfter(2),
+            rebalance_every: 0,
+            ..NpexecConfig::default()
+        });
+        let report = run_with(&mut backend, 10);
+        assert_eq!(report.offered, report.processed + report.dropped);
+        let per_service_drops: u64 = report.per_service.iter().map(|s| s.dropped).sum();
+        assert_eq!(per_service_drops, report.dropped);
+    }
+
+    #[test]
+    fn probe_replay_matches_report_counts() {
+        let mut backend = ThreadedBackend::with_workers(2);
+        let probes: ProbeStack = vec![Box::new(MetricsProbe::new())];
+        let (report, probes) = backend.run(
+            &cfg(5),
+            &sources(),
+            Box::new(JoinShortestQueue::new()),
+            probes,
+        );
+        let metrics = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<MetricsProbe>())
+            .expect("metrics probe returned");
+        let get = |name: &str| {
+            metrics
+                .counters()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("arrivals"), report.offered);
+        assert_eq!(get("departures"), report.processed);
+        assert_eq!(get("drops"), report.dropped);
+        assert_eq!(get("migrations"), report.migration_events);
+        assert_eq!(get("reorders"), report.out_of_order);
+    }
+
+    #[test]
+    fn offered_stream_matches_detsim() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let exec = run_with(&mut backend, 10);
+        let det = npsim::Engine::new(cfg(10), &sources(), JoinShortestQueue::new()).run();
+        assert_eq!(exec.offered, det.offered, "same planned arrival stream");
+        assert_eq!(exec.slow_path, det.slow_path);
+    }
+}

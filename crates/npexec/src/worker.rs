@@ -1,0 +1,249 @@
+//! The per-core worker loop: pop descriptors off the SPSC ring, keep
+//! per-flow order across migrations, account service work.
+//!
+//! A worker is the execution-side mirror of the engine's service stage:
+//! it owns one ring, services packets in ring order, and participates
+//! in the flow-group migration handshake:
+//!
+//! * `Desc::Packet` of a group **not** migrating to this worker →
+//!   service immediately (ring order == dispatch order == arrival
+//!   order).
+//! * `Desc::Packet` of a group currently migrating **to** this worker →
+//!   park it in the holdback buffer. The old owner still has pre-mark
+//!   packets of the group in flight; servicing now could overtake them.
+//! * `Desc::Mark(g)` → this worker is the **old** owner of `g`: every
+//!   pre-redirect packet of `g` sits before the mark in this ring, so
+//!   by the time the mark pops they are all serviced — except any the
+//!   worker itself parked during an *earlier* inbound migration of the
+//!   same group, which are drained right here, before acking. Then
+//!   [`GroupBoard::release`] publishes the first-packet-ack and the new
+//!   owner may drain its holdback.
+//!
+//! The holdback buffer drains at the top of every loop iteration (and a
+//! packet joins it whenever its group already has parked packets, even
+//! if the handshake has since released — FIFO within the group is
+//! preserved unconditionally).
+//!
+//! This file is under npcheck's hot-path scope: no panicking indexing,
+//! no allocation-amplifying calls inside the pop loop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use laps::spsc::{Consumer, Desc};
+use laps::GroupBoard;
+use npsim::ScheduledPacket;
+use nptraffic::{DelayModel, ServiceKind};
+
+use crate::affinity;
+
+/// Payload tag bit: the dispatcher sets it when this packet moved its
+/// flow to a new worker, so the worker charges the Eq. 3 migration
+/// penalty. Packet indices stay well below 2^62.
+pub(crate) const MIGRATED_BIT: u64 = 1 << 62;
+
+/// Everything a worker thread needs, borrowed from the backend's run
+/// scope (the arrival plan and atomics outlive the thread scope).
+pub(crate) struct WorkerCtx<'a> {
+    /// This worker's index (== its ring, == its simulated core).
+    pub id: usize,
+    /// Consume side of this worker's ring.
+    pub consumer: Consumer,
+    /// The full arrival plan; ring payloads index into it.
+    pub packets: &'a [ScheduledPacket],
+    /// Flow-group of each planned packet (parallel to `packets`).
+    pub group_of: &'a [u64],
+    /// The migration handshake scoreboard.
+    pub board: GroupBoard,
+    /// Per-group migration target, written by the dispatcher before
+    /// `begin`; tells a worker whether an in-flight group is inbound.
+    pub migrating_to: &'a [AtomicUsize],
+    /// Per-flow order witness: highest serviced `flow_seq + 1`.
+    pub seq_watch: &'a [AtomicU64],
+    /// Set by the dispatcher after its last push.
+    pub done: &'a AtomicBool,
+    /// Eq. 3 service-cost model (scale already applied).
+    pub delay: DelayModel,
+    /// CPU to pin to, if pinning was requested.
+    pub pin_to: Option<usize>,
+}
+
+/// What one worker hands back when it joins.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct WorkerOutcome {
+    /// Packets serviced.
+    pub serviced: u64,
+    /// Services that found a cold instruction cache.
+    pub cold_starts: u64,
+    /// Simulated busy time (sum of Eq. 3 delays), nanoseconds.
+    pub busy_ns: u64,
+    /// Serviced count per [`ServiceKind::index`].
+    pub per_service: [u64; 4],
+    /// Plan indices serviced behind a higher sequence of their flow
+    /// (empty iff the handshake preserved order, which it must).
+    pub ooo_packets: Vec<u64>,
+    /// Deepest the holdback buffer ever got, in packets.
+    pub max_hold_depth: usize,
+    /// Migration marks acked (== handshakes this worker was the old
+    /// owner of).
+    pub marks_seen: u64,
+    /// Whether the pin request was honored by the kernel.
+    pub pinned: bool,
+}
+
+/// Parked packets of one in-flight group, in ring (FIFO) order.
+struct Held {
+    group: u64,
+    raws: Vec<u64>,
+}
+
+/// Service-side state split out so the pop loop can borrow the
+/// holdback buffer and the servicing machinery independently.
+struct Svc<'a> {
+    packets: &'a [ScheduledPacket],
+    seq_watch: &'a [AtomicU64],
+    delay: DelayModel,
+    last_service: Option<ServiceKind>,
+    out: WorkerOutcome,
+}
+
+impl Svc<'_> {
+    /// Service one ring payload: charge the Eq. 3 cost and advance the
+    /// per-flow order witness.
+    fn service(&mut self, raw: u64) {
+        let migrated = raw & MIGRATED_BIT != 0;
+        let idx = (raw & !MIGRATED_BIT) as usize;
+        let Some(p) = self.packets.get(idx) else {
+            return;
+        };
+        let cold = self.last_service != Some(p.service);
+        self.last_service = Some(p.service);
+        if cold {
+            self.out.cold_starts += 1;
+        }
+        let d_us = self
+            .delay
+            .processing_delay_us(p.service, p.size, migrated, cold);
+        self.out.busy_ns += detsim::SimTime::from_micros_f64(d_us).as_nanos();
+        if let Some(w) = self.seq_watch.get(p.slot.index()) {
+            // The witness is shared with whichever worker serviced the
+            // flow's previous packet and whichever services the next.
+            // npcheck: ordering(AcqRel RMW — Acquire sees the previous owner's update, Release publishes ours to the next)
+            let prev = w.fetch_max(p.flow_seq + 1, Ordering::AcqRel);
+            if prev > p.flow_seq {
+                self.out.ooo_packets.push(idx as u64);
+            }
+        }
+        if let Some(c) = self.out.per_service.get_mut(p.service.index()) {
+            *c += 1;
+        }
+        self.out.serviced += 1;
+    }
+}
+
+/// Run one worker to completion; returns when the dispatcher is done,
+/// the ring is drained, and no held packets remain.
+pub(crate) fn run(ctx: WorkerCtx<'_>) -> WorkerOutcome {
+    let WorkerCtx {
+        id,
+        mut consumer,
+        packets,
+        group_of,
+        board,
+        migrating_to,
+        seq_watch,
+        done,
+        delay,
+        pin_to,
+    } = ctx;
+    let mut svc = Svc {
+        packets,
+        seq_watch,
+        delay,
+        last_service: None,
+        out: WorkerOutcome::default(),
+    };
+    if let Some(cpu) = pin_to {
+        svc.out.pinned = affinity::pin_to_cpu(cpu);
+    }
+    let mut holds: Vec<Held> = Vec::new();
+    let mut held_depth = 0usize;
+    let mut idle_polls = 0u32;
+    loop {
+        // Drain every hold whose handshake has released. Doing this
+        // before the pop keeps FIFO: a held group's packets always go
+        // out before any newly popped packet of that group.
+        while let Some(pos) = holds
+            .iter()
+            .position(|h| !board.in_flight(h.group as usize))
+        {
+            let h = holds.swap_remove(pos);
+            held_depth = held_depth.saturating_sub(h.raws.len());
+            for raw in h.raws {
+                svc.service(raw);
+            }
+        }
+        match consumer.try_pop() {
+            Some(Desc::Mark(g)) => {
+                idle_polls = 0;
+                // We are the old owner of `g`. Ring order guarantees
+                // every pre-redirect packet already popped; any we
+                // parked during an earlier inbound migration of `g`
+                // must go out before we ack, or the new owner could
+                // overtake them.
+                if let Some(pos) = holds.iter().position(|h| h.group == g) {
+                    let h = holds.swap_remove(pos);
+                    held_depth = held_depth.saturating_sub(h.raws.len());
+                    for raw in h.raws {
+                        svc.service(raw);
+                    }
+                }
+                board.release(g as usize);
+                svc.out.marks_seen += 1;
+            }
+            Some(Desc::Packet(raw)) => {
+                idle_polls = 0;
+                let idx = (raw & !MIGRATED_BIT) as usize;
+                let g = group_of.get(idx).copied().unwrap_or(0);
+                let held_here = holds.iter().any(|h| h.group == g);
+                // If in_flight saw the begun bump, the target load must see
+                // who the handshake is for.
+                let target = migrating_to.get(g as usize).map(|t| {
+                    // npcheck: ordering(Acquire pairs with the dispatcher's Release store of the target before begin)
+                    t.load(Ordering::Acquire)
+                });
+                let inbound = board.in_flight(g as usize) && target == Some(id);
+                if held_here || inbound {
+                    held_depth += 1;
+                    svc.out.max_hold_depth = svc.out.max_hold_depth.max(held_depth);
+                    match holds.iter_mut().find(|h| h.group == g) {
+                        Some(h) => h.raws.push(raw),
+                        None => holds.push(Held {
+                            group: g,
+                            raws: {
+                                let mut v = Vec::with_capacity(8);
+                                v.push(raw);
+                                v
+                            },
+                        }),
+                    }
+                } else {
+                    svc.service(raw);
+                }
+            }
+            None => {
+                // npcheck: ordering(Acquire pairs with the dispatcher's Release store after its final push — seeing done implies seeing every published slot)
+                if done.load(Ordering::Acquire) && holds.is_empty() && consumer.is_empty() {
+                    break;
+                }
+                idle_polls += 1;
+                if idle_polls >= 64 {
+                    std::thread::yield_now();
+                    idle_polls = 0;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    svc.out
+}

@@ -342,6 +342,12 @@ pub struct Tolerances {
     pub default_rel: f64,
     /// `(metric, rel)` overrides.
     pub per_metric: Vec<(String, f64)>,
+    /// Bench rows reported but never gated — for rows whose baseline is
+    /// too fresh to convict anything (e.g. a first-landing wall-clock
+    /// row with no second measurement to corroborate it). A vanished
+    /// informational row still fails: which rows exist is a property of
+    /// the code.
+    pub informational_rows: Vec<String>,
 }
 
 impl Default for Tolerances {
@@ -351,6 +357,7 @@ impl Default for Tolerances {
         Tolerances {
             default_rel: 0.75,
             per_metric: Vec::new(),
+            informational_rows: Vec::new(),
         }
     }
 }
@@ -381,7 +388,8 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile, tol: &Tolerances) -> D
             ("wall_ms", base.wall_ms, cur.wall_ms),
         ];
         for (metric, b, c) in rows {
-            let gated = GATED_METRICS.contains(&metric);
+            let gated = GATED_METRICS.contains(&metric)
+                && !tol.informational_rows.iter().any(|r| r == name);
             let tolerance = tol.for_metric(metric);
             let ratio = if b == 0.0 { f64::INFINITY } else { c / b };
             let regressed = gated && c < b * (1.0 - tolerance);
@@ -513,6 +521,7 @@ mod tests {
         let tol = Tolerances {
             default_rel: 0.75,
             per_metric: vec![("packets_per_sec".to_string(), 0.1)],
+            ..Tolerances::default()
         };
         let report = compare(&base, &cur, &tol);
         assert!(!report.passed());
@@ -523,6 +532,36 @@ mod tests {
             .map(|d| d.metric)
             .collect();
         assert_eq!(bad, vec!["packets_per_sec"]);
+    }
+
+    #[test]
+    fn informational_rows_report_but_never_gate() {
+        let base = file(&[
+            ("hotpath", 1000.0, 1000.0, 1.0),
+            ("hotpath-exec", 1000.0, 1000.0, 1.0),
+        ]);
+        let cur = file(&[
+            ("hotpath", 900.0, 900.0, 1.0),
+            ("hotpath-exec", 1.0, 1.0, 1.0),
+        ]);
+        let tol = Tolerances {
+            informational_rows: vec!["hotpath-exec".to_string()],
+            ..Tolerances::default()
+        };
+        let report = compare(&base, &cur, &tol);
+        assert!(
+            report.passed(),
+            "a collapsed informational row must not fail"
+        );
+        assert!(report
+            .deltas
+            .iter()
+            .filter(|d| d.bench == "hotpath-exec")
+            .all(|d| !d.gated && !d.regressed));
+        // The row is still reported, and vanishing still fails.
+        assert!(report.deltas.iter().any(|d| d.bench == "hotpath-exec"));
+        let gone = compare(&base, &file(&[("hotpath", 1000.0, 1000.0, 1.0)]), &tol);
+        assert!(!gone.passed(), "a vanished informational row still fails");
     }
 
     fn host(model: &str, cores: u64, rustc: &str) -> HostFingerprint {

@@ -4,6 +4,7 @@
 //! benchdiff --baseline BENCH_PR7.json --current /tmp/bench.json
 //!           [--tolerance REL]              default 0.75 (fail < 25% of baseline)
 //!           [--tolerance-for METRIC=REL]   per-metric override (repeatable)
+//!           [--informational ROW]          report ROW, never gate it (repeatable)
 //!           [--markdown PATH]              also write the delta table to a file
 //! ```
 //!
@@ -22,7 +23,7 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("benchdiff: {msg}");
     eprintln!(
         "usage: benchdiff --baseline <path> --current <path> \
-         [--tolerance REL] [--tolerance-for METRIC=REL] [--markdown PATH]"
+         [--tolerance REL] [--tolerance-for METRIC=REL] [--informational ROW] [--markdown PATH]"
     );
     std::process::exit(2);
 }
@@ -70,6 +71,12 @@ fn main() {
                 }
                 _ => fail_usage(&format!("bad tolerance in {spec:?}")),
             }
+        }
+        if a == "--informational" {
+            let row = args
+                .get(i + 1)
+                .unwrap_or_else(|| fail_usage("missing ROW after --informational"));
+            tol.informational_rows.push(row.to_string());
         }
     }
 

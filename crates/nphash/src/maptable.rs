@@ -19,6 +19,11 @@ pub struct MapTable<C> {
     /// `cores[i]` is the core that owns bucket `i`; `cores.len() == b`.
     cores: Vec<C>,
     crc: Crc16Ccitt,
+    /// Monotone version counter, bumped by every redirect-style mutation
+    /// ([`MapTable::redirect_bucket`]). A dispatcher that caches lookups
+    /// (the npexec thread-per-core runtime caches bucket → ring routes)
+    /// compares epochs instead of diffing the bucket list.
+    epoch: u64,
 }
 
 impl<C: Copy + Eq> MapTable<C> {
@@ -32,7 +37,14 @@ impl<C: Copy + Eq> MapTable<C> {
             hash: IncrementalHash::new(cores.len() as u32),
             cores,
             crc: Crc16Ccitt::new(),
+            epoch: 0,
         }
+    }
+
+    /// The table's redirect epoch: starts at 0 and bumps on every
+    /// [`MapTable::redirect_bucket`]. Stable across plain lookups.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of buckets (== number of cores allocated to the service).
@@ -146,6 +158,21 @@ impl<C: Copy + Eq> MapTable<C> {
     /// Panics if `bucket` is out of range.
     pub fn reassign_bucket(&mut self, bucket: u32, core: C) {
         self.cores[bucket as usize] = core;
+    }
+
+    /// Redirect bucket `bucket` to `core` as one step of a migration
+    /// handshake, bumping and returning the table's epoch. Semantically
+    /// this is [`MapTable::reassign_bucket`] plus version accounting: the
+    /// npexec dispatcher redirects a flow group's bucket *after* pushing
+    /// the migration mark into the old core's ring, and the returned
+    /// epoch tags the handshake so stale cached routes are detectable.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is out of range.
+    pub fn redirect_bucket(&mut self, bucket: u32, core: C) -> u64 {
+        self.cores[bucket as usize] = core;
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Reassign every bucket owned by `core` to the given replacement
@@ -327,6 +354,36 @@ mod tests {
         let mut t: MapTable<u32> = MapTable::new(vec![0, 1]);
         assert!(t.retire_core(0, &[]).is_empty());
         assert_eq!(t.cores(), &[0, 1]);
+    }
+
+    #[test]
+    fn redirect_bucket_bumps_epoch_and_moves_bucket() {
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        assert_eq!(t.epoch(), 0);
+        let e1 = t.redirect_bucket(2, 9);
+        assert_eq!(e1, 1);
+        assert_eq!(t.epoch(), 1);
+        let fs = flows(5_000);
+        for &f in &fs {
+            if t.bucket_of(f) == 2 {
+                assert_eq!(t.lookup(f), 9);
+            }
+        }
+        let e2 = t.redirect_bucket(2, 2);
+        assert_eq!(e2, 2, "epoch is monotone even when restoring the owner");
+    }
+
+    #[test]
+    fn plain_mutations_leave_epoch_alone() {
+        // Only redirect-style mutations version the table; structural
+        // grow/shrink and crash repair keep their own bookkeeping.
+        let mut t: MapTable<u32> = MapTable::new(vec![0, 1, 2, 3]);
+        t.add_core(4);
+        t.reassign_bucket(0, 4);
+        let retired = t.retire_core(1, &[0]);
+        t.restore_core(1, &retired);
+        assert!(t.remove_core(4));
+        assert_eq!(t.epoch(), 0);
     }
 
     #[test]

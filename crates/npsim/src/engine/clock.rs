@@ -1,0 +1,70 @@
+//! The detsim event clock: the engine's virtual-time transport,
+//! extracted so the staged pipeline reads as stages + clock rather than
+//! stages wired to a specific queue. The scalar run loop pushes/pops
+//! [`Ev`]s through an [`EventSchedule`]; the batched loop bypasses it;
+//! the npexec thread-per-core backend replaces it with real threads and
+//! an arrival plan (see [`plan`](super::plan)).
+
+use detsim::{EventQueue, SimTime, TimerWheel};
+
+use super::EventBackend;
+
+#[derive(Debug, Clone, Copy)]
+pub(super) enum Ev {
+    Arrival(usize),
+    /// A core's service completion. Carries the core's finish
+    /// generation at arming time: a crash bumps the generation, so the
+    /// dead core's in-flight finish event is recognized as stale and
+    /// discarded instead of completing a dropped packet.
+    Finish(usize, u32),
+    RateUpdate,
+    /// The fault-plan entry at this index fires.
+    Fault(usize),
+    /// A transient stall on this core ends.
+    StallEnd(usize),
+}
+
+/// The engine's event queue, behind the [`EventBackend`] knob. Both
+/// variants share the `(time, seq)` total order, so swapping them cannot
+/// change a run's result — only its wall-clock speed.
+#[derive(Debug)]
+pub(super) enum EventSchedule {
+    Heap(EventQueue<Ev>),
+    Wheel(Box<TimerWheel<Ev>>),
+}
+
+impl EventSchedule {
+    /// Pick the backend; the wheel's tick granularity adapts to the time
+    /// scale so that a slot spans roughly one packet service time
+    /// (deterministic: derived from the configuration only).
+    pub(super) fn new(backend: EventBackend, scale: f64) -> Self {
+        match backend {
+            EventBackend::Heap => EventSchedule::Heap(EventQueue::with_capacity(1024)),
+            EventBackend::Wheel => {
+                // Power of two so the wheel's time→tick conversion is a
+                // shift, not a division; roughly one tick per paper-scale
+                // inter-arrival at the bench rates.
+                let tick_ns = ((scale * 50.0) as u64).clamp(32, 2048).next_power_of_two();
+                EventSchedule::Wheel(Box::new(TimerWheel::new(tick_ns)))
+            }
+        }
+    }
+
+    #[inline]
+    pub(super) fn push(&mut self, at: SimTime, ev: Ev) {
+        match self {
+            EventSchedule::Heap(q) => {
+                q.push(at, ev);
+            }
+            EventSchedule::Wheel(w) => w.push(at, ev),
+        }
+    }
+
+    #[inline]
+    pub(super) fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        match self {
+            EventSchedule::Heap(q) => q.pop(),
+            EventSchedule::Wheel(w) => w.pop(),
+        }
+    }
+}

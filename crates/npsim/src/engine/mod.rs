@@ -40,13 +40,16 @@
 //! [`SimReport`]s either way (pinned by the golden-report fixture test).
 
 mod batch;
+mod clock;
 mod cycles;
 mod dispatch;
 mod ingest;
+pub(crate) mod plan;
 mod record;
 mod service;
 
 pub use cycles::{CycleAccounting, CycleReport, CycleSink, Stage, StageCycles, STAGES};
+pub use plan::{ArrivalPlan, ScheduledPacket};
 
 use crate::event::SimEvent;
 use crate::fault::{DropPolicy, FaultAction, FaultPlan, FaultStats};
@@ -56,8 +59,9 @@ use crate::report::SimReport;
 use crate::restore::RestorationBuffer;
 use crate::sched::{RepairOutcome, SchedEvent, Scheduler};
 use crate::source::SourceConfig;
-use detsim::{EventQueue, SeedSequence, SimTime, TimerWheel};
+use detsim::{SeedSequence, SimTime};
 
+use clock::{Ev, EventSchedule};
 use dispatch::DispatchStage;
 use ingest::{Admission, IngestStage};
 use record::RecordStage;
@@ -194,66 +198,6 @@ impl Default for EngineConfig {
             drop_policy: DropPolicy::default(),
             execution: ExecutionMode::default(),
             prestage: 0,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Arrival(usize),
-    /// A core's service completion. Carries the core's finish
-    /// generation at arming time: a crash bumps the generation, so the
-    /// dead core's in-flight finish event is recognized as stale and
-    /// discarded instead of completing a dropped packet.
-    Finish(usize, u32),
-    RateUpdate,
-    /// The fault-plan entry at this index fires.
-    Fault(usize),
-    /// A transient stall on this core ends.
-    StallEnd(usize),
-}
-
-/// The engine's event queue, behind the [`EventBackend`] knob. Both
-/// variants share the `(time, seq)` total order, so swapping them cannot
-/// change a run's result — only its wall-clock speed.
-#[derive(Debug)]
-enum EventSchedule {
-    Heap(EventQueue<Ev>),
-    Wheel(Box<TimerWheel<Ev>>),
-}
-
-impl EventSchedule {
-    /// Pick the backend; the wheel's tick granularity adapts to the time
-    /// scale so that a slot spans roughly one packet service time
-    /// (deterministic: derived from the configuration only).
-    fn new(backend: EventBackend, scale: f64) -> Self {
-        match backend {
-            EventBackend::Heap => EventSchedule::Heap(EventQueue::with_capacity(1024)),
-            EventBackend::Wheel => {
-                // Power of two so the wheel's time→tick conversion is a
-                // shift, not a division; roughly one tick per paper-scale
-                // inter-arrival at the bench rates.
-                let tick_ns = ((scale * 50.0) as u64).clamp(32, 2048).next_power_of_two();
-                EventSchedule::Wheel(Box::new(TimerWheel::new(tick_ns)))
-            }
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, at: SimTime, ev: Ev) {
-        match self {
-            EventSchedule::Heap(q) => {
-                q.push(at, ev);
-            }
-            EventSchedule::Wheel(w) => w.push(at, ev),
-        }
-    }
-
-    #[inline]
-    fn pop(&mut self) -> Option<(SimTime, Ev)> {
-        match self {
-            EventSchedule::Heap(q) => q.pop(),
-            EventSchedule::Wheel(w) => w.pop(),
         }
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod exec;
 pub mod fault;
 mod mem;
 pub mod order;
@@ -47,9 +48,11 @@ pub mod sched;
 pub mod source;
 
 pub use engine::{
-    CycleReport, Engine, EngineConfig, EventBackend, ExecutionMode, Stage, StageCycles,
+    ArrivalPlan, CycleReport, Engine, EngineConfig, EventBackend, ExecutionMode, ScheduledPacket,
+    Stage, StageCycles,
 };
 pub use event::SimEvent;
+pub use exec::{DetsimBackend, ExecBackend};
 pub use fault::{DropPolicy, FaultAction, FaultMark, FaultPlan, FaultProbe, FaultStats, Recovery};
 pub use order::OrderTracker;
 pub use packet::PacketDesc;
