@@ -9,7 +9,7 @@
 //! cargo run --release -p laps-bench -- --emit-baseline
 //! ```
 //!
-//! writes `BENCH_PR8.json` at the invocation directory (the repo root
+//! writes `BENCH_PR9.json` at the invocation directory (the repo root
 //! when run via cargo) in the [`npfarm::benchdiff`] schema
 //! `bench name → {packets_per_sec, events_per_sec, wall_ms}` — the same
 //! schema the `benchdiff` binary gates CI with. The emitted file also
@@ -27,10 +27,10 @@
 //! * `hotpath-laps` — the LAPS policy under the batched loop.
 //! * `hotpath-exec` — the same workload through the npexec
 //!   thread-per-core backend: 4 real pinned-capable worker threads fed
-//!   over SPSC rings, true wall-clock Mpps. Informational until a
-//!   second baseline exists — simulated-time rows and real-thread rows
-//!   are different quantities and are never ratio-gated against each
-//!   other.
+//!   over SPSC rings, true wall-clock Mpps. Gated since BENCH_PR9 (two
+//!   baselines corroborate the band); simulated-time rows and
+//!   real-thread rows remain different quantities and are never
+//!   ratio-gated against each other.
 //!
 //! Flags: `--emit-baseline` (write the JSON; otherwise print only),
 //! `--short` (CI-sized run), `--out <path>` (override the output path),
@@ -203,7 +203,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let cycles_path = flag_value("--cycles");
     let speedup_floor: Option<f64> = flag_value("--check-batch-speedup").map(|v| {
         v.parse().unwrap_or_else(|_| {

@@ -82,9 +82,10 @@ pub mod prelude {
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
     pub use npsim::{
-        CycleReport, DropPolicy, Engine, EngineConfig, EventLogProbe, ExecutionMode, FaultAction,
-        FaultPlan, FaultProbe, FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec,
-        RepairOutcome, Scheduler, SimEvent, SimReport, SourceConfig, Stage, UtilizationProbe,
+        CycleReport, DropPolicy, Engine, EngineConfig, EventLogProbe, ExecError, ExecutionMode,
+        FaultAction, FaultPlan, FaultProbe, FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec,
+        RepairOutcome, Scheduler, SimEvent, SimReport, SourceConfig, Stage, UnsupportedPlan,
+        UtilizationProbe,
     };
     pub use nptrace::TracePreset;
     pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};

@@ -1,0 +1,255 @@
+//! Loom model tests for the crash-repair half of the migration
+//! handshake (ISSUE 9): `GroupBoard::force_release` and stacked
+//! repair handshakes.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`. Both models shrink the
+//! npexec fault topology to its essence and check every schedule the
+//! model explorer reaches:
+//!
+//! * `force_release_never_overtakes` — a worker dies while owning a
+//!   group; the supervisor may complete the repair handshake **only
+//!   after** the dead worker's handoff (it provably stopped servicing)
+//!   and the drain (every old-side packet accounted). The new owner's
+//!   held packet must never be serviced before the old owner's last
+//!   service, and conservation must balance with the drain drops.
+//! * `crash_during_hold_drain` — a worker dies while it is the **new**
+//!   owner of an in-flight marked handshake (holding a parked packet).
+//!   Crash repair stacks a second handshake on the same group
+//!   (`begun − released == 2`); the replacement owner must hold until
+//!   *both* the live old owner's mark ack and the supervisor's
+//!   force-release land, and the counters must balance at 2/2.
+
+#![cfg(loom)]
+
+use laps::spsc::{Consumer, Desc, Producer};
+use laps::GroupBoard;
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// Push with bounded retries, yielding to the model scheduler.
+fn push(p: &mut Producer, d: Desc) {
+    let mut d = d;
+    let mut spins = 0usize;
+    loop {
+        match p.try_push(d) {
+            Ok(()) => return,
+            Err(back) => {
+                d = back;
+                spins += 1;
+                assert!(spins < 10_000, "ring never drained");
+                loom::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[test]
+fn force_release_never_overtakes() {
+    loom::model(|| {
+        let (mut dead_p, mut dead_c) = laps::spsc::ring(4);
+        let (mut new_p, mut new_c) = laps::spsc::ring(4);
+        let board = GroupBoard::new(1);
+        // Shared service clock: unique increasing stamps make
+        // cross-thread service order observable.
+        let clock = Arc::new(AtomicU64::new(1));
+        let crash = Arc::new(AtomicBool::new(false));
+        let handoff = Arc::new(AtomicBool::new(false));
+        // What the dying worker did with the old-side packet:
+        // 0 = untouched (left in ring), stamp > 0 = serviced at stamp.
+        let serviced_at = Arc::new(AtomicU64::new(0));
+
+        // The dying worker: its loop mirrors npexec's — poll the crash
+        // command first, then the ring. On crash it stops servicing and
+        // deposits (here: the handoff flag models the consumer deposit;
+        // the supervisor's drain of the same ring follows it).
+        let w_crash = crash.clone();
+        let w_handoff = handoff.clone();
+        let w_clock = clock.clone();
+        let w_serviced = serviced_at.clone();
+        let dying = loom::thread::spawn(move || {
+            let mut spins = 0usize;
+            loop {
+                if w_crash.load(Ordering::SeqCst) {
+                    break;
+                }
+                match dead_c.try_pop() {
+                    Some(Desc::Packet(_)) => {
+                        w_serviced.store(w_clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                    }
+                    Some(Desc::Mark(g)) => panic!("no mark exists in this model: {g}"),
+                    None => {
+                        spins += 1;
+                        assert!(spins < 10_000, "crash command never arrived");
+                        loom::thread::yield_now();
+                    }
+                }
+            }
+            w_handoff.store(true, Ordering::SeqCst);
+            dead_c
+        });
+
+        // The replacement owner: parks the redirected packet while the
+        // repair handshake is in flight, services only after release.
+        let r_board = board.clone();
+        let r_clock = clock.clone();
+        let repl = loom::thread::spawn(move || {
+            let held = loop {
+                match new_c.try_pop() {
+                    Some(Desc::Packet(p)) => break p,
+                    Some(d) => panic!("expected the redirected packet, got {d:?}"),
+                    None => loom::thread::yield_now(),
+                }
+            };
+            let mut spins = 0usize;
+            while r_board.in_flight(0) {
+                spins += 1;
+                assert!(spins < 10_000, "repair handshake never released");
+                loom::thread::yield_now();
+            }
+            (held, r_clock.fetch_add(1, Ordering::SeqCst))
+        });
+
+        // Dispatcher: one old-side packet, then the crash repair — a
+        // no-mark handshake (the dead worker never pops again) and the
+        // redirect to the replacement.
+        push(&mut dead_p, Desc::Packet(11));
+        board.begin(0);
+        push(&mut new_p, Desc::Packet(12));
+        crash.store(true, Ordering::SeqCst);
+
+        // Supervisor: the drain takes the consumer back (join models
+        // the handoff), accounts every remnant, and only then
+        // force-releases the repair handshake.
+        let mut dead_c = dying.join().expect("dying worker");
+        assert!(handoff.load(Ordering::SeqCst), "deposit precedes the drain");
+        let mut drain_drops = 0u64;
+        while let Some(d) = dead_c.try_pop() {
+            match d {
+                Desc::Packet(_) => drain_drops += 1,
+                Desc::Mark(g) => panic!("no mark exists in this model: {g}"),
+            }
+        }
+        assert!(board.force_release(0), "exactly one pending handshake");
+        assert!(!board.force_release(0), "force never overtakes begun");
+
+        let (held, repl_stamp) = repl.join().expect("replacement owner");
+        assert_eq!(held, 12, "the redirect reached the replacement");
+        let old_stamp = serviced_at.load(Ordering::SeqCst);
+        // Conservation: the old-side packet was serviced XOR drained.
+        assert_eq!(
+            (old_stamp > 0) as u64 + drain_drops,
+            1,
+            "old-side packet accounted exactly once"
+        );
+        if old_stamp > 0 {
+            assert!(
+                old_stamp < repl_stamp,
+                "replacement serviced at {repl_stamp} before the dead \
+                 worker's last service at {old_stamp}"
+            );
+        }
+        assert!(!board.in_flight(0));
+        assert_eq!(board.total_begun(), 1);
+        assert_eq!(board.total_released(), 1);
+    });
+}
+
+#[test]
+fn crash_during_hold_drain() {
+    loom::model(|| {
+        // Group 0 was migrating old → dead (marked handshake h1) when
+        // the dead worker crashed holding the redirected packet. The
+        // crash repair stacks h2 on the same group and redirects to the
+        // replacement. The dead worker never runs: main drains its ring.
+        let (mut old_p, mut old_c) = laps::spsc::ring(4);
+        let (mut dead_p, mut dead_c) = laps::spsc::ring(4);
+        let (mut new_p, mut new_c) = laps::spsc::ring(4);
+        let board = GroupBoard::new(1);
+        let clock = Arc::new(AtomicU64::new(1));
+
+        // Live old owner of h1: services its pre-mark packet, then acks
+        // the mark — exactly npexec's worker on the Mark arm.
+        let a_board = board.clone();
+        let a_clock = clock.clone();
+        let old_owner = loom::thread::spawn(move || {
+            let mut stamp = 0u64;
+            let mut acked = false;
+            let mut spins = 0usize;
+            while !acked {
+                match old_c.try_pop() {
+                    Some(Desc::Packet(_)) => {
+                        stamp = a_clock.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Some(Desc::Mark(0)) => {
+                        a_board.release(0);
+                        acked = true;
+                    }
+                    Some(d) => panic!("unexpected descriptor {d:?}"),
+                    None => {
+                        spins += 1;
+                        assert!(spins < 10_000, "old owner starved");
+                        loom::thread::yield_now();
+                    }
+                }
+            }
+            stamp
+        });
+
+        // Replacement owner of h2: must hold until BOTH pending
+        // handshakes released — a single release must not unpark it.
+        let r_board = board.clone();
+        let r_clock = clock.clone();
+        let repl = loom::thread::spawn(move || {
+            let held = loop {
+                match new_c.try_pop() {
+                    Some(Desc::Packet(p)) => break p,
+                    Some(d) => panic!("expected the redirected packet, got {d:?}"),
+                    None => loom::thread::yield_now(),
+                }
+            };
+            let mut spins = 0usize;
+            while r_board.in_flight(0) {
+                spins += 1;
+                assert!(spins < 10_000, "stacked handshakes never cleared");
+                loom::thread::yield_now();
+            }
+            (held, r_clock.fetch_add(1, Ordering::SeqCst))
+        });
+
+        // Dispatcher: h1 (mark → begin → redirect-to-dead), then the
+        // crash repair h2 (no mark → begin → redirect-to-replacement).
+        push(&mut old_p, Desc::Packet(21));
+        push(&mut old_p, Desc::Mark(0));
+        board.begin(0);
+        push(&mut dead_p, Desc::Packet(22));
+        board.begin(0);
+        push(&mut new_p, Desc::Packet(23));
+
+        // Supervisor: drain the dead ring (the held redirect becomes an
+        // accounted drop), then force-release h2.
+        let mut drain_drops = 0u64;
+        while let Some(d) = dead_c.try_pop() {
+            match d {
+                Desc::Packet(22) => drain_drops += 1,
+                d => panic!("unexpected descriptor in the dead ring: {d:?}"),
+            }
+        }
+        assert_eq!(drain_drops, 1, "the dead worker's packet is a drop");
+        assert!(board.force_release(0));
+
+        let old_stamp = old_owner.join().expect("old owner");
+        let (held, repl_stamp) = repl.join().expect("replacement owner");
+        assert_eq!(held, 23);
+        assert!(old_stamp > 0, "the pre-mark packet was serviced");
+        assert!(
+            old_stamp < repl_stamp,
+            "replacement serviced at {repl_stamp} before the old owner's \
+             pre-mark packet at {old_stamp}"
+        );
+        assert!(!board.in_flight(0), "both stacked handshakes cleared");
+        assert_eq!(board.total_begun(), 2);
+        assert_eq!(board.total_released(), 2);
+        // A third release has nothing to complete.
+        assert!(!board.force_release(0));
+    });
+}

@@ -21,12 +21,22 @@
 //! * npexec's migration count stays in a sane band and includes the
 //!   scripted migrations, proving completed handshakes.
 //!
+//! A third **fault pair** runs the same crash+heal plan on both
+//! backends (ISSUE 9): the offered stream must still match bit-exactly
+//! (crash/heal plans never perturb ingest), conservation must stay
+//! exact through the crash on both, the fault blocks must agree on
+//! crashes/heals/repairs, npexec must deliver zero out-of-order
+//! packets even across the crash window, and both fault probes must
+//! reconstruct the same number of recovery spans.
+//!
 //! `--smoke` shrinks the horizon for CI; the default run is longer.
-//! Exits non-zero listing every violated bound.
+//! `--pin` requests worker-thread CPU pinning (best-effort: restricted
+//! runners that refuse affinity get a note, not a failure). Exits
+//! non-zero listing every violated bound.
 
 use laps_experiments::{print_table, results_dir, write_csv};
 use npexec::{ForcedMigration, NpexecConfig, ThreadedBackend};
-use npsim::{MetricsProbe, ProbeStack, SimReport};
+use npsim::{ExecBackend, MetricsProbe, ProbeStack, SimReport};
 
 use laps_experiments::laps::prelude::*;
 
@@ -61,6 +71,13 @@ fn builder(preset: TracePreset, service: ServiceKind, rate: f64, ms: u64) -> Sim
         .constant_source(service, preset, rate)
 }
 
+/// Global knobs parsed once from argv.
+#[derive(Clone, Copy)]
+struct Opts {
+    ms: u64,
+    pin: bool,
+}
+
 /// Run one preset through both backends. The rate is per-pair: it must
 /// sit below the deterministic engine's saturation point for the
 /// chosen service (the engine models queueing and drops under
@@ -71,8 +88,9 @@ fn run_pair(
     preset_name: &'static str,
     service: ServiceKind,
     rate: f64,
-    ms: u64,
+    opts: Opts,
 ) -> (RunRow, RunRow) {
+    let ms = opts.ms;
     let (det_report, det_probes) = builder(preset, service, rate, ms)
         .probe(MetricsProbe::new())
         .run_named_full("laps")
@@ -82,6 +100,7 @@ fn run_pair(
         workers: 4,
         rebalance_every: 2048,
         imbalance_ratio: 1.2,
+        pin_threads: opts.pin,
         // Two scripted migrations guarantee the handshake is exercised
         // even if the rebalancer finds the load already even.
         forced_migrations: vec![
@@ -235,9 +254,180 @@ fn check_pair(det: &RunRow, exec: &RunRow, violations: &mut Vec<String>) {
     );
 }
 
+/// One backend's numbers for the crash+heal episode.
+struct FaultRun {
+    backend: &'static str,
+    report: SimReport,
+    recoveries: usize,
+    recovery_us: Option<f64>,
+}
+
+fn fault_plan(ms: u64) -> FaultPlan {
+    let horizon = SimTime::from_millis(ms);
+    crash_with_heal(
+        2,
+        SimTime::from_nanos(horizon.as_nanos() * 2 / 5),
+        SimTime::from_nanos(horizon.as_nanos() * 7 / 10),
+    )
+}
+
+/// The crash+heal episode on the deterministic engine.
+fn run_fault_detsim(opts: Opts) -> FaultRun {
+    let (report, probes) = builder(TracePreset::Caida(1), ServiceKind::IpForward, 0.5, opts.ms)
+        .faults(fault_plan(opts.ms))
+        .probe(FaultProbe::new())
+        .run_named_full("laps")
+        .expect("builtin scheduler");
+    let probe = probes
+        .first()
+        .and_then(|p| p.as_any().downcast_ref::<FaultProbe>())
+        .expect("fault probe returns");
+    FaultRun {
+        backend: "detsim",
+        recoveries: probe.recoveries().len(),
+        recovery_us: probe.mean_recovery_ns().map(|ns| ns / 1_000.0),
+        report,
+    }
+}
+
+/// The same episode on real threads. The backend is driven directly
+/// (not through the builder) so its [`npexec::ExecStats`] episode
+/// ledger and pinning outcome are observable; npexec-side bounds are
+/// appended to `violations` here.
+fn run_fault_npexec(opts: Opts, violations: &mut Vec<String>) -> FaultRun {
+    let mut cfg = EngineConfig {
+        n_cores: 4,
+        duration: SimTime::from_millis(opts.ms),
+        scale: 1.0,
+        seed: 42,
+        ..EngineConfig::default()
+    };
+    cfg.faults = fault_plan(opts.ms);
+    let sources = vec![SourceConfig {
+        service: ServiceKind::IpForward,
+        trace: TracePreset::Caida(1),
+        rate: RateSpec::Constant(0.5),
+    }];
+    let mut backend = ThreadedBackend::new(NpexecConfig {
+        workers: 4,
+        pin_threads: opts.pin,
+        ..NpexecConfig::default()
+    });
+    if let Err(e) = backend.validate(&cfg, &sources) {
+        violations.push(format!("[fault] npexec rejected a crash+heal plan: {e}"));
+    }
+    let probes: ProbeStack = vec![Box::new(FaultProbe::new())];
+    let (report, probes) = backend.run(&cfg, &sources, Box::new(Fcfs::new()), probes);
+    let stats = backend.last_stats().expect("stats recorded");
+    if opts.pin && stats.pinned_workers == 0 {
+        // Best-effort: restricted runners (containers without affinity
+        // rights) refuse the pin; the run is still valid, just unpinned.
+        println!(
+            "note: --pin requested but the kernel honored 0 of {} pins; \
+             continuing unpinned",
+            stats.workers
+        );
+    }
+    if stats.handshakes.begun != stats.handshakes.completed {
+        violations.push(format!(
+            "[fault] npexec leaked a handshake: begun {} vs completed {}",
+            stats.handshakes.begun, stats.handshakes.completed
+        ));
+    }
+    if stats.episodes.len() != 1 {
+        violations.push(format!(
+            "[fault] npexec recorded {} crash episodes, plan has 1",
+            stats.episodes.len()
+        ));
+    }
+    for ep in &stats.episodes {
+        if ep.migrated_flows > ep.resident_flows {
+            violations.push(format!(
+                "[fault] npexec repair over-migrated: {} moved off core {} \
+                 with {} resident",
+                ep.migrated_flows, ep.core, ep.resident_flows
+            ));
+        }
+        if ep.heal_at_packet.is_none() {
+            violations.push(format!("[fault] episode on core {} never healed", ep.core));
+        }
+    }
+    let probe = probes
+        .first()
+        .and_then(|p| p.as_any().downcast_ref::<FaultProbe>())
+        .expect("fault probe returns");
+    FaultRun {
+        backend: "npexec",
+        recoveries: probe.recoveries().len(),
+        recovery_us: probe.mean_recovery_ns().map(|ns| ns / 1_000.0),
+        report,
+    }
+}
+
+/// The cross-backend bounds for the fault pair.
+fn check_fault_pair(det: &FaultRun, exec: &FaultRun, violations: &mut Vec<String>) {
+    let mut fail = |cond: bool, msg: String| {
+        if !cond {
+            violations.push(format!("[fault] {msg}"));
+        }
+    };
+    fail(
+        exec.report.offered == det.report.offered,
+        format!(
+            "offered streams diverge under faults: npexec {} vs detsim {} \
+             (crash/heal must never perturb ingest)",
+            exec.report.offered, det.report.offered
+        ),
+    );
+    for r in [det, exec] {
+        fail(
+            r.report.offered == r.report.processed + r.report.dropped,
+            format!(
+                "{}: conservation broken through the crash: offered {} != \
+                 processed {} + dropped {}",
+                r.backend, r.report.offered, r.report.processed, r.report.dropped
+            ),
+        );
+    }
+    fail(
+        exec.report.out_of_order == 0,
+        format!(
+            "npexec reordered {} packets across the crash window",
+            exec.report.out_of_order
+        ),
+    );
+    let det_f = det.report.faults.as_ref();
+    let exec_f = exec.report.faults.as_ref();
+    fail(det_f.is_some(), "detsim fault block missing".to_string());
+    fail(exec_f.is_some(), "npexec fault block missing".to_string());
+    if let (Some(d), Some(e)) = (det_f, exec_f) {
+        fail(
+            (d.crashes, d.heals) == (e.crashes, e.heals),
+            format!(
+                "fault counts diverge: npexec {}c/{}h vs detsim {}c/{}h",
+                e.crashes, e.heals, d.crashes, d.heals
+            ),
+        );
+        fail(
+            e.unrepaired == 0,
+            format!("npexec left {} transitions unrepaired", e.unrepaired),
+        );
+    }
+    fail(
+        det.recoveries == exec.recoveries,
+        format!(
+            "recovery spans diverge: npexec {} vs detsim {}",
+            exec.recoveries, det.recoveries
+        ),
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let ms = if smoke { 4 } else { 25 };
+    let opts = Opts {
+        ms: if smoke { 4 } else { 25 },
+        pin: std::env::args().any(|a| a == "--pin"),
+    };
 
     let pairs = [
         run_pair(
@@ -245,14 +435,14 @@ fn main() {
             "caida1",
             ServiceKind::IpForward,
             0.5,
-            ms,
+            opts,
         ),
         run_pair(
             TracePreset::Auckland(2),
             "auck2",
             ServiceKind::VpnOut,
             0.1,
-            ms,
+            opts,
         ),
     ];
 
@@ -295,9 +485,54 @@ fn main() {
     for (det, exec) in &pairs {
         check_pair(det, exec, &mut violations);
     }
+
+    // The fault pair: one crash+heal episode, both backends.
+    let det_f = run_fault_detsim(opts);
+    let exec_f = run_fault_npexec(opts, &mut violations);
+    let fheader = [
+        "backend",
+        "offered",
+        "processed",
+        "dropped",
+        "crashes",
+        "heals",
+        "ooo",
+        "recoveries",
+        "recovery_us",
+    ];
+    let frows: Vec<Vec<String>> = [&det_f, &exec_f]
+        .iter()
+        .map(|r| {
+            let f = r.report.faults.as_ref();
+            vec![
+                r.backend.to_string(),
+                r.report.offered.to_string(),
+                r.report.processed.to_string(),
+                r.report.dropped.to_string(),
+                f.map_or(0, |f| f.crashes).to_string(),
+                f.map_or(0, |f| f.heals).to_string(),
+                r.report.out_of_order.to_string(),
+                r.recoveries.to_string(),
+                r.recovery_us
+                    .map_or_else(|| "-".to_string(), |us| format!("{us:.1}")),
+            ]
+        })
+        .collect();
+    print_table(
+        "exec_validate: crash+heal episode (core 2)",
+        &fheader,
+        &frows,
+    );
+    write_csv(
+        results_dir().join("exec_validate_faults.csv"),
+        &fheader,
+        &frows,
+    );
+    check_fault_pair(&det_f, &exec_f, &mut violations);
+
     if violations.is_empty() {
         println!(
-            "\nexec_validate: all bounds hold on {} presets",
+            "\nexec_validate: all bounds hold on {} presets + 1 fault pair",
             pairs.len()
         );
     } else {

@@ -14,6 +14,17 @@
 //! **flows migrated off the dead core ≤ flows resident on it at crash
 //! time** — repair must never touch an unaffected flow.
 //!
+//! The sweep runs on **both backends**: the detsim policies ("laps",
+//! "static", "fcfs") and the thread-per-core runtime (policy column
+//! "npexec"), whose crash arm executes the same fault plan on real
+//! worker threads — the supervisor drains the dead ring, the map table
+//! repairs via `retire_core`, and the heal respawns the worker. Its
+//! per-episode ledger ([`npexec::CrashEpisode`]) is checked against the
+//! same bound (migrated ≤ resident), plus exact conservation and zero
+//! out-of-order deliveries, and its recovery latency (crash → first
+//! service on the respawned worker, in virtual arrival time) lands in
+//! the same column as detsim's.
+//!
 //! `--smoke` runs a single short scenario (CI-sized); `--full` runs the
 //! longer low-scale configuration. The repair-bound assertion runs
 //! inside `run_cell`, so it is enforced on fresh runs (cached cells
@@ -24,6 +35,8 @@ use laps::prelude::*;
 use laps_experiments::{
     farm, pct, print_table, results_dir, write_csv, Fidelity, KeyFields, Sweep,
 };
+use npexec::ThreadedBackend;
+use npsim::ExecBackend;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 
@@ -134,14 +147,22 @@ impl Sweep for Resilience {
     }
 
     fn cells(&self) -> Vec<Self::Cell> {
-        self.scenarios
+        let mut cells: Vec<Self::Cell> = self
+            .scenarios
             .iter()
             .flat_map(|&id| {
                 self.policies
                     .iter()
                     .flat_map(move |&p| [(id, p, "steady"), (id, p, "crash")])
             })
-            .collect()
+            .collect();
+        // The thread-per-core runtime: dispatch policy is the map-table
+        // mechanism itself, so it is its own "policy" column.
+        for &id in &self.scenarios {
+            cells.push((id, "npexec", "steady"));
+            cells.push((id, "npexec", "crash"));
+        }
+        cells
     }
 
     fn cell_fields(&self, &(id, policy, arm): &Self::Cell) -> KeyFields {
@@ -155,6 +176,9 @@ impl Sweep for Resilience {
     }
 
     fn run_cell(&self, &(id, policy, arm): &Self::Cell) -> ArmResult {
+        if policy == "npexec" {
+            return self.run_npexec_cell(id, arm);
+        }
         let scenario = Scenario::by_id(id).expect("scenario");
         let mut b = SimBuilder::new()
             .config(self.base_cfg.clone())
@@ -198,6 +222,74 @@ impl Sweep for Resilience {
             migrations: report.migration_events,
             fault_drops: report.faults.as_ref().map(|f| f.fault_drops).unwrap_or(0),
             episodes: residency.episodes.clone(),
+            recovery_us: fault_probe.mean_recovery_ns().map(|ns| ns / 1_000.0),
+        }
+    }
+}
+
+impl Resilience {
+    /// The same episode on the thread-per-core runtime: real worker
+    /// threads, a supervised crash (ring drained as accounted drops,
+    /// map-table repair), a real respawn on heal. Bounds checked here:
+    /// exact conservation, zero out-of-order deliveries, and the
+    /// minimum-migration repair bound per [`npexec::CrashEpisode`].
+    fn run_npexec_cell(&self, id: u8, arm: &str) -> ArmResult {
+        let scenario = Scenario::by_id(id).expect("scenario");
+        let mut cfg = self.base_cfg.clone();
+        if arm == "crash" {
+            cfg.faults = crash_with_heal(self.crash_core, self.crash_at, self.heal_at);
+        }
+        let sources = scenario_sources(scenario);
+        let mut backend = ThreadedBackend::with_workers(cfg.n_cores);
+        backend
+            .validate(&cfg, &sources)
+            .expect("crash+heal plans are executable on npexec");
+        let probes: ProbeStack = vec![Box::new(FaultProbe::new())];
+        let (report, probes) = backend.run(&cfg, &sources, Box::new(Fcfs::new()), probes);
+        assert_eq!(
+            report.offered,
+            report.dropped + report.processed,
+            "npexec/T{id}/{arm}: conservation broke"
+        );
+        assert_eq!(
+            report.out_of_order, 0,
+            "npexec/T{id}/{arm}: crash repair reordered a flow"
+        );
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(
+            stats.handshakes.begun, stats.handshakes.completed,
+            "npexec/T{id}/{arm}: a handshake leaked past run end"
+        );
+        let episodes: Vec<Episode> = stats
+            .episodes
+            .iter()
+            .map(|e| Episode {
+                core: e.core,
+                resident: e.resident_flows,
+                migrated_off: e.migrated_flows,
+                healed: e.heal_at_packet.is_some(),
+            })
+            .collect();
+        for ep in &episodes {
+            assert!(
+                ep.migrated_off <= ep.resident,
+                "npexec/T{id}/{arm}: repair over-migrated — {} flows moved off core {} \
+                 but only {} were resident at crash time",
+                ep.migrated_off,
+                ep.core,
+                ep.resident
+            );
+        }
+        let fault_probe = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<FaultProbe>())
+            .expect("fault probe returns");
+        ArmResult {
+            ooo: report.ooo_fraction(),
+            drops: report.drop_fraction(),
+            migrations: report.migration_events,
+            fault_drops: report.faults.as_ref().map(|f| f.fault_drops).unwrap_or(0),
+            episodes,
             recovery_us: fault_probe.mean_recovery_ns().map(|ns| ns / 1_000.0),
         }
     }
@@ -309,8 +401,10 @@ fn main() {
 
     println!(
         "\nEvery crash satisfied the minimum-migration repair bound: flows moved off\n\
-         the dead core never exceeded the flows resident on it at crash time. Load-\n\
-         driven migration (steady arm) and failure-driven repair (crash arm) differ\n\
-         mainly in reorder rate and the fault-drop burst at crash time."
+         the dead core never exceeded the flows resident on it at crash time — on\n\
+         the deterministic engine AND on real threads (the npexec rows, where the\n\
+         supervisor drains the dead ring and the map table repairs via retire_core).\n\
+         Load-driven migration (steady arm) and failure-driven repair (crash arm)\n\
+         differ mainly in reorder rate and the fault-drop burst at crash time."
     );
 }

@@ -1,5 +1,6 @@
-//! The dispatcher loop: route the arrival plan into per-worker rings
-//! and drive flow-group migrations through the handshake.
+//! The dispatcher loop: route the arrival plan into per-worker rings,
+//! drive flow-group migrations through the handshake, and fire fault
+//! plan actions at their plan positions.
 //!
 //! The dispatcher is the frame manager of the thread-per-core runtime.
 //! It owns the service's `MapTable` (bucket == flow group) and walks
@@ -19,21 +20,38 @@
 //! for that group is still in flight or the old ring is too full to
 //! take the mark.
 //!
+//! Fault actions are scheduled by converting each entry's `SimTime` to
+//! a plan position (binary search over the monotone arrival instants —
+//! the exact analogue of detsim priming the plan into its event queue,
+//! including the fault-before-same-time-arrival tie-break), then fired
+//! between packets like forced migrations. Crash repair and heal
+//! restore are documented on [`supervisor`](crate::supervisor); the
+//! dispatcher's half is: begin the no-mark repair handshakes and
+//! `retire_core` on crash, install the respawned ring and `restore_core`
+//! behind ordinary marked handshakes on heal, and keep the rebalancer
+//! away from dead workers.
+//!
 //! This file is under npcheck's hot-path scope: no panicking indexing,
-//! no allocation-amplifying calls inside the per-packet loop.
+//! no allocation-amplifying calls inside the per-packet loop (the fault
+//! paths are cold — once per plan entry — and carry allow comments).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use laps::spsc::{Desc, Producer};
 use laps::GroupBoard;
 use nphash::MapTable;
-use npsim::ScheduledPacket;
+use npsim::{FaultAction, ScheduledPacket};
 
+use crate::supervisor::{ControlPlane, CMD_CRASH, CMD_STALL, THROTTLE_ONE, THROTTLE_SHIFT};
 use crate::worker::MIGRATED_BIT;
 use crate::{ForcedMigration, FullPolicy};
 
 /// "Flow has not been dispatched yet" sentinel for the last-core ledger.
 const NO_CORE: u32 = u32::MAX;
+
+/// Yields to wait for a retired bucket's handshake to clear before a
+/// heal-restore skips it (pure scheduling-progress bound, no clock).
+const RESTORE_WAIT_YIELDS: u32 = 100_000;
 
 /// Everything the dispatcher owns or borrows for one run.
 pub(crate) struct DispatchCtx<'a> {
@@ -60,6 +78,40 @@ pub(crate) struct DispatchCtx<'a> {
     pub full_policy: FullPolicy,
     /// Scripted migrations, sorted by `after_packets`.
     pub forced: Vec<ForcedMigration>,
+    /// Fault actions as `(plan position, action)`, sorted by position
+    /// (stable — plan order preserved within a position).
+    pub faults: Vec<(u64, FaultAction)>,
+    /// The fault-run control plane (`Some` iff `faults` is non-empty).
+    pub ctrl: Option<&'a ControlPlane>,
+}
+
+/// One crash's ledger: when it happened, what was resident, what the
+/// repair moved, and when (if ever) the core healed.
+#[derive(Debug)]
+pub(crate) struct EpisodeLedger {
+    /// The crashed worker.
+    pub core: usize,
+    /// Plan position of the crash.
+    pub crash_pos: u64,
+    /// Plan position of the heal, if one fired.
+    pub heal_pos: Option<u64>,
+    /// Flows whose last dispatch (before the crash) landed on the core.
+    pub resident_flows: u64,
+    /// Resident flows whose first dispatch inside the crash window went
+    /// to a different worker — the flows the repair actually moved.
+    /// `migrated_flows <= resident_flows` by construction (each flow's
+    /// residency bit is cleared on first sighting).
+    pub migrated_flows: u64,
+    /// Buckets the repair re-homed (`MapTable::retire_core`).
+    pub buckets_rehomed: usize,
+    /// Retired buckets the heal could not restore (handshake still in
+    /// flight past the wait budget, or the restore mark was dropped
+    /// under [`FullPolicy::DropAfter`]); they stay on their replacement.
+    pub restore_skipped: u64,
+    /// Per-flow residency bitmap, consumed as flows are re-sighted.
+    resident: Vec<bool>,
+    /// Still inside the crash-to-heal window (residency being tracked).
+    pub open: bool,
 }
 
 /// The dispatcher's ledger for one run.
@@ -76,19 +128,41 @@ pub(crate) struct DispatchOutcome {
     pub migrations: Vec<(u64, usize, usize)>,
     /// Handshakes abandoned (in-flight collision or full old ring).
     pub aborted: u64,
-    /// The map table's redirect epoch after the run.
+    /// The map table's redirect epoch after the run (marked handshakes
+    /// only — crash retirement/restore is tracked by `episodes`).
     pub final_epoch: u64,
+    /// Packets that waited at least one full-ring retry under
+    /// [`FullPolicy::Backpressure`].
+    pub backpressured: u64,
+    /// Fault plan entries fired.
+    pub injected: u64,
+    /// Crashes applied (live worker taken down + repair begun).
+    pub crashes: u64,
+    /// Heals applied (worker respawned + buckets restored).
+    pub heals: u64,
+    /// Throttle factor changes applied.
+    pub throttles: u64,
+    /// Stalls applied (recovery is the watchdog's, counted supervisor-side).
+    pub stalls: u64,
+    /// Packets dispatched to a bucket while it was crash-remapped away
+    /// from its dead owner (the npexec analogue of detsim's
+    /// degradation-path redirects).
+    pub redirects: u64,
+    /// One ledger per crash, in crash order.
+    pub episodes: Vec<EpisodeLedger>,
 }
 
 /// Begin a group migration if the handshake permits; records the
 /// outcome either way. Order matters: the mark must land in the old
 /// ring *before* the redirect, or a packet routed to the new owner
 /// could slip ahead of the mark's release.
+#[allow(clippy::too_many_arguments)]
 fn try_migrate(
     table: &mut MapTable<usize>,
     producers: &mut [Producer],
     board: &GroupBoard,
     migrating_to: &[AtomicUsize],
+    live: &[bool],
     out: &mut DispatchOutcome,
     group: u64,
     to: usize,
@@ -96,12 +170,12 @@ fn try_migrate(
     let Some(&from) = table.cores().get(group as usize) else {
         return;
     };
-    if from == to || to >= producers.len() {
+    if from == to || to >= producers.len() || !live.get(to).copied().unwrap_or(false) {
         return;
     }
     if board.in_flight(group as usize) {
-        // One handshake per group at a time; callers retry on a later
-        // rebalance window.
+        // One load-driven handshake per group at a time; callers retry
+        // on a later rebalance window.
         out.aborted += 1;
         return;
     }
@@ -124,6 +198,261 @@ fn try_migrate(
     out.migrations.push((group, from, to));
 }
 
+/// Fault-run bookkeeping local to the dispatcher.
+struct FaultState {
+    live: Vec<bool>,
+    live_count: usize,
+    /// Per group: currently mapped away from its crashed owner.
+    crash_remapped: Vec<bool>,
+    /// Per worker: buckets retired at its last crash (for heal restore).
+    retired_of: Vec<Vec<u32>>,
+    /// Episodes still tracking residency (index into `out.episodes`).
+    open_episodes: usize,
+}
+
+impl FaultState {
+    fn new(workers: usize, groups: usize) -> Self {
+        Self {
+            live: vec![true; workers],
+            live_count: workers,
+            crash_remapped: vec![false; groups],
+            retired_of: vec![Vec::new(); workers],
+            open_episodes: 0,
+        }
+    }
+}
+
+/// Apply one fault action at plan position `pos`. Cold path: runs once
+/// per plan entry, never per packet.
+#[allow(clippy::too_many_arguments)]
+fn fire_fault(
+    action: FaultAction,
+    pos: u64,
+    fs: &mut FaultState,
+    table: &mut MapTable<usize>,
+    producers: &mut [Producer],
+    board: &GroupBoard,
+    migrating_to: &[AtomicUsize],
+    last_core: &[u32],
+    ctrl: Option<&ControlPlane>,
+    full_policy: FullPolicy,
+    out: &mut DispatchOutcome,
+) {
+    out.injected += 1;
+    match action {
+        FaultAction::Crash { core } => {
+            if !fs.live.get(core).copied().unwrap_or(false) || fs.live_count <= 1 {
+                // Already dead, or the last live worker (validate
+                // rejects such plans; this is the runtime belt).
+                return;
+            }
+            // Repair first: one no-mark handshake per bucket the dead
+            // worker owns, then `retire_core` — round-robin re-home
+            // onto the live workers, minimum migration. The begin order
+            // mirrors retire_core's assignment order exactly.
+            // npcheck: allow(blocking-hot-path) — crash repair cold path, runs once per fault entry
+            let buckets = table.buckets_of_core(core);
+            let repl: Vec<usize> = fs
+                .live
+                .iter()
+                .enumerate()
+                .filter(|&(w, &l)| l && w != core)
+                .map(|(w, _)| w)
+                // npcheck: allow(blocking-hot-path) — crash repair cold path, runs once per fault entry
+                .collect();
+            for (bi, &b) in buckets.iter().enumerate() {
+                let Some(&to) = repl.get(bi % repl.len().max(1)) else {
+                    continue;
+                };
+                if let Some(t) = migrating_to.get(b as usize) {
+                    // npcheck: ordering(Release pairs with the new owner's Acquire load of the target after it observes in_flight)
+                    t.store(to, Ordering::Release);
+                }
+                board.begin(b as usize);
+                if let Some(r) = fs.crash_remapped.get_mut(b as usize) {
+                    *r = true;
+                }
+            }
+            let retired = table.retire_core(core, &repl);
+            debug_assert_eq!(retired, buckets, "retire must mirror the begun handshakes");
+            // Snapshot residency for the episode ledger.
+            // npcheck: allow(blocking-hot-path) — crash repair cold path, runs once per fault entry
+            let mut resident = vec![false; last_core.len()];
+            let mut resident_flows = 0u64;
+            for (f, &lc) in last_core.iter().enumerate() {
+                if lc != NO_CORE && lc as usize == core {
+                    if let Some(r) = resident.get_mut(f) {
+                        *r = true;
+                        resident_flows += 1;
+                    }
+                }
+            }
+            // Hand the dead ring to the supervisor: the force list must
+            // be deposited before CMD_CRASH is published (the drain
+            // reads it after observing the bit).
+            if let Some(cp) = ctrl {
+                if let Some(slot) = cp.slots.get(core) {
+                    // npcheck: allow(blocking-hot-path) — crash repair cold path, runs once per fault entry
+                    if let Ok(mut f) = slot.force_list.lock() {
+                        f.clear();
+                        f.extend(buckets.iter().map(|&b| u64::from(b)));
+                    }
+                    // npcheck: ordering(AcqRel RMW — Release publishes the force-list deposit and the repair begins to the worker's and supervisor's Acquire loads)
+                    slot.cmd.fetch_or(CMD_CRASH, Ordering::AcqRel);
+                }
+            }
+            if let Some(l) = fs.live.get_mut(core) {
+                *l = false;
+            }
+            fs.live_count -= 1;
+            let buckets_rehomed = buckets.len();
+            if let Some(r) = fs.retired_of.get_mut(core) {
+                *r = buckets;
+            }
+            // npcheck: allow(blocking-hot-path) — crash repair cold path, runs once per fault entry
+            out.episodes.push(EpisodeLedger {
+                core,
+                crash_pos: pos,
+                heal_pos: None,
+                resident_flows,
+                migrated_flows: 0,
+                buckets_rehomed,
+                restore_skipped: 0,
+                resident,
+                open: true,
+            });
+            fs.open_episodes += 1;
+            out.crashes += 1;
+        }
+        FaultAction::Heal { core } => {
+            if fs.live.get(core).copied().unwrap_or(true) {
+                return;
+            }
+            let Some(cp) = ctrl else {
+                return;
+            };
+            let Some(slot) = cp.slots.get(core) else {
+                return;
+            };
+            // npcheck: ordering(Release pairs with the supervisor's AcqRel swap of the respawn request)
+            slot.respawn.store(true, Ordering::Release);
+            // Wait for the fresh ring's producer. The supervisor defers
+            // the respawn until the crash drain completed, so this spin
+            // is bounded by supervisor progress, not by luck.
+            let new_producer = loop {
+                // npcheck: allow(blocking-hot-path) — heal cold path, runs once per fault entry
+                let taken = slot.producer_box.lock().ok().and_then(|mut b| b.take());
+                if let Some(p) = taken {
+                    break p;
+                }
+                std::thread::yield_now();
+            };
+            if let Some(p) = producers.get_mut(core) {
+                *p = new_producer;
+            }
+            if let Some(l) = fs.live.get_mut(core) {
+                *l = true;
+            }
+            fs.live_count += 1;
+            // Restore: ordinary marked handshakes move each retired
+            // bucket home from its live replacement, then restore_core
+            // reinstates the exact pre-crash mapping for those buckets.
+            let buckets = fs
+                .retired_of
+                .get_mut(core)
+                .map(std::mem::take)
+                .unwrap_or_default();
+            // npcheck: allow(blocking-hot-path) — heal cold path, runs once per fault entry
+            let mut restored = Vec::with_capacity(buckets.len());
+            for &b in &buckets {
+                let mut waits = 0u32;
+                while board.in_flight(b as usize) && waits < RESTORE_WAIT_YIELDS {
+                    waits += 1;
+                    std::thread::yield_now();
+                }
+                if board.in_flight(b as usize) {
+                    bump_restore_skipped(out, core);
+                    continue;
+                }
+                let Some(&cur) = table.cores().get(b as usize) else {
+                    continue;
+                };
+                if cur == core {
+                    continue;
+                }
+                if !push_full_policy(
+                    producers,
+                    cur,
+                    Desc::Mark(u64::from(b)),
+                    full_policy,
+                    &mut out.backpressured,
+                ) {
+                    // DropAfter gave up on the restore mark: the bucket
+                    // stays on its replacement — degradation, counted.
+                    bump_restore_skipped(out, core);
+                    continue;
+                }
+                if let Some(t) = migrating_to.get(b as usize) {
+                    // npcheck: ordering(Release pairs with the healed worker's Acquire load of the target after it observes in_flight)
+                    t.store(core, Ordering::Release);
+                }
+                board.begin(b as usize);
+                if let Some(r) = fs.crash_remapped.get_mut(b as usize) {
+                    *r = false;
+                }
+                // npcheck: allow(blocking-hot-path) — heal cold path, runs once per fault entry
+                restored.push(b);
+            }
+            table.restore_core(core, &restored);
+            for ep in out.episodes.iter_mut().rev() {
+                if ep.core == core && ep.open {
+                    ep.heal_pos = Some(pos);
+                    ep.open = false;
+                    fs.open_episodes = fs.open_episodes.saturating_sub(1);
+                    break;
+                }
+            }
+            out.heals += 1;
+        }
+        FaultAction::Throttle { core, factor } => {
+            if let Some(slot) = ctrl.and_then(|cp| cp.slots.get(core)) {
+                let fp = ((factor * THROTTLE_ONE as f64).round() as u64).max(1);
+                let low_mask = (1u64 << THROTTLE_SHIFT) - 1;
+                // Two-step field update: different bits than the
+                // stall/crash flags, so racing watchdog RMWs compose.
+                // npcheck: ordering(AcqRel RMW — clears the old factor; pairs with the worker's Acquire load of cmd)
+                slot.cmd.fetch_and(low_mask, Ordering::AcqRel);
+                // npcheck: ordering(AcqRel RMW — publishes the new factor; pairs with the worker's Acquire load of cmd)
+                slot.cmd.fetch_or(fp << THROTTLE_SHIFT, Ordering::AcqRel);
+                out.throttles += 1;
+            }
+        }
+        FaultAction::Stall { core, .. } => {
+            // Duration on real threads is "until the watchdog notices":
+            // the stall exists to exercise stagnation detection, and
+            // epoch-based recovery keeps wall-clock out of the loop.
+            if let Some(slot) = ctrl.and_then(|cp| cp.slots.get(core)) {
+                // npcheck: ordering(AcqRel RMW — Release publishes the stall to the worker's Acquire load of cmd)
+                slot.cmd.fetch_or(CMD_STALL, Ordering::AcqRel);
+                out.stalls += 1;
+            }
+        }
+        FaultAction::Flood { .. } | FaultAction::FloodEnd { .. } => {
+            // Unreachable behind ThreadedBackend::validate; a flood has
+            // no backend-neutral arrival plan. Counted as injected only.
+        }
+    }
+}
+
+fn bump_restore_skipped(out: &mut DispatchOutcome, core: usize) {
+    for ep in out.episodes.iter_mut().rev() {
+        if ep.core == core {
+            ep.restore_skipped += 1;
+            return;
+        }
+    }
+}
+
 /// Walk the plan to completion; returns the dispatch ledger.
 pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
     let DispatchCtx {
@@ -138,6 +467,8 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
         imbalance_ratio,
         full_policy,
         forced,
+        faults,
+        ctrl,
     } = ctx;
     let mut out = DispatchOutcome::default();
     let workers = producers.len();
@@ -147,8 +478,30 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
     let mut win_worker = build_window(workers);
     let mut win_group = build_window(table.len());
     let mut next_forced = 0usize;
+    let mut next_fault = 0usize;
+    let faults_on = !faults.is_empty();
+    let mut fs = FaultState::new(workers, table.len());
 
     for (i, p) in packets.iter().enumerate() {
+        while let Some(&(pos, action)) = faults.get(next_fault) {
+            if pos > i as u64 {
+                break;
+            }
+            next_fault += 1;
+            fire_fault(
+                action,
+                pos,
+                &mut fs,
+                &mut table,
+                &mut producers,
+                &board,
+                migrating_to,
+                &last_core,
+                ctrl,
+                full_policy,
+                &mut out,
+            );
+        }
         while let Some(f) = forced.get(next_forced) {
             if f.after_packets > i as u64 {
                 break;
@@ -159,6 +512,7 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
                 &mut producers,
                 &board,
                 migrating_to,
+                &fs.live,
                 &mut out,
                 f.group,
                 f.to_worker,
@@ -170,6 +524,7 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
                 &mut producers,
                 &board,
                 migrating_to,
+                &fs.live,
                 &mut out,
                 &mut win_worker,
                 &mut win_group,
@@ -178,6 +533,26 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
         }
         let g = group_of.get(i).copied().unwrap_or(0);
         let owner = table.cores().get(g as usize).copied().unwrap_or(0);
+        if faults_on {
+            if fs.crash_remapped.get(g as usize).copied().unwrap_or(false) {
+                out.redirects += 1;
+            }
+            if fs.open_episodes > 0 {
+                for ep in out.episodes.iter_mut() {
+                    if !ep.open {
+                        continue;
+                    }
+                    if let Some(r) = ep.resident.get_mut(p.slot.index()) {
+                        if *r {
+                            *r = false;
+                            if owner != ep.core {
+                                ep.migrated_flows += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let migrated = match last_core.get_mut(p.slot.index()) {
             Some(lc) => {
                 let moved = *lc != NO_CORE && *lc as usize != owner;
@@ -194,7 +569,13 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
         } else {
             i as u64
         };
-        if push_full_policy(&mut producers, owner, Desc::Packet(raw), full_policy) {
+        if push_full_policy(
+            &mut producers,
+            owner,
+            Desc::Packet(raw),
+            full_policy,
+            &mut out.backpressured,
+        ) {
             out.pushed += 1;
             if let Some(w) = win_worker.get_mut(owner) {
                 *w += 1;
@@ -205,6 +586,25 @@ pub(crate) fn run(ctx: DispatchCtx<'_>) -> DispatchOutcome {
         } else {
             out.dropped.push((i as u64, owner as u32));
         }
+    }
+    // Actions scheduled at or past the end of the plan still fire (the
+    // detsim engine fires them before the horizon; the crash handoff is
+    // safe at any point because workers always deposit on exit).
+    while let Some(&(pos, action)) = faults.get(next_fault) {
+        next_fault += 1;
+        fire_fault(
+            action,
+            pos.min(packets.len() as u64),
+            &mut fs,
+            &mut table,
+            &mut producers,
+            &board,
+            migrating_to,
+            &last_core,
+            ctrl,
+            full_policy,
+            &mut out,
+        );
     }
     out.final_epoch = table.epoch();
     out
@@ -217,12 +617,15 @@ fn build_window(len: usize) -> Vec<u64> {
 }
 
 /// Push `desc` to `owner`'s ring under the configured full policy.
-/// Returns whether the descriptor was enqueued.
+/// Returns whether the descriptor was enqueued; `backpressured` counts
+/// descriptors that waited at least one retry under
+/// [`FullPolicy::Backpressure`].
 fn push_full_policy(
     producers: &mut [Producer],
     owner: usize,
     desc: Desc,
     full_policy: FullPolicy,
+    backpressured: &mut u64,
 ) -> bool {
     let Some(pr) = producers.get_mut(owner) else {
         return false;
@@ -230,13 +633,20 @@ fn push_full_policy(
     let mut desc = desc;
     let mut tries = 0u32;
     let mut spins = 0u32;
+    let mut waited = false;
     loop {
         match pr.try_push(desc) {
-            Ok(()) => return true,
+            Ok(()) => {
+                if waited {
+                    *backpressured += 1;
+                }
+                return true;
+            }
             Err(back) => {
                 desc = back;
                 match full_policy {
                     FullPolicy::Backpressure => {
+                        waited = true;
                         spins += 1;
                         if spins >= 256 {
                             std::thread::yield_now();
@@ -260,24 +670,29 @@ fn push_full_policy(
 
 /// One imbalance check: if the busiest worker's window load exceeds
 /// `ratio ×` the least busy worker's, migrate the busiest group it
-/// owns to the least busy worker. Windows reset afterwards.
+/// owns to the least busy worker. Dead workers are excluded from both
+/// ends of the comparison. Windows reset afterwards.
 #[allow(clippy::too_many_arguments)]
 fn rebalance(
     table: &mut MapTable<usize>,
     producers: &mut [Producer],
     board: &GroupBoard,
     migrating_to: &[AtomicUsize],
+    live: &[bool],
     out: &mut DispatchOutcome,
     win_worker: &mut [u64],
     win_group: &mut [u64],
     ratio: f64,
 ) {
-    let mut max_w = 0usize;
+    let mut max_w = usize::MAX;
     let mut max_l = 0u64;
-    let mut min_w = 0usize;
+    let mut min_w = usize::MAX;
     let mut min_l = u64::MAX;
     for (w, &l) in win_worker.iter().enumerate() {
-        if l > max_l {
+        if !live.get(w).copied().unwrap_or(false) {
+            continue;
+        }
+        if l > max_l || max_w == usize::MAX {
             max_l = l;
             max_w = w;
         }
@@ -286,7 +701,11 @@ fn rebalance(
             min_w = w;
         }
     }
-    if max_w != min_w && (max_l as f64) > ratio * ((min_l + 1) as f64) {
+    if max_w != usize::MAX
+        && min_w != usize::MAX
+        && max_w != min_w
+        && (max_l as f64) > ratio * ((min_l + 1) as f64)
+    {
         let mut best: Option<(u64, u64)> = None; // (group, window load)
         for (g, &n) in win_group.iter().enumerate() {
             if n > 0
@@ -297,7 +716,7 @@ fn rebalance(
             }
         }
         if let Some((g, _)) = best {
-            try_migrate(table, producers, board, migrating_to, out, g, min_w);
+            try_migrate(table, producers, board, migrating_to, live, out, g, min_w);
         }
     }
     for w in win_worker.iter_mut() {

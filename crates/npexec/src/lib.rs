@@ -22,8 +22,20 @@
 //!                      │   └─spsc──► worker 1 … worker N-1     │
 //!                      │
 //!                      ├─ MapTable  (bucket == flow group)
-//!                      └─ GroupBoard (begun/released per group)
+//!                      ├─ GroupBoard (begun/released per group)
+//!                      └─ supervisor (fault runs: drain / respawn /
+//!                         force-release / watchdog)
 //! ```
+//!
+//! Fault plans execute for real: a `Crash` takes its worker thread
+//! down (held and queued packets become accounted drops, the map table
+//! repairs via `retire_core`, the supervisor force-releases the repair
+//! handshakes once the dead ring is drained), a `Heal` respawns the
+//! worker and migrates its buckets home, `Throttle`/`Stall` perturb a
+//! live worker to exercise the heartbeat watchdog. `Flood` plans are
+//! rejected by [`ExecBackend::validate`] — they perturb the arrival
+//! stream, so only detsim (which owns ingest) can run them. See the
+//! [`supervisor`] module docs for the recovery protocol.
 //!
 //! Use it through `SimBuilder::backend(ThreadedBackend::default())` or
 //! any other [`ExecBackend`] call site.
@@ -32,6 +44,7 @@
 
 mod affinity;
 mod dispatcher;
+mod supervisor;
 mod worker;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -40,11 +53,12 @@ use std::time::Instant;
 use laps::{GroupBoard, HandshakeStats};
 use nphash::{FlowSlot, MapTable};
 use npsim::{
-    ArrivalPlan, EngineConfig, ExecBackend, ProbeHost, ProbeStack, Scheduler, SimEvent, SimReport,
-    SourceConfig,
+    ArrivalPlan, EngineConfig, ExecBackend, ExecError, FaultAction, FaultStats, ProbeHost,
+    ProbeStack, Scheduler, SimEvent, SimReport, SourceConfig, UnsupportedPlan,
 };
 
 use dispatcher::{DispatchCtx, DispatchOutcome};
+use supervisor::{ControlPlane, SupervisorCtx, SupervisorOutcome};
 use worker::{WorkerCtx, WorkerOutcome};
 
 /// What the dispatcher does when a worker's ring is full.
@@ -112,8 +126,36 @@ impl Default for NpexecConfig {
     }
 }
 
+/// One crash's recovery ledger, in plan positions (backend-neutral
+/// "time": position `i` is the `i`-th planned arrival, identical on
+/// both backends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashEpisode {
+    /// The crashed worker (== simulated core).
+    pub core: usize,
+    /// Plan position of the crash.
+    pub crash_at_packet: u64,
+    /// Plan position of the heal (`None`: still down at end of run).
+    pub heal_at_packet: Option<u64>,
+    /// Flows resident on the core at the crash (their last dispatch
+    /// landed there).
+    pub resident_flows: u64,
+    /// Resident flows the repair actually moved to another worker
+    /// inside the crash window. `<= resident_flows` by construction.
+    pub migrated_flows: u64,
+    /// Buckets `MapTable::retire_core` re-homed.
+    pub buckets_rehomed: usize,
+    /// Retired buckets the heal could not migrate home (left on their
+    /// replacement — counted degradation, not an error).
+    pub restore_skipped: u64,
+    /// Plan position of the first packet the respawned worker serviced
+    /// (`None`: never healed, or no packet reached it afterwards).
+    /// Crash-to-here is the episode's recovery latency.
+    pub recovery_at_packet: Option<u64>,
+}
+
 /// Wall-clock observations of the last [`ThreadedBackend::run`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecStats {
     /// Wall-clock duration of the run (dispatch start → last join).
     pub wall_secs: f64,
@@ -123,14 +165,25 @@ pub struct ExecStats {
     pub workers: usize,
     /// Flow groups used.
     pub groups: usize,
-    /// Handshake ledger (begun / completed / aborted).
+    /// Handshake ledger (begun / completed / aborted). Fault runs
+    /// include crash-repair and restore handshakes; `completed` counts
+    /// supervisor force-releases too, so `begun == completed` holds at
+    /// the end of every run, faulted or not.
     pub handshakes: HandshakeStats,
     /// Deepest any worker's holdback buffer got.
     pub max_hold_depth: usize,
     /// Workers whose CPU pin was honored by the kernel.
     pub pinned_workers: usize,
-    /// Map-table redirect epoch after the run (== completed redirects).
+    /// Map-table redirect epoch after the run (== completed redirects
+    /// through *marked* handshakes; crash retire/restore moves are
+    /// ledgered in `episodes`, not the epoch).
     pub table_epoch: u64,
+    /// Per-crash recovery ledgers, in crash order (empty: fault-free run).
+    pub episodes: Vec<CrashEpisode>,
+    /// Crash-repair handshakes the supervisor completed by force-release.
+    pub forced_releases: u64,
+    /// Stalled workers the heartbeat watchdog detected and recovered.
+    pub stalls_detected: u64,
 }
 
 /// The thread-per-core [`ExecBackend`].
@@ -165,17 +218,79 @@ impl ThreadedBackend {
     }
 }
 
+/// Map each fault entry's virtual instant to its plan position: the
+/// index of the first planned arrival at-or-after the instant. The
+/// dispatcher fires the action *before* that packet — the same
+/// fault-before-same-time-arrival tie-break the detsim event queue
+/// applies. Entries past the last arrival fire after the dispatch loop.
+fn fault_plan_positions(cfg: &EngineConfig, plan: &ArrivalPlan) -> Vec<(u64, FaultAction)> {
+    cfg.faults
+        .entries()
+        .iter()
+        .map(|&(t, action)| {
+            let pos = plan.packets.partition_point(|p| p.at < t) as u64;
+            (pos, action)
+        })
+        .collect()
+}
+
 impl ExecBackend for ThreadedBackend {
     fn name(&self) -> &'static str {
         "npexec"
     }
 
+    /// Check the fault plan against this backend's capabilities
+    /// without running anything: floods are unexecutable (they perturb
+    /// the arrival plan), cores must be in worker range, and the plan
+    /// must never crash the last live worker.
+    fn validate(&self, cfg: &EngineConfig, _sources: &[SourceConfig]) -> Result<(), ExecError> {
+        let workers = self.cfg.workers.max(1);
+        let mut live = vec![true; workers];
+        let mut live_count = workers;
+        for &(at, action) in cfg.faults.entries() {
+            let core = match action {
+                FaultAction::Flood { source, .. } | FaultAction::FloodEnd { source } => {
+                    return Err(ExecError::UnsupportedPlan(UnsupportedPlan::Flood {
+                        at,
+                        source,
+                    }));
+                }
+                FaultAction::Crash { core }
+                | FaultAction::Heal { core }
+                | FaultAction::Throttle { core, .. }
+                | FaultAction::Stall { core, .. } => core,
+            };
+            if core >= workers {
+                return Err(ExecError::UnsupportedPlan(
+                    UnsupportedPlan::CoreOutOfRange { at, core, workers },
+                ));
+            }
+            match action {
+                FaultAction::Crash { .. } if live[core] => {
+                    if live_count == 1 {
+                        return Err(ExecError::UnsupportedPlan(
+                            UnsupportedPlan::AllWorkersDown { at, workers },
+                        ));
+                    }
+                    live[core] = false;
+                    live_count -= 1;
+                }
+                FaultAction::Heal { .. } if !live[core] => {
+                    live[core] = true;
+                    live_count += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Run the configuration on real threads.
     ///
     /// # Panics
-    /// Panics if `cfg.faults` is non-empty: fault floods perturb the
-    /// arrival stream, so a faulted configuration has no backend-neutral
-    /// [`ArrivalPlan`] to execute.
+    /// Panics if [`ExecBackend::validate`] rejects the configuration
+    /// (flood plans, out-of-range cores, a plan that crashes the last
+    /// live worker). Call `validate` first to handle these as errors.
     fn run(
         &mut self,
         cfg: &EngineConfig,
@@ -183,11 +298,9 @@ impl ExecBackend for ThreadedBackend {
         scheduler: Box<dyn Scheduler>,
         mut probes: ProbeStack,
     ) -> (SimReport, ProbeStack) {
-        assert!(
-            cfg.faults.is_empty(),
-            "npexec executes fault-free configurations only (fault floods \
-             perturb the arrival plan); run faulted configs on detsim"
-        );
+        if let Err(e) = ExecBackend::validate(self, cfg, sources) {
+            panic!("npexec cannot execute this configuration: {e}");
+        }
         let plan = ArrivalPlan::from_config(cfg, sources);
         let workers = self.cfg.workers.max(1);
         let groups = if self.cfg.groups == 0 {
@@ -229,9 +342,18 @@ impl ExecBackend for ThreadedBackend {
         }
         let mut forced = self.cfg.forced_migrations.clone();
         forced.sort_by_key(|f| f.after_packets);
+        let faults = fault_plan_positions(cfg, &plan);
+        // Fault-free runs carry no control plane: workers then skip
+        // every supervision check, and no supervisor thread spawns.
+        let ctrl = (!faults.is_empty()).then(|| ControlPlane::new(workers));
 
         let start = Instant::now();
-        let (dispatch, outs): (DispatchOutcome, Vec<WorkerOutcome>) = std::thread::scope(|s| {
+        let (dispatch, outs, sup): (
+            DispatchOutcome,
+            Vec<WorkerOutcome>,
+            Option<SupervisorOutcome>,
+        ) = std::thread::scope(|s| {
+            let cp = ctrl.as_ref();
             let mut handles = Vec::with_capacity(workers);
             for (id, consumer) in consumers.into_iter().enumerate() {
                 let ctx = WorkerCtx {
@@ -245,9 +367,27 @@ impl ExecBackend for ThreadedBackend {
                     done: &done,
                     delay,
                     pin_to: self.cfg.pin_threads.then_some(id),
+                    ctrl: cp,
                 };
                 handles.push(s.spawn(move || worker::run(ctx)));
             }
+            // The supervisor captures the scope itself so heal
+            // respawns land on the same scope as original workers.
+            let sup_handle = cp.map(|cp| {
+                let sctx = SupervisorCtx {
+                    cp,
+                    board: board.clone(),
+                    packets: &plan.packets,
+                    group_of: &group_of,
+                    migrating_to: &migrating_to,
+                    seq_watch: &seq_watch,
+                    done: &done,
+                    delay,
+                    pin_threads: self.cfg.pin_threads,
+                    ring_capacity: self.cfg.ring_capacity,
+                };
+                s.spawn(move || supervisor::run(s, sctx))
+            });
             let dispatch = dispatcher::run(DispatchCtx {
                 packets: &plan.packets,
                 group_of: &group_of,
@@ -260,18 +400,78 @@ impl ExecBackend for ThreadedBackend {
                 imbalance_ratio: self.cfg.imbalance_ratio,
                 full_policy: self.cfg.full_policy,
                 forced,
+                faults,
+                ctrl: cp,
             });
             // npcheck: ordering(Release publishes every ring push sequenced before it; workers pair with an Acquire load before exiting)
             done.store(true, Ordering::Release);
-            let outs = handles
+            let outs: Vec<WorkerOutcome> = handles
                 .into_iter()
                 .map(|h| h.join().unwrap_or_default())
                 .collect();
-            (dispatch, outs)
+            // Original workers joined: their consumer deposits are
+            // visible. The supervisor runs final sweeps (draining
+            // any trailing crash) and joins the workers it respawned.
+            if let Some(cp) = cp {
+                // npcheck: ordering(Release pairs with the supervisor's Acquire load at the top of its sweep)
+                cp.shutdown.store(true, Ordering::Release);
+            }
+            let sup = sup_handle.map(|h| h.join().unwrap_or_default());
+            (dispatch, outs, sup)
         });
         let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
 
-        let delivered: u64 = outs.iter().map(|o| o.serviced).sum();
+        // Per-episode recovery: pair each respawned worker's first
+        // serviced packet with its core's oldest healed-but-unresolved
+        // episode (respawn order == heal order per core).
+        let mut episodes: Vec<CrashEpisode> = dispatch
+            .episodes
+            .iter()
+            .map(|e| CrashEpisode {
+                core: e.core,
+                crash_at_packet: e.crash_pos,
+                heal_at_packet: e.heal_pos,
+                resident_flows: e.resident_flows,
+                migrated_flows: e.migrated_flows,
+                buckets_rehomed: e.buckets_rehomed,
+                restore_skipped: e.restore_skipped,
+                recovery_at_packet: None,
+            })
+            .collect();
+        if let Some(sup) = &sup {
+            let mut next_of = vec![0usize; workers];
+            for (core, wout) in &sup.respawned {
+                let skip = next_of.get(*core).copied().unwrap_or(0);
+                if let Some(ep) = episodes
+                    .iter_mut()
+                    .filter(|e| e.core == *core && e.heal_at_packet.is_some())
+                    .nth(skip)
+                {
+                    ep.recovery_at_packet = wout.first_serviced;
+                }
+                if let Some(n) = next_of.get_mut(*core) {
+                    *n += 1;
+                }
+            }
+        }
+
+        // Fault drops with their core: packets a worker held at its
+        // crash, plus packets the supervisor drained from dead rings.
+        let mut fault_dropped: Vec<(usize, u64)> = Vec::new();
+        for (id, o) in outs.iter().enumerate() {
+            fault_dropped.extend(o.crash_drops.iter().map(|&idx| (id, idx)));
+        }
+        if let Some(sup) = &sup {
+            for (core, o) in &sup.respawned {
+                fault_dropped.extend(o.crash_drops.iter().map(|&idx| (*core, idx)));
+            }
+            fault_dropped.extend(sup.drain_drops.iter().copied());
+        }
+
+        let mut delivered: u64 = outs.iter().map(|o| o.serviced).sum();
+        if let Some(sup) = &sup {
+            delivered += sup.respawned.iter().map(|(_, o)| o.serviced).sum::<u64>();
+        }
         let stats = ExecStats {
             wall_secs,
             mpps: delivered as f64 / wall_secs / 1e6,
@@ -285,10 +485,31 @@ impl ExecBackend for ThreadedBackend {
             max_hold_depth: outs.iter().map(|o| o.max_hold_depth).max().unwrap_or(0),
             pinned_workers: outs.iter().filter(|o| o.pinned).count(),
             table_epoch: dispatch.final_epoch,
+            episodes,
+            forced_releases: sup.as_ref().map_or(0, |s| s.forced_releases),
+            stalls_detected: sup.as_ref().map_or(0, |s| s.stalls_cleared),
         };
-        let report = assemble_report(cfg, scheduler.name(), &plan, &dispatch, &outs, delivered);
+        let report = assemble_report(
+            cfg,
+            scheduler.name(),
+            &plan,
+            &dispatch,
+            &outs,
+            sup.as_ref(),
+            &fault_dropped,
+            delivered,
+        );
         if !probes.is_empty() {
-            replay_probes(&mut probes, cfg, &plan, &dispatch, &outs);
+            replay_probes(
+                &mut probes,
+                cfg,
+                &plan,
+                &dispatch,
+                &outs,
+                sup.as_ref(),
+                &stats.episodes,
+                &fault_dropped,
+            );
         }
         self.last = Some(stats);
         (report, probes)
@@ -300,23 +521,34 @@ impl ExecBackend for ThreadedBackend {
 /// (`migrated_packets` is per packet moved at dispatch); npexec-only
 /// notions map as documented per field. `events` counts the synthetic
 /// probe-bus stream (one arrival + one terminal event per packet).
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     cfg: &EngineConfig,
     sched_name: &str,
     plan: &ArrivalPlan,
     dispatch: &DispatchOutcome,
     outs: &[WorkerOutcome],
+    sup: Option<&SupervisorOutcome>,
+    fault_dropped: &[(usize, u64)],
     delivered: u64,
 ) -> SimReport {
     let mut report = SimReport::new(format!("npexec:{sched_name}"), cfg.duration, cfg.scale);
     report.offered = plan.offered();
     report.slow_path = plan.slow_path;
-    report.dropped = dispatch.dropped.len() as u64;
+    report.dropped = dispatch.dropped.len() as u64 + fault_dropped.len() as u64;
     report.processed = delivered;
     report.migrated_packets = dispatch.migrated_packets;
     report.migration_events = dispatch.migrations.len() as u64;
     report.cold_starts = outs.iter().map(|o| o.cold_starts).sum();
     report.core_busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+    if let Some(sup) = sup {
+        for (core, o) in &sup.respawned {
+            report.cold_starts += o.cold_starts;
+            if let Some(b) = report.core_busy_ns.get_mut(*core) {
+                *b += o.busy_ns;
+            }
+        }
+    }
     for p in &plan.packets {
         report.service_mut(p.service).offered += 1;
     }
@@ -325,7 +557,12 @@ fn assemble_report(
             report.service_mut(p.service).dropped += 1;
         }
     }
-    for o in outs {
+    for &(_, idx) in fault_dropped {
+        if let Some(p) = plan.packets.get(idx as usize) {
+            report.service_mut(p.service).dropped += 1;
+        }
+    }
+    let mut fold = |o: &WorkerOutcome| {
         report.out_of_order += o.ooo_packets.len() as u64;
         for (k, &n) in o.per_service.iter().enumerate() {
             if let Some(kind) = nptraffic::ServiceKind::ALL.get(k) {
@@ -337,6 +574,31 @@ fn assemble_report(
                 report.service_mut(p.service).out_of_order += 1;
             }
         }
+    };
+    for o in outs {
+        fold(o);
+    }
+    if let Some(sup) = sup {
+        for (_, o) in &sup.respawned {
+            fold(o);
+        }
+    }
+    if dispatch.injected > 0 {
+        // The FaultStats block detsim emits for the same plan, with the
+        // documented npexec mappings: every crash/heal is repaired (the
+        // supervisor protocol has no unrepaired path), there is no head
+        // queue, and `backpressured` counts full-ring waits.
+        report.faults = Some(FaultStats {
+            injected: dispatch.injected,
+            crashes: dispatch.crashes,
+            heals: dispatch.heals,
+            fault_drops: fault_dropped.len() as u64,
+            redirects: dispatch.redirects,
+            repairs: dispatch.crashes + dispatch.heals,
+            unrepaired: 0,
+            head_drops: 0,
+            backpressured: dispatch.backpressured,
+        });
     }
     report.events = report.offered + report.processed + report.dropped;
     report
@@ -348,15 +610,23 @@ fn assemble_report(
 /// probes see a post-run reconstruction: one `PacketArrived` per
 /// planned packet at its arrival instant, a `Dropped` or `Departure`
 /// terminal per packet, a `ReorderDetected` per out-of-order delivery,
-/// and one `Migration` per completed handshake. Counts match the
-/// report exactly; interleaving and latencies are coarse (latency 0,
-/// migrations timestamped at the horizon).
+/// one `Migration` per completed handshake, and — on fault runs —
+/// `CoreCrashed`/`CoreHealed` marks at their plan positions plus one
+/// synthetic `ServiceStart` at each episode's recovery packet, so a
+/// [`npsim::FaultProbe`] reconstructs the same crash → heal → restart
+/// spans it would see live on detsim. Counts match the report exactly;
+/// interleaving and latencies are coarse (latency 0, migrations
+/// timestamped at the horizon).
+#[allow(clippy::too_many_arguments)]
 fn replay_probes(
     probes: &mut ProbeStack,
     cfg: &EngineConfig,
     plan: &ArrivalPlan,
     dispatch: &DispatchOutcome,
     outs: &[WorkerOutcome],
+    sup: Option<&SupervisorOutcome>,
+    episodes: &[CrashEpisode],
+    fault_dropped: &[(usize, u64)],
 ) {
     let n = plan.packets.len();
     let mut dropped_at = vec![u32::MAX; n];
@@ -365,15 +635,62 @@ fn replay_probes(
             *d = core;
         }
     }
+    for &(core, idx) in fault_dropped {
+        if let Some(d) = dropped_at.get_mut(idx as usize) {
+            *d = core as u32;
+        }
+    }
     let mut ooo = vec![false; n];
-    for o in outs {
+    let mut mark_ooo = |o: &WorkerOutcome| {
         for &idx in &o.ooo_packets {
             if let Some(f) = ooo.get_mut(idx as usize) {
                 *f = true;
             }
         }
+    };
+    for o in outs {
+        mark_ooo(o);
     }
+    if let Some(sup) = sup {
+        for (_, o) in &sup.respawned {
+            mark_ooo(o);
+        }
+    }
+    // Fault timeline marks keyed by plan position, fired *before* the
+    // packet at that position (the fault-before-arrival tie-break).
+    let mut marks: Vec<(u64, SimEvent)> = Vec::new();
+    for ep in episodes {
+        marks.push((ep.crash_at_packet, SimEvent::CoreCrashed { core: ep.core }));
+        if let Some(h) = ep.heal_at_packet {
+            marks.push((h, SimEvent::CoreHealed { core: ep.core }));
+        }
+        if let Some(r) = ep.recovery_at_packet {
+            let service = plan
+                .packets
+                .get(r as usize)
+                .map_or(nptraffic::ServiceKind::IpForward, |p| p.service);
+            marks.push((
+                r,
+                SimEvent::ServiceStart {
+                    core: ep.core,
+                    service,
+                    cold: true,
+                    migrated: false,
+                    duration: detsim::SimTime::ZERO,
+                },
+            ));
+        }
+    }
+    marks.sort_by_key(|&(pos, _)| pos);
+    let mut next_mark = 0usize;
     for (i, p) in plan.packets.iter().enumerate() {
+        while let Some((pos, ev)) = marks.get(next_mark) {
+            if *pos > i as u64 {
+                break;
+            }
+            probes.deliver(p.at, ev);
+            next_mark += 1;
+        }
         probes.deliver(
             p.at,
             &SimEvent::PacketArrived {
@@ -418,6 +735,10 @@ fn replay_probes(
             }
         }
     }
+    while let Some((_, ev)) = marks.get(next_mark) {
+        probes.deliver(cfg.duration, ev);
+        next_mark += 1;
+    }
     for &(group, from, to) in &dispatch.migrations {
         probes.deliver(
             cfg.duration,
@@ -437,7 +758,7 @@ fn replay_probes(
 mod tests {
     use super::*;
     use detsim::SimTime;
-    use npsim::{JoinShortestQueue, MetricsProbe, RateSpec};
+    use npsim::{FaultPlan, FaultProbe, JoinShortestQueue, MetricsProbe, RateSpec};
     use nptrace::TracePreset;
     use nptraffic::ServiceKind;
 
@@ -467,8 +788,14 @@ mod tests {
     }
 
     fn run_with(backend: &mut ThreadedBackend, ms: u64) -> SimReport {
+        run_faulted(backend, ms, FaultPlan::new())
+    }
+
+    fn run_faulted(backend: &mut ThreadedBackend, ms: u64, faults: FaultPlan) -> SimReport {
+        let mut c = cfg(ms);
+        c.faults = faults;
         let (report, _probes) = backend.run(
-            &cfg(ms),
+            &c,
             &sources(),
             Box::new(JoinShortestQueue::new()),
             ProbeStack::new(),
@@ -488,10 +815,12 @@ mod tests {
             "exact conservation"
         );
         assert_eq!(report.out_of_order, 0, "handshake preserves flow order");
+        assert!(report.faults.is_none(), "fault-free report omits the block");
         let stats = backend.last_stats().expect("stats recorded");
         assert_eq!(stats.workers, 4);
         assert!(stats.wall_secs > 0.0);
         assert_eq!(stats.handshakes.begun, stats.handshakes.completed);
+        assert!(stats.episodes.is_empty());
     }
 
     #[test]
@@ -592,5 +921,169 @@ mod tests {
         let det = npsim::Engine::new(cfg(10), &sources(), JoinShortestQueue::new()).run();
         assert_eq!(exec.offered, det.offered, "same planned arrival stream");
         assert_eq!(exec.slow_path, det.slow_path);
+    }
+
+    #[test]
+    fn validate_rejects_each_unsupported_plan() {
+        let backend = ThreadedBackend::with_workers(4);
+        let ok = |faults: FaultPlan| {
+            let mut c = cfg(1);
+            c.faults = faults;
+            backend.validate(&c, &sources())
+        };
+        assert_eq!(ok(FaultPlan::new()), Ok(()));
+        assert_eq!(
+            ok(FaultPlan::new().crash(SimTime::from_millis(1), 0)),
+            Ok(()),
+            "a survivable crash plan is executable"
+        );
+        assert_eq!(
+            ok(FaultPlan::new().flood(SimTime::from_millis(1), SimTime::from_millis(2), 0, 4.0)),
+            Err(ExecError::UnsupportedPlan(UnsupportedPlan::Flood {
+                at: SimTime::from_millis(1),
+                source: 0,
+            }))
+        );
+        assert_eq!(
+            ok(FaultPlan::new().stall(SimTime::from_millis(1), 9, SimTime::from_millis(1))),
+            Err(ExecError::UnsupportedPlan(
+                UnsupportedPlan::CoreOutOfRange {
+                    at: SimTime::from_millis(1),
+                    core: 9,
+                    workers: 4,
+                }
+            ))
+        );
+        let genocide = FaultPlan::new()
+            .crash(SimTime::from_millis(1), 0)
+            .crash(SimTime::from_millis(2), 1)
+            .crash(SimTime::from_millis(3), 2)
+            .crash(SimTime::from_millis(4), 3);
+        assert_eq!(
+            ok(genocide),
+            Err(ExecError::UnsupportedPlan(
+                UnsupportedPlan::AllWorkersDown {
+                    at: SimTime::from_millis(4),
+                    workers: 4,
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn crash_episode_repairs_and_conserves() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let report = run_faulted(
+            &mut backend,
+            10,
+            FaultPlan::new().crash(SimTime::from_millis(2), 1),
+        );
+        assert_eq!(
+            report.offered,
+            report.processed + report.dropped,
+            "conservation stays exact through a crash"
+        );
+        assert_eq!(report.out_of_order, 0, "crash repair never reorders");
+        let faults = report.faults.as_ref().expect("fault block present");
+        assert_eq!(faults.injected, 1);
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.heals, 0);
+        assert_eq!(faults.repairs, 1);
+        assert_eq!(faults.unrepaired, 0);
+        assert!(
+            faults.redirects > 0,
+            "traffic for the dead core's buckets kept flowing"
+        );
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(stats.handshakes.begun, stats.handshakes.completed);
+        assert_eq!(stats.episodes.len(), 1);
+        let ep = &stats.episodes[0];
+        assert_eq!(ep.core, 1);
+        assert!(ep.buckets_rehomed > 0, "the dead core owned buckets");
+        assert!(
+            ep.migrated_flows <= ep.resident_flows,
+            "repair moves at most what was resident"
+        );
+        assert!(ep.heal_at_packet.is_none());
+    }
+
+    #[test]
+    fn crash_then_heal_restores_and_recovers() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let report = run_faulted(
+            &mut backend,
+            10,
+            FaultPlan::new()
+                .crash(SimTime::from_millis(2), 2)
+                .heal(SimTime::from_millis(5), 2),
+        );
+        assert_eq!(report.offered, report.processed + report.dropped);
+        assert_eq!(report.out_of_order, 0);
+        let faults = report.faults.as_ref().expect("fault block present");
+        assert_eq!((faults.crashes, faults.heals), (1, 1));
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(stats.handshakes.begun, stats.handshakes.completed);
+        assert_eq!(stats.episodes.len(), 1);
+        let ep = &stats.episodes[0];
+        assert!(ep.heal_at_packet.is_some(), "the episode closed");
+        assert!(
+            ep.recovery_at_packet.is_some(),
+            "the respawned worker serviced traffic"
+        );
+        assert!(
+            ep.recovery_at_packet.unwrap() >= ep.crash_at_packet,
+            "recovery cannot precede the crash"
+        );
+    }
+
+    #[test]
+    fn throttle_and_stall_run_to_completion() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let report = run_faulted(
+            &mut backend,
+            10,
+            FaultPlan::new()
+                .throttle(SimTime::from_millis(1), 0, 2.0)
+                .stall(SimTime::from_millis(2), 1, SimTime::from_millis(1)),
+        );
+        assert_eq!(report.offered, report.processed + report.dropped);
+        assert_eq!(report.dropped, 0, "throttle/stall never drop");
+        assert_eq!(report.out_of_order, 0);
+        let faults = report.faults.as_ref().expect("fault block present");
+        assert_eq!(faults.injected, 2);
+        assert_eq!((faults.crashes, faults.heals), (0, 0));
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(
+            stats.stalls_detected, 1,
+            "the watchdog caught and cleared the stall"
+        );
+        assert!(stats.episodes.is_empty());
+    }
+
+    #[test]
+    fn fault_probe_reconstructs_recovery_spans() {
+        let mut backend = ThreadedBackend::with_workers(4);
+        let mut c = cfg(10);
+        c.faults = FaultPlan::new()
+            .crash(SimTime::from_millis(2), 3)
+            .heal(SimTime::from_millis(5), 3);
+        let probes: ProbeStack = vec![Box::new(FaultProbe::new())];
+        let (report, probes) =
+            backend.run(&c, &sources(), Box::new(JoinShortestQueue::new()), probes);
+        assert_eq!(report.offered, report.processed + report.dropped);
+        let probe = probes
+            .first()
+            .and_then(|p| p.as_any().downcast_ref::<FaultProbe>())
+            .expect("fault probe returned");
+        assert_eq!(probe.recoveries().len(), 1, "one crash → one span");
+        let r = probe.recoveries()[0];
+        assert_eq!(r.core, 3);
+        assert!(r.healed_at.is_some(), "heal mark replayed");
+        let stats = backend.last_stats().expect("stats recorded");
+        assert_eq!(
+            r.restarted_at.is_some(),
+            stats.episodes[0].recovery_at_packet.is_some(),
+            "probe restart mark mirrors the episode's recovery packet"
+        );
     }
 }

@@ -24,6 +24,16 @@
 //! if the handshake has since released — FIFO within the group is
 //! preserved unconditionally).
 //!
+//! When a fault plan is active the worker also carries a control slot
+//! (see [`supervisor`](crate::supervisor)): each iteration it reads the
+//! command word and bumps its heartbeat. [`CMD_CRASH`] makes it account
+//! its held packets as crash drops, deposit its ring consumer for the
+//! supervisor, and exit; [`CMD_STALL`] makes it stop draining *and*
+//! stop heartbeating (the watchdog's stagnation signal); the throttle
+//! field inflates every charged service time. Whatever the exit path,
+//! a supervised worker always deposits its consumer — the crash drain
+//! must never wait on a handoff that raced the end of the run.
+//!
 //! This file is under npcheck's hot-path scope: no panicking indexing,
 //! no allocation-amplifying calls inside the pop loop.
 
@@ -35,6 +45,7 @@ use npsim::ScheduledPacket;
 use nptraffic::{DelayModel, ServiceKind};
 
 use crate::affinity;
+use crate::supervisor::{ControlPlane, CMD_CRASH, CMD_STALL, THROTTLE_ONE, THROTTLE_SHIFT};
 
 /// Payload tag bit: the dispatcher sets it when this packet moved its
 /// flow to a new worker, so the worker charges the Eq. 3 migration
@@ -65,6 +76,9 @@ pub(crate) struct WorkerCtx<'a> {
     pub delay: DelayModel,
     /// CPU to pin to, if pinning was requested.
     pub pin_to: Option<usize>,
+    /// The fault-run control plane; `None` in fault-free runs (the loop
+    /// then skips every supervision check).
+    pub ctrl: Option<&'a ControlPlane>,
 }
 
 /// What one worker hands back when it joins.
@@ -88,6 +102,15 @@ pub(crate) struct WorkerOutcome {
     pub marks_seen: u64,
     /// Whether the pin request was honored by the kernel.
     pub pinned: bool,
+    /// Plan indices of packets this worker held when it crashed —
+    /// accounted as fault drops.
+    pub crash_drops: Vec<u64>,
+    /// Plan index of the first packet this worker serviced (recovery
+    /// latency for respawned workers: crash time → this packet's
+    /// arrival instant).
+    pub first_serviced: Option<u64>,
+    /// Whether the worker exited through the crash path.
+    pub crashed: bool,
 }
 
 /// Parked packets of one in-flight group, in ring (FIFO) order.
@@ -103,6 +126,9 @@ struct Svc<'a> {
     seq_watch: &'a [AtomicU64],
     delay: DelayModel,
     last_service: Option<ServiceKind>,
+    /// Fixed-point throttle multiplier ([`THROTTLE_ONE`] = ×1.0),
+    /// refreshed from the command word each loop iteration.
+    throttle_fp: u64,
     out: WorkerOutcome,
 }
 
@@ -123,7 +149,12 @@ impl Svc<'_> {
         let d_us = self
             .delay
             .processing_delay_us(p.service, p.size, migrated, cold);
-        self.out.busy_ns += detsim::SimTime::from_micros_f64(d_us).as_nanos();
+        let base_ns = detsim::SimTime::from_micros_f64(d_us).as_nanos();
+        // Throttle faults inflate charged service time (Eq. 3 × factor).
+        self.out.busy_ns += base_ns.saturating_mul(self.throttle_fp) / THROTTLE_ONE;
+        if self.out.first_serviced.is_none() {
+            self.out.first_serviced = Some(idx as u64);
+        }
         if let Some(w) = self.seq_watch.get(p.slot.index()) {
             // The witness is shared with whichever worker serviced the
             // flow's previous packet and whichever services the next.
@@ -154,21 +185,51 @@ pub(crate) fn run(ctx: WorkerCtx<'_>) -> WorkerOutcome {
         done,
         delay,
         pin_to,
+        ctrl,
     } = ctx;
     let mut svc = Svc {
         packets,
         seq_watch,
         delay,
         last_service: None,
+        throttle_fp: THROTTLE_ONE,
         out: WorkerOutcome::default(),
     };
     if let Some(cpu) = pin_to {
         svc.out.pinned = affinity::pin_to_cpu(cpu);
     }
+    let slot = ctrl.and_then(|cp| cp.slots.get(id));
     let mut holds: Vec<Held> = Vec::new();
     let mut held_depth = 0usize;
     let mut idle_polls = 0u32;
     loop {
+        if let Some(slot) = slot {
+            // npcheck: ordering(Acquire pairs with the dispatcher's and watchdog's Release writes of the command word)
+            let cmd = slot.cmd.load(Ordering::Acquire);
+            if cmd & CMD_CRASH != 0 {
+                // Crash: everything we were holding is lost. Account it
+                // before the handoff so the drops are visible once the
+                // supervisor takes the consumer.
+                for h in holds.drain(..) {
+                    for raw in h.raws {
+                        svc.out.crash_drops.push(raw & !MIGRATED_BIT);
+                    }
+                }
+                svc.out.crashed = true;
+                break;
+            }
+            if cmd & CMD_STALL != 0 {
+                // Deliberate non-draining; the silent heartbeat is what
+                // the watchdog detects. Keep polling the command word so
+                // recovery (clearing the bit) takes effect.
+                std::thread::yield_now();
+                continue;
+            }
+            // npcheck: ordering(Relaxed is sound: the heartbeat is a monotone progress counter; the watchdog only compares successive reads)
+            slot.heartbeat.fetch_add(1, Ordering::Relaxed);
+            let fp = cmd >> THROTTLE_SHIFT;
+            svc.throttle_fp = if fp == 0 { THROTTLE_ONE } else { fp };
+        }
         // Drain every hold whose handshake has released. Doing this
         // before the pop keeps FIFO: a held group's packets always go
         // out before any newly popped packet of that group.
@@ -244,6 +305,19 @@ pub(crate) fn run(ctx: WorkerCtx<'_>) -> WorkerOutcome {
                 }
             }
         }
+    }
+    if let Some(slot) = slot {
+        // Always hand the ring over, whatever the exit path: a crash
+        // command that raced the end of the run still needs the
+        // supervisor's drain-then-force-release to complete, and that
+        // drain waits for this deposit. Sequenced after the last
+        // service, so the handoff proves this worker is done.
+        // npcheck: allow(blocking-hot-path) — exit path, runs once per worker lifetime
+        if let Ok(mut b) = slot.consumer_box.lock() {
+            *b = Some(consumer);
+        }
+        // npcheck: ordering(Release pairs with the supervisor's Acquire load: the deposit above happens-before the exit is observed)
+        slot.exited.store(true, Ordering::Release);
     }
     svc.out
 }

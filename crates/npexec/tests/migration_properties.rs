@@ -75,7 +75,7 @@ fn check_schedule(workers: usize, groups: usize, schedule: Vec<ForcedMigration>)
         report.processed + report.dropped,
         "every planned packet accounted exactly once"
     );
-    let stats = *backend.last_stats().expect("stats recorded");
+    let stats = backend.last_stats().expect("stats recorded");
     assert_eq!(
         stats.handshakes.begun, stats.handshakes.completed,
         "every begun handshake must be acked by run end"
@@ -84,6 +84,42 @@ fn check_schedule(workers: usize, groups: usize, schedule: Vec<ForcedMigration>)
         stats.table_epoch, stats.handshakes.begun,
         "exactly one map-table redirect per begun handshake"
     );
+}
+
+/// Satellite invariant (ISSUE 9): under [`FullPolicy::DropAfter`] the
+/// drop ledger stays exact while migrations are in flight — every
+/// planned packet is either delivered or appears in the drop count,
+/// and the per-service split of the drops sums back to the total.
+fn check_drop_accounting(ring_capacity: usize, drop_after: u32, schedule: Vec<ForcedMigration>) {
+    let mut backend = ThreadedBackend::new(NpexecConfig {
+        workers: 2,
+        groups: 8,
+        ring_capacity,
+        full_policy: FullPolicy::DropAfter(drop_after),
+        rebalance_every: 0,
+        forced_migrations: schedule,
+        ..NpexecConfig::default()
+    });
+    let (report, _probes) = backend.run(
+        &cfg(),
+        &sources(),
+        Box::new(JoinShortestQueue::new()),
+        ProbeStack::new(),
+    );
+    assert_eq!(
+        report.offered,
+        report.processed + report.dropped,
+        "ingested == delivered + dropped under DropAfter({drop_after}) \
+         with rings of {ring_capacity}"
+    );
+    let per_service_drops: u64 = report.per_service.iter().map(|s| s.dropped).sum();
+    assert_eq!(
+        per_service_drops, report.dropped,
+        "drops attributed per service"
+    );
+    let per_service_processed: u64 = report.per_service.iter().map(|s| s.processed).sum();
+    assert_eq!(per_service_processed, report.processed);
+    assert_eq!(report.out_of_order, 0, "drops never break flow order");
 }
 
 proptest! {
@@ -124,6 +160,27 @@ proptest! {
             })
             .collect();
         check_schedule(2, 8, schedule);
+    }
+
+    /// The forced-migration × drop-policy grid: tiny-to-small rings and
+    /// stingy-to-patient retry budgets, with a randomized migration
+    /// schedule running concurrently. Conservation must balance at
+    /// every grid point.
+    #[test]
+    fn drop_after_accounting_is_exact_under_concurrent_migration(
+        raw in proptest::collection::vec(any::<u64>(), 1..12),
+        ring_pow in 3u32..7,        // rings of 8..64 descriptors
+        drop_after in 0u32..4,      // 0 = drop on first full sighting
+    ) {
+        let schedule: Vec<ForcedMigration> = raw
+            .iter()
+            .map(|r| ForcedMigration {
+                after_packets: r % 10_000,
+                group: (r >> 16) % 8,
+                to_worker: ((r >> 32) % 2) as usize,
+            })
+            .collect();
+        check_drop_accounting(1usize << ring_pow, drop_after, schedule);
     }
 }
 

@@ -27,6 +27,83 @@ use crate::probe::ProbeStack;
 use crate::report::SimReport;
 use crate::sched::Scheduler;
 use crate::source::SourceConfig;
+use detsim::SimTime;
+use std::fmt;
+
+/// Why a backend cannot execute a configuration — the typed half of
+/// [`ExecBackend::validate`]. Every variant names the first offending
+/// plan entry so the caller can fix the plan, not grep a panic string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The configuration's fault plan contains an action this backend
+    /// cannot execute.
+    UnsupportedPlan(UnsupportedPlan),
+}
+
+/// The specific fault-plan action combination a backend rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnsupportedPlan {
+    /// A `Flood`/`FloodEnd` action: floods perturb the arrival stream,
+    /// so a flooded configuration has no backend-neutral
+    /// [`ArrivalPlan`](crate::engine::ArrivalPlan) to execute — only
+    /// detsim (which owns ingest) can run it.
+    Flood {
+        /// When the flood is scheduled.
+        at: SimTime,
+        /// The flooded source index.
+        source: usize,
+    },
+    /// A crash/heal/throttle/stall names a core the backend has no
+    /// worker for.
+    CoreOutOfRange {
+        /// When the action is scheduled.
+        at: SimTime,
+        /// The out-of-range core.
+        core: usize,
+        /// Workers the backend would run.
+        workers: usize,
+    },
+    /// Executing the plan in order would crash the last live worker —
+    /// with no live ring to repair onto, the run cannot make progress.
+    AllWorkersDown {
+        /// When the fatal crash is scheduled.
+        at: SimTime,
+        /// Workers the backend would run.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnsupportedPlan(u) => write!(f, "unsupported fault plan: {u}"),
+        }
+    }
+}
+
+impl fmt::Display for UnsupportedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedPlan::Flood { at, source } => write!(
+                f,
+                "flood of source {source} at {at:?} perturbs the arrival plan; \
+                 run flooded configs on detsim"
+            ),
+            UnsupportedPlan::CoreOutOfRange { at, core, workers } => write!(
+                f,
+                "fault at {at:?} targets core {core} but the backend runs \
+                 {workers} workers"
+            ),
+            UnsupportedPlan::AllWorkersDown { at, workers } => write!(
+                f,
+                "crash at {at:?} would take down the last of {workers} workers; \
+                 no live ring remains to repair onto"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// A strategy for executing one configured simulation run.
 ///
@@ -38,6 +115,15 @@ use crate::source::SourceConfig;
 pub trait ExecBackend {
     /// Stable backend name (reports and experiment tables key on it).
     fn name(&self) -> &'static str;
+
+    /// Whether this backend can execute `cfg` at all. The default
+    /// accepts everything (detsim executes every plan); backends with a
+    /// narrower envelope override it and return the first offending
+    /// entry as a typed [`ExecError`]. [`ExecBackend::run`] is
+    /// permitted to panic on configurations `validate` rejects.
+    fn validate(&self, _cfg: &EngineConfig, _sources: &[SourceConfig]) -> Result<(), ExecError> {
+        Ok(())
+    }
 
     /// Run `cfg` + `sources` under `scheduler`, publishing to `probes`,
     /// to completion.
