@@ -106,6 +106,7 @@ fn bench_policies(c: &mut Criterion) {
             arrival: SimTime::ZERO,
             flow_seq: 0,
             migrated: false,
+            sync_debt_ns: 0,
         })
         .collect();
     let queues: Vec<QueueInfo> = (0..16)

@@ -21,6 +21,10 @@
 //!   map from measured per-bucket load.
 //! * `FCFS` — re-exported [`npsim::JoinShortestQueue`]: perfect load
 //!   balance, zero locality (the paper's FCFS baseline).
+//! * [`Scr`] — the State-Compute Replication family (arXiv 2309.14647):
+//!   flow-oblivious dispatch (`scr-rr`, `scr-p2c`, `scr-sync{k}`) whose
+//!   per-flow state is replicated instead of migrated, billed through
+//!   the engine's sync-cost model — the anti-LAPS design pole.
 //!
 //! Every scheduler implements [`npsim::Scheduler`], so they run on the
 //! same engine on identical footing.
@@ -52,6 +56,7 @@ pub mod handshake;
 pub mod laps;
 pub mod migration;
 pub mod registry;
+pub mod scr;
 pub mod spsc;
 pub mod static_hash;
 pub mod topk;
@@ -65,6 +70,7 @@ pub use handshake::{GroupBoard, HandshakeStats};
 pub use laps::Laps;
 pub use migration::MigrationTable;
 pub use registry::{laps_config_for, BoxedScheduler, SchedulerCtor, SchedulerRegistry};
+pub use scr::Scr;
 pub use spsc::{Consumer as SpscConsumer, Desc, Producer as SpscProducer};
 pub use static_hash::StaticHash;
 pub use topk::{DetectorKind, TopKMigration};
@@ -77,15 +83,15 @@ pub mod prelude {
     pub use crate::{
         crash_with_heal, laps_config_for, random_plan, scenario_sources, single_crash,
         AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, LapsConfig, ParkConfig, SchedulerRegistry,
-        SimBuilder, StaticHash, TopKMigration,
+        Scr, SimBuilder, StaticHash, TopKMigration,
     };
     pub use detsim::SimTime;
     pub use npafd::AfdConfig;
     pub use npsim::{
         CycleReport, DropPolicy, Engine, EngineConfig, EventLogProbe, ExecError, ExecutionMode,
         FaultAction, FaultPlan, FaultProbe, FaultStats, MetricsProbe, Probe, ProbeStack, RateSpec,
-        RepairOutcome, Scheduler, SimEvent, SimReport, SourceConfig, Stage, UnsupportedPlan,
-        UtilizationProbe,
+        RepairOutcome, Scheduler, SimEvent, SimReport, SourceConfig, Stage, SyncPolicy, SyncStats,
+        UnsupportedPlan, UtilizationProbe,
     };
     pub use nptrace::TracePreset;
     pub use nptraffic::{ParameterSet, Scenario, ServiceKind, TraceGroup};

@@ -11,8 +11,8 @@
 //! deterministic (no hash-map ordering anywhere near an experiment).
 
 use crate::config::{LapsConfig, ParkConfig};
-use crate::{AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, StaticHash, TopKMigration};
-use detsim::SimTime;
+use crate::{AdaptiveHash, Afs, DetectorKind, Fcfs, Laps, Scr, StaticHash, TopKMigration};
+use detsim::{derive_seed, SimTime};
 use npafd::AfdConfig;
 use npsim::{EngineConfig, RoundRobin, Scheduler};
 
@@ -69,6 +69,10 @@ impl SchedulerRegistry {
     /// | `topk-oracle` | [`TopKMigration`] with exact top-k stats |
     /// | `laps` | [`Laps`] — the paper's scheduler, §III |
     /// | `laps-park` | LAPS plus the core-parking power extension |
+    /// | `scr-rr` | [`Scr`] — SCR packet spraying (round-robin) |
+    /// | `scr-p2c` | [`Scr`] — SCR power-of-two-choices |
+    /// | `scr-sync4` | [`Scr`] — SCR spraying, consolidate every 4 |
+    /// | `scr-sync16` | [`Scr`] — SCR spraying, consolidate every 16 |
     ///
     /// Thresholds with time dimensions scale with `cfg.scale` exactly as
     /// the figure binaries always wired them (AFS cooldown 4 µs, LAPS
@@ -106,6 +110,12 @@ impl SchedulerRegistry {
             });
             Box::new(Laps::new(lc))
         });
+        r.register("scr-rr", |_cfg| Box::new(Scr::round_robin()));
+        r.register("scr-p2c", |cfg| {
+            Box::new(Scr::power_of_two(derive_seed(cfg.seed, "scr-p2c")))
+        });
+        r.register("scr-sync4", |_cfg| Box::new(Scr::with_sync(4)));
+        r.register("scr-sync16", |_cfg| Box::new(Scr::with_sync(16)));
         r
     }
 
@@ -164,6 +174,10 @@ mod tests {
             "topk-oracle",
             "laps",
             "laps-park",
+            "scr-rr",
+            "scr-p2c",
+            "scr-sync4",
+            "scr-sync16",
         ] {
             assert!(r.contains(name), "missing builtin {name}");
             let s = r

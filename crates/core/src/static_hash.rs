@@ -103,6 +103,7 @@ mod tests {
             arrival: SimTime::ZERO,
             flow_seq: 0,
             migrated: false,
+            sync_debt_ns: 0,
         }
     }
 

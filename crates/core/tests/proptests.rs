@@ -18,6 +18,7 @@ fn pkt(flow: u64, svc: usize) -> PacketDesc {
         arrival: SimTime::ZERO,
         flow_seq: 0,
         migrated: false,
+        sync_debt_ns: 0,
     }
 }
 

@@ -20,7 +20,7 @@
 use laps_experiments::farm;
 use std::process::Command;
 
-const BINS: [&str; 9] = [
+const BINS: [&str; 10] = [
     "fig2",
     "fig7",
     "fig8",
@@ -30,6 +30,7 @@ const BINS: [&str; 9] = [
     "restoration",
     "power",
     "replication",
+    "scr_compare",
 ];
 
 /// The outcome of one figure binary.

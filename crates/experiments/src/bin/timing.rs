@@ -38,6 +38,7 @@ fn mk_packets(n: usize) -> Vec<PacketDesc> {
             arrival: SimTime::ZERO,
             flow_seq: 0,
             migrated: false,
+            sync_debt_ns: 0,
         })
         .collect()
 }

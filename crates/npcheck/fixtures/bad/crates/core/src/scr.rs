@@ -1,0 +1,22 @@
+//! Bad fixture: panics and allocation inside SCR's per-packet
+//! `schedule` — the hot-path rules must catch all of it.
+
+pub struct Scr {
+    queues: Vec<usize>,
+    labels: Vec<String>,
+    next: usize,
+}
+
+impl Scr {
+    pub fn schedule(&mut self, pkt: u64) -> usize {
+        // Panic on an empty view.
+        let shortest = self.queues.first().unwrap();
+        // Unchecked indexing hides the bounds invariant.
+        let cursor = self.queues[self.next];
+        // Per-packet allocation on the dispatch path.
+        let label = format!("pkt-{pkt}-core-{shortest}");
+        self.labels.push(label);
+        self.next = (self.next + 1) % self.queues.len();
+        cursor + shortest
+    }
+}

@@ -79,6 +79,7 @@ const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/laps.rs",
     "crates/core/src/faults.rs",
     "crates/core/src/spsc.rs",
+    "crates/core/src/scr.rs",
     "crates/afd/src/cache.rs",
     "crates/npexec/src/worker.rs",
     "crates/npexec/src/dispatcher.rs",
@@ -1396,6 +1397,17 @@ mod tests {
     fn spsc_is_hot_path_scoped() {
         let src = "fn push(&mut self) { let s = x.to_string(); }\n";
         assert_eq!(scan_source("crates/core/src/spsc.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn scr_is_hot_path_scoped() {
+        // SCR's schedule() runs per packet; panics and allocation carry
+        // the same discipline as the engine stages.
+        let src =
+            "fn schedule(&mut self) { let c = q.first().unwrap(); let s = format!(\"{c}\"); }\n";
+        let f = scan_source("crates/core/src/scr.rs", src);
+        assert!(f.iter().any(|x| x.rule == "hot-path-panic"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "blocking-hot-path"), "{f:?}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn fixture(name: &str) -> PathBuf {
 fn bad_fixture_trips_every_rule() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("bad")).expect("scan bad fixture tree");
-    assert_eq!(files, 11, "expected the eleven bad fixture files");
+    assert_eq!(files, 12, "expected the twelve bad fixture files");
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
     for meta in npcheck::all_rules() {
         assert!(
@@ -81,7 +81,7 @@ fn bad_fixture_findings_are_sorted_and_stable() {
 fn good_fixture_is_clean() {
     let (findings, files) =
         npcheck::scan_workspace(&fixture("good")).expect("scan good fixture tree");
-    assert_eq!(files, 10, "expected the ten good fixture files");
+    assert_eq!(files, 11, "expected the eleven good fixture files");
     assert!(
         findings.is_empty(),
         "good fixtures must be clean, got:\n{}",
@@ -138,7 +138,7 @@ fn cli_json_report_parses_and_counts() {
             "finding missing numeric line: {f:?}"
         );
     }
-    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(11)));
+    assert_eq!(v.get("files_scanned"), Some(&serde::Value::U64(12)));
 }
 
 /// Meta-test for the rule manifest: `npcheck --rules` must list every

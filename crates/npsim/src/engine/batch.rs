@@ -295,6 +295,7 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             arrival: now,
             flow_seq,
             migrated: false,
+            sync_debt_ns: 0,
         };
         self.record.publish(
             now,
@@ -308,6 +309,14 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         let target = self.dispatch.choose_core(&pkt, now, self.cfg.n_cores);
         if P::ACTIVE {
             self.drain_sched_events(now);
+        }
+        // SCR sync stamp — same point in the arrival as the scalar
+        // loop (after the decision, before last-core bookkeeping), so
+        // both loops stamp identical debts and reports stay
+        // byte-identical. The replica touch commits below, only if the
+        // queue accepts.
+        if self.sync_enabled {
+            self.stamp_sync(&mut pkt, target);
         }
         let prev_core = self.dispatch.last_core(pkt.slot);
         let migrated = matches!(prev_core, Some(c) if c != target);
@@ -342,6 +351,9 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             EnqueueOutcome::Enqueued(len)
             | EnqueueOutcome::HeadDropped { len, .. }
             | EnqueueOutcome::Staged(len) => {
+                if self.sync_enabled {
+                    self.commit_sync(pkt.slot, target, pkt.sync_debt_ns);
+                }
                 if P::ACTIVE {
                     self.record.publish(
                         now,

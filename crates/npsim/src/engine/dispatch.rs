@@ -21,6 +21,16 @@ struct FlowTable {
     seq: Vec<u64>,
     /// Core the flow's last packet was enqueued to (`NO_CORE` = none).
     last_core: Vec<u32>,
+    /// SCR replica set per flow: bit `c & 63` set when core `c` touched
+    /// the flow since its last consolidation. Grown (and paid for) only
+    /// when the engine enabled the sync model — empty otherwise, the
+    /// same dormant-vector pattern as the fault machinery.
+    replicas: Vec<u64>,
+    /// Packets dispatched since the flow's last consolidation (drives
+    /// `SyncPolicy::sync_every`). Grown alongside `replicas`.
+    since_sync: Vec<u32>,
+    /// Whether the SCR columns above are maintained.
+    sync: bool,
 }
 
 impl FlowTable {
@@ -29,6 +39,55 @@ impl FlowTable {
         if self.seq.len() < n {
             self.seq.resize(n, 0);
             self.last_core.resize(n, NO_CORE);
+            if self.sync {
+                self.replicas.resize(n, 0);
+                self.since_sync.resize(n, 0);
+            }
+        }
+    }
+
+    /// The stale-replica count a dispatch of `slot` to `core` would pay:
+    /// how many *other* cores hold the flow's state since the last
+    /// consolidation. Read-only — the engine stamps the surcharge at
+    /// dispatch but records the touch (via [`FlowTable::sync_touch`])
+    /// only if the packet is actually accepted into a queue, so a
+    /// drop-tailed packet neither dirties the replica set nor shows up
+    /// in the sync totals.
+    ///
+    /// Cores are folded into 64 bitmap lanes (`core & 63`); beyond 64
+    /// cores the count is a lower bound, which only *under*-charges the
+    /// SCR arm — acceptable for a cost model, noted in DESIGN.md.
+    fn sync_stale(&self, slot: FlowSlot, core: usize) -> u32 {
+        let Some(r) = self.replicas.get(slot.index()) else {
+            // Unreachable: grown to the interner's length before lookup.
+            debug_assert!(false, "flow table not grown to slot {slot:?}");
+            return 0;
+        };
+        (*r & !(1u64 << (core & 63))).count_ones()
+    }
+
+    /// SCR bookkeeping for an *accepted* dispatch of `slot` to `core`:
+    /// record the touch and consolidate when `sync_every` is reached.
+    /// Returns `(stale_replicas, consolidated)`; the stale count equals
+    /// what [`FlowTable::sync_stale`] reported for the same dispatch
+    /// (nothing runs between the stamp and the commit).
+    fn sync_touch(&mut self, slot: FlowSlot, core: usize, sync_every: u32) -> (u32, bool) {
+        let idx = slot.index();
+        let (Some(r), Some(n)) = (self.replicas.get_mut(idx), self.since_sync.get_mut(idx)) else {
+            // Unreachable: grown to the interner's length before lookup.
+            debug_assert!(false, "flow table not grown to slot {slot:?}");
+            return (0, false);
+        };
+        let bit = 1u64 << (core & 63);
+        let stale = (*r & !bit).count_ones();
+        *r |= bit;
+        *n = n.saturating_add(1);
+        if sync_every != 0 && *n >= sync_every {
+            *r = bit;
+            *n = 0;
+            (stale, true)
+        } else {
+            (stale, false)
         }
     }
 
@@ -90,6 +149,28 @@ impl<S: Scheduler> DispatchStage<S> {
     /// Ensure the flow table covers `n` interned flows.
     pub(super) fn grow_flows(&mut self, n: usize) {
         self.flows.grow_to(n);
+    }
+
+    /// Switch on the flow table's SCR replica-set columns. Called once
+    /// at engine construction, before any flow is interned, and only
+    /// when the policy opted into a priced sync model.
+    pub(super) fn enable_sync(&mut self) {
+        self.flows.sync = true;
+    }
+
+    /// SCR peek passthrough (see `FlowTable::sync_stale`).
+    pub(super) fn sync_stale(&self, slot: FlowSlot, core: usize) -> u32 {
+        self.flows.sync_stale(slot, core)
+    }
+
+    /// SCR bookkeeping passthrough (see `FlowTable::sync_touch`).
+    pub(super) fn sync_touch(
+        &mut self,
+        slot: FlowSlot,
+        core: usize,
+        sync_every: u32,
+    ) -> (u32, bool) {
+        self.flows.sync_touch(slot, core, sync_every)
     }
 
     /// Fetch-and-increment the flow's arrival sequence counter.

@@ -55,7 +55,7 @@ use crate::event::SimEvent;
 use crate::fault::{DropPolicy, FaultAction, FaultPlan, FaultStats};
 use crate::packet::PacketDesc;
 use crate::probe::{ProbeHost, ProbeStack, ReportProbe};
-use crate::report::SimReport;
+use crate::report::{SimReport, SyncStats};
 use crate::restore::RestorationBuffer;
 use crate::sched::{RepairOutcome, SchedEvent, Scheduler};
 use crate::source::SourceConfig;
@@ -221,6 +221,18 @@ pub struct Engine<S: Scheduler, P: ProbeHost = ()> {
     /// Fault-path counters; folded into the report when
     /// `faults_enabled`.
     fstats: FaultStats,
+    /// Whether the SCR sync-cost model runs: the policy opted in
+    /// (`Scheduler::sync_policy`) *and* the delay model prices it
+    /// (`sync_cost_us > 0`). Guards every replica-set touch, so non-SCR
+    /// runs — and SCR runs priced at zero — pay nothing.
+    sync_enabled: bool,
+    /// Per-stale-replica surcharge in nanoseconds (pre-scaled), cached
+    /// from the delay model.
+    sync_cost_ns: u64,
+    /// The policy's consolidation period (`0` = never).
+    sync_every: u32,
+    /// SCR accounting; folded into the report when `sync_enabled`.
+    sync_stats: SyncStats,
 }
 
 impl<S: Scheduler, P: ProbeHost> std::fmt::Debug for Engine<S, P> {
@@ -307,15 +319,30 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         // someone is listening.
         scheduler.set_event_feed(P::ACTIVE);
         let faults_enabled = !cfg.faults.is_empty() || cfg.drop_policy != DropPolicy::DropTail;
+        // The SCR sync model engages only when the policy asks for it
+        // AND the delay model prices it; priced at zero, an SCR run is
+        // byte-identical to the same decisions without the model.
+        let sync_policy = scheduler.sync_policy();
+        let sync_enabled = sync_policy.is_some() && delay.sync_cost_us > 0.0;
+        let sync_cost_ns = SimTime::from_micros_f64(delay.sync_delay_us(1)).as_nanos();
+        let sync_every = sync_policy.map_or(0, |p| p.sync_every);
+        let mut dispatch = DispatchStage::new(scheduler, infos);
+        if sync_enabled {
+            dispatch.enable_sync();
+        }
         Engine {
             ingest,
-            dispatch: DispatchStage::new(scheduler, infos),
+            dispatch,
             service,
             record: RecordStage::new(report, restoration, probes),
             events: EventSchedule::new(cfg.event_backend, cfg.scale),
             sched_ev_buf: Vec::new(),
             faults_enabled,
             fstats: FaultStats::default(),
+            sync_enabled,
+            sync_cost_ns,
+            sync_every,
+            sync_stats: SyncStats::default(),
             cfg,
         }
     }
@@ -342,6 +369,39 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
     fn sync_info(&mut self, i: usize) {
         if let Some(info) = self.service.snapshot(i) {
             self.dispatch.set_info(i, info);
+        }
+    }
+
+    /// SCR sync charge, half one of two: stamp the stale-replica
+    /// service-time surcharge on `pkt` for a dispatch to `target`.
+    /// Read-only on the replica set — a packet the queue then
+    /// drop-tails never ran on the core, so it must not dirty the
+    /// flow's replica state or show up in the sync totals; those happen
+    /// in [`Engine::commit_sync`] once the packet is accepted. Both
+    /// halves are called from the identical points of both run loops,
+    /// so reports stay byte-identical across them. Only called when
+    /// `sync_enabled`.
+    #[inline]
+    fn stamp_sync(&mut self, pkt: &mut PacketDesc, target: usize) {
+        let stale = self.dispatch.sync_stale(pkt.slot, target);
+        if stale > 0 {
+            let debt = self.sync_cost_ns.saturating_mul(u64::from(stale));
+            pkt.sync_debt_ns = u32::try_from(debt).unwrap_or(u32::MAX);
+        }
+    }
+
+    /// SCR sync charge, half two: the packet made it into a queue —
+    /// record the replica touch (and any consolidation) and account the
+    /// surcharge stamped by [`Engine::stamp_sync`].
+    #[inline]
+    fn commit_sync(&mut self, slot: nphash::FlowSlot, target: usize, debt_ns: u32) {
+        let (_, consolidated) = self.dispatch.sync_touch(slot, target, self.sync_every);
+        if debt_ns > 0 {
+            self.sync_stats.sync_packets += 1;
+            self.sync_stats.sync_extra_ns += u64::from(debt_ns);
+        }
+        if consolidated {
+            self.sync_stats.consolidations += 1;
         }
     }
 
@@ -398,6 +458,7 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             arrival: now,
             flow_seq,
             migrated: false,
+            sync_debt_ns: 0,
         };
         self.record.publish(
             now,
@@ -446,6 +507,14 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             }
         }
 
+        // SCR sync model: charge for every other core holding the
+        // flow's state since its last consolidation. Guarded like the
+        // fault path, so non-SCR runs pay nothing here. The replica
+        // touch itself commits below, only if the queue accepts.
+        if self.sync_enabled {
+            self.stamp_sync(&mut pkt, target);
+        }
+
         let prev_core = self.dispatch.last_core(pkt.slot);
         let migrated = matches!(prev_core, Some(c) if c != target);
         pkt.migrated = migrated;
@@ -486,6 +555,9 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
             | EnqueueOutcome::Staged(len) => {
                 if let EnqueueOutcome::Staged(_) = outcome {
                     self.fstats.backpressured += 1;
+                }
+                if self.sync_enabled {
+                    self.commit_sync(pkt.slot, target, pkt.sync_debt_ns);
                 }
                 if P::ACTIVE {
                     self.record.publish(
@@ -783,7 +855,10 @@ impl<S: Scheduler, P: ProbeHost> Engine<S, P> {
         let faults = self
             .faults_enabled
             .then(|| std::mem::take(&mut self.fstats));
-        let (report, probes) = self.record.finalize(reallocs, busy, faults);
+        let (mut report, probes) = self.record.finalize(reallocs, busy, faults);
+        if self.sync_enabled {
+            report.sync = Some(std::mem::take(&mut self.sync_stats));
+        }
         (report, self.dispatch.into_scheduler(), probes)
     }
 

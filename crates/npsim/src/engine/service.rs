@@ -221,7 +221,12 @@ impl ServiceStage {
         let d_us = self
             .delay
             .processing_delay_us(pkt.service, pkt.size, pkt.migrated, cold);
-        let d = SimTime::from_micros_f64(d_us * slot.speed);
+        // The SCR sync surcharge was stamped at dispatch (already scaled;
+        // state retrieval is fabric time, so the core-speed throttle does
+        // not apply). Zero for every non-SCR packet: adding it is the
+        // cost model's only touch on this path.
+        let d = SimTime::from_micros_f64(d_us * slot.speed)
+            + SimTime::from_nanos(u64::from(pkt.sync_debt_ns));
         slot.busy_ns += d.as_nanos();
         slot.last_service = Some(pkt.service);
         let started = Started {

@@ -59,9 +59,10 @@ pub use packet::PacketDesc;
 pub use probe::{
     EventLogProbe, MetricsProbe, Probe, ProbeHost, ProbeStack, ReportProbe, UtilizationProbe,
 };
-pub use report::{ServiceBreakdown, SimReport};
+pub use report::{ServiceBreakdown, SimReport, SyncStats};
 pub use restore::{RestorationBuffer, RestorationStats};
 pub use sched::{
-    JoinShortestQueue, QueueInfo, RepairOutcome, RoundRobin, SchedEvent, Scheduler, SystemView,
+    JoinShortestQueue, QueueInfo, RepairOutcome, RoundRobin, SchedEvent, Scheduler, SyncPolicy,
+    SystemView,
 };
 pub use source::{RateSpec, SourceConfig, TrafficSource};

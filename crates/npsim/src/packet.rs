@@ -28,6 +28,10 @@ pub struct PacketDesc {
     /// Whether dispatch moved this flow to a different core than its
     /// previous packet used (incurs the FM penalty when processed).
     pub migrated: bool,
+    /// State-sync surcharge in nanoseconds, added to this packet's
+    /// service time (SCR cost model: per-stale-replica retrieval cost,
+    /// stamped at dispatch). Always 0 outside the `scr-*` family.
+    pub sync_debt_ns: u32,
 }
 
 #[cfg(test)]
@@ -45,6 +49,7 @@ mod tests {
             arrival: SimTime::from_micros(5),
             flow_seq: 0,
             migrated: false,
+            sync_debt_ns: 0,
         };
         let q = p;
         assert_eq!(p, q);

@@ -17,14 +17,31 @@ pub struct ServiceBreakdown {
     pub out_of_order: u64,
 }
 
+/// State-Compute Replication accounting: what the SCR sync-cost model
+/// charged over the run. Present only when an `scr-*` policy ran with a
+/// non-zero `DelayModel::sync_cost_us`; every other run omits the block
+/// entirely (same wire contract as [`FaultStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncStats {
+    /// Packets that paid a non-zero sync surcharge (their flow's state
+    /// was stale on at least one other core at dispatch time).
+    pub sync_packets: u64,
+    /// Total service-time surcharge in nanoseconds across those packets
+    /// — the run's aggregate state-sync overhead.
+    pub sync_extra_ns: u64,
+    /// Replica-set consolidations performed (`SyncPolicy::sync_every`
+    /// reached: the flow's state was re-mastered on one core).
+    pub consolidations: u64,
+}
+
 /// The complete result of one simulation run.
 ///
 /// `Serialize` is hand-written (not derived) for one reason: the
-/// `faults` field must be *omitted* — not emitted as `null` — when no
-/// fault plan ran, so reports from fault-free runs stay byte-identical
-/// to the pre-fault golden fixtures. The derive has no
-/// `skip_serializing_if`; keep the manual impl's field list in sync
-/// with the struct, in declaration order.
+/// `faults` and `sync` fields must be *omitted* — not emitted as `null`
+/// — when no fault plan / SCR sync model ran, so reports from ordinary
+/// runs stay byte-identical to the pre-fault golden fixtures. The
+/// derive has no `skip_serializing_if`; keep the manual impl's field
+/// list in sync with the struct, in declaration order.
 #[derive(Debug, Clone, Deserialize)]
 pub struct SimReport {
     /// Scheduler name.
@@ -76,6 +93,10 @@ pub struct SimReport {
     /// had no fault plan and the default drop policy (and the key is
     /// then omitted from serialized reports entirely).
     pub faults: Option<FaultStats>,
+    /// SCR state-sync accounting; `None` — and omitted from serialized
+    /// reports — unless the policy opted into a sync model
+    /// (`Scheduler::sync_policy`) *and* the delay model prices it.
+    pub sync: Option<SyncStats>,
 }
 
 impl Serialize for SimReport {
@@ -112,6 +133,9 @@ impl Serialize for SimReport {
         if let Some(f) = &self.faults {
             fields.push(("faults".to_string(), f.to_value()));
         }
+        if let Some(s) = &self.sync {
+            fields.push(("sync".to_string(), s.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -139,6 +163,7 @@ impl SimReport {
             slow_path: 0,
             events: 0,
             faults: None,
+            sync: None,
         }
     }
 
@@ -248,6 +273,24 @@ mod tests {
         r.processed = 1_000_000; // 1 Mp in 1 s at scale 50 → 0.05 Mpps × 50 = 50...
                                  // 1e6 packets / 1e6 µs = 1 pkt/µs = 1 Mpps at sim scale → ×50 = 50 Mpps.
         assert!((r.throughput_mpps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_block_omitted_when_none() {
+        let mut r = SimReport::new("x", SimTime::ZERO, 1.0);
+        let v = r.to_value();
+        assert!(v.get("sync").is_none(), "None must omit the key, not null");
+        assert!(v.get("faults").is_none());
+        r.sync = Some(SyncStats {
+            sync_packets: 3,
+            sync_extra_ns: 900,
+            consolidations: 1,
+        });
+        let v = r.to_value();
+        let s = v.get("sync").expect("Some serializes the block");
+        assert_eq!(s.get("sync_packets"), Some(&Value::U64(3)));
+        let back = SimReport::from_value(&v).expect("round trip");
+        assert_eq!(back.sync, r.sync);
     }
 
     #[test]

@@ -236,6 +236,7 @@ mod tests {
             arrival: SimTime::ZERO,
             flow_seq: seq,
             migrated: false,
+            sync_debt_ns: 0,
         }
     }
 

@@ -122,6 +122,20 @@ pub enum RepairOutcome {
     Unrepaired,
 }
 
+/// How the engine models state synchronization for a State-Compute
+/// Replication policy (arXiv 2309.14647): a policy that opts in (via
+/// [`Scheduler::sync_policy`]) may send a flow's packets to *any* core,
+/// and each packet pays a per-stale-replica service-time surcharge
+/// (priced by `DelayModel::sync_cost_us`) for every other core holding
+/// the flow's state since its last consolidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncPolicy {
+    /// Consolidate a flow's replica set back to the current core after
+    /// this many dispatched packets (`0` = never consolidate: the
+    /// replica set only grows).
+    pub sync_every: u32,
+}
+
 /// A packet-scheduling policy.
 pub trait Scheduler {
     /// Display name used in reports and figures.
@@ -167,6 +181,15 @@ pub trait Scheduler {
     fn on_core_up(&mut self, _core: usize) -> RepairOutcome {
         RepairOutcome::Unrepaired
     }
+
+    /// The policy's SCR sync model, if it is a State-Compute Replication
+    /// policy. `None` (the default, and the answer of every LAPS-family
+    /// and baseline policy) keeps the engine's replica-set bookkeeping
+    /// completely off the packet path — the same zero-cost-when-off
+    /// contract as probes and fault plans.
+    fn sync_policy(&self) -> Option<SyncPolicy> {
+        None
+    }
 }
 
 impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
@@ -193,6 +216,9 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
     }
     fn on_core_up(&mut self, core: usize) -> RepairOutcome {
         (**self).on_core_up(core)
+    }
+    fn sync_policy(&self) -> Option<SyncPolicy> {
+        (**self).sync_policy()
     }
 }
 
@@ -262,6 +288,7 @@ mod tests {
             arrival: SimTime::ZERO,
             flow_seq: 0,
             migrated: false,
+            sync_debt_ns: 0,
         }
     }
 
@@ -329,6 +356,26 @@ mod tests {
         assert_eq!(v.min_queue_core(&[1, 3]), None, "all listed cores down");
         let mut jsq = JoinShortestQueue::new();
         assert_eq!(jsq.schedule(&pkt(), &v), 0, "JSQ degrades around faults");
+    }
+
+    #[test]
+    fn default_sync_policy_is_none_and_box_forwards() {
+        let rr = RoundRobin::new();
+        assert_eq!(rr.sync_policy(), None, "baselines never opt into SCR");
+        struct Scrish;
+        impl Scheduler for Scrish {
+            fn name(&self) -> &str {
+                "scrish"
+            }
+            fn schedule(&mut self, _p: &PacketDesc, _v: &SystemView<'_>) -> usize {
+                0
+            }
+            fn sync_policy(&self) -> Option<SyncPolicy> {
+                Some(SyncPolicy { sync_every: 8 })
+            }
+        }
+        let boxed: Box<dyn Scheduler> = Box::new(Scrish);
+        assert_eq!(boxed.sync_policy(), Some(SyncPolicy { sync_every: 8 }));
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub struct DelayModel {
     pub fm_penalty_us: f64,
     /// Cold-I-cache penalty in µs (paper: 10.0).
     pub cc_penalty_us: f64,
+    /// State-Compute Replication sync cost in µs **per stale replica**
+    /// (arXiv 2309.14647): under an SCR-style policy a packet pays this
+    /// once for every *other* core that touched its flow since the
+    /// flow's last state consolidation. `0` (the default) prices state
+    /// sync at nothing and keeps the SCR machinery entirely off the
+    /// packet path — LAPS-family policies never pay it regardless.
+    pub sync_cost_us: f64,
     /// Rate/time scale factor `F`: processing times and penalties are
     /// multiplied by `F` while arrival rates are divided by `F`, leaving
     /// offered load invariant (see DESIGN.md). `1` = paper-exact.
@@ -66,6 +73,7 @@ impl Default for DelayModel {
         DelayModel {
             fm_penalty_us: 0.8,
             cc_penalty_us: 10.0,
+            sync_cost_us: 0.0,
             scale: 1.0,
         }
     }
@@ -104,6 +112,13 @@ impl DelayModel {
     pub fn base_delay_us(&self, service: ServiceKind, size_bytes: u16) -> f64 {
         service.proc_time_us(size_bytes) * self.scale
     }
+
+    /// SCR sync surcharge in µs for a packet whose flow has
+    /// `stale_replicas` other cores holding its state since the last
+    /// consolidation, scaled like every other penalty.
+    pub fn sync_delay_us(&self, stale_replicas: u32) -> f64 {
+        self.sync_cost_us * stale_replicas as f64 * self.scale
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +146,19 @@ mod tests {
                 assert!((a - 50.0 * b).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn sync_delay_scales_per_stale_replica() {
+        let m = DelayModel {
+            sync_cost_us: 0.4,
+            ..DelayModel::scaled(50.0)
+        };
+        assert!((m.sync_delay_us(0)).abs() < 1e-9);
+        assert!((m.sync_delay_us(3) - 0.4 * 3.0 * 50.0).abs() < 1e-9);
+        let off = DelayModel::default();
+        assert_eq!(off.sync_cost_us, 0.0, "sync pricing is off by default");
+        assert!((off.sync_delay_us(7)).abs() < 1e-9);
     }
 
     #[test]

@@ -11,8 +11,11 @@ use laps_repro::npsim::ExecutionMode;
 use laps_repro::prelude::*;
 use proptest::prelude::*;
 
-/// Every builtin policy, registry order.
-const POLICIES: [&str; 9] = [
+/// Every builtin policy, registry order. The SCR family rides with a
+/// non-zero `sync_cost_us` (set in [`run`]), so the byte-identity grid
+/// covers the sync-surcharge path too — replica bookkeeping and debt
+/// stamping must happen at the same point in both loops.
+const POLICIES: [&str; 13] = [
     "round-robin",
     "fcfs",
     "static",
@@ -22,6 +25,10 @@ const POLICIES: [&str; 9] = [
     "topk-oracle",
     "laps",
     "laps-park",
+    "scr-rr",
+    "scr-p2c",
+    "scr-sync4",
+    "scr-sync16",
 ];
 
 /// The burst sizes under test: degenerate (1), odd (7), full (32).
@@ -53,6 +60,9 @@ fn run(
         .configure(|cfg| {
             cfg.execution = execution;
             cfg.prestage = prestage;
+            // Price the SCR sync model so the scr-* policies exercise it;
+            // dormant for every policy without a sync_policy().
+            cfg.delay.sync_cost_us = 0.5;
         })
         .sources(sources)
         .run_named(policy)
